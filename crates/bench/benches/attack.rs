@@ -1,0 +1,70 @@
+//! Template-attack throughput: profiling and classifying HPC feature
+//! vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scnn_core::attack::{mount_attack, AttackClassifier, AttackConfig};
+use scnn_core::collect::CategoryObservations;
+use scnn_hpc::HpcEvent;
+use std::collections::BTreeMap;
+
+fn observations(categories: usize, n: usize) -> Vec<CategoryObservations> {
+    (0..categories)
+        .map(|c| {
+            let mut per_event = BTreeMap::new();
+            for (k, event) in [HpcEvent::CacheMisses, HpcEvent::Branches, HpcEvent::Cycles]
+                .into_iter()
+                .enumerate()
+            {
+                per_event.insert(
+                    event,
+                    (0..n)
+                        .map(|i| (c * 50 + k * 7) as f64 + ((i * 13) % 29) as f64)
+                        .collect(),
+                );
+            }
+            CategoryObservations {
+                category: c,
+                per_event,
+                predictions: vec![c; n],
+            }
+        })
+        .collect()
+}
+
+fn bench_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    for &n in &[50usize, 200] {
+        let obs = observations(4, n);
+        group.bench_with_input(BenchmarkId::new("gaussian_template", n), &n, |b, _| {
+            b.iter(|| mount_attack(&obs, &AttackConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lda", n), &n, |b, _| {
+            b.iter(|| {
+                mount_attack(
+                    &obs,
+                    &AttackConfig {
+                        classifier: AttackClassifier::Lda,
+                        ..AttackConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knn5", n), &n, |b, _| {
+            b.iter(|| {
+                mount_attack(
+                    &obs,
+                    &AttackConfig {
+                        classifier: AttackClassifier::Knn { k: 5 },
+                        ..AttackConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Throughput of the microarchitectural substrate: single-cache accesses,
+//! the three-level hierarchy, branch predictors and the whole CoreSim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scnn_uarch::branch::{BranchPredictor, GsharePredictor, TournamentPredictor};
+use scnn_uarch::cache::{Cache, CacheConfig};
+use scnn_uarch::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use scnn_uarch::{CoreConfig, CoreSim, Probe};
+
+const ACCESSES: u64 = 10_000;
+
+fn bench_single_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(ACCESSES));
+    for (name, stride) in [("sequential", 64u64), ("strided_4k", 4096), ("random_ish", 7919 * 64)] {
+        group.bench_with_input(BenchmarkId::new("l1_access", name), &stride, |b, &stride| {
+            let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64)).unwrap();
+            b.iter(|| {
+                for i in 0..ACCESSES {
+                    cache.access(black_box(i * stride), false);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("three_level_walk", |b| {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default()).unwrap();
+        b.iter(|| {
+            for i in 0..ACCESSES {
+                mem.access(black_box((i * 2654435761) % (8 << 20)), i % 5 == 0, 0x40);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_predictor");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("gshare", |b| {
+        let mut p = GsharePredictor::new(12, 12);
+        b.iter(|| {
+            for i in 0..ACCESSES {
+                p.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+            }
+        })
+    });
+    group.bench_function("tournament", |b| {
+        let mut p = TournamentPredictor::new(12);
+        b.iter(|| {
+            for i in 0..ACCESSES {
+                p.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_sim");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("full_event_stream", |b| {
+        let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
+        b.iter(|| {
+            for i in 0..ACCESSES {
+                core.load(black_box(i * 64 % (4 << 20)), 0x40);
+                core.branch(0x80, i % 2 == 0);
+                core.alu(2);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cache, bench_hierarchy, bench_predictors, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! CNN inference throughput: reference (fast) path vs instrumented path
+//! against the full Xeon-class simulator — the cost of observation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn_data::mnist_synth::{generate, MnistSynthConfig};
+use scnn_nn::models;
+use scnn_uarch::{CoreConfig, CoreSim, CountingProbe, NullProbe};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut net = models::mnist_cnn(42);
+    let ds = generate(
+        &MnistSynthConfig {
+            per_class: 1,
+            ..MnistSynthConfig::default()
+        },
+        7,
+    )
+    .unwrap();
+    let (image, _) = ds.get(3).unwrap();
+    let image = image.clone();
+
+    let mut group = c.benchmark_group("mnist_inference");
+    group.bench_function("reference", |b| {
+        b.iter(|| net.infer(black_box(&image)).unwrap())
+    });
+    let net_ref = models::mnist_cnn(42);
+    group.bench_function("traced_null_probe", |b| {
+        b.iter(|| {
+            let mut probe = NullProbe;
+            net_ref.infer_traced(black_box(&image), &mut probe).unwrap()
+        })
+    });
+    group.bench_function("traced_counting_probe", |b| {
+        b.iter(|| {
+            let mut probe = CountingProbe::new();
+            net_ref.infer_traced(black_box(&image), &mut probe).unwrap()
+        })
+    });
+    group.bench_function("traced_core_sim", |b| {
+        let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
+        b.iter(|| {
+            core.cold_start();
+            core.reset_counters();
+            net_ref.infer_traced(black_box(&image), &mut core).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,591 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! One subcommand per artefact:
+//!
+//! ```text
+//! repro fig1            # Fig 1(a,b): average cache-misses per category
+//! repro fig2b           # Fig 2(b): all 8 HPC events of one classification
+//! repro fig3            # Fig 3(a,b): MNIST distributions (cache-misses, branches)
+//! repro fig4            # Fig 4(a,b): CIFAR-10 distributions
+//! repro table1          # Table 1: MNIST pairwise t-tests
+//! repro table2          # Table 2: CIFAR-10 pairwise t-tests
+//! repro attack          # Extension A: HPC template attack accuracy
+//! repro ablation        # Extension B: countermeasure ablation
+//! repro sweep           # Extension C: leakage vs noise level / sample count
+//! repro events          # Extension D: which of the 8 events leak, cold vs warm
+//! repro uarch           # Extension E: microarchitectural design ablation
+//! repro archs           # Extension F: CNN vs MLP victim architectures
+//! repro all             # everything above
+//! ```
+//!
+//! Options: `--samples <n>` (measurements per category, default 100),
+//! `--quick` (tiny models, for smoke tests), `--csv <dir>` (additionally
+//! write the raw figure/table series as CSV files for external plotting).
+
+use scnn_core::attack::{AttackClassifier, AttackConfig};
+use scnn_core::countermeasure::Countermeasure;
+use scnn_core::pipeline::{Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome};
+use scnn_core::report::{render_distributions, render_summary};
+use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
+use scnn_stats::ranktest;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    samples: usize,
+    quick: bool,
+    csv: Option<std::path::PathBuf>,
+}
+
+impl Options {
+    fn config(&self, dataset: DatasetKind) -> ExperimentConfig {
+        let mut cfg = if self.quick {
+            ExperimentConfig::quick(dataset)
+        } else {
+            ExperimentConfig::paper(dataset)
+        };
+        cfg.collection.samples_per_category = self.samples;
+        cfg
+    }
+}
+
+/// Runs (and caches) the main experiment per dataset so `repro all` does
+/// not retrain and remeasure for every artefact.
+struct Runner {
+    options: Options,
+    cache: HashMap<&'static str, ExperimentOutcome>,
+}
+
+impl Runner {
+    fn outcome(&mut self, dataset: DatasetKind) -> &ExperimentOutcome {
+        let key = match dataset {
+            DatasetKind::Mnist => "mnist",
+            DatasetKind::Cifar10 => "cifar",
+        };
+        #[allow(clippy::map_entry)]
+        if !self.cache.contains_key(key) {
+            let t0 = Instant::now();
+            eprintln!(
+                "[repro] running {dataset} experiment (train + {} measurements/category)…",
+                self.options.samples
+            );
+            let outcome = Experiment::new(self.options.config(dataset))
+                .run()
+                .unwrap_or_else(|e| panic!("{dataset} experiment failed: {e}"));
+            eprintln!(
+                "[repro] {dataset} done in {:.1?} (CNN test accuracy {:.1}%)",
+                t0.elapsed(),
+                outcome.test_accuracy * 100.0
+            );
+            self.cache.insert(key, outcome);
+        }
+        &self.cache[key]
+    }
+
+    /// Writes one CSV file into the `--csv` directory, if set.
+    fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let Some(dir) = &self.options.csv else {
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[repro] cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(name);
+        let mut content = String::from(header);
+        content.push('\n');
+        for row in rows {
+            content.push_str(row);
+            content.push('\n');
+        }
+        match std::fs::write(&path, content) {
+            Ok(()) => eprintln!("[repro] wrote {}", path.display()),
+            Err(e) => eprintln!("[repro] cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// Raw per-measurement series of one experiment as CSV rows.
+    fn csv_observations(&mut self, dataset: DatasetKind, file: &str) {
+        if self.options.csv.is_none() {
+            return;
+        }
+        let outcome = self.outcome(dataset);
+        let mut rows = Vec::new();
+        for obs in &outcome.observations {
+            for (event, series) in &obs.per_event {
+                for (i, v) in series.iter().enumerate() {
+                    rows.push(format!(
+                        "{},{},{},{},{v}",
+                        dataset,
+                        obs.category + 1,
+                        event.perf_name(),
+                        i
+                    ));
+                }
+            }
+        }
+        self.write_csv(file, "dataset,category,event,measurement,value", &rows);
+    }
+
+    fn fig1(&mut self) {
+        println!("==============================================================");
+        println!("Figure 1: average cache-misses during classification");
+        println!("==============================================================");
+        for dataset in [DatasetKind::Mnist, DatasetKind::Cifar10] {
+            let panel = match dataset {
+                DatasetKind::Mnist => "(a) MNIST",
+                DatasetKind::Cifar10 => "(b) CIFAR-10",
+            };
+            let outcome = self.outcome(dataset);
+            println!("\n--- Figure 1{panel} ---");
+            print!("{}", outcome.report.render_means(HpcEvent::CacheMisses, 40));
+            let rows: Vec<String> = outcome
+                .report
+                .event(HpcEvent::CacheMisses)
+                .map(|ev| {
+                    ev.summaries
+                        .iter()
+                        .enumerate()
+                        .map(|(c, s)| format!("{dataset},{},{},{}", c + 1, s.mean(), s.sample_std()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let file = match dataset {
+                DatasetKind::Mnist => "fig1a_mnist_means.csv",
+                DatasetKind::Cifar10 => "fig1b_cifar_means.csv",
+            };
+            self.write_csv(file, "dataset,category,mean_cache_misses,std", &rows);
+        }
+        println!();
+    }
+
+    fn fig2b(&mut self) {
+        println!("==============================================================");
+        println!("Figure 2(b): HPC events of a single MNIST classification");
+        println!("==============================================================");
+        let cfg = self.options.config(DatasetKind::Mnist);
+        let image = scnn_data::mnist_synth::generate(
+            &scnn_data::mnist_synth::MnistSynthConfig {
+                per_class: 1,
+                side: if self.options.quick { 12 } else { 28 },
+                ..Default::default()
+            },
+            7,
+        )
+        .expect("generator is infallible for valid configs")
+        .get(0)
+        .map(|(img, _)| img.clone())
+        .expect("per_class = 1 yields an image");
+        // One trained model, one classification, all eight events at once.
+        let outcome = self.outcome(DatasetKind::Mnist);
+        let pmu = SimulatedPmu::new(cfg.pmu, 0x000F_162B).expect("default geometry is valid");
+        let group = CounterGroup::new(HpcEvent::FIG2B.to_vec(), 8).expect("8 distinct events");
+        let mut session = PerfStat::new(pmu, group);
+        let net = &outcome.network;
+        let report = session
+            .stat(&mut |probe| {
+                let _ = net.classify_traced(&image, probe);
+            })
+            .expect("simulated measurement cannot fail");
+        println!("{report}");
+    }
+
+    fn distributions(&mut self, dataset: DatasetKind) {
+        let (figure, name) = match dataset {
+            DatasetKind::Mnist => ("Figure 3", "MNIST"),
+            DatasetKind::Cifar10 => ("Figure 4", "CIFAR-10"),
+        };
+        println!("==============================================================");
+        println!("{figure}: per-category HPC distributions, {name}");
+        println!("==============================================================");
+        {
+            let outcome = self.outcome(dataset);
+            for (panel, event) in [("a", HpcEvent::CacheMisses), ("b", HpcEvent::Branches)] {
+                println!("\n--- {figure}({panel}): {event} ---");
+                print!("{}", render_summary(&outcome.observations, event));
+                print!("{}", render_distributions(&outcome.observations, event, 12));
+            }
+        }
+        let file = match dataset {
+            DatasetKind::Mnist => "fig3_mnist_observations.csv",
+            DatasetKind::Cifar10 => "fig4_cifar_observations.csv",
+        };
+        self.csv_observations(dataset, file);
+        println!();
+    }
+
+    fn table(&mut self, dataset: DatasetKind) {
+        let (table, name) = match dataset {
+            DatasetKind::Mnist => ("Table 1", "MNIST"),
+            DatasetKind::Cifar10 => ("Table 2", "CIFAR-10"),
+        };
+        println!("==============================================================");
+        println!("{table}: pairwise t-tests, {name} (* = distinguishable at 95%)");
+        println!("==============================================================");
+        let outcome = self.outcome(dataset);
+        print!("{}", outcome.report.render_table());
+
+        // Rank-test cross-check (robustness extension).
+        println!("rank-test cross-check (Mann-Whitney p-values, cache-misses):");
+        let obs = &outcome.observations;
+        for i in 0..obs.len() {
+            for j in (i + 1)..obs.len() {
+                let a = obs[i].series(HpcEvent::CacheMisses).unwrap_or(&[]);
+                let b = obs[j].series(HpcEvent::CacheMisses).unwrap_or(&[]);
+                if let Ok(r) = ranktest::mann_whitney_u(a, b) {
+                    println!("  u{},{}: p = {:.4}", i + 1, j + 1, r.p);
+                }
+            }
+        }
+        println!();
+    }
+
+    fn attack(&mut self) {
+        println!("==============================================================");
+        println!("Extension A: input-category recovery from HPC readings");
+        println!("==============================================================");
+        for dataset in [DatasetKind::Mnist, DatasetKind::Cifar10] {
+            let outcome = self.outcome(dataset);
+            println!("\n--- {dataset} ---");
+            for (label, classifier) in [
+                ("gaussian template", AttackClassifier::GaussianTemplate),
+                ("LDA (pooled covariance)", AttackClassifier::Lda),
+                ("5-NN", AttackClassifier::Knn { k: 5 }),
+            ] {
+                match outcome.mount_attack(&AttackConfig {
+                    classifier,
+                    ..AttackConfig::default()
+                }) {
+                    Ok(out) => {
+                        println!("[{label}]");
+                        print!("{out}");
+                    }
+                    Err(e) => println!("[{label}] attack failed: {e}"),
+                }
+            }
+        }
+        println!();
+    }
+
+    fn ablation(&mut self) {
+        println!("==============================================================");
+        println!("Extension B: countermeasure ablation (MNIST)");
+        println!("==============================================================");
+        let base = self.options.config(DatasetKind::Mnist);
+        let arms: Vec<(&str, Option<Countermeasure>)> = vec![
+            ("leaky baseline", None),
+            ("constant-time kernels", Some(Countermeasure::ConstantTime)),
+            (
+                "noise injection (20k dummy events)",
+                Some(Countermeasure::NoiseInjection {
+                    dummy_events: 20_000,
+                }),
+            ),
+            (
+                "combined",
+                Some(Countermeasure::Combined {
+                    dummy_events: 20_000,
+                }),
+            ),
+        ];
+        println!(
+            "{:<40} {:>12} {:>12} {:>10}",
+            "countermeasure", "cm pairs*", "br pairs*", "attack"
+        );
+        for (label, cm) in arms {
+            let mut cfg = base.clone();
+            cfg.countermeasure = cm;
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("ablation arm '{label}' failed: {e}"));
+            let pairs = |event| {
+                outcome
+                    .report
+                    .event(event)
+                    .map(|e| e.pairwise.leak_count())
+                    .unwrap_or(0)
+            };
+            let attack = outcome
+                .mount_attack(&AttackConfig::default())
+                .map(|a| format!("{:.0}%", a.accuracy * 100.0))
+                .unwrap_or_else(|_| "n/a".into());
+            println!(
+                "{:<40} {:>10}/6 {:>10}/6 {:>10}",
+                label,
+                pairs(HpcEvent::CacheMisses),
+                pairs(HpcEvent::Branches),
+                attack
+            );
+        }
+        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+    }
+
+    fn events(&mut self) {
+        println!("==============================================================");
+        println!("Extension D: leakage per HPC event, cold vs warm measurement");
+        println!("==============================================================");
+        println!(
+            "(the paper's §5.2: \"we observed that some of the events can\n produce different distributions for different categories\")\n"
+        );
+        println!("{:<24} {:>16} {:>16}", "event", "cold-start", "warm-attach");
+        let mut rows: Vec<(String, usize, usize)> = Vec::new();
+        for warmup in [WarmupPolicy::ColdStart, WarmupPolicy::Warm] {
+            let mut cfg = self.options.config(DatasetKind::Mnist);
+            cfg.collection.events = HpcEvent::FIG2B.to_vec();
+            cfg.pmu.warmup = warmup;
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("events experiment ({warmup:?}) failed: {e}"));
+            for ev in &outcome.report.per_event {
+                let count = ev.pairwise.leak_count();
+                match warmup {
+                    WarmupPolicy::ColdStart => {
+                        rows.push((ev.event.perf_name().to_owned(), count, 0));
+                    }
+                    WarmupPolicy::Warm => {
+                        if let Some(row) = rows.iter_mut().find(|r| r.0 == ev.event.perf_name()) {
+                            row.2 = count;
+                        }
+                    }
+                }
+            }
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (name, cold, warm) in rows {
+            println!("{:<24} {:>14}/6 {:>14}/6", name, cold, warm);
+        }
+        println!("\n(pairs distinguishable at 95%; warm-attach = perf stat -p on a\n long-running service, caches staying warm between classifications)\n");
+    }
+
+    fn archs(&mut self) {
+        println!("==============================================================");
+        println!("Extension F: victim architecture comparison (MNIST)");
+        println!("==============================================================");
+        println!(
+            "(the paper's future work: \"explore the vulnerabilities in other\n deep learning models\")\n"
+        );
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>10}",
+            "model", "accuracy", "cm pairs*", "br pairs*", "attack"
+        );
+        for (name, arch) in [("CNN", Architecture::Cnn), ("MLP", Architecture::Mlp)] {
+            let mut cfg = self.options.config(DatasetKind::Mnist);
+            cfg.architecture = arch;
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("architecture arm '{name}' failed: {e}"));
+            let pairs = |event| {
+                outcome
+                    .report
+                    .event(event)
+                    .map(|e| e.pairwise.leak_count())
+                    .unwrap_or(0)
+            };
+            let attack = outcome
+                .mount_attack(&AttackConfig::default())
+                .map(|a| format!("{:.0}%", a.accuracy * 100.0))
+                .unwrap_or_else(|_| "n/a".into());
+            println!(
+                "{:<12} {:>9.1}% {:>10}/6 {:>10}/6 {:>10}",
+                name,
+                outcome.test_accuracy * 100.0,
+                pairs(HpcEvent::CacheMisses),
+                pairs(HpcEvent::Branches),
+                attack
+            );
+        }
+        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+    }
+
+    fn uarch(&mut self) {
+        use scnn_uarch::{CacheConfig, PredictorKind, PrefetcherKind};
+
+        println!("==============================================================");
+        println!("Extension E: microarchitectural ablation (MNIST, cache-misses)");
+        println!("==============================================================");
+        println!(
+            "does the leak depend on the platform's microarchitecture?\n"
+        );
+        let base = self.options.config(DatasetKind::Mnist);
+        let mut arms: Vec<(String, scnn_core::pipeline::ExperimentConfig)> = Vec::new();
+
+        let mut cfg = base.clone();
+        cfg.pmu.core = scnn_uarch::CoreConfig::xeon_e5_2690();
+        arms.push(("Xeon E5-2690 (paper platform)".into(), cfg));
+
+        for (name, kind) in [
+            ("no prefetcher", PrefetcherKind::None),
+            ("next-line prefetcher", PrefetcherKind::NextLine),
+        ] {
+            let mut cfg = base.clone();
+            cfg.pmu.core.hierarchy.prefetcher = kind;
+            arms.push((name.into(), cfg));
+        }
+        for (name, bytes, assoc) in [
+            ("small LLC (256 KiB)", 256 * 1024, 8),
+            ("large LLC (8 MiB)", 8 * 1024 * 1024, 16),
+        ] {
+            let mut cfg = base.clone();
+            cfg.pmu.core.hierarchy.l3 = CacheConfig::new(bytes, assoc, 64);
+            arms.push((name.into(), cfg));
+        }
+        for (name, kind) in [
+            ("bimodal predictor", PredictorKind::Bimodal),
+            ("perceptron predictor", PredictorKind::Perceptron),
+        ] {
+            let mut cfg = base.clone();
+            cfg.pmu.core.predictor = kind;
+            arms.push((name.into(), cfg));
+        }
+
+        println!("{:<34} {:>12} {:>12}", "platform variant", "cm pairs*", "br pairs*");
+        for (name, cfg) in arms {
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("uarch arm '{name}' failed: {e}"));
+            let pairs = |event| {
+                outcome
+                    .report
+                    .event(event)
+                    .map(|e| e.pairwise.leak_count())
+                    .unwrap_or(0)
+            };
+            println!(
+                "{:<34} {:>10}/6 {:>10}/6",
+                name,
+                pairs(HpcEvent::CacheMisses),
+                pairs(HpcEvent::Branches)
+            );
+        }
+        println!("\n(* category pairs distinguishable at 95% confidence; the leak\n   is robust to platform details — it lives in the software)\n");
+    }
+
+    fn sweep(&mut self) {
+        println!("==============================================================");
+        println!("Extension C: leakage vs noise level and sample count (MNIST)");
+        println!("==============================================================");
+        let base = self.options.config(DatasetKind::Mnist);
+        let pairs_of = |outcome: &ExperimentOutcome, event| {
+            outcome
+                .report
+                .event(event)
+                .map(|e| e.pairwise.leak_count())
+                .unwrap_or(0)
+        };
+
+        println!(
+            "\nnoise sweep (samples/category = {}):",
+            base.collection.samples_per_category
+        );
+        println!("{:<14} {:>14} {:>14}", "noise level", "cm pairs*", "br pairs*");
+        for level in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let mut cfg = base.clone();
+            cfg.pmu.noise = cfg.pmu.noise.scaled(level);
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("noise sweep level {level} failed: {e}"));
+            println!(
+                "{:<14} {:>12}/6 {:>12}/6",
+                format!("{level:.1}x"),
+                pairs_of(&outcome, HpcEvent::CacheMisses),
+                pairs_of(&outcome, HpcEvent::Branches)
+            );
+        }
+
+        println!("\nsample-count sweep (default noise):");
+        println!("{:<14} {:>14} {:>14}", "samples/cat", "cm pairs*", "br pairs*");
+        for samples in [10, 25, 50, 100] {
+            let mut cfg = base.clone();
+            cfg.collection.samples_per_category = samples;
+            let outcome = Experiment::new(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("sample sweep n={samples} failed: {e}"));
+            println!(
+                "{:<14} {:>12}/6 {:>12}/6",
+                samples,
+                pairs_of(&outcome, HpcEvent::CacheMisses),
+                pairs_of(&outcome, HpcEvent::Branches)
+            );
+        }
+        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut options = Options {
+        samples: 100,
+        quick: false,
+        csv: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.samples = n,
+                None => {
+                    eprintln!("--samples needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => options.quick = true,
+            "--csv" => match it.next() {
+                Some(dir) => options.csv = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut runner = Runner {
+        options,
+        cache: HashMap::new(),
+    };
+    match command.as_deref() {
+        Some("fig1") => runner.fig1(),
+        Some("fig2b") => runner.fig2b(),
+        Some("fig3") => runner.distributions(DatasetKind::Mnist),
+        Some("fig4") => runner.distributions(DatasetKind::Cifar10),
+        Some("table1") => runner.table(DatasetKind::Mnist),
+        Some("table2") => runner.table(DatasetKind::Cifar10),
+        Some("attack") => runner.attack(),
+        Some("ablation") => runner.ablation(),
+        Some("sweep") => runner.sweep(),
+        Some("events") => runner.events(),
+        Some("uarch") => runner.uarch(),
+        Some("archs") => runner.archs(),
+        Some("all") => {
+            runner.fig1();
+            runner.fig2b();
+            runner.distributions(DatasetKind::Mnist);
+            runner.distributions(DatasetKind::Cifar10);
+            runner.table(DatasetKind::Mnist);
+            runner.table(DatasetKind::Cifar10);
+            runner.attack();
+            runner.ablation();
+            runner.sweep();
+            runner.events();
+            runner.uarch();
+            runner.archs();
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|sweep|events|uarch|archs|all> \
+                 [--samples N] [--quick]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,41 @@
+//! # scnn-bench
+//!
+//! Benchmark harness and paper-artefact regeneration for the `scnn`
+//! workspace. The interesting entry points are:
+//!
+//! - the `repro` binary (`cargo run --release -p scnn-bench --bin repro`),
+//!   which regenerates every table and figure of the paper plus the
+//!   extension experiments;
+//! - the Criterion benches under `benches/` (`cargo bench`), which measure
+//!   the throughput of each substrate (t-tests, cache simulation, traced
+//!   inference, the full evaluator, the template attack).
+//!
+//! This library target only hosts small helpers shared between them.
+
+#![warn(missing_docs)]
+
+use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
+
+/// A small but paper-shaped experiment configuration used by benches:
+/// paper-scale models with few training examples and measurements so a
+/// Criterion iteration stays in the tens-of-milliseconds range.
+pub fn bench_config(dataset: DatasetKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(dataset);
+    cfg.train_per_class = 8;
+    cfg.test_per_class = 4;
+    cfg.train.epochs = 1;
+    cfg.collection.samples_per_category = 4;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        let cfg = bench_config(DatasetKind::Mnist);
+        assert!(cfg.train_per_class <= 10);
+        assert!(cfg.collection.samples_per_category <= 10);
+    }
+}

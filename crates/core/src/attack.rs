@@ -1,0 +1,686 @@
+//! The adversary's side: recovering the input category from HPC readings.
+//!
+//! The paper argues that distinguishable distributions let "an adversary
+//! … exploit this side-channel information in order to uncover the
+//! private input images". This module demonstrates that exploitability
+//! concretely: profiling classifiers (a Gaussian template attack, the
+//! classical side-channel tool, and a k-NN baseline) are trained on a
+//! profiling split of the HPC observations and then asked to label unseen
+//! measurements. Recovery accuracy far above chance *is* the reverse
+//! engineering of the paper's title.
+
+use crate::collect::CategoryObservations;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_hpc::HpcEvent;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Classifier the adversary uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum AttackClassifier {
+    /// Per-class independent Gaussian templates (naive Bayes with
+    /// Gaussian likelihoods) — the classical profiling attack.
+    #[default]
+    GaussianTemplate,
+    /// Linear discriminant analysis: Gaussian templates with a *pooled
+    /// full covariance* across classes. Exploits correlations between
+    /// events (e.g. cache-misses and cycles move together) that the
+    /// diagonal template ignores.
+    Lda,
+    /// k-nearest-neighbours on z-scored features.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+}
+
+
+/// Attack parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Fraction of each category's measurements used for profiling.
+    pub profile_fraction: f64,
+    /// The classifier.
+    pub classifier: AttackClassifier,
+    /// Split seed.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            profile_fraction: 0.5,
+            classifier: AttackClassifier::GaussianTemplate,
+            seed: 0xA77AC4,
+        }
+    }
+}
+
+/// Error mounting the attack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Fewer than two categories.
+    TooFewCategories,
+    /// A category has too few measurements to split.
+    TooFewMeasurements {
+        /// The offending category.
+        category: usize,
+    },
+    /// Observations carry no events.
+    NoFeatures,
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::TooFewCategories => write!(f, "attack needs at least 2 categories"),
+            AttackError::TooFewMeasurements { category } => {
+                write!(f, "category {category} has too few measurements to split")
+            }
+            AttackError::NoFeatures => write!(f, "observations carry no HPC events"),
+        }
+    }
+}
+
+impl Error for AttackError {}
+
+/// Attack outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Category-recovery accuracy on held-out measurements.
+    pub accuracy: f64,
+    /// Confusion matrix `confusion[truth][guess]`.
+    pub confusion: Vec<Vec<usize>>,
+    /// Held-out measurements evaluated.
+    pub test_count: usize,
+    /// Events used as features.
+    pub features: Vec<HpcEvent>,
+    /// The classifier used.
+    pub classifier: AttackClassifier,
+}
+
+impl AttackOutcome {
+    /// Chance accuracy for the category count.
+    pub fn chance_level(&self) -> f64 {
+        if self.confusion.is_empty() {
+            0.0
+        } else {
+            1.0 / self.confusion.len() as f64
+        }
+    }
+
+    /// True when recovery beats chance by `margin` (absolute).
+    pub fn beats_chance_by(&self, margin: f64) -> bool {
+        self.accuracy >= self.chance_level() + margin
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "input-category recovery: {:.1}% (chance {:.1}%, {} held-out measurements)",
+            self.accuracy * 100.0,
+            self.chance_level() * 100.0,
+            self.test_count
+        )?;
+        writeln!(f, "confusion (rows = truth):")?;
+        for row in &self.confusion {
+            write!(f, " ")?;
+            for v in row {
+                write!(f, " {v:>4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+struct LabelledVectors {
+    features: Vec<HpcEvent>,
+    /// (feature_vector, category)
+    train: Vec<(Vec<f64>, usize)>,
+    test: Vec<(Vec<f64>, usize)>,
+}
+
+fn split_vectors(
+    observations: &[CategoryObservations],
+    config: &AttackConfig,
+) -> Result<LabelledVectors, AttackError> {
+    if observations.len() < 2 {
+        return Err(AttackError::TooFewCategories);
+    }
+    let features: Vec<HpcEvent> = observations[0].per_event.keys().copied().collect();
+    if features.is_empty() {
+        return Err(AttackError::NoFeatures);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for obs in observations {
+        let n = obs.len();
+        let cut = (n as f64 * config.profile_fraction).round() as usize;
+        if cut == 0 || cut >= n {
+            return Err(AttackError::TooFewMeasurements {
+                category: obs.category,
+            });
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        for (rank, &i) in idx.iter().enumerate() {
+            let vector: Vec<f64> = features
+                .iter()
+                .map(|e| obs.series(*e).map(|s| s[i]).unwrap_or(0.0))
+                .collect();
+            if rank < cut {
+                train.push((vector, obs.category));
+            } else {
+                test.push((vector, obs.category));
+            }
+        }
+    }
+    Ok(LabelledVectors {
+        features,
+        train,
+        test,
+    })
+}
+
+/// Gaussian template per class: feature means and variances.
+struct Templates {
+    classes: usize,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    priors: Vec<f64>,
+}
+
+impl Templates {
+    fn fit(train: &[(Vec<f64>, usize)], classes: usize, dims: usize) -> Templates {
+        let mut means = vec![vec![0.0; dims]; classes];
+        let mut counts = vec![0usize; classes];
+        for (v, c) in train {
+            counts[*c] += 1;
+            for (m, x) in means[*c].iter_mut().zip(v) {
+                *m += x;
+            }
+        }
+        for (m, &n) in means.iter_mut().zip(&counts) {
+            for x in m {
+                *x /= n.max(1) as f64;
+            }
+        }
+        let mut vars = vec![vec![0.0; dims]; classes];
+        for (v, c) in train {
+            for ((s, x), m) in vars[*c].iter_mut().zip(v).zip(&means[*c]) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for (s, &n) in vars.iter_mut().zip(&counts) {
+            for x in s {
+                // Variance floor keeps degenerate (constant) features from
+                // producing infinite likelihoods.
+                *x = (*x / (n.saturating_sub(1)).max(1) as f64).max(1e-6);
+            }
+        }
+        let total: usize = counts.iter().sum();
+        Templates {
+            classes,
+            means,
+            vars,
+            priors: counts
+                .iter()
+                .map(|&n| (n.max(1) as f64) / total.max(1) as f64)
+                .collect(),
+        }
+    }
+
+    fn classify(&self, v: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_ll = f64::NEG_INFINITY;
+        for c in 0..self.classes {
+            let mut ll = self.priors[c].ln();
+            for ((x, m), s2) in v.iter().zip(&self.means[c]).zip(&self.vars[c]) {
+                ll += -0.5 * ((x - m) * (x - m) / s2 + s2.ln());
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// LDA: class means + pooled covariance; classify by the linear
+/// discriminant `δ_c(x) = μ_cᵀ Σ⁻¹ x − ½ μ_cᵀ Σ⁻¹ μ_c + ln π_c`.
+struct LinearDiscriminant {
+    classes: usize,
+    /// Σ⁻¹ μ_c, one per class.
+    weights: Vec<Vec<f64>>,
+    /// −½ μ_cᵀ Σ⁻¹ μ_c + ln π_c per class.
+    offsets: Vec<f64>,
+}
+
+impl LinearDiscriminant {
+    fn fit(train: &[(Vec<f64>, usize)], classes: usize, dims: usize) -> LinearDiscriminant {
+        // Class means and priors.
+        let mut means = vec![vec![0.0f64; dims]; classes];
+        let mut counts = vec![0usize; classes];
+        for (v, c) in train {
+            counts[*c] += 1;
+            for (m, x) in means[*c].iter_mut().zip(v) {
+                *m += x;
+            }
+        }
+        for (m, &n) in means.iter_mut().zip(&counts) {
+            for x in m {
+                *x /= n.max(1) as f64;
+            }
+        }
+        // Pooled covariance with ridge regularisation.
+        let mut cov = vec![0.0f64; dims * dims];
+        for (v, c) in train {
+            for i in 0..dims {
+                let di = v[i] - means[*c][i];
+                for j in 0..dims {
+                    cov[i * dims + j] += di * (v[j] - means[*c][j]);
+                }
+            }
+        }
+        let denom = train.len().saturating_sub(classes).max(1) as f64;
+        for x in &mut cov {
+            *x /= denom;
+        }
+        // Ridge: a fraction of the mean diagonal keeps Σ invertible even
+        // with constant features.
+        let trace: f64 = (0..dims).map(|i| cov[i * dims + i]).sum();
+        let ridge = (trace / dims.max(1) as f64).max(1e-9) * 1e-3 + 1e-9;
+        for i in 0..dims {
+            cov[i * dims + i] += ridge;
+        }
+        let inv = invert(&cov, dims);
+
+        let total: usize = counts.iter().sum();
+        let mut weights = Vec::with_capacity(classes);
+        let mut offsets = Vec::with_capacity(classes);
+        for c in 0..classes {
+            let w: Vec<f64> = (0..dims)
+                .map(|i| (0..dims).map(|j| inv[i * dims + j] * means[c][j]).sum())
+                .collect();
+            let quad: f64 = w.iter().zip(&means[c]).map(|(wi, mi)| wi * mi).sum();
+            let prior = (counts[c].max(1) as f64 / total.max(1) as f64).ln();
+            offsets.push(-0.5 * quad + prior);
+            weights.push(w);
+        }
+        LinearDiscriminant {
+            classes,
+            weights,
+            offsets,
+        }
+    }
+
+    fn classify(&self, v: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..self.classes {
+            let score: f64 = self.weights[c]
+                .iter()
+                .zip(v)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+                + self.offsets[c];
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Gauss–Jordan inverse of a small dense matrix (the feature count is at
+/// most the event count, ≤ 12). Falls back to the identity for singular
+/// inputs, which the ridge term prevents in practice.
+fn invert(matrix: &[f64], n: usize) -> Vec<f64> {
+    let mut a = matrix.to_vec();
+    let mut inv = vec![0.0f64; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-30 {
+            // Singular: bail out with identity.
+            let mut eye = vec![0.0f64; n * n];
+            for i in 0..n {
+                eye[i * n + i] = 1.0;
+            }
+            return eye;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+                inv.swap(col * n + k, pivot * n + k);
+            }
+        }
+        let d = a[col * n + col];
+        for k in 0..n {
+            a[col * n + k] /= d;
+            inv[col * n + k] /= d;
+        }
+        for row in 0..n {
+            if row != col {
+                let factor = a[row * n + col];
+                if factor != 0.0 {
+                    for k in 0..n {
+                        a[row * n + k] -= factor * a[col * n + k];
+                        inv[row * n + k] -= factor * inv[col * n + k];
+                    }
+                }
+            }
+        }
+    }
+    inv
+}
+
+fn knn_classify(train: &[(Vec<f64>, usize)], v: &[f64], k: usize, classes: usize) -> usize {
+    let mut dists: Vec<(f64, usize)> = train
+        .iter()
+        .map(|(t, c)| {
+            let d: f64 = t.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum();
+            (d, *c)
+        })
+        .collect();
+    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+    let mut votes = vec![0usize; classes];
+    for &(_, c) in dists.iter().take(k.max(1)) {
+        votes[c] += 1;
+    }
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(c, _)| c)
+        .unwrap_or(0)
+}
+
+/// Normalises features to zero mean / unit variance using train-set
+/// statistics (applied to both splits) — required for distance-based
+/// classification across events of wildly different magnitudes.
+fn zscore(train: &mut [(Vec<f64>, usize)], test: &mut [(Vec<f64>, usize)]) {
+    if train.is_empty() {
+        return;
+    }
+    let dims = train[0].0.len();
+    for d in 0..dims {
+        let n = train.len() as f64;
+        let mean = train.iter().map(|(v, _)| v[d]).sum::<f64>() / n;
+        let var = train.iter().map(|(v, _)| (v[d] - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        for (v, _) in train.iter_mut().chain(test.iter_mut()) {
+            v[d] = (v[d] - mean) / std;
+        }
+    }
+}
+
+/// Mounts the profiling attack on collected observations.
+///
+/// # Errors
+///
+/// Returns [`AttackError`] on degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_core::attack::{mount_attack, AttackConfig};
+/// use scnn_core::collect::CategoryObservations;
+/// use scnn_hpc::HpcEvent;
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), scnn_core::attack::AttackError> {
+/// // Two categories whose cache-miss counts barely overlap.
+/// let obs: Vec<CategoryObservations> = (0..2)
+///     .map(|c| {
+///         let mut per_event = BTreeMap::new();
+///         per_event.insert(
+///             HpcEvent::CacheMisses,
+///             (0..40).map(|i| (c * 100) as f64 + (i % 5) as f64).collect(),
+///         );
+///         CategoryObservations { category: c, per_event, predictions: vec![c; 40] }
+///     })
+///     .collect();
+/// let outcome = mount_attack(&obs, &AttackConfig::default())?;
+/// assert!(outcome.accuracy > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mount_attack(
+    observations: &[CategoryObservations],
+    config: &AttackConfig,
+) -> Result<AttackOutcome, AttackError> {
+    let mut vectors = split_vectors(observations, config)?;
+    let classes = observations.len();
+    let dims = vectors.features.len();
+
+    let mut confusion = vec![vec![0usize; classes]; classes];
+    let mut correct = 0usize;
+    match config.classifier {
+        AttackClassifier::GaussianTemplate => {
+            let templates = Templates::fit(&vectors.train, classes, dims);
+            for (v, truth) in &vectors.test {
+                let guess = templates.classify(v);
+                confusion[*truth][guess] += 1;
+                if guess == *truth {
+                    correct += 1;
+                }
+            }
+        }
+        AttackClassifier::Lda => {
+            zscore(&mut vectors.train, &mut vectors.test);
+            let lda = LinearDiscriminant::fit(&vectors.train, classes, dims);
+            for (v, truth) in &vectors.test {
+                let guess = lda.classify(v);
+                confusion[*truth][guess] += 1;
+                if guess == *truth {
+                    correct += 1;
+                }
+            }
+        }
+        AttackClassifier::Knn { k } => {
+            zscore(&mut vectors.train, &mut vectors.test);
+            for (v, truth) in &vectors.test {
+                let guess = knn_classify(&vectors.train, v, k, classes);
+                confusion[*truth][guess] += 1;
+                if guess == *truth {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    let test_count = vectors.test.len();
+    Ok(AttackOutcome {
+        accuracy: correct as f64 / test_count.max(1) as f64,
+        confusion,
+        test_count,
+        features: vectors.features,
+        classifier: config.classifier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn obs_with_separation(delta: f64, n: usize) -> Vec<CategoryObservations> {
+        (0..4)
+            .map(|c| {
+                let mut per_event = BTreeMap::new();
+                per_event.insert(
+                    HpcEvent::CacheMisses,
+                    (0..n)
+                        .map(|i| 1000.0 + c as f64 * delta + ((i * 13) % 17) as f64)
+                        .collect(),
+                );
+                per_event.insert(
+                    HpcEvent::Branches,
+                    (0..n).map(|i| 50_000.0 + ((i * 7) % 23) as f64).collect(),
+                );
+                CategoryObservations {
+                    category: c,
+                    per_event,
+                    predictions: vec![c; n],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn template_attack_recovers_separated_categories() {
+        let obs = obs_with_separation(100.0, 60);
+        let out = mount_attack(&obs, &AttackConfig::default()).unwrap();
+        assert!(out.accuracy > 0.9, "accuracy {}", out.accuracy);
+        assert!(out.beats_chance_by(0.5));
+        assert_eq!(out.confusion.len(), 4);
+        assert_eq!(out.test_count, 4 * 30);
+    }
+
+    #[test]
+    fn attack_fails_on_overlapping_categories() {
+        let obs = obs_with_separation(0.0, 60);
+        let out = mount_attack(&obs, &AttackConfig::default()).unwrap();
+        assert!(
+            out.accuracy < 0.5,
+            "identical distributions should be unguessable: {}",
+            out.accuracy
+        );
+    }
+
+    #[test]
+    fn lda_recovers_separated_categories() {
+        let obs = obs_with_separation(100.0, 60);
+        let out = mount_attack(
+            &obs,
+            &AttackConfig {
+                classifier: AttackClassifier::Lda,
+                ..AttackConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.accuracy > 0.9, "accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn lda_exploits_correlated_features() {
+        // Classes separated only along the *difference* of two strongly
+        // correlated features: diagonal templates struggle, LDA nails it.
+        let n = 80;
+        let obs: Vec<CategoryObservations> = (0..2)
+            .map(|c| {
+                let mut per_event = BTreeMap::new();
+                let common: Vec<f64> = (0..n).map(|i| ((i * 17) % 101) as f64 * 10.0).collect();
+                per_event.insert(
+                    HpcEvent::CacheMisses,
+                    common.iter().map(|&x| x + c as f64 * 40.0).collect(),
+                );
+                per_event.insert(HpcEvent::Cycles, common.clone());
+                CategoryObservations {
+                    category: c,
+                    per_event,
+                    predictions: vec![c; n],
+                }
+            })
+            .collect();
+        let lda = mount_attack(
+            &obs,
+            &AttackConfig {
+                classifier: AttackClassifier::Lda,
+                ..AttackConfig::default()
+            },
+        )
+        .unwrap();
+        let diag = mount_attack(&obs, &AttackConfig::default()).unwrap();
+        assert!(lda.accuracy > 0.95, "LDA accuracy {}", lda.accuracy);
+        assert!(
+            lda.accuracy >= diag.accuracy,
+            "LDA ({}) must dominate the diagonal template ({}) here",
+            lda.accuracy,
+            diag.accuracy
+        );
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip() {
+        let m = vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0];
+        let inv = invert(&m, 3);
+        // M · M⁻¹ ≈ I
+        for i in 0..3 {
+            for j in 0..3 {
+                let v: f64 = (0..3).map(|k| m[i * 3 + k] * inv[k * 3 + j]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-9, "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_also_works() {
+        let obs = obs_with_separation(100.0, 60);
+        let out = mount_attack(
+            &obs,
+            &AttackConfig {
+                classifier: AttackClassifier::Knn { k: 5 },
+                ..AttackConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.accuracy > 0.9, "accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn accuracy_grows_with_separation() {
+        let acc = |delta| {
+            mount_attack(&obs_with_separation(delta, 60), &AttackConfig::default())
+                .unwrap()
+                .accuracy
+        };
+        assert!(acc(200.0) >= acc(8.0));
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(matches!(
+            mount_attack(&obs_with_separation(1.0, 60)[..1], &AttackConfig::default()),
+            Err(AttackError::TooFewCategories)
+        ));
+        assert!(matches!(
+            mount_attack(&obs_with_separation(1.0, 1), &AttackConfig::default()),
+            Err(AttackError::TooFewMeasurements { .. })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_chance() {
+        let out = mount_attack(&obs_with_separation(100.0, 40), &AttackConfig::default()).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("chance 25.0%"));
+        assert!(text.contains("confusion"));
+    }
+
+    #[test]
+    fn confusion_rows_sum_to_test_counts() {
+        let out = mount_attack(&obs_with_separation(50.0, 40), &AttackConfig::default()).unwrap();
+        let total: usize = out.confusion.iter().flatten().sum();
+        assert_eq!(total, out.test_count);
+    }
+}

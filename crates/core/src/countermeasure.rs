@@ -1,0 +1,227 @@
+//! Countermeasures against HPC-based input recovery — the paper's
+//! conclusion calls for "CNN architectures with indistinguishable CPU
+//! footprints"; this module implements and evaluates concrete ways to get
+//! there.
+
+use crate::collect::TracedClassifier;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_nn::{Network, NnError};
+use scnn_tensor::Tensor;
+use scnn_uarch::Probe;
+use serde::{Deserialize, Serialize};
+
+/// A deployable countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Countermeasure {
+    /// Replace every data-dependent kernel with its constant-footprint
+    /// twin (no zero skipping, branchless ReLU/max) — removes the leak at
+    /// its source, at the cost of computing over zeros.
+    ConstantTime,
+    /// Keep the fast kernels but execute random dummy memory/branch work
+    /// alongside each classification, drowning the signal in noise.
+    NoiseInjection {
+        /// Mean dummy events per inference (loads + branches).
+        dummy_events: u64,
+    },
+    /// Both of the above.
+    Combined {
+        /// Mean dummy events per inference.
+        dummy_events: u64,
+    },
+}
+
+impl Countermeasure {
+    /// True when the network's kernels are switched to constant time.
+    pub fn uses_constant_time(&self) -> bool {
+        matches!(
+            self,
+            Countermeasure::ConstantTime | Countermeasure::Combined { .. }
+        )
+    }
+
+    /// Mean dummy events injected per inference (0 when noise injection is
+    /// off).
+    pub fn dummy_events(&self) -> u64 {
+        match *self {
+            Countermeasure::NoiseInjection { dummy_events }
+            | Countermeasure::Combined { dummy_events } => dummy_events,
+            Countermeasure::ConstantTime => 0,
+        }
+    }
+}
+
+/// A network wrapped with a countermeasure, usable wherever a
+/// [`TracedClassifier`] is expected (i.e. by
+/// [`collect`](crate::collect::collect)).
+///
+/// Construction *mutates* the wrapped network's kernel styles when the
+/// countermeasure demands it; [`ProtectedModel::into_inner`] restores the
+/// leaky kernels.
+pub struct ProtectedModel {
+    net: Network,
+    countermeasure: Countermeasure,
+    rng: ChaCha8Rng,
+    /// Scratch region the dummy loads walk over (64 KiB of f32s).
+    dummy_len: usize,
+}
+
+impl std::fmt::Debug for ProtectedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectedModel")
+            .field("countermeasure", &self.countermeasure)
+            .field("net", &self.net)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProtectedModel {
+    /// Wraps `net` with `countermeasure`; `seed` drives the dummy-work
+    /// generator.
+    pub fn new(mut net: Network, countermeasure: Countermeasure, seed: u64) -> Self {
+        if countermeasure.uses_constant_time() {
+            net.set_constant_time(true);
+        }
+        ProtectedModel {
+            net,
+            countermeasure,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dummy_len: 16 * 1024,
+        }
+    }
+
+    /// The active countermeasure.
+    pub fn countermeasure(&self) -> Countermeasure {
+        self.countermeasure
+    }
+
+    /// Read access to the wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Unwraps the network, restoring its leaky kernels.
+    pub fn into_inner(mut self) -> Network {
+        self.net.set_constant_time(false);
+        self
+            .net
+    }
+
+    fn inject_dummy_work(&mut self, probe: &mut dyn Probe) {
+        let mean = self.countermeasure.dummy_events();
+        if mean == 0 {
+            return;
+        }
+        // Uniform in [mean/2, 3·mean/2]: the count itself is randomised so
+        // it does not become a constant offset the t-test subtracts away.
+        let n = self.rng.gen_range(mean / 2..=mean + mean / 2);
+        // Dummy arena sits far from real segments.
+        const DUMMY_BASE: u64 = 0x9000_0000;
+        const DUMMY_PC: u64 = 0x00F0_0000;
+        for _ in 0..n {
+            let i = self.rng.gen_range(0..self.dummy_len as u64);
+            probe.load(DUMMY_BASE + i * 4, DUMMY_PC);
+            probe.branch(DUMMY_PC + 0x40, self.rng.gen::<bool>());
+        }
+        probe.alu(n);
+    }
+}
+
+impl TracedClassifier for ProtectedModel {
+    fn classify_traced(
+        &mut self,
+        image: &Tensor,
+        probe: &mut dyn Probe,
+    ) -> Result<usize, NnError> {
+        let prediction = self.net.classify_traced(image, probe)?;
+        self.inject_dummy_work(probe);
+        Ok(prediction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_nn::models;
+    use scnn_uarch::CountingProbe;
+
+    fn image(v: f32) -> Tensor {
+        Tensor::full([1, 8, 8], v)
+    }
+
+    #[test]
+    fn constant_time_preserves_predictions() {
+        let mut plain = models::tiny_cnn(5);
+        let mut protected = ProtectedModel::new(models::tiny_cnn(5), Countermeasure::ConstantTime, 1);
+        for i in 0..5 {
+            let img = image(0.1 * i as f32);
+            let mut probe = CountingProbe::new();
+            assert_eq!(
+                protected.classify_traced(&img, &mut probe).unwrap(),
+                plain.classify(&img).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_time_footprint_is_input_independent() {
+        let mut protected =
+            ProtectedModel::new(models::tiny_cnn(5), Countermeasure::ConstantTime, 1);
+        let counts = |p: &mut ProtectedModel, img: &Tensor| {
+            let mut probe = CountingProbe::new();
+            p.classify_traced(img, &mut probe).unwrap();
+            (probe.loads, probe.stores, probe.branches)
+        };
+        let a = counts(&mut protected, &Tensor::zeros([1, 8, 8]));
+        let b = counts(&mut protected, &image(0.7));
+        assert_eq!(a, b, "constant-time kernels have shape-static footprints");
+    }
+
+    #[test]
+    fn noise_injection_adds_random_work() {
+        let mut protected = ProtectedModel::new(
+            models::tiny_cnn(5),
+            Countermeasure::NoiseInjection { dummy_events: 1000 },
+            1,
+        );
+        let loads = |p: &mut ProtectedModel| {
+            let mut probe = CountingProbe::new();
+            p.classify_traced(&image(0.5), &mut probe).unwrap();
+            probe.loads
+        };
+        let a = loads(&mut protected);
+        let b = loads(&mut protected);
+        assert_ne!(a, b, "dummy volume is randomised per inference");
+        // Plain model for comparison.
+        let plain = models::tiny_cnn(5);
+        let mut probe = CountingProbe::new();
+        plain.classify_traced(&image(0.5), &mut probe).unwrap();
+        assert!(a > probe.loads + 400, "dummy loads visible: {a} vs {}", probe.loads);
+    }
+
+    #[test]
+    fn into_inner_restores_leaky_kernels() {
+        let protected = ProtectedModel::new(models::tiny_cnn(5), Countermeasure::ConstantTime, 1);
+        let net = protected.into_inner();
+        // Leaky again: zero vs dense inputs give different footprints.
+        let counts = |img: &Tensor| {
+            let mut probe = CountingProbe::new();
+            net.classify_traced(img, &mut probe).unwrap();
+            probe.loads
+        };
+        assert_ne!(counts(&Tensor::zeros([1, 8, 8])), counts(&image(0.9)));
+    }
+
+    #[test]
+    fn accessors() {
+        let cm = Countermeasure::Combined { dummy_events: 10 };
+        assert!(cm.uses_constant_time());
+        assert_eq!(cm.dummy_events(), 10);
+        assert!(!Countermeasure::NoiseInjection { dummy_events: 5 }.uses_constant_time());
+        assert_eq!(Countermeasure::ConstantTime.dummy_events(), 0);
+        let p = ProtectedModel::new(models::tiny_cnn(1), cm, 9);
+        assert_eq!(p.countermeasure(), cm);
+        assert!(!p.network().is_empty());
+    }
+}

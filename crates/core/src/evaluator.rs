@@ -1,0 +1,406 @@
+//! The paper's evaluator (§4): pairwise t-tests over per-category HPC
+//! distributions, raising an alarm when any event distinguishes any pair
+//! of categories.
+
+use crate::collect::CategoryObservations;
+use scnn_hpc::HpcEvent;
+use scnn_stats::moments::centered_squares;
+use scnn_stats::{DecisionRule, PairwiseLeakage, Summary, TTestError, TTestKind};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Evaluator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatorConfig {
+    /// t-test flavour (the paper just says "t-test"; Welch is the default).
+    pub kind: TTestKind,
+    /// Decision rule; the paper rejects at 95% confidence, i.e.
+    /// `PValue { alpha: 0.05 }`.
+    pub rule: DecisionRule,
+    /// When set, additionally compute Holm–Bonferroni-corrected verdicts
+    /// at this family-wise error rate. The paper tests each pair
+    /// uncorrected, but six simultaneous tests at α = 0.05 carry a ~26%
+    /// family-wise false-alarm rate — material for a tool whose output is
+    /// an alarm.
+    pub holm_alpha: Option<f64>,
+    /// Also run the second-order (variance) t-test per pair — catches
+    /// noise-injection countermeasures that equalise means but not
+    /// spreads.
+    pub second_order: bool,
+}
+
+impl Default for EvaluatorConfig {
+    fn default() -> Self {
+        EvaluatorConfig {
+            kind: TTestKind::Welch,
+            rule: DecisionRule::PValue { alpha: 0.05 },
+            holm_alpha: None,
+            second_order: false,
+        }
+    }
+}
+
+/// Error from an evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvaluateError {
+    /// Fewer than two categories were observed.
+    TooFewCategories {
+        /// Categories supplied.
+        got: usize,
+    },
+    /// An event was not measured for every category.
+    MissingEvent {
+        /// The event.
+        event: HpcEvent,
+        /// The category lacking it.
+        category: usize,
+    },
+    /// A t-test failed (degenerate samples).
+    Stats(TTestError),
+}
+
+impl fmt::Display for EvaluateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluateError::TooFewCategories { got } => {
+                write!(f, "need at least 2 categories, got {got}")
+            }
+            EvaluateError::MissingEvent { event, category } => {
+                write!(f, "event {event} missing for category {category}")
+            }
+            EvaluateError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for EvaluateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvaluateError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TTestError> for EvaluateError {
+    fn from(e: TTestError) -> Self {
+        EvaluateError::Stats(e)
+    }
+}
+
+/// Leakage verdict for one HPC event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLeakage {
+    /// The event.
+    pub event: HpcEvent,
+    /// Per-category descriptive summaries (indexed by category).
+    pub summaries: Vec<Summary>,
+    /// The pairwise t-test matrix with verdicts.
+    pub pairwise: PairwiseLeakage,
+    /// Holm-corrected verdicts, when requested.
+    pub holm: Option<PairwiseLeakage>,
+    /// Second-order (variance) pairwise matrix, when requested.
+    pub second_order: Option<PairwiseLeakage>,
+}
+
+impl EventLeakage {
+    /// True when this event distinguishes at least one pair.
+    pub fn leaks(&self) -> bool {
+        self.pairwise.leaks()
+    }
+}
+
+/// The evaluator's alarm state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    events: Vec<HpcEvent>,
+}
+
+impl Alarm {
+    /// True when the alarm is raised (some event leaks).
+    pub fn raised(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The events that triggered it.
+    pub fn triggering_events(&self) -> &[HpcEvent] {
+        &self.events
+    }
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.raised() {
+            write!(f, "ALARM: information leakage via ")?;
+            for (i, e) in self.events.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            Ok(())
+        } else {
+            write!(f, "no leakage detected")
+        }
+    }
+}
+
+/// Full evaluation result over all monitored events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageReport {
+    /// Per-event leakage assessments, in measurement order.
+    pub per_event: Vec<EventLeakage>,
+    /// Number of categories evaluated.
+    pub categories: usize,
+    /// Configuration used.
+    pub config: EvaluatorConfig,
+}
+
+impl LeakageReport {
+    /// The alarm implied by the per-event verdicts.
+    pub fn alarm(&self) -> Alarm {
+        Alarm {
+            events: self
+                .per_event
+                .iter()
+                .filter(|e| e.leaks())
+                .map(|e| e.event)
+                .collect(),
+        }
+    }
+
+    /// The assessment of one event, if present.
+    pub fn event(&self, event: HpcEvent) -> Option<&EventLeakage> {
+        self.per_event.iter().find(|e| e.event == event)
+    }
+}
+
+/// The evaluator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Evaluator {
+    config: EvaluatorConfig,
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    pub fn new(config: EvaluatorConfig) -> Self {
+        Evaluator { config }
+    }
+
+    /// Runs the paper's hypothesis-testing step over collected
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError`] when fewer than two categories are
+    /// supplied, an event series is missing, or a t-test degenerates.
+    pub fn evaluate(
+        &self,
+        observations: &[CategoryObservations],
+    ) -> Result<LeakageReport, EvaluateError> {
+        if observations.len() < 2 {
+            return Err(EvaluateError::TooFewCategories {
+                got: observations.len(),
+            });
+        }
+        // Events come from the first category's map; every category must
+        // have every event.
+        let events: Vec<HpcEvent> = observations[0].per_event.keys().copied().collect();
+        let mut per_event = Vec::with_capacity(events.len());
+        for &event in &events {
+            let mut summaries = Vec::with_capacity(observations.len());
+            for obs in observations {
+                let series = obs
+                    .series(event)
+                    .ok_or(EvaluateError::MissingEvent {
+                        event,
+                        category: obs.category,
+                    })?;
+                summaries.push(series.iter().copied().collect::<Summary>());
+            }
+            let pairwise =
+                PairwiseLeakage::assess(&summaries, self.config.kind, self.config.rule)?;
+            let holm = self.config.holm_alpha.map(|alpha| pairwise.holm_corrected(alpha));
+            let second_order = if self.config.second_order {
+                let squared: Vec<Vec<f64>> = observations
+                    .iter()
+                    .map(|obs| {
+                        centered_squares(obs.series(event).unwrap_or(&[]))
+                    })
+                    .collect();
+                Some(PairwiseLeakage::assess_samples(
+                    &squared,
+                    self.config.kind,
+                    self.config.rule,
+                )?)
+            } else {
+                None
+            };
+            per_event.push(EventLeakage {
+                event,
+                summaries,
+                pairwise,
+                holm,
+                second_order,
+            });
+        }
+        Ok(LeakageReport {
+            per_event,
+            categories: observations.len(),
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Builds observations with controlled per-category means.
+    fn synth_obs(event_means: &[(HpcEvent, Vec<f64>)], n: usize) -> Vec<CategoryObservations> {
+        let categories = event_means[0].1.len();
+        (0..categories)
+            .map(|c| {
+                let mut per_event = BTreeMap::new();
+                for (event, means) in event_means {
+                    // Deterministic spread ±2 around the mean.
+                    let series: Vec<f64> = (0..n)
+                        .map(|i| means[c] + ((i % 5) as f64 - 2.0))
+                        .collect();
+                    per_event.insert(*event, series);
+                }
+                CategoryObservations {
+                    category: c,
+                    per_event,
+                    predictions: vec![c; n],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separated_event_raises_alarm() {
+        let obs = synth_obs(
+            &[
+                (HpcEvent::CacheMisses, vec![100.0, 200.0, 300.0, 400.0]),
+                (HpcEvent::Branches, vec![5000.0, 5000.1, 5000.0, 5000.1]),
+            ],
+            50,
+        );
+        let report = Evaluator::default().evaluate(&obs).unwrap();
+        let alarm = report.alarm();
+        assert!(alarm.raised());
+        assert!(alarm.triggering_events().contains(&HpcEvent::CacheMisses));
+        let cm = report.event(HpcEvent::CacheMisses).unwrap();
+        assert!(cm.pairwise.fully_distinguishable());
+        let br = report.event(HpcEvent::Branches).unwrap();
+        assert!(!br.pairwise.fully_distinguishable());
+        assert!(alarm.to_string().contains("cache-misses"));
+    }
+
+    #[test]
+    fn identical_distributions_stay_quiet() {
+        let obs = synth_obs(&[(HpcEvent::Branches, vec![100.0, 100.0, 100.0])], 40);
+        let report = Evaluator::default().evaluate(&obs).unwrap();
+        assert!(!report.alarm().raised());
+        assert_eq!(report.alarm().to_string(), "no leakage detected");
+    }
+
+    #[test]
+    fn too_few_categories() {
+        let obs = synth_obs(&[(HpcEvent::Cycles, vec![1.0])], 10);
+        assert!(matches!(
+            Evaluator::default().evaluate(&obs),
+            Err(EvaluateError::TooFewCategories { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn missing_event_detected() {
+        let mut obs = synth_obs(&[(HpcEvent::Cycles, vec![1.0, 2.0])], 10);
+        obs[1].per_event.clear();
+        assert!(matches!(
+            Evaluator::default().evaluate(&obs),
+            Err(EvaluateError::MissingEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn summaries_track_categories() {
+        let obs = synth_obs(&[(HpcEvent::CacheMisses, vec![10.0, 50.0])], 30);
+        let report = Evaluator::default().evaluate(&obs).unwrap();
+        let ev = report.event(HpcEvent::CacheMisses).unwrap();
+        assert_eq!(ev.summaries.len(), 2);
+        assert!((ev.summaries[0].mean() - 10.0).abs() < 1.0);
+        assert!((ev.summaries[1].mean() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn holm_correction_is_conservative() {
+        let obs = synth_obs(
+            &[(HpcEvent::CacheMisses, vec![100.0, 103.0, 200.0, 300.0])],
+            40,
+        );
+        let report = Evaluator::new(EvaluatorConfig {
+            holm_alpha: Some(0.05),
+            ..EvaluatorConfig::default()
+        })
+        .evaluate(&obs)
+        .unwrap();
+        let ev = report.event(HpcEvent::CacheMisses).unwrap();
+        let holm = ev.holm.as_ref().unwrap();
+        assert!(
+            holm.leak_count() <= ev.pairwise.leak_count(),
+            "corrected verdicts never exceed raw verdicts"
+        );
+    }
+
+    #[test]
+    fn second_order_detects_variance_leak() {
+        // Two categories with identical means but different spreads: the
+        // first-order test is blind, the second-order test fires.
+        let n = 80;
+        let make = |scale: f64| -> Vec<f64> {
+            (0..n).map(|i| 1000.0 + ((i % 13) as f64 - 6.0) * scale).collect()
+        };
+        let mut obs = synth_obs(&[(HpcEvent::CacheMisses, vec![0.0, 0.0])], n);
+        obs[0].per_event.insert(HpcEvent::CacheMisses, make(1.0));
+        obs[1].per_event.insert(HpcEvent::CacheMisses, make(6.0));
+        let report = Evaluator::new(EvaluatorConfig {
+            second_order: true,
+            ..EvaluatorConfig::default()
+        })
+        .evaluate(&obs)
+        .unwrap();
+        let ev = report.event(HpcEvent::CacheMisses).unwrap();
+        assert!(!ev.pairwise.leaks(), "first order must be blind here");
+        assert!(
+            ev.second_order.as_ref().unwrap().leaks(),
+            "second order must catch the variance difference"
+        );
+    }
+
+    #[test]
+    fn tvla_rule_respected() {
+        let obs = synth_obs(&[(HpcEvent::CacheMisses, vec![100.0, 101.5])], 200);
+        // Small shift: significant by p-value at n=200, but |t| < 4.5?
+        let p_report = Evaluator::new(EvaluatorConfig {
+            kind: TTestKind::Welch,
+            rule: DecisionRule::PValue { alpha: 0.05 },
+            ..EvaluatorConfig::default()
+        })
+        .evaluate(&obs)
+        .unwrap();
+        let t_report = Evaluator::new(EvaluatorConfig {
+            kind: TTestKind::Welch,
+            rule: DecisionRule::TThreshold { threshold: 25.0 },
+            ..EvaluatorConfig::default()
+        })
+        .evaluate(&obs)
+        .unwrap();
+        assert!(p_report.alarm().raised());
+        assert!(!t_report.alarm().raised(), "stricter threshold stays quiet");
+    }
+}

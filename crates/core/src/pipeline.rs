@@ -1,0 +1,469 @@
+//! End-to-end experiment driver: dataset generation → CNN training →
+//! HPC collection → leakage evaluation — the full protocol of the
+//! paper's §5, as one configurable object.
+
+use crate::attack::{mount_attack, AttackConfig, AttackError, AttackOutcome};
+use crate::collect::{collect, CategoryObservations, CollectError, CollectionConfig};
+use crate::countermeasure::{Countermeasure, ProtectedModel};
+use crate::evaluator::{EvaluateError, Evaluator, EvaluatorConfig, LeakageReport};
+use scnn_data::cifar_synth::{self, CifarSynthConfig};
+use scnn_data::mnist_synth::{self, MnistSynthConfig};
+use scnn_data::{Dataset, DatasetError};
+use scnn_hpc::{SimPmuConfig, SimulatedPmu};
+use scnn_nn::models;
+use scnn_nn::train::{accuracy, train, TrainConfig, TrainReport};
+use scnn_nn::Network;
+use std::error::Error;
+use std::fmt;
+
+/// Which case study to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// The MNIST case study (§5.2).
+    Mnist,
+    /// The CIFAR-10 case study (§5.3).
+    Cifar10,
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetKind::Mnist => write!(f, "MNIST"),
+            DatasetKind::Cifar10 => write!(f, "CIFAR-10"),
+        }
+    }
+}
+
+/// Which model family the victim uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Architecture {
+    /// The paper's convolutional models.
+    #[default]
+    Cnn,
+    /// A multi-layer perceptron — the "other deep learning models" of the
+    /// paper's future-work section.
+    Mlp,
+}
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelScale {
+    /// Down-scaled images and a single-conv model — seconds, for tests
+    /// and doctests.
+    Tiny,
+    /// Paper-scale images (28×28 / 32×32) and LeNet-style models.
+    Paper,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Which dataset/case study.
+    pub dataset: DatasetKind,
+    /// Experiment size.
+    pub scale: ModelScale,
+    /// Victim model family.
+    pub architecture: Architecture,
+    /// The categories the evaluator monitors (original class labels). The
+    /// paper uses four.
+    pub categories: Vec<usize>,
+    /// Training images generated per class (all 10 classes are trained).
+    pub train_per_class: usize,
+    /// Held-out images generated per class for measurement.
+    pub test_per_class: usize,
+    /// CNN training hyperparameters.
+    pub train: TrainConfig,
+    /// HPC collection parameters.
+    pub collection: CollectionConfig,
+    /// Evaluator parameters.
+    pub evaluator: EvaluatorConfig,
+    /// Simulated platform parameters.
+    pub pmu: SimPmuConfig,
+    /// Optional countermeasure to apply before measuring.
+    pub countermeasure: Option<Countermeasure>,
+    /// Master seed (datasets, weights, noise all derive from it).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests and doctests (tiny model, few
+    /// samples). Completes in seconds even in debug builds.
+    pub fn quick(dataset: DatasetKind) -> Self {
+        ExperimentConfig {
+            dataset,
+            scale: ModelScale::Tiny,
+            architecture: Architecture::Cnn,
+            categories: vec![0, 1, 2, 3],
+            train_per_class: 12,
+            test_per_class: 8,
+            train: TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+            collection: CollectionConfig {
+                samples_per_category: 12,
+                ..CollectionConfig::default()
+            },
+            evaluator: EvaluatorConfig::default(),
+            pmu: SimPmuConfig::default(),
+            countermeasure: None,
+            seed: 0x5C44,
+        }
+    }
+
+    /// The paper-scale configuration behind Tables 1–2 and Figures 1, 3,
+    /// 4 — full-size images, LeNet-style CNNs, 100 measurements per
+    /// category.
+    pub fn paper(dataset: DatasetKind) -> Self {
+        ExperimentConfig {
+            dataset,
+            scale: ModelScale::Paper,
+            architecture: Architecture::Cnn,
+            categories: vec![0, 1, 2, 3],
+            train_per_class: 60,
+            test_per_class: 25,
+            train: TrainConfig::default(),
+            collection: CollectionConfig::default(),
+            evaluator: EvaluatorConfig::default(),
+            pmu: SimPmuConfig::default(),
+            countermeasure: None,
+            seed: 0xDAC2019,
+        }
+    }
+
+    /// Returns the same config with a countermeasure applied.
+    pub fn with_countermeasure(mut self, cm: Countermeasure) -> Self {
+        self.countermeasure = Some(cm);
+        self
+    }
+
+    fn image_side(&self) -> usize {
+        match (self.dataset, self.scale) {
+            (DatasetKind::Mnist, ModelScale::Paper) => mnist_synth::SIDE,
+            (DatasetKind::Cifar10, ModelScale::Paper) => cifar_synth::SIDE,
+            (_, ModelScale::Tiny) => 12,
+        }
+    }
+
+    fn generate_dataset(&self, per_class: usize, seed: u64) -> Result<Dataset, DatasetError> {
+        match self.dataset {
+            DatasetKind::Mnist => mnist_synth::generate(
+                &MnistSynthConfig {
+                    per_class,
+                    side: self.image_side(),
+                    ..MnistSynthConfig::default()
+                },
+                seed,
+            ),
+            DatasetKind::Cifar10 => cifar_synth::generate(
+                &CifarSynthConfig {
+                    per_class,
+                    side: self.image_side(),
+                    ..CifarSynthConfig::default()
+                },
+                seed,
+            ),
+        }
+    }
+
+    fn build_model(&self) -> Network {
+        let seed = self.seed ^ 0xBEEF;
+        let channels = match self.dataset {
+            DatasetKind::Mnist => 1,
+            DatasetKind::Cifar10 => 3,
+        };
+        match self.architecture {
+            Architecture::Mlp => models::mnist_mlp(channels, self.image_side(), seed),
+            Architecture::Cnn => match (self.dataset, self.scale) {
+                (DatasetKind::Mnist, ModelScale::Paper) => models::mnist_cnn(seed),
+                (DatasetKind::Cifar10, ModelScale::Paper) => models::cifar_cnn(seed),
+                (DatasetKind::Mnist, ModelScale::Tiny) => {
+                    models::small_cnn(1, self.image_side(), 10, seed)
+                }
+                (DatasetKind::Cifar10, ModelScale::Tiny) => {
+                    models::small_cnn(3, self.image_side(), 10, seed)
+                }
+            },
+        }
+    }
+}
+
+/// Error from an experiment run.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Dataset generation failed.
+    Dataset(DatasetError),
+    /// Training failed.
+    Train(scnn_nn::NnError),
+    /// Collection failed.
+    Collect(CollectError),
+    /// Evaluation failed.
+    Evaluate(EvaluateError),
+    /// The PMU could not be built.
+    Pmu(scnn_hpc::PmuError),
+    /// The attack failed.
+    Attack(AttackError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Dataset(e) => write!(f, "dataset: {e}"),
+            ExperimentError::Train(e) => write!(f, "training: {e}"),
+            ExperimentError::Collect(e) => write!(f, "collection: {e}"),
+            ExperimentError::Evaluate(e) => write!(f, "evaluation: {e}"),
+            ExperimentError::Pmu(e) => write!(f, "pmu: {e}"),
+            ExperimentError::Attack(e) => write!(f, "attack: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Dataset(e) => Some(e),
+            ExperimentError::Train(e) => Some(e),
+            ExperimentError::Collect(e) => Some(e),
+            ExperimentError::Evaluate(e) => Some(e),
+            ExperimentError::Pmu(e) => Some(e),
+            ExperimentError::Attack(e) => Some(e),
+        }
+    }
+}
+
+impl From<DatasetError> for ExperimentError {
+    fn from(e: DatasetError) -> Self {
+        ExperimentError::Dataset(e)
+    }
+}
+impl From<scnn_nn::NnError> for ExperimentError {
+    fn from(e: scnn_nn::NnError) -> Self {
+        ExperimentError::Train(e)
+    }
+}
+impl From<CollectError> for ExperimentError {
+    fn from(e: CollectError) -> Self {
+        ExperimentError::Collect(e)
+    }
+}
+impl From<EvaluateError> for ExperimentError {
+    fn from(e: EvaluateError) -> Self {
+        ExperimentError::Evaluate(e)
+    }
+}
+impl From<scnn_hpc::PmuError> for ExperimentError {
+    fn from(e: scnn_hpc::PmuError) -> Self {
+        ExperimentError::Pmu(e)
+    }
+}
+impl From<AttackError> for ExperimentError {
+    fn from(e: AttackError) -> Self {
+        ExperimentError::Attack(e)
+    }
+}
+
+/// Everything an experiment run produced.
+pub struct ExperimentOutcome {
+    /// The evaluator's verdict (Tables 1–2, alarm).
+    pub report: LeakageReport,
+    /// Raw per-category observations (Figures 1, 3, 4).
+    pub observations: Vec<CategoryObservations>,
+    /// CNN training report.
+    pub train_report: TrainReport,
+    /// Held-out classification accuracy of the CNN.
+    pub test_accuracy: f64,
+    /// The (possibly countermeasure-rewritten) trained network.
+    pub network: Network,
+}
+
+impl fmt::Debug for ExperimentOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentOutcome")
+            .field("alarm", &self.report.alarm().raised())
+            .field("test_accuracy", &self.test_accuracy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExperimentOutcome {
+    /// Mounts the profiling attack on this run's observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackError`].
+    pub fn mount_attack(&self, config: &AttackConfig) -> Result<AttackOutcome, AttackError> {
+        mount_attack(&self.observations, config)
+    }
+}
+
+/// The experiment driver.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates the driver.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the full protocol:
+    ///
+    /// 1. generate train/test datasets (all 10 classes);
+    /// 2. train the CNN;
+    /// 3. select the monitored categories from the test set;
+    /// 4. measure `samples_per_category` traced classifications per
+    ///    category through the simulated PMU (with the countermeasure
+    ///    applied, if any);
+    /// 5. run the pairwise-t-test evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] from whichever stage fails.
+    pub fn run(&self) -> Result<ExperimentOutcome, ExperimentError> {
+        let cfg = &self.config;
+        let train_set = cfg.generate_dataset(cfg.train_per_class, cfg.seed)?;
+        let test_set = cfg.generate_dataset(cfg.test_per_class, cfg.seed ^ 0xFACE)?;
+
+        let mut net = cfg.build_model();
+        let train_report = train(&mut net, &train_set.to_samples(), &cfg.train)?;
+        let test_accuracy = accuracy(&mut net, &test_set.to_samples())?;
+
+        let monitored = test_set.select_classes(&cfg.categories);
+        let mut pmu = SimulatedPmu::new(cfg.pmu, cfg.seed ^ 0x9019)?;
+
+        let (observations, network) = match cfg.countermeasure {
+            None => {
+                let obs = collect(&mut net, &monitored, &mut pmu, &cfg.collection)?;
+                (obs, net)
+            }
+            Some(cm) => {
+                let mut protected = ProtectedModel::new(net, cm, cfg.seed ^ 0xD011);
+                let obs = collect(&mut protected, &monitored, &mut pmu, &cfg.collection)?;
+                (obs, protected.into_inner())
+            }
+        };
+
+        let report = Evaluator::new(cfg.evaluator).evaluate(&observations)?;
+        Ok(ExperimentOutcome {
+            report,
+            observations,
+            train_report,
+            test_accuracy,
+            network,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_hpc::HpcEvent;
+    use scnn_uarch::{CoreConfig, NoiseConfig};
+
+    fn fast(dataset: DatasetKind) -> ExperimentConfig {
+        // Even quicker than quick(): tiny core, quiet noise, few samples.
+        let mut cfg = ExperimentConfig::quick(dataset);
+        cfg.train_per_class = 6;
+        cfg.test_per_class = 4;
+        cfg.train.epochs = 1;
+        cfg.collection.samples_per_category = 6;
+        cfg.pmu.core = CoreConfig::tiny();
+        cfg
+    }
+
+    #[test]
+    fn mnist_quick_pipeline_runs_and_alarms() {
+        let outcome = Experiment::new(fast(DatasetKind::Mnist)).run().unwrap();
+        assert_eq!(outcome.observations.len(), 4);
+        assert_eq!(outcome.report.categories, 4);
+        assert!(
+            outcome.report.alarm().raised(),
+            "zero-skip kernels on sparse digits must leak:\n{}",
+            outcome.report.render_table()
+        );
+        assert!(outcome
+            .report
+            .alarm()
+            .triggering_events()
+            .contains(&HpcEvent::CacheMisses));
+    }
+
+    #[test]
+    fn cifar_quick_pipeline_runs() {
+        let outcome = Experiment::new(fast(DatasetKind::Cifar10)).run().unwrap();
+        assert_eq!(outcome.observations.len(), 4);
+        assert!(outcome.test_accuracy >= 0.0);
+    }
+
+    #[test]
+    fn constant_time_countermeasure_silences_cache_misses() {
+        let mut cfg = fast(DatasetKind::Mnist);
+        cfg.pmu.noise = NoiseConfig::quiet();
+        let leaky = Experiment::new(cfg.clone()).run().unwrap();
+        let protected = Experiment::new(cfg.with_countermeasure(Countermeasure::ConstantTime))
+            .run()
+            .unwrap();
+        let leaky_count = leaky
+            .report
+            .event(HpcEvent::CacheMisses)
+            .unwrap()
+            .pairwise
+            .leak_count();
+        let protected_count = protected
+            .report
+            .event(HpcEvent::CacheMisses)
+            .unwrap()
+            .pairwise
+            .leak_count();
+        assert!(
+            protected_count < leaky_count,
+            "constant-time kernels must remove cache-miss pairs: {leaky_count} -> {protected_count}"
+        );
+    }
+
+    #[test]
+    fn attack_on_outcome_beats_chance() {
+        let mut cfg = fast(DatasetKind::Mnist);
+        cfg.collection.samples_per_category = 10;
+        let outcome = Experiment::new(cfg).run().unwrap();
+        let attack = outcome
+            .mount_attack(&crate::attack::AttackConfig::default())
+            .unwrap();
+        assert!(
+            attack.accuracy > attack.chance_level(),
+            "leaky model must be attackable: {:.2} vs chance {:.2}",
+            attack.accuracy,
+            attack.chance_level()
+        );
+    }
+
+    #[test]
+    fn mlp_architecture_runs_and_leaks() {
+        let mut cfg = fast(DatasetKind::Mnist);
+        cfg.architecture = Architecture::Mlp;
+        let outcome = Experiment::new(cfg).run().unwrap();
+        assert!(
+            outcome.report.alarm().raised(),
+            "zero-skipping MLPs see the raw image sparsity directly:\n{}",
+            outcome.report.render_table()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            Experiment::new(fast(DatasetKind::Mnist))
+                .run()
+                .unwrap()
+                .observations
+        };
+        assert_eq!(run(), run());
+    }
+}

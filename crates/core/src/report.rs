@@ -1,0 +1,277 @@
+//! Rendering the paper's tables and figures from evaluation results.
+//!
+//! All output is plain text: the `repro` binary prints these renderings
+//! so each experiment regenerates the corresponding artefact of the
+//! paper (Figure 1, Figures 3–4, Tables 1–2).
+
+use crate::collect::CategoryObservations;
+use crate::evaluator::LeakageReport;
+use scnn_hpc::HpcEvent;
+use scnn_stats::{Histogram, KernelDensity};
+use std::fmt::Write as _;
+
+impl LeakageReport {
+    /// Renders the paper's Table 1/2 layout: one row per category pair,
+    /// `t`/`p` columns per event, `*` marking pairs the decision rule
+    /// distinguishes (the paper's bold face).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        // Header.
+        write!(out, "{:<8}", "pair").expect("writing to String cannot fail");
+        for ev in &self.per_event {
+            write!(out, "{:>24}", ev.event.perf_name()).expect("infallible");
+            write!(out, "{:>12}", "").expect("infallible");
+        }
+        out.push('\n');
+        write!(out, "{:<8}", "").expect("infallible");
+        for _ in &self.per_event {
+            write!(out, "{:>24}{:>12}", "t-values", "p-values").expect("infallible");
+        }
+        out.push('\n');
+
+        if self.per_event.is_empty() {
+            return out;
+        }
+        let pair_list: Vec<(usize, usize)> = self.per_event[0]
+            .pairwise
+            .pairs
+            .iter()
+            .map(|p| (p.i, p.j))
+            .collect();
+        for &(i, j) in &pair_list {
+            // Category labels are 1-based in the paper.
+            write!(out, "t{},{}  ", i + 1, j + 1).expect("infallible");
+            for ev in &self.per_event {
+                let pair = ev
+                    .pairwise
+                    .pair(i, j)
+                    .expect("all events share the category set");
+                let star = if pair.distinguishable { "*" } else { " " };
+                let p_str = if pair.test.p < 5e-5 {
+                    "~0".to_owned()
+                } else {
+                    format!("{:.4}", pair.test.p)
+                };
+                write!(out, "{:>23}{star}{:>12}", format!("{:+.4}", pair.test.t), p_str)
+                    .expect("infallible");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", self.alarm());
+        out
+    }
+
+    /// Renders the Figure 1 bar chart: mean value of `event` per
+    /// category.
+    pub fn render_means(&self, event: HpcEvent, width: usize) -> String {
+        let Some(ev) = self.event(event) else {
+            return format!("event {event} was not measured\n");
+        };
+        let max = ev
+            .summaries
+            .iter()
+            .map(|s| s.mean())
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
+        let mut out = format!("average {event} per category\n");
+        for (c, s) in ev.summaries.iter().enumerate() {
+            let bar = ((s.mean() / max) * width as f64).round().max(0.0) as usize;
+            let _ = writeln!(
+                out,
+                "category {:<2} | {:<width$} {:.1}",
+                c + 1,
+                "#".repeat(bar.min(width)),
+                s.mean(),
+                width = width
+            );
+        }
+        out
+    }
+}
+
+/// Renders the Figure 3/4 panel: per-category histograms of one event's
+/// observations over a shared range, so overlap is visually comparable.
+pub fn render_distributions(
+    observations: &[CategoryObservations],
+    event: HpcEvent,
+    bins: usize,
+) -> String {
+    let mut all: Vec<f64> = Vec::new();
+    for obs in observations {
+        if let Some(series) = obs.series(event) {
+            all.extend_from_slice(series);
+        }
+    }
+    if all.is_empty() {
+        return format!("no observations of {event}\n");
+    }
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi + (hi - lo) * 1e-9)
+    };
+
+    let mut out = format!("distribution of {event} per category\n");
+    for obs in observations {
+        let Some(series) = obs.series(event) else {
+            continue;
+        };
+        let _ = writeln!(out, "-- category {} --", obs.category + 1);
+        match Histogram::from_data(series, bins, Some(range)) {
+            Ok(h) => out.push_str(&h.ascii(40)),
+            Err(e) => {
+                let _ = writeln!(out, "  (cannot histogram: {e})");
+            }
+        }
+    }
+    out
+}
+
+/// Renders smooth per-category density curves (Gaussian KDE) of one
+/// event — the line-plot form the paper's Figures 3–4 panels use. Each
+/// category becomes a `(grid, density)` series; the text rendering prints
+/// the curve as a fixed-width profile.
+pub fn render_kde(
+    observations: &[CategoryObservations],
+    event: HpcEvent,
+    points: usize,
+) -> String {
+    let mut out = format!("density of {event} per category (Gaussian KDE)\n");
+    for obs in observations {
+        let Some(series) = obs.series(event) else {
+            continue;
+        };
+        let _ = writeln!(out, "-- category {} --", obs.category + 1);
+        match KernelDensity::fit(series, points) {
+            Ok(kde) => {
+                let max = kde
+                    .density()
+                    .iter()
+                    .copied()
+                    .fold(f64::MIN, f64::max)
+                    .max(1e-300);
+                for (g, d) in kde.grid().iter().zip(kde.density()) {
+                    let bar = ((d / max) * 40.0).round() as usize;
+                    let _ = writeln!(out, "{:>14.1} | {}", g, "*".repeat(bar.min(40)));
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  (cannot fit: {e})");
+            }
+        }
+    }
+    out
+}
+
+/// Renders summary statistics (mean ± std, min/max) per category for one
+/// event — the numeric companion to the figures.
+pub fn render_summary(observations: &[CategoryObservations], event: HpcEvent) -> String {
+    let mut out = format!("{event}: per-category summary\n");
+    for obs in observations {
+        let Some(series) = obs.series(event) else {
+            continue;
+        };
+        let s: scnn_stats::Summary = series.iter().copied().collect();
+        let _ = writeln!(
+            out,
+            "category {:<2} n={:<4} mean={:<14.1} std={:<12.1} min={:<12.0} max={:.0}",
+            obs.category + 1,
+            s.count(),
+            s.mean(),
+            s.sample_std(),
+            s.min(),
+            s.max()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn obs() -> Vec<CategoryObservations> {
+        (0..3)
+            .map(|c| {
+                let mut per_event = BTreeMap::new();
+                per_event.insert(
+                    HpcEvent::CacheMisses,
+                    (0..30).map(|i| (c * 100) as f64 + (i % 7) as f64).collect(),
+                );
+                per_event.insert(
+                    HpcEvent::Branches,
+                    (0..30).map(|i| 1000.0 + (i % 7) as f64).collect(),
+                );
+                CategoryObservations {
+                    category: c,
+                    per_event,
+                    predictions: vec![c; 30],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_contains_all_pairs_and_stars() {
+        let report = Evaluator::default().evaluate(&obs()).unwrap();
+        let table = report.render_table();
+        for pair in ["t1,2", "t1,3", "t2,3"] {
+            assert!(table.contains(pair), "missing {pair} in:\n{table}");
+        }
+        assert!(table.contains("cache-misses"));
+        assert!(table.contains("branches"));
+        assert!(table.contains('*'), "separated cache-misses must be starred");
+        assert!(table.contains("~0"), "huge separation gives p ≈ 0");
+        assert!(table.contains("ALARM"));
+    }
+
+    #[test]
+    fn means_bars_scale() {
+        let report = Evaluator::default().evaluate(&obs()).unwrap();
+        let fig = report.render_means(HpcEvent::CacheMisses, 30);
+        assert_eq!(fig.lines().count(), 4, "title + 3 categories");
+        // Highest-mean category has the longest bar.
+        let bars: Vec<usize> = fig
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&ch| ch == '#').count())
+            .collect();
+        assert!(bars[2] > bars[0]);
+        let missing = report.render_means(HpcEvent::Cycles, 30);
+        assert!(missing.contains("not measured"));
+    }
+
+    #[test]
+    fn distributions_render_per_category() {
+        let text = render_distributions(&obs(), HpcEvent::CacheMisses, 8);
+        assert!(text.contains("-- category 1 --"));
+        assert!(text.contains("-- category 3 --"));
+        assert!(text.contains('#'));
+        assert!(render_distributions(&obs(), HpcEvent::Cycles, 8).contains("no observations"));
+    }
+
+    #[test]
+    fn kde_renders_per_category() {
+        let text = render_kde(&obs(), HpcEvent::CacheMisses, 21);
+        assert!(text.contains("-- category 1 --"));
+        assert!(text.contains('*'));
+        assert_eq!(
+            text.matches("-- category").count(),
+            3,
+            "one curve per category"
+        );
+    }
+
+    #[test]
+    fn summary_lists_stats() {
+        let text = render_summary(&obs(), HpcEvent::Branches);
+        assert!(text.contains("n=30"));
+        assert!(text.contains("mean="));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

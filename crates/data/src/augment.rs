@@ -1,0 +1,228 @@
+//! Image augmentation: the standard label-preserving transforms used to
+//! stretch small training sets (and, in this workspace, to grow the
+//! measurement pool for high-sample leakage campaigns).
+
+use crate::dataset::{Dataset, DatasetError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_tensor::Tensor;
+
+/// A label-preserving image transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Augmentation {
+    /// Shift by `(dy, dx)` pixels (positive = down/right); vacated pixels
+    /// become zero.
+    Shift {
+        /// Vertical shift in pixels.
+        dy: i32,
+        /// Horizontal shift in pixels.
+        dx: i32,
+    },
+    /// Mirror left–right.
+    FlipHorizontal,
+    /// Add uniform noise in `[-amplitude, +amplitude]` to non-zero pixels,
+    /// clamped to `[0, 1]`. Zero pixels stay exactly zero so the sparsity
+    /// structure (the side-channel signal) is preserved.
+    Noise {
+        /// Noise amplitude.
+        amplitude: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Scale every pixel by a factor, clamped to `[0, 1]`.
+    Brightness {
+        /// Multiplicative factor.
+        factor: f32,
+    },
+}
+
+/// Applies one augmentation to a `[C, H, W]` image.
+///
+/// # Errors
+///
+/// Returns a [`DatasetError::ShapeMismatch`]-style error through the
+/// tensor layer only on rank violations; in practice the function accepts
+/// any rank-3 tensor.
+///
+/// # Panics
+///
+/// Panics when the image is not rank 3.
+pub fn apply(image: &Tensor, augmentation: Augmentation) -> Tensor {
+    assert_eq!(image.shape().rank(), 3, "augmentations expect [C, H, W]");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let src = image.as_slice();
+    match augmentation {
+        Augmentation::Shift { dy, dx } => {
+            let mut out = vec![0.0f32; src.len()];
+            for ch in 0..c {
+                for y in 0..h {
+                    let sy = y as i32 - dy;
+                    if sy < 0 || sy >= h as i32 {
+                        continue;
+                    }
+                    for x in 0..w {
+                        let sx = x as i32 - dx;
+                        if sx < 0 || sx >= w as i32 {
+                            continue;
+                        }
+                        out[(ch * h + y) * w + x] = src[(ch * h + sy as usize) * w + sx as usize];
+                    }
+                }
+            }
+            Tensor::from_vec(out, image.shape().clone()).expect("same length")
+        }
+        Augmentation::FlipHorizontal => {
+            let mut out = vec![0.0f32; src.len()];
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        out[(ch * h + y) * w + x] = src[(ch * h + y) * w + (w - 1 - x)];
+                    }
+                }
+            }
+            Tensor::from_vec(out, image.shape().clone()).expect("same length")
+        }
+        Augmentation::Noise { amplitude, seed } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let out: Vec<f32> = src
+                .iter()
+                .map(|&v| {
+                    if v == 0.0 {
+                        0.0
+                    } else {
+                        (v + rng.gen_range(-amplitude..=amplitude)).clamp(0.0, 1.0)
+                    }
+                })
+                .collect();
+            Tensor::from_vec(out, image.shape().clone()).expect("same length")
+        }
+        Augmentation::Brightness { factor } => image.map(|v| (v * factor).clamp(0.0, 1.0)),
+    }
+}
+
+/// Expands a dataset: for every image, keeps the original and adds
+/// `per_image` jittered copies (random small shifts + noise), seeded by
+/// `seed`.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`] from dataset reconstruction.
+pub fn expand(dataset: &Dataset, per_image: usize, seed: u64) -> Result<Dataset, DatasetError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(dataset.len() * (1 + per_image));
+    let mut labels = Vec::with_capacity(dataset.len() * (1 + per_image));
+    for (image, label) in dataset.iter() {
+        images.push(image.clone());
+        labels.push(label);
+        for _ in 0..per_image {
+            let shifted = apply(
+                image,
+                Augmentation::Shift {
+                    dy: rng.gen_range(-2..=2),
+                    dx: rng.gen_range(-2..=2),
+                },
+            );
+            let noisy = apply(
+                &shifted,
+                Augmentation::Noise {
+                    amplitude: 0.05,
+                    seed: rng.gen(),
+                },
+            );
+            images.push(noisy);
+            labels.push(label);
+        }
+    }
+    Dataset::new(images, labels, dataset.num_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_synth::{generate, MnistSynthConfig};
+
+    fn img() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                0.0, 1.0, 0.0, //
+                0.0, 0.5, 0.0, //
+                0.0, 0.0, 0.9,
+            ],
+            [1, 3, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shift_moves_pixels_and_zero_fills() {
+        let shifted = apply(&img(), Augmentation::Shift { dy: 1, dx: 0 });
+        assert_eq!(shifted.get(&[0, 1, 1]).unwrap(), 1.0, "moved down");
+        assert_eq!(shifted.get(&[0, 0, 1]).unwrap(), 0.0, "vacated row zeroed");
+        assert_eq!(shifted.get(&[0, 2, 1]).unwrap(), 0.5);
+        // The bottom-row pixel (0.9) shifted past the edge and disappeared.
+        assert!(!shifted.as_slice().contains(&0.9));
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        assert_eq!(apply(&img(), Augmentation::Shift { dy: 0, dx: 0 }), img());
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let flipped = apply(&img(), Augmentation::FlipHorizontal);
+        assert_ne!(flipped, img());
+        assert_eq!(apply(&flipped, Augmentation::FlipHorizontal), img());
+    }
+
+    #[test]
+    fn noise_preserves_zero_structure() {
+        let noisy = apply(
+            &img(),
+            Augmentation::Noise {
+                amplitude: 0.2,
+                seed: 7,
+            },
+        );
+        for (a, b) in img().as_slice().iter().zip(noisy.as_slice()) {
+            if *a == 0.0 {
+                assert_eq!(*b, 0.0, "zeros stay exactly zero");
+            } else {
+                assert!((a - b).abs() <= 0.2 + 1e-6);
+            }
+        }
+        assert_eq!(noisy.sparsity(), img().sparsity());
+    }
+
+    #[test]
+    fn brightness_clamps() {
+        let bright = apply(&img(), Augmentation::Brightness { factor: 3.0 });
+        assert!(bright.max() <= 1.0);
+        assert_eq!(bright.get(&[0, 0, 1]).unwrap(), 1.0);
+        let dim = apply(&img(), Augmentation::Brightness { factor: 0.5 });
+        assert_eq!(dim.get(&[0, 1, 1]).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn expand_multiplies_dataset() {
+        let ds = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                side: 10,
+                ..MnistSynthConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        let big = expand(&ds, 3, 11).unwrap();
+        assert_eq!(big.len(), ds.len() * 4);
+        assert_eq!(
+            big.class_counts(),
+            ds.class_counts().iter().map(|c| c * 4).collect::<Vec<_>>()
+        );
+        // Deterministic.
+        assert_eq!(expand(&ds, 3, 11).unwrap(), big);
+        assert_ne!(expand(&ds, 3, 12).unwrap(), big);
+    }
+}

@@ -1,0 +1,180 @@
+//! The CIFAR-10 binary format (`data_batch_*.bin`): one record per image,
+//! a label byte followed by 3072 channel-planar pixel bytes.
+
+use crate::dataset::{Dataset, DatasetError};
+use scnn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Bytes per record: 1 label + 3 × 32 × 32 pixels.
+pub const RECORD_BYTES: usize = 1 + 3 * 32 * 32;
+
+/// Error reading CIFAR binary data.
+#[derive(Debug)]
+pub enum CifarBinError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream length is not a whole number of records.
+    RaggedFile {
+        /// Total bytes found.
+        bytes: usize,
+    },
+    /// A label byte exceeds 9.
+    BadLabel {
+        /// Record index.
+        record: usize,
+        /// The offending label byte.
+        label: u8,
+    },
+    /// The assembled dataset failed validation.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for CifarBinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CifarBinError::Io(e) => write!(f, "i/o error: {e}"),
+            CifarBinError::RaggedFile { bytes } => {
+                write!(f, "{bytes} bytes is not a multiple of {RECORD_BYTES}")
+            }
+            CifarBinError::BadLabel { record, label } => {
+                write!(f, "record {record} has label {label} > 9")
+            }
+            CifarBinError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl Error for CifarBinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CifarBinError::Io(e) => Some(e),
+            CifarBinError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CifarBinError {
+    fn from(e: io::Error) -> Self {
+        CifarBinError::Io(e)
+    }
+}
+
+impl From<DatasetError> for CifarBinError {
+    fn from(e: DatasetError) -> Self {
+        CifarBinError::Dataset(e)
+    }
+}
+
+/// Reads a CIFAR-10 binary batch into a dataset; pixels scale to `[0, 1]`.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`CifarBinError`] on I/O failure, a ragged file or an invalid
+/// label.
+pub fn read_batch<R: Read>(mut reader: R) -> Result<Dataset, CifarBinError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    if raw.len() % RECORD_BYTES != 0 {
+        return Err(CifarBinError::RaggedFile { bytes: raw.len() });
+    }
+    let count = raw.len() / RECORD_BYTES;
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for rec in 0..count {
+        let base = rec * RECORD_BYTES;
+        let label = raw[base];
+        if label > 9 {
+            return Err(CifarBinError::BadLabel { record: rec, label });
+        }
+        let pixels: Vec<f32> = raw[base + 1..base + RECORD_BYTES]
+            .iter()
+            .map(|&b| b as f32 / 255.0)
+            .collect();
+        images.push(Tensor::from_vec(pixels, [3, 32, 32]).expect("record length fixed"));
+        labels.push(label as usize);
+    }
+    Ok(Dataset::new(images, labels, 10)?)
+}
+
+/// Writes a dataset as a CIFAR-10 binary batch.
+///
+/// # Errors
+///
+/// Returns [`CifarBinError::Io`] on write failure.
+///
+/// # Panics
+///
+/// Panics when an image is not `[3, 32, 32]` or a label exceeds 9.
+pub fn write_batch<W: Write>(mut writer: W, dataset: &Dataset) -> Result<(), CifarBinError> {
+    let mut buf = Vec::with_capacity(dataset.len() * RECORD_BYTES);
+    for (img, label) in dataset.iter() {
+        assert!(label <= 9, "CIFAR-10 labels are 0..=9");
+        assert_eq!(img.dims(), &[3, 32, 32], "CIFAR-10 images are 3x32x32");
+        buf.push(label as u8);
+        for &v in img.as_slice() {
+            buf.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cifar_synth::{generate, CifarSynthConfig};
+
+    #[test]
+    fn roundtrip() {
+        let ds = generate(
+            &CifarSynthConfig {
+                per_class: 2,
+                ..CifarSynthConfig::default()
+            },
+            1,
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        write_batch(&mut bytes, &ds).unwrap();
+        assert_eq!(bytes.len(), ds.len() * RECORD_BYTES);
+        let back = read_batch(&bytes[..]).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.class_counts(), ds.class_counts());
+        for ((a, la), (b, lb)) in back.iter().zip(ds.iter()) {
+            assert_eq!(la, lb);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() <= 1.0 / 255.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_file_rejected() {
+        let bytes = vec![0u8; RECORD_BYTES + 5];
+        assert!(matches!(
+            read_batch(&bytes[..]),
+            Err(CifarBinError::RaggedFile { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let mut bytes = vec![0u8; RECORD_BYTES];
+        bytes[0] = 10;
+        assert!(matches!(
+            read_batch(&bytes[..]),
+            Err(CifarBinError::BadLabel { record: 0, label: 10 })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_empty_dataset() {
+        let ds = read_batch(&[][..]).unwrap();
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Procedural CIFAR-10: class-conditioned colour scenes.
+//!
+//! Each of the ten classes gets a characteristic scene recipe —
+//! background palette, object shape, object palette and texture
+//! statistics — with per-example jitter. Unlike the MNIST generator the
+//! images are dense (no zero pixels), matching real CIFAR-10; the
+//! class-dependence of the hardware footprint then arises *inside* the
+//! network from post-ReLU activation patterns rather than from input
+//! sparsity.
+
+use crate::dataset::{Dataset, DatasetError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_tensor::Tensor;
+
+/// Default image side length (real CIFAR-10 geometry).
+pub const SIDE: usize = 32;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// CIFAR-10 class names, index-aligned with generated labels.
+pub const CLASS_NAMES: [&str; 10] = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+];
+
+/// Object silhouette per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObjectShape {
+    /// Horizontal lens / fuselage.
+    HorizontalEllipse,
+    /// Boxy body.
+    Rectangle,
+    /// Small round blob.
+    Blob,
+    /// Tall triangle.
+    Triangle,
+}
+
+/// Scene recipe for one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Recipe {
+    sky: [f32; 3],
+    ground: [f32; 3],
+    object: [f32; 3],
+    shape: ObjectShape,
+    object_scale: f32,
+    texture: f32,
+    horizon: f32,
+}
+
+fn recipe_for(class: usize) -> Recipe {
+    // Palettes chosen to echo the photographic statistics of each class:
+    // vehicles on grey roads, animals on green/brown grounds, ships on
+    // water, airplanes in sky.
+    match class {
+        0 => Recipe { sky: [0.55, 0.72, 0.90], ground: [0.60, 0.75, 0.92], object: [0.80, 0.80, 0.85], shape: ObjectShape::HorizontalEllipse, object_scale: 0.75, texture: 0.09, horizon: 0.72 },
+        1 => Recipe { sky: [0.65, 0.70, 0.75], ground: [0.35, 0.35, 0.38], object: [0.75, 0.15, 0.15], shape: ObjectShape::Rectangle, object_scale: 0.6, texture: 0.05, horizon: 0.55 },
+        2 => Recipe { sky: [0.60, 0.78, 0.95], ground: [0.40, 0.60, 0.35], object: [0.55, 0.40, 0.25], shape: ObjectShape::Blob, object_scale: 0.35, texture: 0.08, horizon: 0.7 },
+        3 => Recipe { sky: [0.70, 0.65, 0.60], ground: [0.55, 0.45, 0.35], object: [0.45, 0.35, 0.30], shape: ObjectShape::Blob, object_scale: 0.55, texture: 0.12, horizon: 0.5 },
+        4 => Recipe { sky: [0.55, 0.70, 0.60], ground: [0.35, 0.50, 0.25], object: [0.50, 0.35, 0.20], shape: ObjectShape::Triangle, object_scale: 0.6, texture: 0.10, horizon: 0.45 },
+        5 => Recipe { sky: [0.72, 0.68, 0.62], ground: [0.50, 0.42, 0.32], object: [0.60, 0.50, 0.35], shape: ObjectShape::Blob, object_scale: 0.6, texture: 0.11, horizon: 0.5 },
+        6 => Recipe { sky: [0.35, 0.55, 0.35], ground: [0.25, 0.45, 0.20], object: [0.30, 0.65, 0.25], shape: ObjectShape::Blob, object_scale: 0.45, texture: 0.09, horizon: 0.4 },
+        7 => Recipe { sky: [0.65, 0.75, 0.85], ground: [0.45, 0.55, 0.30], object: [0.45, 0.30, 0.20], shape: ObjectShape::Triangle, object_scale: 0.7, texture: 0.08, horizon: 0.5 },
+        8 => Recipe { sky: [0.60, 0.72, 0.88], ground: [0.20, 0.35, 0.55], object: [0.40, 0.40, 0.45], shape: ObjectShape::Rectangle, object_scale: 0.65, texture: 0.06, horizon: 0.5 },
+        9 => Recipe { sky: [0.68, 0.72, 0.78], ground: [0.38, 0.38, 0.40], object: [0.85, 0.75, 0.25], shape: ObjectShape::Rectangle, object_scale: 0.75, texture: 0.05, horizon: 0.6 },
+        _ => unreachable!("class must be 0..10"),
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CifarSynthConfig {
+    /// Examples per class.
+    pub per_class: usize,
+    /// Image side length in pixels (32 matches real CIFAR-10; smaller
+    /// sides give fast test datasets).
+    pub side: usize,
+    /// Colour jitter amplitude (uniform ± on every palette channel).
+    pub color_jitter: f32,
+    /// Object position jitter in image fractions.
+    pub position_jitter: f32,
+    /// Object scale jitter, relative.
+    pub scale_jitter: f32,
+    /// Extra white noise over the whole image.
+    pub noise: f32,
+}
+
+impl Default for CifarSynthConfig {
+    fn default() -> Self {
+        CifarSynthConfig {
+            per_class: 100,
+            side: SIDE,
+            color_jitter: 0.08,
+            position_jitter: 0.10,
+            scale_jitter: 0.25,
+            noise: 0.03,
+        }
+    }
+}
+
+fn inside(shape: ObjectShape, nx: f32, ny: f32) -> bool {
+    match shape {
+        ObjectShape::HorizontalEllipse => (nx * nx) / 1.0 + (ny * ny) / 0.16 <= 1.0,
+        ObjectShape::Rectangle => nx.abs() <= 0.9 && ny.abs() <= 0.5,
+        ObjectShape::Blob => nx * nx + ny * ny <= 0.7,
+        ObjectShape::Triangle => (-0.8..=0.8).contains(&ny) && nx.abs() <= (0.8 - ny) * 0.6,
+    }
+}
+
+fn render_scene(class: usize, cfg: &CifarSynthConfig, rng: &mut ChaCha8Rng) -> Tensor {
+    let r = recipe_for(class);
+    let jitter = |c: f32, rng: &mut ChaCha8Rng| {
+        (c + rng.gen_range(-cfg.color_jitter..=cfg.color_jitter)).clamp(0.02, 1.0)
+    };
+    let sky: Vec<f32> = r.sky.iter().map(|&c| jitter(c, rng)).collect();
+    let ground: Vec<f32> = r.ground.iter().map(|&c| jitter(c, rng)).collect();
+    let object: Vec<f32> = r.object.iter().map(|&c| jitter(c, rng)).collect();
+    let cx = 0.5 + rng.gen_range(-cfg.position_jitter..=cfg.position_jitter);
+    let cy = 0.55 + rng.gen_range(-cfg.position_jitter..=cfg.position_jitter);
+    let scale = r.object_scale * (1.0 + rng.gen_range(-cfg.scale_jitter..=cfg.scale_jitter));
+    let horizon = r.horizon + rng.gen_range(-0.05..=0.05);
+
+    let side = cfg.side;
+    let mut pixels = vec![0.0f32; 3 * side * side];
+    for py in 0..side {
+        for px in 0..side {
+            let x = (px as f32 + 0.5) / side as f32;
+            let y = (py as f32 + 0.5) / side as f32;
+            let base = if y < horizon { &sky } else { &ground };
+            // Object test in normalised object coordinates.
+            let nx = (x - cx) / (scale * 0.5);
+            let ny = (y - cy) / (scale * 0.5);
+            let obj = inside(r.shape, nx, ny);
+            for ch in 0..3 {
+                let mut v = if obj { object[ch] } else { base[ch] };
+                // Class-characteristic texture + white noise.
+                v += r.texture * ((x * 37.0 + y * 23.0 + ch as f32).sin() * 0.5);
+                v += rng.gen_range(-cfg.noise..=cfg.noise);
+                pixels[(ch * side + py) * side + px] = v.clamp(0.01, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(pixels, [3, side, side]).expect("fixed geometry")
+}
+
+/// Generates a synthetic CIFAR-10-style dataset.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` mirrors [`Dataset::new`].
+///
+/// # Examples
+///
+/// ```
+/// use scnn_data::cifar_synth::{generate, CifarSynthConfig};
+///
+/// # fn main() -> Result<(), scnn_data::DatasetError> {
+/// let ds = generate(&CifarSynthConfig { per_class: 3, ..Default::default() }, 7)?;
+/// assert_eq!(ds.len(), 30);
+/// assert_eq!(ds.image_shape()?.dims(), &[3, 32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(cfg: &CifarSynthConfig, seed: u64) -> Result<Dataset, DatasetError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(cfg.per_class * CLASSES);
+    let mut labels = Vec::with_capacity(cfg.per_class * CLASSES);
+    for class in 0..CLASSES {
+        for _ in 0..cfg.per_class {
+            images.push(render_scene(class, cfg, &mut rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new(images, labels, CLASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(
+            &CifarSynthConfig {
+                per_class: 6,
+                ..CifarSynthConfig::default()
+            },
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let ds = small();
+        assert_eq!(ds.len(), 60);
+        assert_eq!(ds.image_shape().unwrap().dims(), &[3, 32, 32]);
+        assert_eq!(ds.num_classes(), 10);
+    }
+
+    #[test]
+    fn images_are_dense_unlike_mnist() {
+        let ds = small();
+        for (img, _) in ds.iter() {
+            assert_eq!(img.sparsity(), 0.0, "CIFAR-style images have no zeros");
+            assert!(img.min() > 0.0 && img.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn class_palettes_differ() {
+        let ds = small();
+        let mean_color = |class: usize| -> [f32; 3] {
+            let mut acc = [0.0f32; 3];
+            let mut n = 0;
+            for img in ds.of_class(class) {
+                for (ch, a) in acc.iter_mut().enumerate() {
+                    *a += img.as_slice()[ch * SIDE * SIDE..(ch + 1) * SIDE * SIDE]
+                        .iter()
+                        .sum::<f32>();
+                }
+                n += 1;
+            }
+            acc.map(|v| v / (n * SIDE * SIDE) as f32)
+        };
+        let airplane = mean_color(0);
+        let frog = mean_color(6);
+        let dist: f32 = airplane
+            .iter()
+            .zip(frog.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        assert!(dist > 0.01, "airplane vs frog palettes: {airplane:?} vs {frog:?}");
+    }
+
+    #[test]
+    fn within_class_variation() {
+        let ds = small();
+        let imgs: Vec<&Tensor> = ds.of_class(4).collect();
+        assert!(imgs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = CifarSynthConfig {
+            per_class: 2,
+            ..CifarSynthConfig::default()
+        };
+        assert_eq!(generate(&cfg, 5).unwrap(), generate(&cfg, 5).unwrap());
+        assert_ne!(generate(&cfg, 5).unwrap(), generate(&cfg, 6).unwrap());
+    }
+
+    #[test]
+    fn custom_side_renders() {
+        let ds = generate(
+            &CifarSynthConfig {
+                per_class: 1,
+                side: 12,
+                ..CifarSynthConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(ds.image_shape().unwrap().dims(), &[3, 12, 12]);
+    }
+
+    #[test]
+    fn class_names_aligned() {
+        assert_eq!(CLASS_NAMES.len(), CLASSES);
+        assert_eq!(CLASS_NAMES[0], "airplane");
+        assert_eq!(CLASS_NAMES[9], "truck");
+    }
+
+    #[test]
+    fn shapes_cover_variants() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..10 {
+            seen.insert(format!("{:?}", recipe_for(c).shape));
+        }
+        assert!(seen.len() >= 4, "all silhouette kinds used: {seen:?}");
+    }
+}

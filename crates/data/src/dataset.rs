@@ -1,0 +1,364 @@
+//! Labelled image datasets: container, splitting, filtering and
+//! normalisation.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_tensor::{Shape, Tensor};
+use std::error::Error;
+use std::fmt;
+
+/// Error from dataset construction or manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// Image and label counts differ.
+    LengthMismatch {
+        /// Number of images supplied.
+        images: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An image deviates from the dataset's common shape.
+    ShapeMismatch {
+        /// Index of the offending image.
+        index: usize,
+    },
+    /// A label is outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The class count.
+        num_classes: usize,
+    },
+    /// The dataset is empty where content is required.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            DatasetError::ShapeMismatch { index } => {
+                write!(f, "image {index} has a different shape")
+            }
+            DatasetError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DatasetError::Empty => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A labelled image dataset with a common image shape.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_data::Dataset;
+/// use scnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), scnn_data::DatasetError> {
+/// let ds = Dataset::new(
+///     vec![Tensor::zeros([1, 2, 2]), Tensor::zeros([1, 2, 2])],
+///     vec![0, 1],
+///     2,
+/// )?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.of_class(1).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating lengths, shapes and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on any inconsistency.
+    pub fn new(
+        images: Vec<Tensor>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if images.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                images: images.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(first) = images.first() {
+            for (i, img) in images.iter().enumerate() {
+                if img.shape() != first.shape() {
+                    return Err(DatasetError::ShapeMismatch { index: i });
+                }
+            }
+        }
+        for &label in &labels {
+            if label >= num_classes {
+                return Err(DatasetError::LabelOutOfRange { label, num_classes });
+            }
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The common image shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`] for an empty dataset.
+    pub fn image_shape(&self) -> Result<&Shape, DatasetError> {
+        self.images
+            .first()
+            .map(Tensor::shape)
+            .ok_or(DatasetError::Empty)
+    }
+
+    /// Example `i` as `(image, label)`.
+    pub fn get(&self, i: usize) -> Option<(&Tensor, usize)> {
+        Some((self.images.get(i)?, *self.labels.get(i)?))
+    }
+
+    /// Iterator over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Iterator over the images of one class.
+    pub fn of_class(&self, class: usize) -> impl Iterator<Item = &Tensor> {
+        self.iter()
+            .filter_map(move |(img, l)| (l == class).then_some(img))
+    }
+
+    /// Count of examples per class, indexed by label.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Owned `(image, label)` pairs — the format `scnn_nn::train`
+    /// consumes.
+    pub fn to_samples(&self) -> Vec<(Tensor, usize)> {
+        self.iter().map(|(img, l)| (img.clone(), l)).collect()
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of each class's
+    /// examples (stratified) going to the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `train_fraction` is outside `[0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must be in [0, 1]"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in 0..self.num_classes {
+            let mut idx: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
+            idx.shuffle(&mut rng);
+            let cut = (idx.len() as f64 * train_fraction).round() as usize;
+            train_idx.extend_from_slice(&idx[..cut.min(idx.len())]);
+            test_idx.extend_from_slice(&idx[cut.min(idx.len())..]);
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// A new dataset containing only the listed examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            images: indices.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// A new dataset keeping only the given classes, with labels
+    /// *re-mapped* to `0..classes.len()` in the order given — the paper
+    /// evaluates 4 of the 10 categories, so this is the entry point for
+    /// its category selection.
+    pub fn select_classes(&self, classes: &[usize]) -> Dataset {
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for (img, l) in self.iter() {
+            if let Some(new_label) = classes.iter().position(|&c| c == l) {
+                images.push(img.clone());
+                labels.push(new_label);
+            }
+        }
+        Dataset {
+            images,
+            labels,
+            num_classes: classes.len(),
+        }
+    }
+
+    /// Normalises every image in place to zero mean and unit variance
+    /// *per dataset* (global statistics), returning `(mean, std)`.
+    pub fn normalize(&mut self) -> (f32, f32) {
+        let n: usize = self.images.iter().map(Tensor::len).sum();
+        if n == 0 {
+            return (0.0, 1.0);
+        }
+        let mean = self.images.iter().map(Tensor::sum).sum::<f32>() / n as f32;
+        let var = self
+            .images
+            .iter()
+            .flat_map(|t| t.as_slice().iter())
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n as f32;
+        let std = var.sqrt().max(1e-8);
+        for img in &mut self.images {
+            img.map_in_place(|x| (x - mean) / std);
+        }
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize, classes: usize) -> Dataset {
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..classes {
+            for i in 0..n_per_class {
+                images.push(Tensor::full([1, 2, 2], c as f32 + i as f32 * 0.01));
+                labels.push(c);
+            }
+        }
+        Dataset::new(images, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert!(matches!(
+            Dataset::new(vec![Tensor::zeros([1])], vec![], 1),
+            Err(DatasetError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(
+                vec![Tensor::zeros([1]), Tensor::zeros([2])],
+                vec![0, 0],
+                1
+            ),
+            Err(DatasetError::ShapeMismatch { index: 1 })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![Tensor::zeros([1])], vec![3], 2),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+        assert!(Dataset::new(vec![], vec![], 4).is_ok());
+    }
+
+    #[test]
+    fn class_access() {
+        let ds = toy(5, 3);
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.class_counts(), vec![5, 5, 5]);
+        assert_eq!(ds.of_class(1).count(), 5);
+        for img in ds.of_class(2) {
+            assert!(img.as_slice()[0] >= 2.0);
+        }
+    }
+
+    #[test]
+    fn stratified_split() {
+        let ds = toy(10, 4);
+        let (train, test) = ds.split(0.8, 42);
+        assert_eq!(train.len(), 32);
+        assert_eq!(test.len(), 8);
+        assert_eq!(train.class_counts(), vec![8, 8, 8, 8]);
+        assert_eq!(test.class_counts(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let ds = toy(10, 2);
+        let (a, _) = ds.split(0.5, 7);
+        let (b, _) = ds.split(0.5, 7);
+        assert_eq!(a, b);
+        let (c, _) = ds.split(0.5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn select_classes_remaps() {
+        let ds = toy(3, 5);
+        let sel = ds.select_classes(&[4, 1]);
+        assert_eq!(sel.len(), 6);
+        assert_eq!(sel.num_classes(), 2);
+        assert_eq!(sel.class_counts(), vec![3, 3]);
+        // Class 4 images got label 0.
+        for img in sel.of_class(0) {
+            assert!(img.as_slice()[0] >= 4.0);
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let mut ds = toy(10, 3);
+        let (mean, std) = ds.normalize();
+        assert!(std > 0.0);
+        assert!(mean > 0.0);
+        let n: usize = ds.iter().map(|(img, _)| img.len()).sum();
+        let new_mean: f32 = ds.iter().map(|(img, _)| img.sum()).sum::<f32>() / n as f32;
+        assert!(new_mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn to_samples_matches() {
+        let ds = toy(2, 2);
+        let samples = ds.to_samples();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].1, ds.get(0).unwrap().1);
+    }
+
+    #[test]
+    fn empty_dataset_shape_errors() {
+        let ds = Dataset::new(vec![], vec![], 2).unwrap();
+        assert!(ds.image_shape().is_err());
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! The IDX binary format used by the real MNIST distribution.
+//!
+//! When the genuine `train-images-idx3-ubyte` files are available this
+//! loader feeds them into the same pipeline as the synthetic generator;
+//! the writer exists so round-trip tests (and users exporting synthetic
+//! data for other tools) can produce valid files.
+
+use crate::dataset::{Dataset, DatasetError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scnn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic for unsigned-byte rank-3 tensors (images).
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+/// Magic for unsigned-byte rank-1 tensors (labels).
+const MAGIC_LABELS: u32 = 0x0000_0801;
+
+/// Error reading IDX data.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number did not match the expected tensor kind.
+    BadMagic {
+        /// Magic found in the stream.
+        found: u32,
+        /// Magic required.
+        expected: u32,
+    },
+    /// The payload was shorter than the header promised.
+    Truncated,
+    /// Image and label files disagree on the example count.
+    CountMismatch {
+        /// Image count.
+        images: usize,
+        /// Label count.
+        labels: usize,
+    },
+    /// The assembled dataset failed validation.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error: {e}"),
+            IdxError::BadMagic { found, expected } => {
+                write!(f, "bad IDX magic {found:#010x}, expected {expected:#010x}")
+            }
+            IdxError::Truncated => write!(f, "IDX payload shorter than header promises"),
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            IdxError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl Error for IdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            IdxError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+impl From<DatasetError> for IdxError {
+    fn from(e: DatasetError) -> Self {
+        IdxError::Dataset(e)
+    }
+}
+
+/// Reads an IDX image file (`magic 0x803`): returns `(images, rows,
+/// cols)` with pixel values scaled to `[0, 1]`.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure, a wrong magic or truncation.
+pub fn read_images<R: Read>(mut reader: R) -> Result<(Vec<Tensor>, usize, usize), IdxError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 16 {
+        return Err(IdxError::Truncated);
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC_IMAGES {
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_IMAGES,
+        });
+    }
+    let count = buf.get_u32() as usize;
+    let rows = buf.get_u32() as usize;
+    let cols = buf.get_u32() as usize;
+    let need = count * rows * cols;
+    if buf.remaining() < need {
+        return Err(IdxError::Truncated);
+    }
+    let mut images = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut pixels = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            pixels.push(buf.get_u8() as f32 / 255.0);
+        }
+        images.push(
+            Tensor::from_vec(pixels, [1, rows, cols]).expect("length matches by construction"),
+        );
+    }
+    Ok((images, rows, cols))
+}
+
+/// Reads an IDX label file (`magic 0x801`).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure, a wrong magic or truncation.
+pub fn read_labels<R: Read>(mut reader: R) -> Result<Vec<usize>, IdxError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 8 {
+        return Err(IdxError::Truncated);
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC_LABELS {
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_LABELS,
+        });
+    }
+    let count = buf.get_u32() as usize;
+    if buf.remaining() < count {
+        return Err(IdxError::Truncated);
+    }
+    Ok((0..count).map(|_| buf.get_u8() as usize).collect())
+}
+
+/// Assembles a dataset from paired IDX image and label streams.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on any read failure or count mismatch.
+pub fn read_dataset<R1: Read, R2: Read>(
+    images: R1,
+    labels: R2,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let (imgs, _, _) = read_images(images)?;
+    let lbls = read_labels(labels)?;
+    if imgs.len() != lbls.len() {
+        return Err(IdxError::CountMismatch {
+            images: imgs.len(),
+            labels: lbls.len(),
+        });
+    }
+    Ok(Dataset::new(imgs, lbls, num_classes)?)
+}
+
+/// Writes images in IDX format; values are clamped to `[0, 1]` and scaled
+/// to bytes.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Io`] on write failure.
+///
+/// # Panics
+///
+/// Panics when images are not rank-3 `[1, rows, cols]` tensors of a
+/// common size.
+pub fn write_images<W: Write>(mut writer: W, images: &[Tensor]) -> Result<(), IdxError> {
+    let (rows, cols) = images
+        .first()
+        .map(|t| {
+            assert_eq!(t.shape().rank(), 3, "IDX images are [1, rows, cols]");
+            (t.dims()[1], t.dims()[2])
+        })
+        .unwrap_or((0, 0));
+    let mut buf = BytesMut::with_capacity(16 + images.len() * rows * cols);
+    buf.put_u32(MAGIC_IMAGES);
+    buf.put_u32(images.len() as u32);
+    buf.put_u32(rows as u32);
+    buf.put_u32(cols as u32);
+    for img in images {
+        assert_eq!(img.dims(), &[1, rows, cols], "inconsistent image shapes");
+        for &v in img.as_slice() {
+            buf.put_u8((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes labels in IDX format.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Io`] on write failure.
+pub fn write_labels<W: Write>(mut writer: W, labels: &[usize]) -> Result<(), IdxError> {
+    let mut buf = BytesMut::with_capacity(8 + labels.len());
+    buf.put_u32(MAGIC_LABELS);
+    buf.put_u32(labels.len() as u32);
+    for &l in labels {
+        buf.put_u8(l as u8);
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_synth::{generate, MnistSynthConfig};
+
+    #[test]
+    fn roundtrip_synthetic_dataset() {
+        let ds = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                ..MnistSynthConfig::default()
+            },
+            4,
+        )
+        .unwrap();
+        let images: Vec<Tensor> = ds.iter().map(|(img, _)| img.clone()).collect();
+        let labels: Vec<usize> = ds.iter().map(|(_, l)| l).collect();
+
+        let mut img_bytes = Vec::new();
+        write_images(&mut img_bytes, &images).unwrap();
+        let mut lbl_bytes = Vec::new();
+        write_labels(&mut lbl_bytes, &labels).unwrap();
+
+        let back = read_dataset(&img_bytes[..], &lbl_bytes[..], 10).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.class_counts(), ds.class_counts());
+        // Pixel quantisation to u8 loses at most 1/510 per pixel.
+        for ((a, la), (b, lb)) in back.iter().zip(ds.iter()) {
+            assert_eq!(la, lb);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() <= 1.0 / 255.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn header_format_exact() {
+        let images = vec![Tensor::full([1, 2, 2], 1.0)];
+        let mut bytes = Vec::new();
+        write_images(&mut bytes, &images).unwrap();
+        assert_eq!(&bytes[..4], &[0, 0, 8, 3], "big-endian magic 0x803");
+        assert_eq!(&bytes[4..8], &[0, 0, 0, 1], "count 1");
+        assert_eq!(&bytes[8..12], &[0, 0, 0, 2], "rows 2");
+        assert_eq!(&bytes[12..16], &[0, 0, 0, 2], "cols 2");
+        assert_eq!(&bytes[16..], &[255, 255, 255, 255]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = [0u8, 0, 8, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            read_images(&bytes[..]),
+            Err(IdxError::BadMagic { .. })
+        ));
+        let bytes = [0u8, 0, 8, 3, 0, 0, 0, 0];
+        assert!(matches!(
+            read_labels(&bytes[..]),
+            Err(IdxError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        // Header promises one 28×28 image but supplies no payload.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&28u32.to_be_bytes());
+        bytes.extend_from_slice(&28u32.to_be_bytes());
+        assert!(matches!(read_images(&bytes[..]), Err(IdxError::Truncated)));
+        assert!(matches!(read_images(&bytes[..3]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let mut img_bytes = Vec::new();
+        write_images(&mut img_bytes, &[Tensor::zeros([1, 2, 2])]).unwrap();
+        let mut lbl_bytes = Vec::new();
+        write_labels(&mut lbl_bytes, &[0, 1]).unwrap();
+        assert!(matches!(
+            read_dataset(&img_bytes[..], &lbl_bytes[..], 10),
+            Err(IdxError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_files_roundtrip() {
+        let mut img_bytes = Vec::new();
+        write_images(&mut img_bytes, &[]).unwrap();
+        let (imgs, _, _) = read_images(&img_bytes[..]).unwrap();
+        assert!(imgs.is_empty());
+    }
+}

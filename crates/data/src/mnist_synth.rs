@@ -1,0 +1,333 @@
+//! Procedural MNIST: stroke-rendered digit glyphs.
+//!
+//! Each digit class is a set of strokes (line segments in the unit
+//! square) rasterised at 28×28 with per-example random affine jitter,
+//! stroke-thickness variation and pixel noise. Like real MNIST, images
+//! are mostly background zeros, and the *spatial pattern* of non-zero
+//! pixels is class-characteristic while the non-zero *count* varies
+//! within a class — exactly the structure the side-channel mechanism
+//! needs (see `scnn-nn`'s crate docs).
+
+use crate::dataset::{Dataset, DatasetError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_tensor::Tensor;
+
+/// Default image side length (real MNIST geometry).
+pub const SIDE: usize = 28;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// A line segment in glyph space (unit square, y growing downward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stroke {
+    x0: f32,
+    y0: f32,
+    x1: f32,
+    y1: f32,
+}
+
+const fn s(x0: f32, y0: f32, x1: f32, y1: f32) -> Stroke {
+    Stroke { x0, y0, x1, y1 }
+}
+
+/// Class-conditional mean stroke-thickness multipliers. Real handwritten
+/// digit classes have visibly different mean ink (a `1` carries roughly a
+/// third of the foreground pixels of an `8`); this table reproduces that
+/// first-order statistic for the rendered glyphs.
+const THICKNESS_SCALE: [f32; 10] = [1.16, 0.82, 1.18, 0.92, 1.22, 1.00, 1.06, 0.90, 1.12, 1.02];
+
+/// Seven-segment-inspired stroke models, with a few diagonals for
+/// naturalness. Indexed by digit.
+fn strokes_for(digit: usize) -> Vec<Stroke> {
+    // Segment endpoints.
+    const L: f32 = 0.30;
+    const R: f32 = 0.70;
+    const T: f32 = 0.18;
+    const M: f32 = 0.50;
+    const B: f32 = 0.82;
+    let top = s(L, T, R, T);
+    let mid = s(L, M, R, M);
+    let bottom = s(L, B, R, B);
+    let tl = s(L, T, L, M);
+    let bl = s(L, M, L, B);
+    let tr = s(R, T, R, M);
+    let br = s(R, M, R, B);
+    match digit {
+        0 => vec![top, bottom, tl, bl, tr, br],
+        1 => vec![s(0.5, T, 0.5, B), s(0.38, 0.30, 0.5, T)],
+        2 => vec![top, tr, mid, bl, bottom],
+        3 => vec![top, tr, mid, br, bottom],
+        4 => vec![tl, mid, tr, br],
+        5 => vec![top, tl, mid, br, bottom],
+        6 => vec![top, tl, bl, mid, br, bottom],
+        7 => vec![top, s(R, T, 0.45, B)],
+        8 => vec![top, mid, bottom, tl, bl, tr, br],
+        9 => vec![top, tl, tr, mid, br, bottom],
+        _ => unreachable!("digit must be 0..10"),
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MnistSynthConfig {
+    /// Examples per class.
+    pub per_class: usize,
+    /// Image side length in pixels (28 matches real MNIST; smaller sides
+    /// give fast test datasets).
+    pub side: usize,
+    /// Mean stroke half-thickness in glyph units.
+    pub thickness: f32,
+    /// Relative thickness jitter (uniform ±).
+    pub thickness_jitter: f32,
+    /// Max translation jitter in glyph units.
+    pub translate: f32,
+    /// Max rotation in radians.
+    pub rotate: f32,
+    /// Scale jitter (uniform in `1 ± scale`).
+    pub scale: f32,
+    /// Additive noise amplitude on lit pixels; also the probability scale
+    /// of salt noise on background pixels.
+    pub noise: f32,
+}
+
+impl Default for MnistSynthConfig {
+    fn default() -> Self {
+        MnistSynthConfig {
+            per_class: 100,
+            side: SIDE,
+            thickness: 0.055,
+            thickness_jitter: 0.15,
+            translate: 0.06,
+            rotate: 0.18,
+            scale: 0.12,
+            noise: 0.08,
+        }
+    }
+}
+
+/// Renders one digit with the given jitter RNG.
+fn render_digit(digit: usize, cfg: &MnistSynthConfig, rng: &mut ChaCha8Rng) -> Tensor {
+    let strokes = strokes_for(digit);
+    let thickness = cfg.thickness
+        * THICKNESS_SCALE[digit % 10]
+        * (1.0 + rng.gen_range(-cfg.thickness_jitter..=cfg.thickness_jitter));
+    let dx = rng.gen_range(-cfg.translate..=cfg.translate);
+    let dy = rng.gen_range(-cfg.translate..=cfg.translate);
+    let angle = rng.gen_range(-cfg.rotate..=cfg.rotate);
+    let scale = 1.0 + rng.gen_range(-cfg.scale..=cfg.scale);
+    let (sin, cos) = angle.sin_cos();
+
+    // Transform strokes: rotate about centre, scale, translate.
+    let tf = |x: f32, y: f32| -> (f32, f32) {
+        let (cx, cy) = (x - 0.5, y - 0.5);
+        let rx = cx * cos - cy * sin;
+        let ry = cx * sin + cy * cos;
+        (rx * scale + 0.5 + dx, ry * scale + 0.5 + dy)
+    };
+    let strokes: Vec<Stroke> = strokes
+        .iter()
+        .map(|st| {
+            let (x0, y0) = tf(st.x0, st.y0);
+            let (x1, y1) = tf(st.x1, st.y1);
+            s(x0, y0, x1, y1)
+        })
+        .collect();
+
+    let side = cfg.side;
+    let mut pixels = vec![0.0f32; side * side];
+    for py in 0..side {
+        for px in 0..side {
+            let x = (px as f32 + 0.5) / side as f32;
+            let y = (py as f32 + 0.5) / side as f32;
+            let mut best = f32::INFINITY;
+            for st in &strokes {
+                best = best.min(dist_to_segment(x, y, st));
+            }
+            // Soft pen: full ink inside, linear falloff over one pixel.
+            let falloff = 1.0 / side as f32;
+            let v = if best <= thickness {
+                1.0
+            } else if best <= thickness + falloff {
+                1.0 - (best - thickness) / falloff
+            } else {
+                0.0
+            };
+            if v > 0.0 {
+                let noisy = (v + rng.gen_range(-cfg.noise..=cfg.noise)).clamp(0.0, 1.0);
+                // Threshold faint ink back to true zero so background
+                // sparsity is preserved.
+                pixels[py * side + px] = if noisy < 0.05 { 0.0 } else { noisy };
+            }
+        }
+    }
+    Tensor::from_vec(pixels, [1, side, side]).expect("fixed geometry")
+}
+
+fn dist_to_segment(x: f32, y: f32, st: &Stroke) -> f32 {
+    let (dx, dy) = (st.x1 - st.x0, st.y1 - st.y0);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        (((x - st.x0) * dx + (y - st.y0) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (st.x0 + t * dx, st.y0 + t * dy);
+    ((x - cx).powi(2) + (y - cy).powi(2)).sqrt()
+}
+
+/// Generates a synthetic MNIST-style dataset: `cfg.per_class` examples of
+/// each digit 0–9, shuffled order deterministic in `seed`.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` mirrors [`Dataset::new`].
+///
+/// # Examples
+///
+/// ```
+/// use scnn_data::mnist_synth::{generate, MnistSynthConfig};
+///
+/// # fn main() -> Result<(), scnn_data::DatasetError> {
+/// let ds = generate(&MnistSynthConfig { per_class: 5, ..Default::default() }, 42)?;
+/// assert_eq!(ds.len(), 50);
+/// assert_eq!(ds.num_classes(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(cfg: &MnistSynthConfig, seed: u64) -> Result<Dataset, DatasetError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(cfg.per_class * CLASSES);
+    let mut labels = Vec::with_capacity(cfg.per_class * CLASSES);
+    for digit in 0..CLASSES {
+        for _ in 0..cfg.per_class {
+            images.push(render_digit(digit, cfg, &mut rng));
+            labels.push(digit);
+        }
+    }
+    Dataset::new(images, labels, CLASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(
+            &MnistSynthConfig {
+                per_class: 8,
+                ..MnistSynthConfig::default()
+            },
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_dimensions() {
+        let ds = small();
+        assert_eq!(ds.len(), 80);
+        assert_eq!(ds.image_shape().unwrap().dims(), &[1, 28, 28]);
+        assert_eq!(ds.class_counts(), vec![8; 10]);
+    }
+
+    #[test]
+    fn images_are_sparse_like_mnist() {
+        let ds = small();
+        for (img, label) in ds.iter() {
+            let sparsity = img.sparsity();
+            assert!(
+                (0.45..0.97).contains(&sparsity),
+                "digit {label}: background should dominate, sparsity {sparsity}"
+            );
+            assert!(img.max() <= 1.0 && img.min() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn classes_have_distinct_spatial_signatures() {
+        // Mean image per class should differ clearly between digit pairs.
+        let ds = generate(
+            &MnistSynthConfig {
+                per_class: 20,
+                ..MnistSynthConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        let mean_image = |class: usize| {
+            let mut acc = Tensor::zeros([1, 28, 28]);
+            let mut n = 0;
+            for img in ds.of_class(class) {
+                acc += img;
+                n += 1;
+            }
+            acc.scale_in_place(1.0 / n as f32);
+            acc
+        };
+        let m1 = mean_image(1);
+        let m8 = mean_image(8);
+        let diff = (&m1 - &m8).norm_sq();
+        assert!(diff > 1.0, "digit 1 vs 8 mean images must differ: {diff}");
+    }
+
+    #[test]
+    fn within_class_variation_exists() {
+        let ds = small();
+        let imgs: Vec<&Tensor> = ds.of_class(3).collect();
+        assert!(imgs.windows(2).any(|w| w[0] != w[1]));
+        // Non-zero counts vary (stroke thickness jitter).
+        let counts: Vec<usize> = imgs
+            .iter()
+            .map(|t| t.as_slice().iter().filter(|&&v| v > 0.0).count())
+            .collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "ink amount must vary within a class: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 9).unwrap();
+        let b = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 9).unwrap();
+        let c = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_side_renders() {
+        let ds = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                side: 12,
+                ..MnistSynthConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(ds.image_shape().unwrap().dims(), &[1, 12, 12]);
+        for (img, _) in ds.iter() {
+            assert!(img.sparsity() > 0.3, "small glyphs still mostly background");
+        }
+    }
+
+    #[test]
+    fn all_digits_render_strokes() {
+        for d in 0..10 {
+            assert!(!strokes_for(d).is_empty());
+        }
+    }
+
+    #[test]
+    fn segment_distance() {
+        let st = s(0.0, 0.0, 1.0, 0.0);
+        assert!((dist_to_segment(0.5, 0.5, &st) - 0.5).abs() < 1e-6);
+        assert!((dist_to_segment(2.0, 0.0, &st) - 1.0).abs() < 1e-6);
+        assert!(dist_to_segment(0.3, 0.0, &st) < 1e-6);
+        // Degenerate zero-length segment.
+        let pt = s(0.5, 0.5, 0.5, 0.5);
+        assert!((dist_to_segment(0.5, 1.0, &pt) - 0.5).abs() < 1e-6);
+    }
+}

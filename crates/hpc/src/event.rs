@@ -1,0 +1,214 @@
+//! Hardware performance counter events, named and parsed the way the
+//! Linux `perf` tool names them.
+
+use scnn_uarch::CounterSnapshot;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A hardware event observable through the PMU.
+///
+/// The first eight variants are exactly the events the paper lists in
+/// Figure 2(b); the remainder are the extra events its §3 mentions as
+/// available ("more than 1000 depending on the ISA") that this workspace
+/// also models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HpcEvent {
+    /// Retired branch instructions (`branches`).
+    Branches,
+    /// Mispredicted branches (`branch-misses`).
+    BranchMisses,
+    /// Bus (off-core clock) cycles (`bus-cycles`).
+    BusCycles,
+    /// Last-level-cache misses (`cache-misses`).
+    CacheMisses,
+    /// Last-level-cache references (`cache-references`).
+    CacheReferences,
+    /// Core clock cycles (`cycles`).
+    Cycles,
+    /// Retired instructions (`instructions`).
+    Instructions,
+    /// Reference (constant-rate) cycles (`ref-cycles`).
+    RefCycles,
+    /// L1 data-cache loads (`L1-dcache-loads`).
+    L1dLoads,
+    /// L1 data-cache load misses (`L1-dcache-load-misses`).
+    L1dLoadMisses,
+    /// Data-TLB load misses (`dTLB-load-misses`).
+    DtlbLoadMisses,
+    /// Retired stores (`mem-stores`).
+    MemStores,
+}
+
+impl HpcEvent {
+    /// The eight events of the paper's Figure 2(b), in its display order.
+    pub const FIG2B: [HpcEvent; 8] = [
+        HpcEvent::Branches,
+        HpcEvent::BranchMisses,
+        HpcEvent::BusCycles,
+        HpcEvent::CacheMisses,
+        HpcEvent::CacheReferences,
+        HpcEvent::Cycles,
+        HpcEvent::Instructions,
+        HpcEvent::RefCycles,
+    ];
+
+    /// Every event this model knows about.
+    pub const ALL: [HpcEvent; 12] = [
+        HpcEvent::Branches,
+        HpcEvent::BranchMisses,
+        HpcEvent::BusCycles,
+        HpcEvent::CacheMisses,
+        HpcEvent::CacheReferences,
+        HpcEvent::Cycles,
+        HpcEvent::Instructions,
+        HpcEvent::RefCycles,
+        HpcEvent::L1dLoads,
+        HpcEvent::L1dLoadMisses,
+        HpcEvent::DtlbLoadMisses,
+        HpcEvent::MemStores,
+    ];
+
+    /// The perf-tool name of the event (what `perf stat -e <name>` takes).
+    pub fn perf_name(&self) -> &'static str {
+        match self {
+            HpcEvent::Branches => "branches",
+            HpcEvent::BranchMisses => "branch-misses",
+            HpcEvent::BusCycles => "bus-cycles",
+            HpcEvent::CacheMisses => "cache-misses",
+            HpcEvent::CacheReferences => "cache-references",
+            HpcEvent::Cycles => "cycles",
+            HpcEvent::Instructions => "instructions",
+            HpcEvent::RefCycles => "ref-cycles",
+            HpcEvent::L1dLoads => "L1-dcache-loads",
+            HpcEvent::L1dLoadMisses => "L1-dcache-load-misses",
+            HpcEvent::DtlbLoadMisses => "dTLB-load-misses",
+            HpcEvent::MemStores => "mem-stores",
+        }
+    }
+
+    /// Extracts this event's value from a raw simulator snapshot.
+    pub fn value_from(&self, snap: &CounterSnapshot) -> u64 {
+        match self {
+            HpcEvent::Branches => snap.branches,
+            HpcEvent::BranchMisses => snap.branch_misses,
+            HpcEvent::BusCycles => snap.bus_cycles,
+            HpcEvent::CacheMisses => snap.llc_misses,
+            HpcEvent::CacheReferences => snap.llc_references,
+            HpcEvent::Cycles => snap.cycles,
+            HpcEvent::Instructions => snap.instructions,
+            HpcEvent::RefCycles => snap.ref_cycles,
+            HpcEvent::L1dLoads => snap.loads,
+            HpcEvent::L1dLoadMisses => snap.l1d_misses,
+            HpcEvent::DtlbLoadMisses => snap.dtlb_misses,
+            HpcEvent::MemStores => snap.stores,
+        }
+    }
+}
+
+impl fmt::Display for HpcEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.perf_name())
+    }
+}
+
+/// Error parsing an event name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError {
+    name: String,
+}
+
+impl ParseEventError {
+    /// The unrecognised name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown perf event name: {:?}", self.name)
+    }
+}
+
+impl Error for ParseEventError {}
+
+impl FromStr for HpcEvent {
+    type Err = ParseEventError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Accept perf aliases used interchangeably in the wild.
+        let canonical = match s {
+            "cpu-cycles" => "cycles",
+            "branch-instructions" => "branches",
+            other => other,
+        };
+        HpcEvent::ALL
+            .iter()
+            .find(|e| e.perf_name() == canonical)
+            .copied()
+            .ok_or_else(|| ParseEventError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        for e in HpcEvent::ALL {
+            assert_eq!(e.perf_name().parse::<HpcEvent>().unwrap(), e);
+            assert_eq!(e.to_string(), e.perf_name());
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!("cpu-cycles".parse::<HpcEvent>().unwrap(), HpcEvent::Cycles);
+        assert_eq!(
+            "branch-instructions".parse::<HpcEvent>().unwrap(),
+            HpcEvent::Branches
+        );
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "frobnications".parse::<HpcEvent>().unwrap_err();
+        assert_eq!(err.name(), "frobnications");
+        assert!(err.to_string().contains("frobnications"));
+    }
+
+    #[test]
+    fn fig2b_matches_paper_listing() {
+        let names: Vec<_> = HpcEvent::FIG2B.iter().map(|e| e.perf_name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "branches",
+                "branch-misses",
+                "bus-cycles",
+                "cache-misses",
+                "cache-references",
+                "cycles",
+                "instructions",
+                "ref-cycles",
+            ]
+        );
+    }
+
+    #[test]
+    fn value_extraction() {
+        let snap = CounterSnapshot {
+            branches: 10,
+            llc_misses: 20,
+            instructions: 30,
+            ..CounterSnapshot::default()
+        };
+        assert_eq!(HpcEvent::Branches.value_from(&snap), 10);
+        assert_eq!(HpcEvent::CacheMisses.value_from(&snap), 20);
+        assert_eq!(HpcEvent::Instructions.value_from(&snap), 30);
+        assert_eq!(HpcEvent::Cycles.value_from(&snap), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Counter groups and the hardware-counter budget.
+//!
+//! The paper (§3) notes that `perf` can observe "a maximum of 6 to 8
+//! hardware events in parallel because of the restrictions in the number
+//! of built-in HPC registers"; asking for more makes the kernel
+//! time-multiplex counters onto the PMU and scale the results. This module
+//! models both the budget and the multiplexing schedule.
+
+use crate::event::HpcEvent;
+use crate::reading::CounterReading;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a counter group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// No events requested.
+    Empty,
+    /// The same event was requested twice.
+    Duplicate(HpcEvent),
+    /// The hardware-counter budget is zero.
+    NoCounters,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::Empty => write!(f, "counter group needs at least one event"),
+            GroupError::Duplicate(e) => write!(f, "event {e} requested more than once"),
+            GroupError::NoCounters => write!(f, "hardware counter budget must be at least 1"),
+        }
+    }
+}
+
+impl Error for GroupError {}
+
+/// A set of events to be measured together under a hardware budget of
+/// `hw_counters` simultaneous counters.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_hpc::{CounterGroup, HpcEvent};
+///
+/// # fn main() -> Result<(), scnn_hpc::GroupError> {
+/// // All 8 paper events on a 4-counter PMU: each runs half the time.
+/// let group = CounterGroup::new(HpcEvent::FIG2B.to_vec(), 4)?;
+/// assert!(group.is_multiplexed());
+/// assert!((group.schedule_fraction(HpcEvent::Cycles).unwrap() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterGroup {
+    events: Vec<HpcEvent>,
+    hw_counters: usize,
+}
+
+impl CounterGroup {
+    /// Typical number of programmable counters on the paper's platform.
+    pub const DEFAULT_HW_COUNTERS: usize = 8;
+
+    /// Creates a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError`] on an empty event list, duplicate events or
+    /// a zero budget.
+    pub fn new(events: Vec<HpcEvent>, hw_counters: usize) -> Result<Self, GroupError> {
+        if events.is_empty() {
+            return Err(GroupError::Empty);
+        }
+        if hw_counters == 0 {
+            return Err(GroupError::NoCounters);
+        }
+        for (i, e) in events.iter().enumerate() {
+            if events[i + 1..].contains(e) {
+                return Err(GroupError::Duplicate(*e));
+            }
+        }
+        Ok(CounterGroup {
+            events,
+            hw_counters,
+        })
+    }
+
+    /// The requested events.
+    pub fn events(&self) -> &[HpcEvent] {
+        &self.events
+    }
+
+    /// The simultaneous-counter budget.
+    pub fn hw_counters(&self) -> usize {
+        self.hw_counters
+    }
+
+    /// True when the kernel would have to time-multiplex this group.
+    pub fn is_multiplexed(&self) -> bool {
+        self.events.len() > self.hw_counters
+    }
+
+    /// Fraction of the window each event gets to run: `min(1, budget/n)`.
+    /// Returns `None` for an event not in the group.
+    pub fn schedule_fraction(&self, event: HpcEvent) -> Option<f64> {
+        if !self.events.contains(&event) {
+            return None;
+        }
+        Some((self.hw_counters as f64 / self.events.len() as f64).min(1.0))
+    }
+
+    /// Turns true whole-window totals into perf-style readings: each raw
+    /// count reflects only the scheduled fraction of the window, and the
+    /// `time_enabled`/`time_running` metadata lets [`CounterReading::value`]
+    /// extrapolate back.
+    ///
+    /// `window_ns` is the measurement window length in model nanoseconds;
+    /// `true_value(event)` supplies the whole-window count.
+    pub fn schedule<F: FnMut(HpcEvent) -> u64>(
+        &self,
+        window_ns: u64,
+        mut true_value: F,
+    ) -> Vec<CounterReading> {
+        let frac = (self.hw_counters as f64 / self.events.len() as f64).min(1.0);
+        self.events
+            .iter()
+            .map(|&e| {
+                let total = true_value(e);
+                if frac >= 1.0 {
+                    CounterReading::full(e, total, window_ns)
+                } else {
+                    let running = (window_ns as f64 * frac).round() as u64;
+                    CounterReading {
+                        event: e,
+                        raw: (total as f64 * frac).round() as u64,
+                        time_enabled: window_ns,
+                        time_running: running.max(1),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            CounterGroup::new(vec![], 4),
+            Err(GroupError::Empty)
+        ));
+        assert!(matches!(
+            CounterGroup::new(vec![HpcEvent::Cycles], 0),
+            Err(GroupError::NoCounters)
+        ));
+        assert!(matches!(
+            CounterGroup::new(vec![HpcEvent::Cycles, HpcEvent::Cycles], 4),
+            Err(GroupError::Duplicate(HpcEvent::Cycles))
+        ));
+    }
+
+    #[test]
+    fn small_group_not_multiplexed() {
+        let g = CounterGroup::new(vec![HpcEvent::Cycles, HpcEvent::Instructions], 8).unwrap();
+        assert!(!g.is_multiplexed());
+        assert_eq!(g.schedule_fraction(HpcEvent::Cycles), Some(1.0));
+        assert_eq!(g.schedule_fraction(HpcEvent::Branches), None);
+    }
+
+    #[test]
+    fn schedule_full_counters_exact() {
+        let g = CounterGroup::new(vec![HpcEvent::Cycles, HpcEvent::Branches], 8).unwrap();
+        let readings = g.schedule(1_000_000, |e| match e {
+            HpcEvent::Cycles => 12345,
+            HpcEvent::Branches => 678,
+            _ => 0,
+        });
+        assert_eq!(readings.len(), 2);
+        assert_eq!(readings[0].value(), 12345);
+        assert_eq!(readings[1].value(), 678);
+        assert!(!readings[0].was_multiplexed());
+    }
+
+    #[test]
+    fn multiplexed_scaling_recovers_estimate() {
+        let g = CounterGroup::new(HpcEvent::FIG2B.to_vec(), 4).unwrap();
+        let readings = g.schedule(1_000_000, |_| 1_000_000);
+        for r in &readings {
+            assert!(r.was_multiplexed());
+            assert!(r.raw < 1_000_000, "raw is the scheduled fraction");
+            let err = (r.value() as i64 - 1_000_000i64).abs();
+            assert!(err <= 2, "scaled estimate within rounding: {}", r.value());
+        }
+    }
+
+    #[test]
+    fn fig2b_on_default_budget_fits() {
+        let g = CounterGroup::new(HpcEvent::FIG2B.to_vec(), CounterGroup::DEFAULT_HW_COUNTERS)
+            .unwrap();
+        assert!(!g.is_multiplexed(), "8 events on 8 counters fit exactly");
+    }
+
+    #[test]
+    fn twelve_events_on_eight_counters_multiplex() {
+        let g = CounterGroup::new(HpcEvent::ALL.to_vec(), 8).unwrap();
+        assert!(g.is_multiplexed());
+        let f = g.schedule_fraction(HpcEvent::Cycles).unwrap();
+        assert!((f - 8.0 / 12.0).abs() < 1e-12);
+    }
+}

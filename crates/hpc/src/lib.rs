@@ -1,0 +1,62 @@
+//! # scnn-hpc
+//!
+//! A hardware-performance-counter model mirroring the Linux `perf` tool's
+//! view of the PMU — the measurement instrument of *"How Secure are Deep
+//! Learning Algorithms from Side-Channel based Reverse Engineering?"*
+//! (Alam & Mukhopadhyay, DAC 2019).
+//!
+//! The paper's evaluator runs `perf stat -e <event_name> -p <process_id>`
+//! around each CNN classification. This crate reproduces that stack:
+//!
+//! - [`HpcEvent`] — perf-named events, including the exact eight of the
+//!   paper's Figure 2(b);
+//! - [`CounterGroup`] — the 6–8 simultaneous-counter hardware budget the
+//!   paper discusses in §3, with time-multiplexing and perf-style scaling
+//!   when oversubscribed;
+//! - [`Pmu`] — the measurement backend trait, with [`SimulatedPmu`]
+//!   (backed by the `scnn-uarch` core simulator plus a system-noise model)
+//!   as the default backend and, behind the `linux-perf` feature, a real
+//!   `perf_event_open(2)` backend in the `linux` module;
+//! - [`PerfStat`] — the `perf stat` session façade used by the evaluator
+//!   in `scnn-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, Pmu, SimPmuConfig, SimulatedPmu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // perf stat -e cache-misses,branches <one classification>
+//! let events = scnn_hpc::parse_event_spec("cache-misses,branches")?;
+//! let pmu = SimulatedPmu::new(SimPmuConfig::default(), 42)?;
+//! let mut session = PerfStat::new(pmu, CounterGroup::new(events, 8)?);
+//! let report = session.stat(&mut |probe| {
+//!     for i in 0..1_000u64 {
+//!         probe.load(i * 64, 0x40);
+//!         probe.branch(0x40, i % 3 == 0);
+//!     }
+//! })?;
+//! assert!(report.value(HpcEvent::CacheMisses).unwrap() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod group;
+#[cfg(feature = "linux-perf")]
+pub mod linux;
+pub mod pmu;
+pub mod reading;
+pub mod session;
+pub mod sim;
+
+pub use event::{HpcEvent, ParseEventError};
+pub use group::{CounterGroup, GroupError};
+#[cfg(feature = "linux-perf")]
+pub use linux::LinuxPmu;
+pub use pmu::{Measurement, Pmu, PmuError};
+pub use reading::{group_digits_indian, CounterReading};
+pub use session::{parse_event_spec, PerfStat, StatReport};
+pub use sim::{SimPmuConfig, SimulatedPmu, WarmupPolicy};

@@ -1,0 +1,150 @@
+//! The PMU abstraction: something that can measure a workload's event
+//! counts, whatever the backend (simulator or real `perf_event_open`).
+
+use crate::event::HpcEvent;
+use crate::group::{CounterGroup, GroupError};
+use crate::reading::CounterReading;
+use scnn_uarch::cache::CacheConfigError;
+use scnn_uarch::Probe;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a PMU measurement.
+#[derive(Debug)]
+pub enum PmuError {
+    /// The simulated core could not be built.
+    Cache(CacheConfigError),
+    /// The counter group was invalid.
+    Group(GroupError),
+    /// A backend-specific failure (e.g. `perf_event_open` denied).
+    Backend(String),
+}
+
+impl fmt::Display for PmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmuError::Cache(e) => write!(f, "core construction failed: {e}"),
+            PmuError::Group(e) => write!(f, "invalid counter group: {e}"),
+            PmuError::Backend(msg) => write!(f, "pmu backend error: {msg}"),
+        }
+    }
+}
+
+impl Error for PmuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PmuError::Cache(e) => Some(e),
+            PmuError::Group(e) => Some(e),
+            PmuError::Backend(_) => None,
+        }
+    }
+}
+
+impl From<CacheConfigError> for PmuError {
+    fn from(e: CacheConfigError) -> Self {
+        PmuError::Cache(e)
+    }
+}
+
+impl From<GroupError> for PmuError {
+    fn from(e: GroupError) -> Self {
+        PmuError::Group(e)
+    }
+}
+
+/// The result of measuring one workload execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// One reading per requested event, in request order.
+    pub readings: Vec<CounterReading>,
+    /// Length of the measurement window in model nanoseconds.
+    pub window_ns: u64,
+}
+
+impl Measurement {
+    /// The (scaled) value of `event`, or `None` when it was not measured.
+    pub fn value(&self, event: HpcEvent) -> Option<u64> {
+        self.readings
+            .iter()
+            .find(|r| r.event == event)
+            .map(CounterReading::value)
+    }
+
+    /// All values as `(event, value)` pairs in request order.
+    pub fn values(&self) -> Vec<(HpcEvent, u64)> {
+        self.readings
+            .iter()
+            .map(|r| (r.event, r.value()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.readings {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A performance-monitoring unit that can measure a workload.
+///
+/// The workload is handed a [`Probe`] through which it reports its
+/// architectural events (for the simulated backend) — a real-hardware
+/// backend simply ignores the probe and lets the CPU count the native
+/// execution.
+pub trait Pmu {
+    /// Measures one execution of `workload` against the group's events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError`] when the group cannot be programmed or the
+    /// backend fails.
+    fn measure(
+        &mut self,
+        group: &CounterGroup,
+        workload: &mut dyn FnMut(&mut dyn Probe),
+    ) -> Result<Measurement, PmuError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_lookup() {
+        let m = Measurement {
+            readings: vec![
+                CounterReading::full(HpcEvent::Cycles, 100, 10),
+                CounterReading::full(HpcEvent::Branches, 5, 10),
+            ],
+            window_ns: 10,
+        };
+        assert_eq!(m.value(HpcEvent::Cycles), Some(100));
+        assert_eq!(m.value(HpcEvent::CacheMisses), None);
+        assert_eq!(
+            m.values(),
+            vec![(HpcEvent::Cycles, 100), (HpcEvent::Branches, 5)]
+        );
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PmuError::Group(GroupError::Empty);
+        assert!(e.to_string().contains("counter group"));
+        assert!(e.source().is_some());
+        let b = PmuError::Backend("EACCES".into());
+        assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn measurement_display_lists_readings() {
+        let m = Measurement {
+            readings: vec![CounterReading::full(HpcEvent::CacheMisses, 8_364_694, 10)],
+            window_ns: 10,
+        };
+        assert!(m.to_string().contains("cache-misses"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Counter readings, including perf-style multiplexing metadata.
+
+use crate::event::HpcEvent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One counter's value for one measurement window, with the
+/// `time_enabled` / `time_running` bookkeeping that `perf` reports when
+/// counters are time-multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterReading {
+    /// Which event was counted.
+    pub event: HpcEvent,
+    /// The raw count accumulated while the counter was scheduled.
+    pub raw: u64,
+    /// Nanoseconds (model time) the counter was requested for.
+    pub time_enabled: u64,
+    /// Nanoseconds the counter was actually live on hardware.
+    pub time_running: u64,
+}
+
+impl CounterReading {
+    /// A reading that was live for the whole window (no multiplexing).
+    pub fn full(event: HpcEvent, value: u64, window: u64) -> Self {
+        CounterReading {
+            event,
+            raw: value,
+            time_enabled: window,
+            time_running: window,
+        }
+    }
+
+    /// True when the counter was descheduled for part of the window and
+    /// the value had to be extrapolated.
+    pub fn was_multiplexed(&self) -> bool {
+        self.time_running < self.time_enabled
+    }
+
+    /// Fraction of the window the counter was live, in `[0, 1]`.
+    pub fn running_fraction(&self) -> f64 {
+        if self.time_enabled == 0 {
+            0.0
+        } else {
+            self.time_running as f64 / self.time_enabled as f64
+        }
+    }
+
+    /// The perf-style scaled estimate: `raw × enabled / running`.
+    ///
+    /// Returns `0` when the counter never ran.
+    pub fn value(&self) -> u64 {
+        if self.time_running == 0 {
+            return 0;
+        }
+        if self.time_running == self.time_enabled {
+            return self.raw;
+        }
+        (self.raw as f64 * self.time_enabled as f64 / self.time_running as f64).round() as u64
+    }
+}
+
+impl fmt::Display for CounterReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>20}  {}", group_digits_indian(self.value()), self.event)?;
+        if self.was_multiplexed() {
+            write!(f, "  ({:.2}%)", self.running_fraction() * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an integer with Indian-style digit grouping (3 then 2s), the
+/// format the paper's Figure 2(b) uses: `2,26,77,01,129`.
+pub fn group_digits_indian(value: u64) -> String {
+    let s = value.to_string();
+    if s.len() <= 3 {
+        return s;
+    }
+    let (head, tail) = s.split_at(s.len() - 3);
+    let mut groups: Vec<String> = Vec::new();
+    let bytes = head.as_bytes();
+    let mut i = bytes.len();
+    while i > 0 {
+        let start = i.saturating_sub(2);
+        groups.push(String::from_utf8_lossy(&bytes[start..i]).into_owned());
+        i = start;
+    }
+    groups.reverse();
+    format!("{},{}", groups.join(","), tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_reading_not_multiplexed() {
+        let r = CounterReading::full(HpcEvent::Cycles, 100, 1_000);
+        assert!(!r.was_multiplexed());
+        assert_eq!(r.value(), 100);
+        assert_eq!(r.running_fraction(), 1.0);
+    }
+
+    #[test]
+    fn scaling_extrapolates() {
+        let r = CounterReading {
+            event: HpcEvent::CacheMisses,
+            raw: 250,
+            time_enabled: 1_000,
+            time_running: 250,
+        };
+        assert!(r.was_multiplexed());
+        assert_eq!(r.value(), 1_000, "250 counts over a quarter of the window");
+    }
+
+    #[test]
+    fn never_ran_reads_zero() {
+        let r = CounterReading {
+            event: HpcEvent::Branches,
+            raw: 0,
+            time_enabled: 1_000,
+            time_running: 0,
+        };
+        assert_eq!(r.value(), 0);
+        assert_eq!(r.running_fraction(), 0.0);
+    }
+
+    #[test]
+    fn indian_grouping_matches_paper() {
+        // Exact figures from the paper's Figure 2(b).
+        assert_eq!(group_digits_indian(2_267_701_129), "2,26,77,01,129");
+        assert_eq!(group_digits_indian(62_460_873), "6,24,60,873");
+        assert_eq!(group_digits_indian(8_364_694), "83,64,694");
+        assert_eq!(group_digits_indian(12_094_222_814), "12,09,42,22,814");
+        assert_eq!(group_digits_indian(999), "999");
+        assert_eq!(group_digits_indian(1_000), "1,000");
+        assert_eq!(group_digits_indian(0), "0");
+    }
+
+    #[test]
+    fn display_contains_event_name() {
+        let r = CounterReading::full(HpcEvent::CacheMisses, 8_364_694, 10);
+        let s = r.to_string();
+        assert!(s.contains("cache-misses"));
+        assert!(s.contains("83,64,694"));
+    }
+}

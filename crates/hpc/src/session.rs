@@ -1,0 +1,244 @@
+//! A `perf stat`-style session façade.
+//!
+//! The paper's evaluator invokes `perf stat -e <event_name> -p <process_id>`
+//! around each classification. [`PerfStat`] reproduces that workflow: pick
+//! events (comma-separated spec, as on the perf command line), attach a
+//! backend, measure a workload, print a perf-like report.
+
+use crate::event::{HpcEvent, ParseEventError};
+use crate::group::CounterGroup;
+use crate::pmu::{Measurement, Pmu, PmuError};
+use crate::reading::group_digits_indian;
+use scnn_uarch::Probe;
+use std::fmt;
+
+/// Parses a perf-style comma-separated event specification such as
+/// `"cache-misses,branches,instructions"`.
+///
+/// # Errors
+///
+/// Returns [`ParseEventError`] on the first unknown name.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_hpc::{parse_event_spec, HpcEvent};
+///
+/// # fn main() -> Result<(), scnn_hpc::ParseEventError> {
+/// let events = parse_event_spec("cache-misses,branches")?;
+/// assert_eq!(events, vec![HpcEvent::CacheMisses, HpcEvent::Branches]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_event_spec(spec: &str) -> Result<Vec<HpcEvent>, ParseEventError> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect()
+}
+
+/// A measurement session bound to one PMU backend and one event group.
+pub struct PerfStat<P> {
+    pmu: P,
+    group: CounterGroup,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for PerfStat<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfStat")
+            .field("pmu", &self.pmu)
+            .field("group", &self.group)
+            .finish()
+    }
+}
+
+impl<P: Pmu> PerfStat<P> {
+    /// Creates a session.
+    pub fn new(pmu: P, group: CounterGroup) -> Self {
+        PerfStat { pmu, group }
+    }
+
+    /// Measures one run of `workload` — the equivalent of wrapping one
+    /// classification in `perf stat`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PmuError`] from the backend.
+    pub fn stat(
+        &mut self,
+        workload: &mut dyn FnMut(&mut dyn Probe),
+    ) -> Result<StatReport, PmuError> {
+        let measurement = self.pmu.measure(&self.group, workload)?;
+        Ok(StatReport { measurement })
+    }
+
+    /// Measures `n` runs, returning one report per run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend error.
+    pub fn stat_repeated(
+        &mut self,
+        n: usize,
+        workload: &mut dyn FnMut(&mut dyn Probe),
+    ) -> Result<Vec<StatReport>, PmuError> {
+        (0..n).map(|_| self.stat(workload)).collect()
+    }
+
+    /// The event group being measured.
+    pub fn group(&self) -> &CounterGroup {
+        &self.group
+    }
+
+    /// Consumes the session, returning the backend.
+    pub fn into_inner(self) -> P {
+        self.pmu
+    }
+}
+
+/// One `perf stat` report. Its `Display` output mirrors the layout the
+/// paper shows in Figure 2(b) — value columns with Indian digit grouping
+/// followed by the event name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatReport {
+    /// The underlying measurement.
+    pub measurement: Measurement,
+}
+
+impl StatReport {
+    /// The (scaled) value of one event, if it was measured.
+    pub fn value(&self, event: HpcEvent) -> Option<u64> {
+        self.measurement.value(event)
+    }
+}
+
+impl fmt::Display for StatReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Order rows the way the paper's Figure 2(b) lists them; events
+        // outside that figure sort after, by name.
+        let fig_pos = |e: HpcEvent| {
+            HpcEvent::FIG2B
+                .iter()
+                .position(|&f| f == e)
+                .unwrap_or(usize::MAX)
+        };
+        let mut rows: Vec<_> = self
+            .measurement
+            .readings
+            .iter()
+            .map(|r| (r.event, r.value(), r.was_multiplexed()))
+            .collect();
+        rows.sort_by_key(|&(e, _, _)| (fig_pos(e), e.perf_name()));
+        let rows: Vec<_> = rows
+            .into_iter()
+            .map(|(e, v, m)| (e.perf_name(), v, m))
+            .collect();
+        for (name, value, mux) in rows {
+            write!(f, "{:>20}      {}", group_digits_indian(value), name)?;
+            if mux {
+                write!(f, "  (scaled)")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimPmuConfig, SimulatedPmu};
+    use scnn_uarch::NoiseConfig;
+
+    fn quiet_session(events: &[HpcEvent]) -> PerfStat<SimulatedPmu> {
+        let pmu = SimulatedPmu::new(
+            SimPmuConfig {
+                noise: NoiseConfig::quiet(),
+                ..SimPmuConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        PerfStat::new(pmu, CounterGroup::new(events.to_vec(), 8).unwrap())
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            parse_event_spec("cache-misses, branches ,instructions").unwrap(),
+            vec![
+                HpcEvent::CacheMisses,
+                HpcEvent::Branches,
+                HpcEvent::Instructions
+            ]
+        );
+        assert!(parse_event_spec("cache-misses,bogus").is_err());
+        assert_eq!(parse_event_spec("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn stat_measures_workload() {
+        let mut s = quiet_session(&[HpcEvent::Instructions, HpcEvent::Branches]);
+        let report = s
+            .stat(&mut |p| {
+                p.alu(123);
+                p.branch(0x40, true);
+            })
+            .unwrap();
+        assert_eq!(report.value(HpcEvent::Instructions), Some(124));
+        assert_eq!(report.value(HpcEvent::Branches), Some(1));
+    }
+
+    #[test]
+    fn repeated_stats() {
+        let mut s = quiet_session(&[HpcEvent::Instructions]);
+        let reports = s.stat_repeated(5, &mut |p| p.alu(10)).unwrap();
+        assert_eq!(reports.len(), 5);
+        assert!(reports
+            .iter()
+            .all(|r| r.value(HpcEvent::Instructions) == Some(10)));
+    }
+
+    #[test]
+    fn display_is_alphabetical_like_fig2b() {
+        let mut s = quiet_session(&HpcEvent::FIG2B);
+        let report = s
+            .stat(&mut |p| {
+                for i in 0..1000u64 {
+                    p.load(i * 64, 0x40);
+                    p.branch(0x40, i % 7 != 0);
+                }
+                p.alu(5_000);
+            })
+            .unwrap();
+        let text = report.to_string();
+        let order: Vec<usize> = [
+            "branches",
+            "branch-misses",
+            "bus-cycles",
+            "cache-misses",
+            "cache-references",
+            "cycles",
+            "instructions",
+            "ref-cycles",
+        ]
+        .iter()
+        .map(|n| {
+            text.lines()
+                .position(|l| l.split_whitespace().last() == Some(n))
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+        })
+        .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "rows must appear in Fig 2(b) order");
+    }
+
+    #[test]
+    fn into_inner_returns_backend() {
+        let s = quiet_session(&[HpcEvent::Cycles]);
+        let pmu = s.into_inner();
+        assert_eq!(pmu.measurements_taken(), 0);
+    }
+}

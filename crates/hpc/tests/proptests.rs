@@ -1,0 +1,79 @@
+//! Property-based tests for the counter model: perf-style scaling must
+//! recover totals, names must round-trip, and measurements must respect
+//! the scheduling arithmetic.
+
+use proptest::prelude::*;
+use scnn_hpc::{group_digits_indian, CounterGroup, CounterReading, HpcEvent};
+
+fn any_event() -> impl Strategy<Value = HpcEvent> {
+    (0..HpcEvent::ALL.len()).prop_map(|i| HpcEvent::ALL[i])
+}
+
+proptest! {
+    #[test]
+    fn event_names_roundtrip(event in any_event()) {
+        let parsed: HpcEvent = event.perf_name().parse().unwrap();
+        prop_assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn scaled_reading_recovers_total(total in 0u64..1u64 << 40, frac_millis in 1u64..1000) {
+        let enabled = 1_000_000u64;
+        let running = enabled * frac_millis / 1000;
+        let reading = CounterReading {
+            event: HpcEvent::Cycles,
+            raw: (total as f64 * frac_millis as f64 / 1000.0).round() as u64,
+            time_enabled: enabled,
+            time_running: running.max(1),
+        };
+        let estimate = reading.value();
+        let err = estimate.abs_diff(total);
+        // Extrapolation error is bounded by the rounding granularity.
+        prop_assert!(
+            err as f64 <= 1000.0 / frac_millis as f64 + 2.0,
+            "total {}, frac {}/1000: estimate {}", total, frac_millis, estimate
+        );
+        prop_assert!((0.0..=1.0).contains(&reading.running_fraction()));
+    }
+
+    #[test]
+    fn group_schedule_covers_all_events(budget in 1usize..16) {
+        let group = CounterGroup::new(HpcEvent::ALL.to_vec(), budget).unwrap();
+        let readings = group.schedule(1_000_000, |_| 500_000);
+        prop_assert_eq!(readings.len(), HpcEvent::ALL.len());
+        for r in &readings {
+            prop_assert_eq!(r.was_multiplexed(), group.is_multiplexed());
+            let err = r.value().abs_diff(500_000);
+            prop_assert!(err <= 20, "scaling error {}", err);
+        }
+    }
+
+    #[test]
+    fn schedule_fraction_bounds(budget in 1usize..32, n_events in 1usize..=12) {
+        let events: Vec<HpcEvent> = HpcEvent::ALL[..n_events].to_vec();
+        let group = CounterGroup::new(events.clone(), budget).unwrap();
+        for e in events {
+            let f = group.schedule_fraction(e).unwrap();
+            prop_assert!(f > 0.0 && f <= 1.0);
+            if budget >= n_events {
+                prop_assert_eq!(f, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indian_grouping_preserves_digits(value in 0u64..u64::MAX) {
+        let formatted = group_digits_indian(value);
+        let digits: String = formatted.chars().filter(|c| c.is_ascii_digit()).collect();
+        prop_assert_eq!(digits, value.to_string());
+        // Groups after the first comma are 2 digits, except the last is 3.
+        if let Some((_, tail)) = formatted.split_once(',') {
+            let parts: Vec<&str> = tail.split(',').collect();
+            let (last, rest) = parts.split_last().unwrap();
+            prop_assert_eq!(last.len(), 3);
+            for p in rest {
+                prop_assert_eq!(p.len(), 2);
+            }
+        }
+    }
+}

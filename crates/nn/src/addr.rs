@@ -1,0 +1,197 @@
+//! Virtual-address layout for instrumented execution.
+//!
+//! The microarchitectural simulator cares about *addresses*, so every
+//! tensor that instrumented kernels touch is assigned a region of a
+//! synthetic virtual address space. Weights get stable addresses when the
+//! network is built (they live for the process lifetime, as in a real
+//! inference server); activations are bump-allocated per inference.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one `f32` element in the synthetic address space.
+pub const ELEM_BYTES: u64 = 4;
+
+/// Base of the static (weights/biases) segment.
+pub const STATIC_BASE: u64 = 0x1000_0000;
+/// Base of the per-inference activation segment.
+pub const ACTIVATION_BASE: u64 = 0x4000_0000;
+/// Base of the input-image segment.
+pub const INPUT_BASE: u64 = 0x7000_0000;
+/// Synthetic code segment: branch/load sites get PCs here.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// A contiguous region of the synthetic address space holding `len`
+/// `f32` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    base: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Creates a region at `base` holding `len` elements.
+    pub fn new(base: u64, len: usize) -> Self {
+        Region {
+            base,
+            len: len as u64,
+        }
+    }
+
+    /// Base byte address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Element capacity.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the region holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `i` is out of bounds (hot path: release
+    /// builds skip the check).
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!((i as u64) < self.len, "element {i} out of region (len {})", self.len);
+        self.base + i as u64 * ELEM_BYTES
+    }
+
+    /// One-past-the-end byte address.
+    pub fn end(&self) -> u64 {
+        self.base + self.len * ELEM_BYTES
+    }
+
+    /// True when two regions share any byte.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
+/// Bump allocator carving [`Region`]s out of a segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentAllocator {
+    next: u64,
+    start: u64,
+}
+
+impl SegmentAllocator {
+    /// Allocator for the static weights segment.
+    pub fn statics() -> Self {
+        SegmentAllocator {
+            next: STATIC_BASE,
+            start: STATIC_BASE,
+        }
+    }
+
+    /// Allocator for the activation segment.
+    pub fn activations() -> Self {
+        SegmentAllocator {
+            next: ACTIVATION_BASE,
+            start: ACTIVATION_BASE,
+        }
+    }
+
+    /// Allocator for the input segment.
+    pub fn inputs() -> Self {
+        SegmentAllocator {
+            next: INPUT_BASE,
+            start: INPUT_BASE,
+        }
+    }
+
+    /// Allocates a region of `len` elements, aligned to a cache line
+    /// (64 B), mirroring how real allocators place tensor buffers.
+    pub fn alloc(&mut self, len: usize) -> Region {
+        const LINE: u64 = 64;
+        let base = (self.next + LINE - 1) & !(LINE - 1);
+        self.next = base + len as u64 * ELEM_BYTES;
+        Region::new(base, len)
+    }
+
+    /// Bytes handed out so far.
+    pub fn used(&self) -> u64 {
+        self.next - self.start
+    }
+
+    /// Resets to the segment start (new inference reuses the same
+    /// activation arena, as a real runtime's arena allocator does).
+    pub fn reset(&mut self) {
+        self.next = self.start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_addressing() {
+        let r = Region::new(0x1000, 10);
+        assert_eq!(r.addr(0), 0x1000);
+        assert_eq!(r.addr(3), 0x1000 + 12);
+        assert_eq!(r.end(), 0x1000 + 40);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn region_bounds_checked_in_debug() {
+        let r = Region::new(0x1000, 2);
+        let _ = r.addr(2);
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut a = SegmentAllocator::statics();
+        let r1 = a.alloc(5);
+        let r2 = a.alloc(100);
+        let r3 = a.alloc(1);
+        assert!(!r1.overlaps(&r2));
+        assert!(!r2.overlaps(&r3));
+        assert_eq!(r1.base() % 64, 0);
+        assert_eq!(r2.base() % 64, 0);
+        assert!(a.used() > 0);
+    }
+
+    #[test]
+    fn reset_reuses_arena() {
+        let mut a = SegmentAllocator::activations();
+        let r1 = a.alloc(16);
+        a.reset();
+        let r2 = a.alloc(16);
+        assert_eq!(r1, r2, "arena reuse gives identical addresses per inference");
+    }
+
+    #[test]
+    fn segments_never_collide() {
+        let mut s = SegmentAllocator::statics();
+        let mut a = SegmentAllocator::activations();
+        let mut i = SegmentAllocator::inputs();
+        let rs = s.alloc(1 << 20);
+        let ra = a.alloc(1 << 20);
+        let ri = i.alloc(1 << 20);
+        assert!(!rs.overlaps(&ra));
+        assert!(!ra.overlaps(&ri));
+        assert!(!rs.overlaps(&ri));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Region::new(100, 10); // 100..140
+        let b = Region::new(136, 10); // 136..176
+        let c = Region::new(140, 10); // 140..180
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+}

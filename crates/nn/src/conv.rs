@@ -1,0 +1,569 @@
+//! 2-D convolution with an input-stationary, zero-skipping kernel.
+//!
+//! The traced kernel iterates over *input* pixels and scatters each
+//! pixel's contribution to every output it reaches. A zero input pixel is
+//! skipped after a single test, so its multiply-accumulate work never
+//! happens.
+//!
+//! Like real CPU inference stacks, the kernel also materialises a
+//! **lowering scratch buffer**: a *compacted* (gather-style) sparse
+//! im2col that appends each live pixel's patch entries contiguously,
+//! leaving dead pixels out entirely (their positions live in a small
+//! index array instead). The scratch cache-line footprint is therefore
+//! proportional to the number of non-zero activations of the layer input
+//! at per-pixel granularity. For the first convolution of an MNIST-style
+//! classifier that count is the amount of ink in the digit — the most
+//! direct leak of the private input, and the dominant source of the
+//! class-dependent `cache-misses` distributions reproduced from the
+//! paper.
+
+use crate::addr::{Region, SegmentAllocator};
+use crate::exec::{ExecContext, Site};
+use crate::layer::{Layer, Mode, NnError, Param, Result};
+use scnn_tensor::ops::{self, Window2d};
+use scnn_tensor::{Init, Shape, ShapeError, Tensor};
+
+/// How the convolution kernel treats zero input activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvStyle {
+    /// Skip all work for a zero input pixel (sparsity-aware, leaks).
+    #[default]
+    ZeroSkip,
+    /// Touch every weight and accumulator regardless — the
+    /// constant-footprint countermeasure.
+    Dense,
+}
+
+/// A 2-D convolution layer over `[C, H, W]` inputs with `[F, C, kh, kw]`
+/// filters.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    filters: Param,
+    bias: Param,
+    use_bias: bool,
+    in_channels: usize,
+    out_channels: usize,
+    win: Window2d,
+    style: ConvStyle,
+    filter_region: Option<Region>,
+    bias_region: Option<Region>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates the layer with He-normal filters derived from `seed`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        style: ConvStyle,
+        seed: u64,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let filters = Init::HeNormal.sample(
+            [out_channels, in_channels, kernel, kernel],
+            fan_in,
+            out_channels,
+            seed,
+        );
+        let bias = Init::Zeros.sample([out_channels], fan_in, out_channels, seed ^ 1);
+        Conv2d {
+            filters: Param::new(filters),
+            bias: Param::new(bias),
+            use_bias: true,
+            in_channels,
+            out_channels,
+            win: Window2d::simple(kernel),
+            style,
+            filter_region: None,
+            bias_region: None,
+            cached_input: None,
+        }
+    }
+
+    /// Rebuilds a layer from existing parameters (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `filters` is not `[F, C, k, k]` with a square kernel or
+    /// `bias` is not `[F]`.
+    pub fn from_params(filters: Tensor, bias: Tensor, style: ConvStyle, use_bias: bool) -> Self {
+        assert_eq!(filters.shape().rank(), 4, "filters must be [F, C, kh, kw]");
+        let (f, c, kh, kw) = (
+            filters.dims()[0],
+            filters.dims()[1],
+            filters.dims()[2],
+            filters.dims()[3],
+        );
+        assert_eq!(kh, kw, "kernel must be square");
+        assert_eq!(bias.dims(), &[f], "bias must be [F]");
+        Conv2d {
+            filters: Param::new(filters),
+            bias: Param::new(bias),
+            use_bias,
+            in_channels: c,
+            out_channels: f,
+            win: Window2d::simple(kh),
+            style,
+            filter_region: None,
+            bias_region: None,
+            cached_input: None,
+        }
+    }
+
+    /// Returns the same layer without a trainable bias (the usual choice
+    /// for convolutions feeding a ReLU): outputs over an all-zero
+    /// receptive field stay exactly zero, preserving input sparsity
+    /// through the network.
+    pub fn without_bias(mut self) -> Self {
+        self.use_bias = false;
+        self.bias = Param::new(scnn_tensor::Tensor::zeros([self.out_channels]));
+        self
+    }
+
+    /// True when the layer has a trainable bias.
+    pub fn has_bias(&self) -> bool {
+        self.use_bias
+    }
+
+    /// The kernel style.
+    pub fn style(&self) -> ConvStyle {
+        self.style
+    }
+
+    /// Switches the kernel style (countermeasure ablation).
+    pub fn set_style(&mut self, style: ConvStyle) {
+        self.style = style;
+    }
+
+    /// The sliding-window geometry.
+    pub fn window(&self) -> Window2d {
+        self.win
+    }
+
+    fn geometry(&self, input: &Shape) -> Result<(usize, usize, usize, usize)> {
+        input.expect_rank(3)?;
+        if input.dim(0) != self.in_channels {
+            return Err(NnError::Shape(ShapeError::Mismatch {
+                left: vec![input.dim(0)],
+                right: vec![self.in_channels],
+            }));
+        }
+        let (h, w) = (input.dim(1), input.dim(2));
+        let (oh, ow) = self.win.output_size(h, w)?;
+        Ok((h, w, oh, ow))
+    }
+
+    /// Input-stationary scatter convolution shared by reference and traced
+    /// paths; `emit` observes `(input_index, is_zero_skipped)` per pixel
+    /// and `(filter_elem_index, output_index)` per MAC via `emit_mac`.
+    fn scatter<FP, FM>(
+        &self,
+        input: &Tensor,
+        mut emit_pixel: FP,
+        mut emit_mac: FM,
+    ) -> Result<Tensor>
+    where
+        FP: FnMut(usize, bool),
+        FM: FnMut(usize, usize),
+    {
+        let (h, w, oh, ow) = self.geometry(input.shape())?;
+        let (kh, kw) = (self.win.kh, self.win.kw);
+        let src = input.as_slice();
+        let wts = self.filters.value.as_slice();
+        let mut out = vec![0.0f32; self.out_channels * oh * ow];
+
+        // Bias initialisation.
+        for f in 0..self.out_channels {
+            let b = self.bias.value.as_slice()[f];
+            for p in 0..oh * ow {
+                out[f * oh * ow + p] = b;
+            }
+        }
+
+        for c in 0..self.in_channels {
+            for iy in 0..h {
+                for ix in 0..w {
+                    let ii = (c * h + iy) * w + ix;
+                    let x = src[ii];
+                    let skipped = self.style == ConvStyle::ZeroSkip && x == 0.0;
+                    emit_pixel(ii, skipped);
+                    if skipped {
+                        continue;
+                    }
+                    // Outputs reached by this input pixel: oy·sh + ky = iy.
+                    for ky in 0..kh {
+                        let oy_num = iy as isize + self.win.ph as isize - ky as isize;
+                        if oy_num < 0 {
+                            continue;
+                        }
+                        let oy_num = oy_num as usize;
+                        if !oy_num.is_multiple_of(self.win.sh) {
+                            continue;
+                        }
+                        let oy = oy_num / self.win.sh;
+                        if oy >= oh {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ox_num = ix as isize + self.win.pw as isize - kx as isize;
+                            if ox_num < 0 {
+                                continue;
+                            }
+                            let ox_num = ox_num as usize;
+                            if !ox_num.is_multiple_of(self.win.sw) {
+                                continue;
+                            }
+                            let ox = ox_num / self.win.sw;
+                            if ox >= ow {
+                                continue;
+                            }
+                            for f in 0..self.out_channels {
+                                let wi = ((f * self.in_channels + c) * kh + ky) * kw + kx;
+                                let oi = (f * oh + oy) * ow + ox;
+                                emit_mac(wi, oi);
+                                out[oi] += wts[wi] * x;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, [self.out_channels, oh, ow])?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape> {
+        let (_, _, oh, ow) = self.geometry(input)?;
+        Ok(Shape::from(vec![self.out_channels, oh, ow]))
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        self.scatter(input, |_, _| {}, |_, _| {})
+    }
+
+    fn forward_traced(
+        &self,
+        input: &Tensor,
+        input_region: Region,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<(Tensor, Region)> {
+        let out_shape = self.output_shape(input.shape())?;
+        let out_region = ctx.alloc_activation(out_shape.len());
+        let filter_region = self
+            .filter_region
+            .unwrap_or_else(|| Region::new(crate::addr::STATIC_BASE, self.filters.value.len()));
+        let bias_region = self
+            .bias_region
+            .unwrap_or_else(|| Region::new(filter_region.end(), self.bias.value.len()));
+        // Compacted sparse-im2col scratch: one ≤kh·kw-entry patch row is
+        // appended per live input pixel, so the region's touched prefix —
+        // and its cache-line footprint — is linear in the non-zero count.
+        // A compacted format needs the coordinates too, so a parallel
+        // u32 index array is written alongside the values.
+        let lowering_rows = self.in_channels * self.win.kh * self.win.kw;
+        let patch = self.win.kh * self.win.kw;
+        let scratch_region = ctx.alloc_activation(input.len() * patch);
+        let scratch_idx_region = ctx.alloc_activation(input.len() * patch);
+
+        // Accumulator initialisation: bias broadcast, or a plain memset
+        // for bias-free layers. Either way every output line is touched.
+        let pixels = out_shape.len() / self.out_channels;
+        for f in 0..self.out_channels {
+            if self.use_bias {
+                ctx.load(Site::WEIGHT, bias_region, f);
+            }
+            for p in 0..pixels {
+                ctx.store(Site::ACC, out_region, f * pixels + p);
+            }
+        }
+        ctx.counted_loop(Site::LOOP, out_shape.len());
+
+        let zero_skip = self.style == ConvStyle::ZeroSkip;
+        let mut pixel_count = 0usize;
+        let mut scratch_cursor = 0usize;
+        let out = {
+            // Split borrows for the two closures.
+            let ctx_cell = std::cell::RefCell::new(&mut *ctx);
+            self.scatter(
+                input,
+                |ii, skipped| {
+                    let mut c = ctx_cell.borrow_mut();
+                    c.load(Site::ACT, input_region, ii);
+                    if zero_skip {
+                        c.branch(Site::SKIP, skipped);
+                    }
+                    pixel_count += 1;
+                },
+                |wi, oi| {
+                    let mut c = ctx_cell.borrow_mut();
+                    // The first-filter visit of each (pixel, ky, kx)
+                    // triple appends one value + one index entry to the
+                    // compacted lowering scratch (wi < rows exactly when
+                    // f == 0).
+                    if wi < lowering_rows {
+                        c.store(Site::SCRATCH, scratch_region, scratch_cursor);
+                        c.store(Site::SCRATCH, scratch_idx_region, scratch_cursor);
+                        scratch_cursor += 1;
+                    }
+                    c.load(Site::WEIGHT, filter_region, wi);
+                    c.load(Site::ACC, out_region, oi);
+                    c.alu(2); // mul + add
+                    c.store(Site::ACC, out_region, oi);
+                },
+            )?
+        };
+        ctx.counted_loop(Site::LOOP, pixel_count);
+        Ok((out, out_region))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
+        let (h, w, oh, ow) = self.geometry(input.shape())?;
+        grad_output.shape().expect_same(&Shape::from(vec![self.out_channels, oh, ow]))?;
+
+        let go_mat = grad_output.reshape([self.out_channels, oh * ow])?;
+        let cols = ops::im2col(input, self.win)?;
+
+        // dW = dY · cols^T
+        let cols_t = ops::transpose(&cols)?;
+        let dw = ops::matmul(&go_mat, &cols_t)?;
+        self.filters.grad.axpy(
+            1.0,
+            &dw.reshape(self.filters.value.shape().clone())?,
+        )?;
+
+        // db[f] = Σ_p dY[f][p] (skipped entirely for bias-free layers).
+        if self.use_bias {
+            let gb = self.bias.grad.as_mut_slice();
+            let go = go_mat.as_slice();
+            for f in 0..self.out_channels {
+                gb[f] += go[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+            }
+        }
+
+        // dX = col2im(W^T · dY)
+        let wmat = self
+            .filters
+            .value
+            .reshape([self.out_channels, self.in_channels * self.win.kh * self.win.kw])?;
+        let wmat_t = ops::transpose(&wmat)?;
+        let dcols = ops::matmul(&wmat_t, &go_mat)?;
+        Ok(ops::col2im(&dcols, self.in_channels, h, w, self.win)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        if self.use_bias {
+            vec![&mut self.filters, &mut self.bias]
+        } else {
+            vec![&mut self.filters]
+        }
+    }
+
+    fn assign_addresses(&mut self, alloc: &mut SegmentAllocator) {
+        self.filter_region = Some(alloc.alloc(self.filters.value.len()));
+        self.bias_region = Some(alloc.alloc(self.bias.value.len()));
+    }
+
+    fn param_count(&self) -> usize {
+        self.filters.value.len() + if self.use_bias { self.bias.value.len() } else { 0 }
+    }
+
+    fn set_constant_time(&mut self, enabled: bool) {
+        self.style = if enabled { ConvStyle::Dense } else { ConvStyle::ZeroSkip };
+    }
+
+    fn spec(&self) -> crate::spec::LayerSpec {
+        crate::spec::LayerSpec::Conv2d {
+            filters: self.filters.value.clone(),
+            bias: self.bias.value.clone(),
+            style: self.style,
+            use_bias: self.use_bias,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_uarch::CountingProbe;
+
+    fn input(seed: u64) -> Tensor {
+        let data: Vec<f32> = (0..2 * 6 * 6)
+            .map(|i| {
+                let v = (((i as u64).wrapping_mul(seed * 2 + 1) * 2654435761) >> 24) % 17;
+                if v < 6 {
+                    0.0
+                } else {
+                    v as f32 / 8.0 - 1.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, [2, 6, 6]).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_reference_conv() {
+        let mut conv = Conv2d::new(2, 3, 3, ConvStyle::ZeroSkip, 5);
+        let x = input(1);
+        let got = conv.forward(&x, Mode::Infer).unwrap();
+        let want = ops::conv2d(&x, &conv.filters.value, &conv.bias.value, conv.win).unwrap();
+        assert_eq!(got.dims(), want.dims());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn traced_matches_reference() {
+        for style in [ConvStyle::ZeroSkip, ConvStyle::Dense] {
+            let mut conv = Conv2d::new(2, 3, 3, style, 5);
+            let x = input(2);
+            let want = conv.forward(&x, Mode::Infer).unwrap();
+            let mut probe = CountingProbe::new();
+            let mut ctx = ExecContext::new(&mut probe);
+            let region = ctx.alloc_activation(x.len());
+            let (got, _) = conv.forward_traced(&x, region, &mut ctx).unwrap();
+            assert_eq!(got, want, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn zero_skip_footprint_tracks_sparsity() {
+        let loads = |x: &Tensor| {
+            let conv = Conv2d::new(2, 3, 3, ConvStyle::ZeroSkip, 5);
+            let mut probe = CountingProbe::new();
+            {
+                let mut ctx = ExecContext::new(&mut probe);
+                let region = ctx.alloc_activation(x.len());
+                conv.forward_traced(x, region, &mut ctx).unwrap();
+            }
+            probe.loads
+        };
+        let sparse = Tensor::zeros([2, 6, 6]);
+        let dense = Tensor::full([2, 6, 6], 1.0);
+        let mid = input(3);
+        assert!(loads(&sparse) < loads(&mid));
+        assert!(loads(&mid) < loads(&dense));
+    }
+
+    #[test]
+    fn dense_style_footprint_is_constant() {
+        let loads = |x: &Tensor| {
+            let conv = Conv2d::new(2, 3, 3, ConvStyle::Dense, 5);
+            let mut probe = CountingProbe::new();
+            {
+                let mut ctx = ExecContext::new(&mut probe);
+                let region = ctx.alloc_activation(x.len());
+                conv.forward_traced(x, region, &mut ctx).unwrap();
+            }
+            (probe.loads, probe.branches)
+        };
+        assert_eq!(loads(&Tensor::zeros([2, 6, 6])), loads(&Tensor::full([2, 6, 6], 1.0)));
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, ConvStyle::Dense, 9);
+        let x = Tensor::from_vec(
+            (0..16).map(|i| (i as f32 * 0.13).sin()).collect(),
+            [1, 4, 4],
+        )
+        .unwrap();
+        conv.forward(&x, Mode::Train).unwrap();
+        let oh_ow = 2 * 2 * 2;
+        let gy = Tensor::full([2, 2, 2], 1.0);
+        let gx = conv.backward(&gy).unwrap();
+
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = conv.forward(&xp, Mode::Infer).unwrap().sum();
+            let fm = conv.forward(&xm, Mode::Infer).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = gx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "dx[{i}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        let _ = oh_ow;
+    }
+
+    #[test]
+    fn filter_gradient_finite_differences() {
+        let x = Tensor::from_vec(
+            (0..16).map(|i| ((i * 3) % 7) as f32 * 0.2 - 0.5).collect(),
+            [1, 4, 4],
+        )
+        .unwrap();
+        let mut conv = Conv2d::new(1, 1, 3, ConvStyle::Dense, 21);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&Tensor::full([1, 2, 2], 1.0)).unwrap();
+        let analytic = conv.filters.grad.clone();
+
+        let eps = 1e-2f32;
+        for wi in [0usize, 4, 8] {
+            let orig = conv.filters.value.as_slice()[wi];
+            conv.filters.value.as_mut_slice()[wi] = orig + eps;
+            let fp = conv.forward(&x, Mode::Infer).unwrap().sum();
+            conv.filters.value.as_mut_slice()[wi] = orig - eps;
+            let fm = conv.forward(&x, Mode::Infer).unwrap().sum();
+            conv.filters.value.as_mut_slice()[wi] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[wi]).abs() < 2e-2,
+                "dW[{wi}]: numeric {numeric} vs analytic {}",
+                analytic.as_slice()[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_free_conv_keeps_background_zero() {
+        let mut conv = Conv2d::new(1, 4, 3, ConvStyle::ZeroSkip, 7).without_bias();
+        assert!(!conv.has_bias());
+        assert_eq!(conv.params_mut().len(), 1);
+        let y = conv.forward(&Tensor::zeros([1, 6, 6]), Mode::Infer).unwrap();
+        assert_eq!(y.sum(), 0.0, "zero input must give exactly zero output");
+        // Training never moves the bias.
+        conv.forward(&Tensor::full([1, 6, 6], 0.5), Mode::Train).unwrap();
+        conv.backward(&Tensor::full([4, 4, 4], 1.0)).unwrap();
+        assert_eq!(conv.bias.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut conv = Conv2d::new(3, 2, 3, ConvStyle::ZeroSkip, 1);
+        assert!(conv.forward(&Tensor::zeros([2, 6, 6]), Mode::Infer).is_err());
+    }
+
+    #[test]
+    fn output_shape() {
+        let conv = Conv2d::new(1, 8, 5, ConvStyle::ZeroSkip, 1);
+        assert_eq!(
+            conv.output_shape(&Shape::from([1, 28, 28])).unwrap(),
+            Shape::from([8, 24, 24])
+        );
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = Conv2d::new(2, 3, 3, ConvStyle::ZeroSkip, 1);
+        assert_eq!(conv.param_count(), 3 * 2 * 3 * 3 + 3);
+    }
+}

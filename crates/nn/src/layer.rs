@@ -1,0 +1,200 @@
+//! The [`Layer`] trait: forward (reference and traced), backward, and
+//! parameter access.
+
+use crate::addr::SegmentAllocator;
+use crate::exec::ExecContext;
+use scnn_tensor::{Shape, ShapeError, Tensor};
+use std::error::Error;
+use std::fmt;
+
+/// Error from network construction, execution or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-shape inconsistency.
+    Shape(ShapeError),
+    /// The layer was asked to backward() before any forward(Train) pass.
+    NoForwardCache {
+        /// Layer that was driven out of order.
+        layer: &'static str,
+    },
+    /// The network is empty.
+    EmptyNetwork,
+    /// Training diverged (non-finite loss or weights).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape(e) => write!(f, "shape error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on {layer} before forward(Train)")
+            }
+            NnError::EmptyNetwork => write!(f, "network has no layers"),
+            NnError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        NnError::Shape(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// A trainable parameter: its value and the gradient of the most recent
+/// backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+}
+
+/// Whether a forward pass should cache intermediates for backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Inference only; no caches are kept.
+    Infer,
+    /// Training; the layer caches what backward needs.
+    Train,
+}
+
+/// One network layer.
+///
+/// Layers provide three execution paths:
+///
+/// - [`Layer::forward`] — the fast reference path, used for training and
+///   accuracy evaluation;
+/// - [`Layer::forward_traced`] — numerically identical, but narrating
+///   every weight/activation access and data-dependent branch to an
+///   [`ExecContext`]. This is the path the side-channel evaluator
+///   measures;
+/// - [`Layer::backward`] — gradients for training.
+pub trait Layer: Send {
+    /// Short human-readable layer name (`"conv2d"`, `"relu"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the input is incompatible.
+    fn output_shape(&self, input: &Shape) -> Result<Shape>;
+
+    /// Reference forward pass. With [`Mode::Train`] the layer caches
+    /// whatever its backward pass needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the input is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Instrumented forward pass; must produce the same numbers as
+    /// [`Layer::forward`] while emitting its event stream into `ctx`.
+    ///
+    /// `input_region` is where the caller's activation buffer lives in the
+    /// synthetic address space; the returned region is where this layer
+    /// wrote its output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the input is incompatible.
+    fn forward_traced(
+        &self,
+        input: &Tensor,
+        input_region: crate::addr::Region,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<(Tensor, crate::addr::Region)>;
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output and
+    /// returns the gradient w.r.t. its input, accumulating parameter
+    /// gradients internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when no `forward(Train)` pass
+    /// preceded this call.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Mutable access to the layer's parameters (empty for stateless
+    /// layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Assigns static (weight) addresses from the network's allocator.
+    /// Stateless layers ignore this.
+    fn assign_addresses(&mut self, alloc: &mut SegmentAllocator) {
+        let _ = alloc;
+    }
+
+    /// Number of scalar parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Switches the layer between its leaky (data-dependent) and
+    /// constant-footprint kernels. The countermeasure pass of `scnn-core`
+    /// flips every layer to constant time and re-runs the evaluation.
+    /// Layers without a data-dependent kernel ignore this.
+    fn set_constant_time(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// A serializable description of this layer (architecture +
+    /// parameters) for [`Network::to_bytes`](crate::Network::to_bytes).
+    fn spec(&self) -> crate::spec::LayerSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0, 2.0]));
+        p.grad = Tensor::from_slice(&[3.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.value.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_conversion_and_display() {
+        let e: NnError = ShapeError::ZeroDim.into();
+        assert!(e.to_string().contains("shape"));
+        assert!(e.source().is_some());
+        assert!(NnError::EmptyNetwork.source().is_none());
+        assert!(NnError::Diverged { epoch: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,85 @@
+//! # scnn-nn
+//!
+//! A from-scratch CNN inference and training library whose execution can
+//! be *instrumented* — every weight/activation memory access and every
+//! data-dependent branch streamed into the `scnn-uarch` simulator — so
+//! that its hardware-performance-counter footprint can be measured
+//! exactly as in *"How Secure are Deep Learning Algorithms from
+//! Side-Channel based Reverse Engineering?"* (Alam & Mukhopadhyay,
+//! DAC 2019).
+//!
+//! ## Where the leak comes from
+//!
+//! Two standard CPU-inference optimisations make the footprint
+//! input-dependent:
+//!
+//! - **Zero skipping** ([`ConvStyle::ZeroSkip`], [`DenseStyle::ZeroSkip`]):
+//!   post-ReLU activations (and MNIST background pixels) are mostly zero;
+//!   skipping their multiply-accumulate work means the set of weight
+//!   cache lines touched traces the activation pattern — which is
+//!   class-characteristic. This drives the paper's `cache-misses`
+//!   separations.
+//! - **Branchy ReLU / max-pooling** ([`ReluStyle::Branchy`]): sign tests
+//!   and running-max comparisons retire a constant number of branches but
+//!   with data-dependent outcomes, perturbing `branch-misses` and, via
+//!   skipped inner loops, retired `branches`.
+//!
+//! Every leaky kernel has a constant-footprint twin (`Dense`,
+//! `Branchless`) reachable through
+//! [`Network::set_constant_time`] — the countermeasure whose
+//! effectiveness the ablation experiments quantify.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_nn::models;
+//! use scnn_tensor::Tensor;
+//! use scnn_uarch::CountingProbe;
+//!
+//! # fn main() -> Result<(), scnn_nn::NnError> {
+//! let net = models::tiny_cnn(42);
+//! let image = Tensor::full([1, 8, 8], 0.3);
+//! let mut probe = CountingProbe::new();
+//! let logits = net.infer_traced(&image, &mut probe)?;
+//! assert_eq!(logits.dims(), &[4]);
+//! assert!(probe.loads > 0, "the inference narrated its memory accesses");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod addr;
+pub mod conv;
+pub mod dense;
+pub mod exec;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod pool;
+pub mod softmax;
+pub mod spec;
+pub mod train;
+
+pub use activation::{Relu, ReluStyle};
+pub use conv::{Conv2d, ConvStyle};
+pub use dense::{Dense, DenseStyle};
+pub use exec::ExecContext;
+pub use layer::{Layer, Mode, NnError, Param};
+pub use network::Network;
+pub use pool::MaxPool2d;
+pub use softmax::{Flatten, Softmax};
+
+/// Convenient glob import for building networks.
+pub mod prelude {
+    pub use crate::activation::{Relu, ReluStyle};
+    pub use crate::conv::{Conv2d, ConvStyle};
+    pub use crate::dense::{Dense, DenseStyle};
+    pub use crate::layer::{Layer, Mode, NnError};
+    pub use crate::network::Network;
+    pub use crate::pool::MaxPool2d;
+    pub use crate::softmax::{Flatten, Softmax};
+}

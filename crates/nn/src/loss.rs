@@ -1,0 +1,124 @@
+//! Loss functions for training.
+
+use crate::layer::{NnError, Result};
+use scnn_tensor::{ops, ShapeError, Tensor};
+
+/// Softmax cross-entropy loss on raw logits.
+///
+/// Returns `(loss, grad_logits)`. Computing softmax and cross-entropy
+/// jointly keeps the gradient numerically exact: `∂L/∂z_i = p_i − 1{i=y}`.
+///
+/// # Errors
+///
+/// Returns a shape error when `logits` is not a vector or `label` is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_nn::loss::softmax_cross_entropy;
+/// use scnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), scnn_nn::NnError> {
+/// let logits = Tensor::from_slice(&[2.0, 0.5, -1.0]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, 0)?;
+/// assert!(loss > 0.0);
+/// assert!(grad.as_slice()[0] < 0.0, "true-class gradient pushes up");
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
+    logits.shape().expect_rank(1)?;
+    if label >= logits.len() {
+        return Err(NnError::Shape(ShapeError::IndexOutOfBounds {
+            index: vec![label],
+            shape: logits.dims().to_vec(),
+        }));
+    }
+    let lse = ops::log_sum_exp(logits)?;
+    let loss = lse - logits.as_slice()[label];
+    let mut grad = ops::softmax(logits)?;
+    grad.as_mut_slice()[label] -= 1.0;
+    Ok((loss, grad))
+}
+
+/// Mean squared error between a prediction and a target of the same shape.
+///
+/// Returns `(loss, grad_prediction)` with `loss = mean((p - t)²)`.
+///
+/// # Errors
+///
+/// Returns a shape error when the shapes differ.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = prediction.zip_with(target, |p, t| p - t)?;
+    let n = diff.len().max(1) as f32;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.map(|d| 2.0 * d / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_slice(&[100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, 0).unwrap();
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::from_slice(&[0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, 2).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_onehot() {
+        let logits = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let p = ops::softmax(&logits).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, 1).unwrap();
+        assert!((grad.as_slice()[0] - p.as_slice()[0]).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - (p.as_slice()[1] - 1.0)).abs() < 1e-6);
+        assert!(grad.sum().abs() < 1e-6, "gradient sums to zero");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_differences() {
+        let logits = Tensor::from_slice(&[0.3, -0.8, 1.2, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, 2).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, 2).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, 2).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[i]).abs() < 1e-3,
+                "grad[{i}]: {numeric} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::from_slice(&[0.0, 0.0]);
+        assert!(softmax_cross_entropy(&logits, 2).is_err());
+    }
+
+    #[test]
+    fn mse_known() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+        assert!(mse(&p, &Tensor::zeros([3])).is_err());
+    }
+}

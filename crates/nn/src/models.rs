@@ -1,0 +1,204 @@
+//! The CNN architectures used by the paper's two case studies.
+//!
+//! The paper implements "two CNN models for MNIST and CIFAR-10 using the
+//! tensorflow library" without giving the exact topology; these presets
+//! use standard LeNet-style stacks sized so that instrumented inference is
+//! fast enough to collect hundreds of measurements per category.
+
+use crate::activation::{Relu, ReluStyle};
+
+/// Activation-pruning threshold used by all presets: values at or below
+/// this are treated as zero by the sparsifying ReLU, keeping background
+/// regions exactly zero even when trained biases drift positive.
+pub const ACTIVATION_PRUNE: f32 = 0.02;
+use crate::conv::{Conv2d, ConvStyle};
+use crate::dense::{Dense, DenseStyle};
+use crate::network::Network;
+use crate::pool::MaxPool2d;
+use crate::softmax::Flatten;
+
+/// The MNIST case-study CNN (§5.2): `1×28×28` input, two conv+pool
+/// stages, two dense layers, 10 logits.
+///
+/// Topology: conv(1→8, 5×5) → ReLU → pool2 → conv(8→16, 5×5) → ReLU →
+/// pool2 → flatten(256) → dense(256→64) → ReLU → dense(64→10).
+pub fn mnist_cnn(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.push(Conv2d::new(1, 8, 5, ConvStyle::ZeroSkip, seed).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(8, 16, 5, ConvStyle::ZeroSkip, seed ^ 0x11).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Dense::new(16 * 4 * 4, 64, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(Dense::new(64, 10, DenseStyle::ZeroSkip, seed ^ 0x33));
+    net.finalize();
+    net
+}
+
+/// The CIFAR-10 case-study CNN (§5.3): `3×32×32` input.
+///
+/// Topology: conv(3→8, 5×5) → ReLU → pool2 → conv(8→16, 5×5) → ReLU →
+/// pool2 → flatten(400) → dense(400→64) → ReLU → dense(64→10).
+pub fn cifar_cnn(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 8, 5, ConvStyle::ZeroSkip, seed).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(8, 16, 5, ConvStyle::ZeroSkip, seed ^ 0x11).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Dense::new(16 * 5 * 5, 64, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(Dense::new(64, 10, DenseStyle::ZeroSkip, seed ^ 0x33));
+    net.finalize();
+    net
+}
+
+/// A multi-layer perceptron over flattened images — the "other deep
+/// learning model" the paper's future-work section points at. With no
+/// convolutions, the zero-skipping dense layers see the raw image
+/// sparsity directly, so the first layer's weight-column footprint is the
+/// digit silhouette itself.
+///
+/// Topology: flatten → dense(`side²·channels`→128) → ReLU →
+/// dense(128→64) → ReLU → dense(64→10).
+pub fn mnist_mlp(in_channels: usize, side: usize, seed: u64) -> Network {
+    let inputs = in_channels * side * side;
+    let mut net = Network::new();
+    net.push(Flatten::new());
+    net.push(Dense::new(inputs, 128, DenseStyle::ZeroSkip, seed));
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(Dense::new(128, 64, DenseStyle::ZeroSkip, seed ^ 0x44));
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(Dense::new(64, 10, DenseStyle::ZeroSkip, seed ^ 0x55));
+    net.finalize();
+    net
+}
+
+/// A compact single-conv model parameterised by geometry — used by the
+/// fast ("tiny scale") experiment pipeline and by tests.
+///
+/// Topology: conv(`in_channels`→4, 3×3) → ReLU → pool2 →
+/// flatten → dense(→`classes`).
+///
+/// # Panics
+///
+/// Panics when `side` is too small for a 3×3 convolution followed by 2×2
+/// pooling (`side < 5`).
+pub fn small_cnn(in_channels: usize, side: usize, classes: usize, seed: u64) -> Network {
+    assert!(side >= 5, "side must be at least 5");
+    let conv_out = side - 2;
+    let pooled = conv_out / 2;
+    let mut net = Network::new();
+    net.push(Conv2d::new(in_channels, 4, 3, ConvStyle::ZeroSkip, seed).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Dense::new(4 * pooled * pooled, classes, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.finalize();
+    net
+}
+
+/// A deliberately small model for fast tests: `1×8×8` input, 4 logits.
+pub fn tiny_cnn(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.push(Conv2d::new(1, 2, 3, ConvStyle::ZeroSkip, seed).without_bias());
+    net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Dense::new(2 * 3 * 3, 4, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.finalize();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_tensor::{Shape, Tensor};
+
+    #[test]
+    fn mnist_shapes() {
+        let net = mnist_cnn(1);
+        assert_eq!(
+            net.output_shape(&Shape::from([1, 28, 28])).unwrap(),
+            Shape::from([10])
+        );
+    }
+
+    #[test]
+    fn cifar_shapes() {
+        let net = cifar_cnn(1);
+        assert_eq!(
+            net.output_shape(&Shape::from([3, 32, 32])).unwrap(),
+            Shape::from([10])
+        );
+    }
+
+    #[test]
+    fn tiny_shapes() {
+        let net = tiny_cnn(1);
+        assert_eq!(
+            net.output_shape(&Shape::from([1, 8, 8])).unwrap(),
+            Shape::from([4])
+        );
+    }
+
+    #[test]
+    fn mlp_shapes_and_inference() {
+        let mut net = mnist_mlp(1, 28, 4);
+        assert_eq!(
+            net.output_shape(&Shape::from([1, 28, 28])).unwrap(),
+            Shape::from([10])
+        );
+        let y = net.infer(&Tensor::full([1, 28, 28], 0.2)).unwrap();
+        assert!(y.all_finite());
+        assert_eq!(net.param_count(), 784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10);
+    }
+
+    #[test]
+    fn small_cnn_shapes() {
+        for (ch, side, classes) in [(1, 12, 4), (3, 9, 2), (1, 5, 10)] {
+            let net = small_cnn(ch, side, classes, 3);
+            assert_eq!(
+                net.output_shape(&Shape::from([ch, side, side])).unwrap(),
+                Shape::from([classes]),
+                "ch={ch} side={side}"
+            );
+        }
+    }
+
+    #[test]
+    fn models_run_inference() {
+        let mut m = mnist_cnn(2);
+        let y = m.infer(&Tensor::full([1, 28, 28], 0.1)).unwrap();
+        assert_eq!(y.dims(), &[10]);
+        assert!(y.all_finite());
+
+        let mut c = cifar_cnn(2);
+        let y = c.infer(&Tensor::full([3, 32, 32], 0.1)).unwrap();
+        assert_eq!(y.dims(), &[10]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn different_seeds_different_weights() {
+        let mut a = mnist_cnn(1);
+        let mut b = mnist_cnn(2);
+        let x = Tensor::full([1, 28, 28], 0.5);
+        assert_ne!(a.infer(&x).unwrap(), b.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn constant_time_switch_preserves_output() {
+        let mut net = tiny_cnn(3);
+        let x = Tensor::full([1, 8, 8], 0.25);
+        let before = net.infer(&x).unwrap();
+        net.set_constant_time(true);
+        let after = net.infer(&x).unwrap();
+        assert_eq!(before, after, "countermeasure must not change semantics");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the CNN engine: the traced execution path
+//! must be numerically identical to the reference path for arbitrary
+//! inputs and layer geometries, and gradients must stay sane.
+
+use proptest::prelude::*;
+use scnn_nn::prelude::*;
+use scnn_nn::{loss, models};
+use scnn_tensor::Tensor;
+use scnn_uarch::CountingProbe;
+
+fn image(c: usize, side: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(
+        prop_oneof![3 => Just(0.0f32), 2 => 0.01f32..1.0f32],
+        c * side * side,
+    )
+    .prop_map(move |data| Tensor::from_vec(data, [c, side, side]).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_traced_equals_reference(
+        img in image(2, 6),
+        style in prop_oneof![Just(ConvStyle::ZeroSkip), Just(ConvStyle::Dense)],
+        seed in 0u64..100,
+    ) {
+        let mut conv = Conv2d::new(2, 3, 3, style, seed);
+        let want = conv.forward(&img, Mode::Infer).unwrap();
+        let mut probe = CountingProbe::new();
+        let mut ctx = scnn_nn::ExecContext::new(&mut probe);
+        let region = ctx.alloc_activation(img.len());
+        let (got, _) = conv.forward_traced(&img, region, &mut ctx).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_traced_equals_reference(
+        data in prop::collection::vec(prop_oneof![Just(0.0f32), -2.0f32..2.0], 1..24),
+        style in prop_oneof![Just(DenseStyle::ZeroSkip), Just(DenseStyle::Dense)],
+        seed in 0u64..100,
+    ) {
+        let x = Tensor::from_slice(&data);
+        let mut dense = Dense::new(data.len(), 5, style, seed);
+        let want = dense.forward(&x, Mode::Infer).unwrap();
+        let mut probe = CountingProbe::new();
+        let mut ctx = scnn_nn::ExecContext::new(&mut probe);
+        let region = ctx.alloc_activation(x.len());
+        let (got, _) = dense.forward_traced(&x, region, &mut ctx).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn whole_network_traced_equals_reference(img in image(1, 10), seed in 0u64..50) {
+        let mut net = models::small_cnn(1, 10, 4, seed);
+        let want = net.infer(&img).unwrap();
+        let mut probe = CountingProbe::new();
+        let got = net.infer_traced(&img, &mut probe).unwrap();
+        prop_assert_eq!(got, want);
+        prop_assert!(probe.instructions() > 0);
+    }
+
+    #[test]
+    fn constant_time_footprint_ignores_input(img in image(1, 10), seed in 0u64..50) {
+        let mut net = models::small_cnn(1, 10, 4, seed);
+        net.set_constant_time(true);
+        let count = |net: &Network, x: &Tensor| {
+            let mut probe = CountingProbe::new();
+            net.infer_traced(x, &mut probe).unwrap();
+            (probe.loads, probe.stores, probe.branches)
+        };
+        let a = count(&net, &img);
+        let b = count(&net, &Tensor::zeros([1, 10, 10]));
+        prop_assert_eq!(a, b, "constant-time kernels must have static footprints");
+    }
+
+    #[test]
+    fn leaky_event_count_weakly_monotone_in_sparsity(seed in 0u64..50) {
+        // All-zero input never produces more events than an all-dense one.
+        let net = models::small_cnn(1, 10, 4, seed);
+        let count = |x: &Tensor| {
+            let mut probe = CountingProbe::new();
+            net.infer_traced(x, &mut probe).unwrap();
+            probe.loads + probe.stores
+        };
+        prop_assert!(count(&Tensor::zeros([1, 10, 10])) < count(&Tensor::full([1, 10, 10], 1.0)));
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(data in prop::collection::vec(-5.0f32..5.0, 1..40)) {
+        let mut relu = Relu::default();
+        let x = Tensor::from_slice(&data);
+        let once = relu.forward(&x, Mode::Infer).unwrap();
+        let twice = relu.forward(&once, Mode::Infer).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.min() >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero(
+        data in prop::collection::vec(-8.0f32..8.0, 2..12),
+        label_seed in 0usize..100,
+    ) {
+        let logits = Tensor::from_slice(&data);
+        let label = label_seed % data.len();
+        let (loss_value, grad) = loss::softmax_cross_entropy(&logits, label).unwrap();
+        prop_assert!(loss_value >= -1e-5);
+        prop_assert!(grad.sum().abs() < 1e-4);
+        prop_assert!(grad.as_slice()[label] <= 0.0, "true-class gradient is non-positive");
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(img in image(1, 8)) {
+        let mut pool = MaxPool2d::new(2);
+        let y = pool.forward(&img, Mode::Infer).unwrap();
+        prop_assert!(y.max() <= img.max() + 1e-6);
+        prop_assert!(y.min() >= img.min() - 1e-6);
+    }
+}

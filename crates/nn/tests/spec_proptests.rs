@@ -1,0 +1,72 @@
+//! Property-based tests for model serialization: arbitrary layer specs
+//! must round-trip exactly through the binary format.
+
+use proptest::prelude::*;
+use scnn_nn::spec::{decode, encode, LayerSpec};
+use scnn_nn::{ConvStyle, DenseStyle, ReluStyle};
+use scnn_tensor::Tensor;
+
+fn tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len: usize = dims.iter().product();
+    prop::collection::vec(-100.0f32..100.0, len)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).expect("length matches"))
+}
+
+fn any_spec() -> impl Strategy<Value = LayerSpec> {
+    prop_oneof![
+        ((1usize..4, 1usize..4, 1usize..3), any::<bool>(), any::<bool>()).prop_flat_map(
+            |((f, c, half_k), zero_skip, use_bias)| {
+                let k = 2 * half_k + 1;
+                (tensor(vec![f, c, k, k]), tensor(vec![f])).prop_map(move |(filters, bias)| {
+                    LayerSpec::Conv2d {
+                        filters,
+                        bias,
+                        style: if zero_skip { ConvStyle::ZeroSkip } else { ConvStyle::Dense },
+                        use_bias,
+                    }
+                })
+            }
+        ),
+        (any::<bool>(), 0.0f32..0.5).prop_map(|(branchy, threshold)| LayerSpec::Relu {
+            style: if branchy { ReluStyle::Branchy } else { ReluStyle::Branchless },
+            threshold,
+        }),
+        (1usize..5).prop_map(|k| LayerSpec::MaxPool2d { k }),
+        Just(LayerSpec::Flatten),
+        Just(LayerSpec::Softmax),
+        ((1usize..12, 1usize..8), any::<bool>()).prop_flat_map(|((i, o), zero_skip)| {
+            (tensor(vec![i, o]), tensor(vec![o])).prop_map(move |(weight, bias)| {
+                LayerSpec::Dense {
+                    weight,
+                    bias,
+                    style: if zero_skip { DenseStyle::ZeroSkip } else { DenseStyle::Dense },
+                }
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specs_roundtrip_exactly(specs in prop::collection::vec(any_spec(), 0..8)) {
+        let bytes = encode(&specs);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, specs);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(specs in prop::collection::vec(any_spec(), 1..4), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&specs);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode(&bytes[..cut]).is_err(), "cut at {} of {}", cut, bytes.len());
+    }
+
+    #[test]
+    fn corrupting_the_magic_is_rejected(specs in prop::collection::vec(any_spec(), 0..3), byte in 0usize..4) {
+        let mut bytes = encode(&specs);
+        bytes[byte] ^= 0x55;
+        prop_assert!(decode(&bytes).is_err());
+    }
+}

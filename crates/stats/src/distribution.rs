@@ -1,0 +1,183 @@
+//! Probability distributions used by the hypothesis tests: Student's t and
+//! the standard normal.
+
+use crate::special::{betai, erf};
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_stats::distribution::StudentT;
+///
+/// let t = StudentT::new(10.0);
+/// // CDF at 0 is exactly one half.
+/// assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu <= 0` or `nu` is not finite.
+    pub fn new(nu: f64) -> Self {
+        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        StudentT { nu }
+    }
+
+    /// Degrees of freedom.
+    pub fn degrees_of_freedom(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function `P(T <= t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.nu / (self.nu + t * t);
+        let p = 0.5 * betai(0.5 * self.nu, 0.5, x);
+        if t > 0.0 {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// Two-sided tail probability `P(|T| >= |t|)` — the two-tailed p-value
+    /// for an observed statistic `t`.
+    pub fn two_tailed_p(&self, t: f64) -> f64 {
+        betai(0.5 * self.nu, 0.5, self.nu / (self.nu + t * t))
+    }
+
+    /// One-sided upper-tail probability `P(T >= t)`.
+    pub fn upper_tail_p(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Inverse of the two-sided tail: the critical value `t*` with
+    /// `P(|T| >= t*) = alpha`. Solved by bisection (monotone tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1)`.
+    pub fn two_tailed_critical(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        while self.two_tailed_p(hi) > alpha {
+            hi *= 2.0;
+            if hi > 1e9 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.two_tailed_p(mid) > alpha {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Standard normal distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StdNormal;
+
+impl StdNormal {
+    /// Creates the distribution (unit struct; equivalent to `default`).
+    pub fn new() -> Self {
+        StdNormal
+    }
+
+    /// Cumulative distribution function `Φ(z)`.
+    pub fn cdf(&self, z: f64) -> f64 {
+        0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+    }
+
+    /// Two-sided tail probability `P(|Z| >= |z|)`, clamped to `[0, 1]`
+    /// (the underlying `erf` approximation carries ~1e-7 error).
+    pub fn two_tailed_p(&self, z: f64) -> f64 {
+        (2.0 * (1.0 - self.cdf(z.abs()))).clamp(0.0, 1.0)
+    }
+
+    /// Probability density function `φ(z)`.
+    pub fn pdf(&self, z: f64) -> f64 {
+        (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_cdf_symmetry() {
+        let t = StudentT::new(7.0);
+        for &x in &[0.5, 1.0, 2.5, 4.0] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_matches_tables() {
+        // Classic two-tailed critical values: t_{0.05, nu}.
+        let cases = [(1.0, 12.706), (5.0, 2.571), (10.0, 2.228), (30.0, 2.042), (120.0, 1.980)];
+        for &(nu, crit) in &cases {
+            let d = StudentT::new(nu);
+            let p = d.two_tailed_p(crit);
+            assert!((p - 0.05).abs() < 2e-4, "nu={nu}: p={p}");
+        }
+    }
+
+    #[test]
+    fn t_critical_inverts_p() {
+        for &nu in &[2.0, 9.0, 57.3, 400.0] {
+            let d = StudentT::new(nu);
+            for &alpha in &[0.10, 0.05, 0.01] {
+                let crit = d.two_tailed_critical(alpha);
+                assert!((d.two_tailed_p(crit) - alpha).abs() < 1e-9, "nu={nu} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_large_nu_approaches_normal() {
+        let t = StudentT::new(1e6);
+        let n = StdNormal::new();
+        for &x in &[0.0, 0.5, 1.0, 1.96, 3.0] {
+            assert!((t.cdf(x) - n.cdf(x)).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn t_rejects_bad_nu() {
+        StudentT::new(0.0);
+    }
+
+    #[test]
+    fn normal_reference_points() {
+        let n = StdNormal::new();
+        // erfc is a ~1.2e-7-accurate Chebyshev fit, so Φ(0) is 0.5 only to
+        // that tolerance.
+        assert!((n.cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((n.cdf(1.959_964) - 0.975).abs() < 1e-4);
+        assert!((n.two_tailed_p(1.959_964) - 0.05).abs() < 1e-4);
+        assert!((n.pdf(0.0) - 0.398_942_28).abs() < 1e-7);
+    }
+
+    #[test]
+    fn extreme_t_gives_tiny_p() {
+        let d = StudentT::new(100.0);
+        assert!(d.two_tailed_p(40.0) < 1e-20);
+        assert!(d.two_tailed_p(0.0) > 0.999);
+    }
+}

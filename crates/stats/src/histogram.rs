@@ -1,0 +1,376 @@
+//! Histograms and Gaussian kernel density estimates — the machinery behind
+//! the paper's Figures 3 and 4 (per-category distributions of HPC events).
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// No observations were supplied.
+    EmptySample,
+    /// Zero bins requested.
+    ZeroBins,
+    /// The requested range is invalid (`lo >= hi`) or not finite.
+    BadRange {
+        /// Lower edge supplied.
+        lo: f64,
+        /// Upper edge supplied.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::EmptySample => write!(f, "cannot build a histogram of nothing"),
+            HistogramError::ZeroBins => write!(f, "histogram needs at least one bin"),
+            HistogramError::BadRange { lo, hi } => {
+                write!(f, "invalid histogram range [{lo}, {hi})")
+            }
+        }
+    }
+}
+
+impl Error for HistogramError {}
+
+/// A fixed-range, equal-width histogram.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_stats::Histogram;
+///
+/// # fn main() -> Result<(), scnn_stats::HistogramError> {
+/// let h = Histogram::from_data(&[1.0, 2.0, 2.5, 9.0], 4, Some((0.0, 10.0)))?;
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.counts()[0], 2); // 1.0 and 2.0 land in [0, 2.5)
+/// assert_eq!(h.counts()[1], 1); // 2.5 sits on the edge of the second bin
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram from data.
+    ///
+    /// When `range` is `None` the sample min/max are used (the max is
+    /// nudged so the largest observation lands in the last bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError`] for empty data, zero bins or an invalid
+    /// range.
+    pub fn from_data(
+        data: &[f64],
+        bins: usize,
+        range: Option<(f64, f64)>,
+    ) -> Result<Self, HistogramError> {
+        if data.is_empty() {
+            return Err(HistogramError::EmptySample);
+        }
+        if bins == 0 {
+            return Err(HistogramError::ZeroBins);
+        }
+        let (lo, hi) = match range {
+            Some((lo, hi)) => (lo, hi),
+            None => {
+                let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // Degenerate all-equal sample: widen symmetrically.
+                if lo == hi {
+                    (lo - 0.5, hi + 0.5)
+                } else {
+                    (lo, hi + (hi - lo) * 1e-9)
+                }
+            }
+        };
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+            return Err(HistogramError::BadRange { lo, hi });
+        }
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        };
+        for &x in data {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Adds one observation. Values outside the range count as under/overflow
+    /// but still contribute to [`Histogram::total`].
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(lo, hi)` range covered by the bins.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Centre of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Normalised bin densities (integrate to ≈1 over the range, excluding
+    /// under/overflow mass).
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (in_range as f64 * width))
+            .collect()
+    }
+
+    /// Renders a terminal sparkline-style bar chart, one row per bin — used
+    /// by the `repro` binary to print Figures 3 and 4.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{:>14.1} | {}{} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar),
+                " ".repeat(width - bar),
+                c
+            ));
+        }
+        out
+    }
+}
+
+/// A Gaussian kernel density estimate evaluated on a fixed grid —
+/// the smooth analogue of [`Histogram`] used for figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDensity {
+    grid: Vec<f64>,
+    density: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelDensity {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth and evaluates it
+    /// at `points` evenly spaced locations spanning the data ±3 bandwidths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::EmptySample`] for empty data and
+    /// [`HistogramError::ZeroBins`] for `points == 0`.
+    pub fn fit(data: &[f64], points: usize) -> Result<Self, HistogramError> {
+        if data.is_empty() {
+            return Err(HistogramError::EmptySample);
+        }
+        if points == 0 {
+            return Err(HistogramError::ZeroBins);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+        let std = var.sqrt();
+        // Silverman's rule; fall back to 1.0 for degenerate samples.
+        let bandwidth = if std > 0.0 {
+            1.06 * std * n.powf(-0.2)
+        } else {
+            1.0
+        };
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min) - 3.0 * bandwidth;
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 3.0 * bandwidth;
+        let step = if points > 1 {
+            (hi - lo) / (points - 1) as f64
+        } else {
+            0.0
+        };
+        let norm = 1.0 / (n * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+        let grid: Vec<f64> = (0..points).map(|i| lo + step * i as f64).collect();
+        let density: Vec<f64> = grid
+            .iter()
+            .map(|&g| {
+                data.iter()
+                    .map(|&x| (-0.5 * ((g - x) / bandwidth).powi(2)).exp())
+                    .sum::<f64>()
+                    * norm
+            })
+            .collect();
+        Ok(KernelDensity {
+            grid,
+            density,
+            bandwidth,
+        })
+    }
+
+    /// Evaluation grid.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// Density values, aligned with [`KernelDensity::grid`].
+    pub fn density(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// The bandwidth chosen by Silverman's rule.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_total() {
+        let h = Histogram::from_data(&[0.0, 1.0, 2.0, 3.0, 4.0], 5, Some((0.0, 5.0))).unwrap();
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_overflow() {
+        let h = Histogram::from_data(&[-1.0, 0.5, 10.0], 2, Some((0.0, 1.0))).unwrap();
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn auto_range_includes_max() {
+        let h = Histogram::from_data(&[1.0, 2.0, 3.0], 3, None).unwrap();
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn degenerate_constant_sample() {
+        let h = Histogram::from_data(&[7.0; 10], 4, None).unwrap();
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            Histogram::from_data(&[], 4, None),
+            Err(HistogramError::EmptySample)
+        ));
+        assert!(matches!(
+            Histogram::from_data(&[1.0], 0, None),
+            Err(HistogramError::ZeroBins)
+        ));
+        assert!(matches!(
+            Histogram::from_data(&[1.0], 4, Some((2.0, 2.0))),
+            Err(HistogramError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 13) as f64).collect();
+        let h = Histogram::from_data(&data, 13, None).unwrap();
+        let width = (h.range().1 - h.range().0) / 13.0;
+        let mass: f64 = h.densities().iter().map(|d| d * width).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_centers_monotone() {
+        let h = Histogram::from_data(&[0.0, 10.0], 5, Some((0.0, 10.0))).unwrap();
+        for i in 1..5 {
+            assert!(h.bin_center(i) > h.bin_center(i - 1));
+        }
+    }
+
+    #[test]
+    fn ascii_contains_counts() {
+        let h = Histogram::from_data(&[1.0, 1.0, 2.0], 2, Some((0.0, 4.0))).unwrap();
+        let art = h.ascii(20);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn kde_mass_and_peak() {
+        let data: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 0.2 } + (i / 2) as f64 * 0.001)
+            .collect();
+        let kde = KernelDensity::fit(&data, 101).unwrap();
+        assert_eq!(kde.grid().len(), 101);
+        // Trapezoidal mass ≈ 1.
+        let step = kde.grid()[1] - kde.grid()[0];
+        let mass: f64 = kde.density().windows(2).map(|w| 0.5 * (w[0] + w[1]) * step).sum();
+        assert!((mass - 1.0).abs() < 0.02, "mass={mass}");
+        assert!(kde.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn kde_errors() {
+        assert!(KernelDensity::fit(&[], 10).is_err());
+        assert!(KernelDensity::fit(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn kde_constant_sample_finite() {
+        let kde = KernelDensity::fit(&[5.0; 8], 11).unwrap();
+        assert!(kde.density().iter().all(|d| d.is_finite()));
+    }
+}

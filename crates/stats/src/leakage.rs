@@ -1,0 +1,345 @@
+//! Pairwise leakage assessment over labelled distributions — the paper's
+//! evaluator methodology (§4) expressed as a reusable statistical primitive.
+//!
+//! Given one sample of counter readings per input category, this module
+//! computes every pairwise t-test, applies the chosen decision rule
+//! (p < α, optionally with Holm–Bonferroni correction, or a TVLA fixed
+//! threshold) and summarises which pairs are distinguishable.
+
+use crate::descriptive::Summary;
+use crate::ttest::{cohens_d, t_test_from_summaries, TTestError, TTestKind, TTestResult};
+use serde::{Deserialize, Serialize};
+
+/// Decision rule used to flag a pair of distributions as distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionRule {
+    /// Reject when the two-tailed p-value is below `alpha` (the paper's
+    /// rule, with `alpha = 0.05` for its 95% confidence tests).
+    PValue {
+        /// Significance level.
+        alpha: f64,
+    },
+    /// Reject when `|t|` exceeds a fixed threshold, as in TVLA leakage
+    /// certification (classically 4.5).
+    TThreshold {
+        /// Absolute-t threshold.
+        threshold: f64,
+    },
+}
+
+impl Default for DecisionRule {
+    fn default() -> Self {
+        DecisionRule::PValue { alpha: 0.05 }
+    }
+}
+
+impl DecisionRule {
+    /// Applies the rule to one test result.
+    pub fn flags(&self, r: &TTestResult) -> bool {
+        match *self {
+            DecisionRule::PValue { alpha } => r.rejects_null(alpha),
+            DecisionRule::TThreshold { threshold } => r.exceeds_threshold(threshold),
+        }
+    }
+}
+
+/// One entry of the pairwise matrix: categories `i` and `j` (`i < j`),
+/// their test result, effect size and the leak verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairResult {
+    /// First category index.
+    pub i: usize,
+    /// Second category index.
+    pub j: usize,
+    /// The t-test between category `i` and category `j`.
+    pub test: TTestResult,
+    /// Cohen's d effect size.
+    pub effect_size: f64,
+    /// Whether the decision rule flagged this pair as distinguishable.
+    pub distinguishable: bool,
+}
+
+/// Result of a full pairwise leakage assessment for one measured quantity
+/// (e.g. one HPC event).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseLeakage {
+    /// All `k·(k-1)/2` pairwise results in lexicographic `(i, j)` order.
+    pub pairs: Vec<PairResult>,
+    /// Number of categories assessed.
+    pub categories: usize,
+    /// The rule that produced the verdicts.
+    pub rule: DecisionRule,
+}
+
+impl PairwiseLeakage {
+    /// Runs the assessment over per-category summaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TTestError`] from any degenerate pair (e.g. a category
+    /// with fewer than two observations).
+    pub fn assess(
+        summaries: &[Summary],
+        kind: TTestKind,
+        rule: DecisionRule,
+    ) -> Result<Self, TTestError> {
+        let k = summaries.len();
+        let mut pairs = Vec::with_capacity(k * (k.saturating_sub(1)) / 2);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let test = match t_test_from_summaries(&summaries[i], &summaries[j], kind) {
+                    Ok(t) => t,
+                    // Two constant samples with equal values: perfectly
+                    // indistinguishable — exactly what a leak-free
+                    // implementation produces, not an assessment failure.
+                    Err(TTestError::DegenerateVariance) => TTestResult {
+                        t: 0.0,
+                        df: (summaries[i].count() + summaries[j].count()) as f64 - 2.0,
+                        p: 1.0,
+                        mean1: summaries[i].mean(),
+                        mean2: summaries[j].mean(),
+                        kind,
+                    },
+                    Err(e) => return Err(e),
+                };
+                pairs.push(PairResult {
+                    i,
+                    j,
+                    test,
+                    effect_size: cohens_d(&summaries[i], &summaries[j]),
+                    distinguishable: rule.flags(&test),
+                });
+            }
+        }
+        Ok(PairwiseLeakage {
+            pairs,
+            categories: k,
+            rule,
+        })
+    }
+
+    /// Convenience entry point from raw per-category samples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PairwiseLeakage::assess`].
+    pub fn assess_samples(
+        samples: &[Vec<f64>],
+        kind: TTestKind,
+        rule: DecisionRule,
+    ) -> Result<Self, TTestError> {
+        let summaries: Vec<Summary> = samples
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        Self::assess(&summaries, kind, rule)
+    }
+
+    /// True when *any* pair is distinguishable — the paper's alarm
+    /// condition for this event.
+    pub fn leaks(&self) -> bool {
+        self.pairs.iter().any(|p| p.distinguishable)
+    }
+
+    /// True when *every* pair is distinguishable (the paper's finding for
+    /// `cache-misses` on both datasets).
+    pub fn fully_distinguishable(&self) -> bool {
+        !self.pairs.is_empty() && self.pairs.iter().all(|p| p.distinguishable)
+    }
+
+    /// Number of distinguishable pairs.
+    pub fn leak_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.distinguishable).count()
+    }
+
+    /// Looks up the result for a pair, in either order.
+    pub fn pair(&self, a: usize, b: usize) -> Option<&PairResult> {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        self.pairs.iter().find(|p| p.i == i && p.j == j)
+    }
+
+    /// Re-evaluates the verdicts with Holm–Bonferroni correction at
+    /// family-wise error rate `alpha`, returning the corrected matrix.
+    ///
+    /// The paper applies uncorrected per-pair tests; the corrected variant
+    /// is provided because 6 simultaneous tests at α=0.05 have a ~26%
+    /// family-wise false-alarm rate, which matters for an evaluator whose
+    /// output is an alarm.
+    pub fn holm_corrected(&self, alpha: f64) -> PairwiseLeakage {
+        let m = self.pairs.len();
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            self.pairs[a]
+                .test
+                .p
+                .partial_cmp(&self.pairs[b].test.p)
+                .expect("p-values are never NaN")
+        });
+        let mut corrected = self.clone();
+        corrected.rule = DecisionRule::PValue { alpha };
+        // Holm: step down; once one test fails, all larger p-values fail.
+        let mut active = true;
+        for (rank, &idx) in order.iter().enumerate() {
+            let level = alpha / (m - rank) as f64;
+            if active && self.pairs[idx].test.p < level {
+                corrected.pairs[idx].distinguishable = true;
+            } else {
+                active = false;
+                corrected.pairs[idx].distinguishable = false;
+            }
+        }
+        corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_samples() -> Vec<Vec<f64>> {
+        // Three clearly separated categories and one overlapping pair.
+        let base: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        vec![
+            base.iter().map(|x| x + 0.0).collect(),
+            base.iter().map(|x| x + 0.1).collect(), // overlaps with category 0
+            base.iter().map(|x| x + 50.0).collect(),
+            base.iter().map(|x| x + 100.0).collect(),
+        ]
+    }
+
+    #[test]
+    fn pair_count_and_order() {
+        let lk = PairwiseLeakage::assess_samples(
+            &shifted_samples(),
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert_eq!(lk.pairs.len(), 6);
+        assert_eq!((lk.pairs[0].i, lk.pairs[0].j), (0, 1));
+        assert_eq!((lk.pairs[5].i, lk.pairs[5].j), (2, 3));
+    }
+
+    #[test]
+    fn verdicts_follow_separation() {
+        let lk = PairwiseLeakage::assess_samples(
+            &shifted_samples(),
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert!(!lk.pair(0, 1).unwrap().distinguishable, "overlapping pair");
+        assert!(lk.pair(0, 2).unwrap().distinguishable);
+        assert!(lk.pair(2, 3).unwrap().distinguishable);
+        assert!(lk.leaks());
+        assert!(!lk.fully_distinguishable());
+        assert_eq!(lk.leak_count(), 5);
+    }
+
+    #[test]
+    fn pair_lookup_symmetric() {
+        let lk = PairwiseLeakage::assess_samples(
+            &shifted_samples(),
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            lk.pair(3, 1).map(|p| (p.i, p.j)),
+            Some((1, 3)),
+            "lookup accepts either order"
+        );
+        assert!(lk.pair(0, 9).is_none());
+    }
+
+    #[test]
+    fn tvla_threshold_rule() {
+        let lk = PairwiseLeakage::assess_samples(
+            &shifted_samples(),
+            TTestKind::Welch,
+            DecisionRule::TThreshold { threshold: 4.5 },
+        )
+        .unwrap();
+        assert!(!lk.pair(0, 1).unwrap().distinguishable);
+        assert!(lk.pair(0, 3).unwrap().distinguishable);
+    }
+
+    #[test]
+    fn holm_is_no_more_permissive() {
+        let lk = PairwiseLeakage::assess_samples(
+            &shifted_samples(),
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        let corrected = lk.holm_corrected(0.05);
+        for (orig, corr) in lk.pairs.iter().zip(corrected.pairs.iter()) {
+            if corr.distinguishable {
+                assert!(orig.distinguishable, "Holm flagged a pair raw alpha didn't");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_categories_do_not_leak() {
+        let base: Vec<f64> = (0..40).map(|i| (i % 11) as f64).collect();
+        let lk = PairwiseLeakage::assess_samples(
+            &[base.clone(), base.clone(), base],
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert!(!lk.leaks());
+        assert_eq!(lk.leak_count(), 0);
+    }
+
+    #[test]
+    fn single_category_trivially_clean() {
+        let lk = PairwiseLeakage::assess_samples(
+            &[vec![1.0, 2.0, 3.0]],
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert!(lk.pairs.is_empty());
+        assert!(!lk.leaks());
+        assert!(!lk.fully_distinguishable());
+    }
+
+    #[test]
+    fn constant_identical_categories_are_indistinguishable() {
+        let lk = PairwiseLeakage::assess_samples(
+            &[vec![5.0; 20], vec![5.0; 20]],
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        let p = lk.pair(0, 1).unwrap();
+        assert!(!p.distinguishable);
+        assert_eq!(p.test.t, 0.0);
+        assert_eq!(p.test.p, 1.0);
+        assert!(!lk.leaks());
+    }
+
+    #[test]
+    fn constant_but_different_categories_leak() {
+        let lk = PairwiseLeakage::assess_samples(
+            &[vec![5.0; 20], vec![9.0; 20]],
+            TTestKind::Welch,
+            DecisionRule::default(),
+        )
+        .unwrap();
+        assert!(lk.pair(0, 1).unwrap().distinguishable);
+        assert!(lk.pair(0, 1).unwrap().test.t.is_infinite());
+    }
+
+    #[test]
+    fn degenerate_category_errors() {
+        let err = PairwiseLeakage::assess_samples(
+            &[vec![1.0], vec![1.0, 2.0]],
+            TTestKind::Welch,
+            DecisionRule::default(),
+        );
+        assert!(matches!(err, Err(TTestError::TooFewSamples { .. })));
+    }
+}

@@ -1,0 +1,92 @@
+//! Higher-order leakage tests: the second-order t-test of leakage
+//! certification (TVLA), which catches implementations whose *mean*
+//! footprint is constant but whose *variance* is input-dependent —
+//! exactly what naive noise-injection countermeasures produce.
+
+use crate::descriptive::Summary;
+use crate::ttest::{t_test, TTestError, TTestKind, TTestResult};
+
+/// Centres a sample and squares it: `(x - mean)²`. A first-order t-test
+/// on these transformed samples is the classical second-order leakage
+/// test.
+pub fn centered_squares(sample: &[f64]) -> Vec<f64> {
+    let s: Summary = sample.iter().copied().collect();
+    let mean = s.mean();
+    sample.iter().map(|x| (x - mean) * (x - mean)).collect()
+}
+
+/// Second-order two-sample t-test: compares the *variances* of the two
+/// samples by t-testing their centred squares.
+///
+/// # Errors
+///
+/// Same conditions as [`t_test`].
+///
+/// # Examples
+///
+/// ```
+/// use scnn_stats::moments::second_order_t_test;
+/// use scnn_stats::TTestKind;
+///
+/// # fn main() -> Result<(), scnn_stats::TTestError> {
+/// // Equal means, very different spreads.
+/// let tight: Vec<f64> = (0..40).map(|i| 100.0 + (i % 3) as f64).collect();
+/// let wide: Vec<f64> = (0..40).map(|i| 100.0 + ((i % 21) as f64 - 10.0) * 4.0).collect();
+/// let r = second_order_t_test(&tight, &wide, TTestKind::Welch)?;
+/// assert!(r.rejects_null(0.05), "variance difference must be detected");
+/// # Ok(())
+/// # }
+/// ```
+pub fn second_order_t_test(
+    sample1: &[f64],
+    sample2: &[f64],
+    kind: TTestKind,
+) -> Result<TTestResult, TTestError> {
+    t_test(&centered_squares(sample1), &centered_squares(sample2), kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spread(n: usize, scale: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| 50.0 + ((i % 13) as f64 - 6.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn centered_squares_mean_is_population_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sq = centered_squares(&data);
+        let mean_sq: f64 = sq.iter().sum::<f64>() / sq.len() as f64;
+        assert!((mean_sq - 4.0).abs() < 1e-12, "population variance is 4");
+    }
+
+    #[test]
+    fn detects_variance_difference_with_equal_means() {
+        let a = spread(60, 1.0);
+        let b = spread(60, 5.0);
+        // First order: means identical → no rejection.
+        let first = t_test(&a, &b, TTestKind::Welch).unwrap();
+        assert!(!first.rejects_null(0.05), "t = {}", first.t);
+        // Second order: variances differ by 25× → strong rejection.
+        let second = second_order_t_test(&a, &b, TTestKind::Welch).unwrap();
+        assert!(second.rejects_null(0.01), "t = {}", second.t);
+    }
+
+    #[test]
+    fn identical_samples_pass() {
+        let a = spread(40, 2.0);
+        let r = second_order_t_test(&a, &a, TTestKind::Welch).unwrap();
+        assert!(!r.rejects_null(0.05));
+    }
+
+    #[test]
+    fn degenerate_variances_error() {
+        assert!(matches!(
+            second_order_t_test(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0], TTestKind::Welch),
+            Err(TTestError::DegenerateVariance)
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! Distribution-free robustness checks: Mann–Whitney U and the two-sample
+//! Kolmogorov–Smirnov test.
+//!
+//! The paper relies on the t-test alone; these rank tests are provided as a
+//! cross-check because HPC counter distributions are often heavy-tailed
+//! (interrupt outliers), where the t-test's normality assumption is shaky.
+//! The `repro` binary reports both so a user can see the verdicts agree.
+
+use crate::distribution::StdNormal;
+use crate::ttest::TTestError;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Mann–Whitney U test (normal approximation with tie
+/// correction, two-sided).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MannWhitneyResult {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Standardised z statistic.
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p: f64,
+}
+
+/// Two-sided Mann–Whitney U test with the normal approximation
+/// (appropriate for the sample sizes ≥ 20 used throughout this workspace).
+///
+/// # Errors
+///
+/// Returns [`TTestError::TooFewSamples`] when either sample is empty.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitneyResult, TTestError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TTestError::TooFewSamples {
+            n1: a.len() as u64,
+            n2: b.len() as u64,
+        });
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Rank the pooled sample with mid-ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in rank test input"));
+
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut idx = 0;
+    while idx < n {
+        let mut j = idx;
+        while j + 1 < n && pooled[j + 1].0 == pooled[idx].0 {
+            j += 1;
+        }
+        let tied = (j - idx + 1) as f64;
+        let mid_rank = (idx + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(idx) {
+            *r = mid_rank;
+        }
+        if tied > 1.0 {
+            tie_correction += tied.powi(3) - tied;
+        }
+        idx = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(ranks.iter())
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let nf = n as f64;
+    let var_u = n1 * n2 / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        // All observations identical across both samples.
+        return Ok(MannWhitneyResult {
+            u: u1,
+            z: 0.0,
+            p: 1.0,
+        });
+    }
+    // Continuity correction.
+    let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
+    let p = StdNormal::new().two_tailed_p(z);
+    Ok(MannWhitneyResult { u: u1, z, p })
+}
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// Maximum absolute difference between the empirical CDFs.
+    pub d: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic p-value.
+///
+/// # Errors
+///
+/// Returns [`TTestError::TooFewSamples`] when either sample is empty.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<KsResult, TTestError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TTestError::TooFewSamples {
+            n1: a.len() as u64,
+            n2: b.len() as u64,
+        });
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+
+    let (n1, n2) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = sa[i].min(sb[j]);
+        while i < n1 && sa[i] <= x {
+            i += 1;
+        }
+        while j < n2 && sb[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p = kolmogorov_q(lambda);
+    Ok(KsResult { d, p })
+}
+
+/// Kolmogorov distribution tail `Q(λ) = 2 Σ (-1)^{k-1} e^{-2 k² λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interleaved(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| (i % 13) as f64 * 0.7 + offset).collect()
+    }
+
+    #[test]
+    fn mwu_separated_samples_significant() {
+        let a = interleaved(50, 0.0);
+        let b = interleaved(50, 100.0);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p < 1e-6, "p={}", r.p);
+        assert_eq!(r.u, 0.0, "all of a below all of b");
+    }
+
+    #[test]
+    fn mwu_identical_samples_insignificant() {
+        let a = interleaved(60, 0.0);
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p > 0.9, "p={}", r.p);
+    }
+
+    #[test]
+    fn mwu_all_constant() {
+        let r = mann_whitney_u(&[3.0; 10], &[3.0; 10]).unwrap();
+        assert_eq!(r.p, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn mwu_symmetry() {
+        let a = interleaved(30, 0.0);
+        let b = interleaved(40, 2.0);
+        let r1 = mann_whitney_u(&a, &b).unwrap();
+        let r2 = mann_whitney_u(&b, &a).unwrap();
+        assert!((r1.p - r2.p).abs() < 1e-9);
+        // U1 + U2 = n1*n2.
+        assert!((r1.u + r2.u - 30.0 * 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mwu_empty_errors() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ks_d_statistic_bounds() {
+        let a = interleaved(50, 0.0);
+        let b = interleaved(50, 100.0);
+        let r = ks_test(&a, &b).unwrap();
+        assert!((r.d - 1.0).abs() < 1e-12, "disjoint supports → D = 1");
+        assert!(r.p < 1e-6);
+    }
+
+    #[test]
+    fn ks_identical() {
+        let a = interleaved(80, 0.0);
+        let r = ks_test(&a, &a).unwrap();
+        assert_eq!(r.d, 0.0);
+        assert!(r.p > 0.99);
+    }
+
+    #[test]
+    fn ks_partial_overlap() {
+        let a = interleaved(100, 0.0);
+        let b = interleaved(100, 1.0);
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.d > 0.0 && r.d < 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+        assert!(kolmogorov_q(1.0) > kolmogorov_q(2.0));
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        // Known reference: Q(1.0) ≈ 0.27.
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.005);
+    }
+}

@@ -1,0 +1,325 @@
+//! Two-sample t-tests — the paper's core hypothesis-testing machinery.
+//!
+//! The evaluator of Alam & Mukhopadhyay computes a two-sample t-statistic
+//! between the HPC-event distributions of two input categories and rejects
+//! the null hypothesis (no leakage) at 95% confidence. The paper does not
+//! specify the flavour; we provide both Welch's unequal-variance test (the
+//! default, and the standard choice for leakage assessment à la TVLA) and
+//! the pooled-variance Student test.
+
+use crate::descriptive::Summary;
+use crate::distribution::StudentT;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which two-sample t-test to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TTestKind {
+    /// Welch's t-test: unequal variances, Welch–Satterthwaite degrees of
+    /// freedom. Default, and the variant used by leakage-assessment
+    /// methodology (TVLA).
+    #[default]
+    Welch,
+    /// Student's pooled-variance t-test: assumes equal variances,
+    /// `n1 + n2 - 2` degrees of freedom.
+    Pooled,
+}
+
+/// Error from a t-test on degenerate inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TTestError {
+    /// One of the samples has fewer than two observations.
+    TooFewSamples {
+        /// Size of the first sample.
+        n1: u64,
+        /// Size of the second sample.
+        n2: u64,
+    },
+    /// Both samples have zero variance and equal means — the statistic is
+    /// 0/0.
+    DegenerateVariance,
+}
+
+impl fmt::Display for TTestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TTestError::TooFewSamples { n1, n2 } => {
+                write!(f, "t-test needs at least 2 observations per sample, got {n1} and {n2}")
+            }
+            TTestError::DegenerateVariance => {
+                write!(f, "both samples have zero variance; t statistic is undefined")
+            }
+        }
+    }
+}
+
+impl Error for TTestError {}
+
+/// Outcome of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// The t statistic (sign follows `mean1 - mean2`).
+    pub t: f64,
+    /// Degrees of freedom used for the p-value.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p: f64,
+    /// Mean of the first sample.
+    pub mean1: f64,
+    /// Mean of the second sample.
+    pub mean2: f64,
+    /// Which flavour of test produced this result.
+    pub kind: TTestKind,
+}
+
+impl TTestResult {
+    /// True when the null hypothesis (equal means) is rejected at
+    /// significance level `alpha` — i.e. the two distributions are
+    /// distinguishable and the side channel leaks.
+    pub fn rejects_null(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+
+    /// True when `|t|` exceeds the TVLA-style fixed threshold (classically
+    /// 4.5) used in leakage certification.
+    pub fn exceeds_threshold(&self, threshold: f64) -> bool {
+        self.t.abs() > threshold
+    }
+}
+
+impl fmt::Display for TTestResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t = {:+.4}, df = {:.1}, p = {:.4}", self.t, self.df, self.p)
+    }
+}
+
+/// Runs a two-sample t-test from raw observations.
+///
+/// # Errors
+///
+/// Returns [`TTestError::TooFewSamples`] when either sample has fewer than
+/// two points, and [`TTestError::DegenerateVariance`] when the statistic is
+/// 0/0 (both variances zero, means equal).
+///
+/// # Examples
+///
+/// ```
+/// use scnn_stats::ttest::{t_test, TTestKind};
+///
+/// # fn main() -> Result<(), scnn_stats::ttest::TTestError> {
+/// let a = [5.1, 4.9, 5.0, 5.2, 4.8];
+/// let b = [6.1, 5.9, 6.0, 6.2, 5.8];
+/// let r = t_test(&a, &b, TTestKind::Welch)?;
+/// assert!(r.rejects_null(0.05));
+/// # Ok(())
+/// # }
+/// ```
+pub fn t_test(sample1: &[f64], sample2: &[f64], kind: TTestKind) -> Result<TTestResult, TTestError> {
+    let s1: Summary = sample1.iter().copied().collect();
+    let s2: Summary = sample2.iter().copied().collect();
+    t_test_from_summaries(&s1, &s2, kind)
+}
+
+/// Runs a two-sample t-test from pre-accumulated [`Summary`] statistics.
+///
+/// This is the entry point used by the evaluator, which accumulates counter
+/// readings on line with Welford summaries rather than buffering raw
+/// samples.
+///
+/// # Errors
+///
+/// Same conditions as [`t_test`].
+pub fn t_test_from_summaries(
+    s1: &Summary,
+    s2: &Summary,
+    kind: TTestKind,
+) -> Result<TTestResult, TTestError> {
+    let (n1, n2) = (s1.count(), s2.count());
+    if n1 < 2 || n2 < 2 {
+        return Err(TTestError::TooFewSamples { n1, n2 });
+    }
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    let (v1, v2) = (s1.sample_variance(), s2.sample_variance());
+    let diff = s1.mean() - s2.mean();
+
+    let (t, df) = match kind {
+        TTestKind::Welch => {
+            let se_sq = v1 / n1f + v2 / n2f;
+            if se_sq == 0.0 {
+                if diff == 0.0 {
+                    return Err(TTestError::DegenerateVariance);
+                }
+                // Infinite separation: saturate rather than return NaN.
+                return Ok(TTestResult {
+                    t: diff.signum() * f64::INFINITY,
+                    df: (n1f + n2f - 2.0),
+                    p: 0.0,
+                    mean1: s1.mean(),
+                    mean2: s2.mean(),
+                    kind,
+                });
+            }
+            let t = diff / se_sq.sqrt();
+            // Welch–Satterthwaite approximation.
+            let df = se_sq * se_sq
+                / ((v1 / n1f).powi(2) / (n1f - 1.0) + (v2 / n2f).powi(2) / (n2f - 1.0));
+            (t, df)
+        }
+        TTestKind::Pooled => {
+            let df = n1f + n2f - 2.0;
+            let pooled = ((n1f - 1.0) * v1 + (n2f - 1.0) * v2) / df;
+            let se_sq = pooled * (1.0 / n1f + 1.0 / n2f);
+            if se_sq == 0.0 {
+                if diff == 0.0 {
+                    return Err(TTestError::DegenerateVariance);
+                }
+                return Ok(TTestResult {
+                    t: diff.signum() * f64::INFINITY,
+                    df,
+                    p: 0.0,
+                    mean1: s1.mean(),
+                    mean2: s2.mean(),
+                    kind,
+                });
+            }
+            (diff / se_sq.sqrt(), df)
+        }
+    };
+
+    let p = if t.is_infinite() {
+        0.0
+    } else {
+        StudentT::new(df.max(1.0)).two_tailed_p(t)
+    };
+    Ok(TTestResult {
+        t,
+        df,
+        p,
+        mean1: s1.mean(),
+        mean2: s2.mean(),
+        kind,
+    })
+}
+
+/// Cohen's d effect size between two samples (pooled-SD convention).
+///
+/// Returns `0.0` when the pooled standard deviation is zero.
+pub fn cohens_d(s1: &Summary, s2: &Summary) -> f64 {
+    let (n1, n2) = (s1.count() as f64, s2.count() as f64);
+    if n1 < 2.0 || n2 < 2.0 {
+        return 0.0;
+    }
+    let pooled = (((n1 - 1.0) * s1.sample_variance() + (n2 - 1.0) * s2.sample_variance())
+        / (n1 + n2 - 2.0))
+        .sqrt();
+    if pooled == 0.0 {
+        0.0
+    } else {
+        (s1.mean() - s2.mean()) / pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference fixture validated against scipy.stats.ttest_ind:
+    //   a = [14.1, 15.2, 13.8, 16.0, 15.5, 14.7]
+    //   b = [12.9, 13.1, 12.5, 13.8, 13.3]
+    //   Welch:  t = 4.3453, p = 0.002370 (df ≈ 8.13)
+    //   Pooled: t = 4.1291, p = 0.002563 (df = 9)
+    const A: [f64; 6] = [14.1, 15.2, 13.8, 16.0, 15.5, 14.7];
+    const B: [f64; 5] = [12.9, 13.1, 12.5, 13.8, 13.3];
+
+    #[test]
+    fn welch_reference() {
+        let r = t_test(&A, &B, TTestKind::Welch).unwrap();
+        assert!((r.t - 4.3453).abs() < 5e-3, "t={}", r.t);
+        assert!((r.p - 0.002370).abs() < 5e-4, "p={}", r.p);
+        assert!(r.rejects_null(0.05));
+        assert!(!r.rejects_null(0.001));
+    }
+
+    #[test]
+    fn pooled_reference() {
+        let r = t_test(&A, &B, TTestKind::Pooled).unwrap();
+        assert!((r.t - 4.1291).abs() < 5e-3, "t={}", r.t);
+        assert!((r.df - 9.0).abs() < 1e-12);
+        assert!((r.p - 0.002563).abs() < 5e-4, "p={}", r.p);
+    }
+
+    #[test]
+    fn antisymmetric_in_arguments() {
+        let r1 = t_test(&A, &B, TTestKind::Welch).unwrap();
+        let r2 = t_test(&B, &A, TTestKind::Welch).unwrap();
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p - r2.p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = t_test(&x, &x, TTestKind::Welch).unwrap();
+        assert!(r.t.abs() < 1e-12);
+        assert!(r.p > 0.999);
+        assert!(!r.rejects_null(0.05));
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert!(matches!(
+            t_test(&[1.0], &[1.0, 2.0], TTestKind::Welch),
+            Err(TTestError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_variance() {
+        assert!(matches!(
+            t_test(&[2.0, 2.0], &[2.0, 2.0], TTestKind::Welch),
+            Err(TTestError::DegenerateVariance)
+        ));
+        // Zero variance but distinct means: infinite separation, p = 0.
+        let r = t_test(&[1.0, 1.0], &[2.0, 2.0], TTestKind::Welch).unwrap();
+        assert!(r.t.is_infinite() && r.t < 0.0);
+        assert_eq!(r.p, 0.0);
+        assert!(r.rejects_null(0.05));
+    }
+
+    #[test]
+    fn from_summaries_matches_raw() {
+        let s1: Summary = A.iter().copied().collect();
+        let s2: Summary = B.iter().copied().collect();
+        let via_summary = t_test_from_summaries(&s1, &s2, TTestKind::Welch).unwrap();
+        let via_raw = t_test(&A, &B, TTestKind::Welch).unwrap();
+        assert!((via_summary.t - via_raw.t).abs() < 1e-12);
+        assert!((via_summary.p - via_raw.p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effect_size_reference() {
+        let s1: Summary = A.iter().copied().collect();
+        let s2: Summary = B.iter().copied().collect();
+        let d = cohens_d(&s1, &s2);
+        // pooled-SD Cohen's d ≈ 2.5003 (cross-checked externally).
+        assert!((d - 2.5003).abs() < 5e-3, "d={d}");
+        assert!((cohens_d(&s2, &s1) + d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_check() {
+        let r = t_test(&A, &B, TTestKind::Welch).unwrap();
+        assert!(!r.exceeds_threshold(4.5));
+        assert!(r.exceeds_threshold(3.0));
+    }
+
+    #[test]
+    fn well_separated_large_samples_tiny_p() {
+        let a: Vec<f64> = (0..200).map(|i| 100.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 140.0 + (i % 5) as f64).collect();
+        let r = t_test(&a, &b, TTestKind::Welch).unwrap();
+        assert!(r.t < -20.0);
+        assert!(r.p < 1e-10);
+    }
+}

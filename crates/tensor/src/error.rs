@@ -1,0 +1,132 @@
+//! Error types for tensor construction and shape algebra.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when tensor shapes are inconsistent with an operation.
+///
+/// Carried by every fallible operation in this crate; the variants keep
+/// enough context that a failed shape check can be reported to the user
+/// without re-deriving the offending dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two shapes that must be identical differ.
+    Mismatch {
+        /// Left-hand shape, as a dimension list.
+        left: Vec<usize>,
+        /// Right-hand shape, as a dimension list.
+        right: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// A convolution/pooling window does not fit the input geometry.
+    WindowMismatch {
+        /// Human-readable description of the failed constraint.
+        detail: String,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index, one entry per axis.
+        index: Vec<usize>,
+        /// The tensor shape, one entry per axis.
+        shape: Vec<usize>,
+    },
+    /// A dimension of size zero was supplied where a non-empty axis is
+    /// required.
+    ZeroDim,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::LengthMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were supplied"
+            ),
+            ShapeError::Mismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            ShapeError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            ShapeError::MatmulMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: {left_cols} vs {right_rows}"
+            ),
+            ShapeError::WindowMismatch { detail } => {
+                write!(f, "window does not fit input: {detail}")
+            }
+            ShapeError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            ShapeError::ZeroDim => write!(f, "zero-sized dimension is not allowed here"),
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ShapeError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn Error + Send + Sync> = Box::new(ShapeError::ZeroDim);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(
+            ShapeError::MatmulMismatch {
+                left_cols: 2,
+                right_rows: 3
+            },
+            ShapeError::MatmulMismatch {
+                left_cols: 2,
+                right_rows: 3
+            }
+        );
+        assert_ne!(ShapeError::ZeroDim, ShapeError::RankMismatch {
+            expected: 1,
+            actual: 2
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic random weight initialisation.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+/// Weight-initialisation schemes.
+///
+/// All schemes draw from a seeded [`ChaCha8Rng`] so every experiment in the
+/// workspace is reproducible bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`
+    /// (Glorot/Xavier), appropriate for tanh/linear layers.
+    XavierUniform,
+    /// Gaussian with `std = sqrt(2 / fan_in)` (He/Kaiming), appropriate for
+    /// ReLU layers.
+    HeNormal,
+    /// Uniform in `[-0.5, 0.5]` scaled by `1/sqrt(fan_in)`.
+    LecunUniform,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` follow the convention of the layer that owns the
+    /// weights (e.g. `fan_in = c * kh * kw` for a convolution).
+    pub fn sample<S: Into<Shape>>(self, shape: S, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+        let shape = shape.into();
+        let n = shape.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+                (0..n).map(|_| rng.gen_range(-limit..=limit)).collect()
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                let normal = GaussianSampler::new(0.0, std);
+                (0..n).map(|_| normal.sample(&mut rng) as f32).collect()
+            }
+            Init::LecunUniform => {
+                let limit = 0.5 / (fan_in.max(1) as f64).sqrt() as f32;
+                (0..n).map(|_| rng.gen_range(-limit..=limit)).collect()
+            }
+        };
+        Tensor::from_vec(data, shape).expect("shape length matches generated data by construction")
+    }
+}
+
+/// Box–Muller Gaussian sampler (avoids depending on `rand_distr`).
+#[derive(Debug, Clone, Copy)]
+struct GaussianSampler {
+    mean: f64,
+    std: f64,
+}
+
+impl GaussianSampler {
+    fn new(mean: f64, std: f64) -> Self {
+        GaussianSampler { mean, std }
+    }
+}
+
+impl Distribution<f64> for GaussianSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; u1 in (0,1] so ln is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Init::XavierUniform.sample([4, 4], 16, 16, 42);
+        let b = Init::XavierUniform.sample([4, 4], 16, 16, 42);
+        let c = Init::XavierUniform.sample([4, 4], 16, 16, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let limit = (6.0f64 / 64.0).sqrt() as f32;
+        let t = Init::XavierUniform.sample([256], 32, 32, 7);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn he_normal_moments() {
+        let t = Init::HeNormal.sample([10_000], 50, 50, 1);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / (t.len() as f32 - 1.0);
+        let expect_var = 2.0 / 50.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.15,
+            "var {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        let t = Init::Zeros.sample([3, 3], 9, 9, 0);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn lecun_bounded() {
+        let limit = 0.5 / (100.0f64).sqrt() as f32;
+        let t = Init::LecunUniform.sample([1000], 100, 10, 3);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+}

@@ -1,0 +1,40 @@
+//! # scnn-tensor
+//!
+//! Dense `f32` tensors and the numeric kernels used across the `scnn`
+//! workspace, which reproduces *"How Secure are Deep Learning Algorithms
+//! from Side-Channel based Reverse Engineering?"* (Alam & Mukhopadhyay,
+//! DAC 2019).
+//!
+//! The crate deliberately stays small and dependency-light: a row-major
+//! [`Tensor`] type, [`Shape`] algebra, reference linear-algebra /
+//! convolution kernels in [`ops`], and deterministic weight initialisation
+//! in [`init`]. The *instrumented* (side-channel-emitting) kernels live in
+//! `scnn-nn` and are cross-validated against the reference kernels here.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_tensor::{ops, Tensor};
+//!
+//! # fn main() -> Result<(), scnn_tensor::ShapeError> {
+//! let image = Tensor::full([1, 8, 8], 1.0);
+//! let filters = Tensor::full([4, 1, 3, 3], 0.1);
+//! let bias = Tensor::zeros([4]);
+//! let fmap = ops::conv2d(&image, &filters, &bias, ops::Window2d::simple(3))?;
+//! assert_eq!(fmap.dims(), &[4, 6, 6]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod init;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::{Result, ShapeError};
+pub use init::Init;
+pub use shape::Shape;
+pub use tensor::Tensor;

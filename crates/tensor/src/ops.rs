@@ -1,0 +1,573 @@
+//! Linear-algebra and convolution-lowering primitives.
+//!
+//! These are the *pure* numeric kernels. The data-dependent, instrumented
+//! variants that feed the microarchitectural simulator live in `scnn-nn`;
+//! keeping the reference kernels here lets the test suite cross-check the
+//! instrumented implementations against an independent ground truth.
+
+use crate::error::{Result, ShapeError};
+use crate::tensor::Tensor;
+
+/// Matrix product `C = A · B` for rank-2 tensors.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-matrices and
+/// [`ShapeError::MatmulMismatch`] when inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), scnn_tensor::ShapeError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+/// assert_eq!(ops::matmul(&a, &b)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aval = ad[i * k + p];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Matrix–vector product `y = A · x`.
+///
+/// # Errors
+///
+/// Returns shape errors when `a` is not a matrix, `x` is not a vector, or
+/// the inner dimensions disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    x.shape().expect_rank(1)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if x.dims()[0] != k {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: k,
+            right_rows: x.dims()[0],
+        });
+    }
+    let ad = a.as_slice();
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xd.iter()).map(|(&w, &v)| w * v).sum();
+    }
+    Tensor::from_vec(out, [m])
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-matrices.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let ad = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Outer product of two vectors: `out[i][j] = x[i] * y[j]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-vectors.
+pub fn outer(x: &Tensor, y: &Tensor) -> Result<Tensor> {
+    x.shape().expect_rank(1)?;
+    y.shape().expect_rank(1)?;
+    let (m, n) = (x.dims()[0], y.dims()[0]);
+    let mut out = vec![0.0f32; m * n];
+    for (i, &xv) in x.as_slice().iter().enumerate() {
+        for (j, &yv) in y.as_slice().iter().enumerate() {
+            out[i * n + j] = xv * yv;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Geometry of a 2-D sliding-window operation (convolution or pooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window2d {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Zero padding applied symmetrically to the height axis.
+    pub ph: usize,
+    /// Zero padding applied symmetrically to the width axis.
+    pub pw: usize,
+}
+
+impl Window2d {
+    /// Square kernel with unit stride and no padding.
+    pub fn simple(k: usize) -> Self {
+        Window2d {
+            kh: k,
+            kw: k,
+            sh: 1,
+            sw: 1,
+            ph: 0,
+            pw: 0,
+        }
+    }
+
+    /// Square kernel with stride `s` and no padding (pooling-style).
+    pub fn strided(k: usize, s: usize) -> Self {
+        Window2d {
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            ph: 0,
+            pw: 0,
+        }
+    }
+
+    /// Square kernel with "same" padding for unit stride.
+    pub fn same(k: usize) -> Self {
+        Window2d {
+            kh: k,
+            kw: k,
+            sh: 1,
+            sw: 1,
+            ph: k / 2,
+            pw: k / 2,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::WindowMismatch`] when the window does not fit
+    /// or a stride is zero.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.sh == 0 || self.sw == 0 {
+            return Err(ShapeError::WindowMismatch {
+                detail: "stride must be non-zero".into(),
+            });
+        }
+        if self.kh == 0 || self.kw == 0 {
+            return Err(ShapeError::WindowMismatch {
+                detail: "kernel must be non-empty".into(),
+            });
+        }
+        let ih = h + 2 * self.ph;
+        let iw = w + 2 * self.pw;
+        if ih < self.kh || iw < self.kw {
+            return Err(ShapeError::WindowMismatch {
+                detail: format!(
+                    "kernel {}x{} larger than padded input {}x{}",
+                    self.kh, self.kw, ih, iw
+                ),
+            });
+        }
+        Ok(((ih - self.kh) / self.sh + 1, (iw - self.kw) / self.sw + 1))
+    }
+}
+
+/// Lowers a `[C, H, W]` image into the im2col matrix of shape
+/// `[C*kh*kw, oh*ow]`, the standard convolution-as-matmul transform.
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-3-D input and window-fit
+/// errors from [`Window2d::output_size`].
+pub fn im2col(input: &Tensor, win: Window2d) -> Result<Tensor> {
+    input.shape().expect_rank(3)?;
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (oh, ow) = win.output_size(h, w)?;
+    let rows = c * win.kh * win.kw;
+    let cols = oh * ow;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+    for ch in 0..c {
+        for ky in 0..win.kh {
+            for kx in 0..win.kw {
+                let row = (ch * win.kh + ky) * win.kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * win.sh + ky) as isize - win.ph as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * win.sw + kx) as isize - win.pw as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            src[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [rows, cols])
+}
+
+/// Inverse of [`im2col`]: scatters a `[C*kh*kw, oh*ow]` matrix back into a
+/// `[C, H, W]` image, *accumulating* overlapping contributions. Used by the
+/// convolution backward pass.
+///
+/// # Errors
+///
+/// Returns shape errors when the column matrix does not correspond to the
+/// given geometry.
+pub fn col2im(cols_mat: &Tensor, c: usize, h: usize, w: usize, win: Window2d) -> Result<Tensor> {
+    cols_mat.shape().expect_rank(2)?;
+    let (oh, ow) = win.output_size(h, w)?;
+    let rows = c * win.kh * win.kw;
+    let cols = oh * ow;
+    if cols_mat.dims() != [rows, cols] {
+        return Err(ShapeError::Mismatch {
+            left: cols_mat.dims().to_vec(),
+            right: vec![rows, cols],
+        });
+    }
+    let src = cols_mat.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        for ky in 0..win.kh {
+            for kx in 0..win.kw {
+                let row = (ch * win.kh + ky) * win.kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * win.sh + ky) as isize - win.ph as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * win.sw + kx) as isize - win.pw as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        out[(ch * h + iy as usize) * w + ix as usize] +=
+                            src[row * cols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [c, h, w])
+}
+
+/// Direct (nested-loop) 2-D convolution of a `[C, H, W]` input with
+/// `[F, C, kh, kw]` filters plus per-filter bias, producing `[F, oh, ow]`.
+///
+/// This is the reference kernel; `scnn-nn` cross-validates its instrumented
+/// convolution against it.
+///
+/// # Errors
+///
+/// Returns shape errors when ranks, channel counts or window geometry are
+/// inconsistent.
+pub fn conv2d(input: &Tensor, filters: &Tensor, bias: &Tensor, win: Window2d) -> Result<Tensor> {
+    input.shape().expect_rank(3)?;
+    filters.shape().expect_rank(4)?;
+    bias.shape().expect_rank(1)?;
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (f, fc, kh, kw) = (
+        filters.dims()[0],
+        filters.dims()[1],
+        filters.dims()[2],
+        filters.dims()[3],
+    );
+    if fc != c {
+        return Err(ShapeError::Mismatch {
+            left: vec![fc],
+            right: vec![c],
+        });
+    }
+    if kh != win.kh || kw != win.kw {
+        return Err(ShapeError::WindowMismatch {
+            detail: format!(
+                "filter kernel {kh}x{kw} disagrees with window {}x{}",
+                win.kh, win.kw
+            ),
+        });
+    }
+    if bias.dims()[0] != f {
+        return Err(ShapeError::Mismatch {
+            left: vec![bias.dims()[0]],
+            right: vec![f],
+        });
+    }
+    let (oh, ow) = win.output_size(h, w)?;
+    let src = input.as_slice();
+    let wts = filters.as_slice();
+    let bs = bias.as_slice();
+    let mut out = vec![0.0f32; f * oh * ow];
+    for fi in 0..f {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bs[fi];
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * win.sh + ky) as isize - win.ph as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * win.sw + kx) as isize - win.pw as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += wts[((fi * c + ch) * kh + ky) * kw + kx]
+                                * src[(ch * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+                out[(fi * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, [f, oh, ow])
+}
+
+/// Numerically stable softmax of a vector.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-vectors and
+/// [`ShapeError::ZeroDim`] for empty input.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    x.shape().expect_rank(1)?;
+    if x.is_empty() {
+        return Err(ShapeError::ZeroDim);
+    }
+    let m = x.max();
+    let exps: Vec<f32> = x.as_slice().iter().map(|&v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.into_iter().map(|e| e / z).collect(), [x.len()])
+}
+
+/// Numerically stable `log(sum(exp(x)))` of a vector.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-vectors and
+/// [`ShapeError::ZeroDim`] for empty input.
+pub fn log_sum_exp(x: &Tensor) -> Result<f32> {
+    x.shape().expect_rank(1)?;
+    if x.is_empty() {
+        return Err(ShapeError::ZeroDim);
+    }
+    let m = x.max();
+    let s: f32 = x.as_slice().iter().map(|&v| (v - m).exp()).sum();
+    Ok(m + s.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), [rows, cols]).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = t2(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = t2(2, 3, &[0.0; 6]);
+        let b = t2(2, 2, &[0.0; 4]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(ShapeError::MatmulMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = t2(2, 3, &[1.0, 0.0, -1.0, 2.0, 2.0, 2.0]);
+        let x = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, 24.0]);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = transpose(&a).unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(transpose(&at).unwrap(), a);
+    }
+
+    #[test]
+    fn outer_known() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = outer(&x, &y).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn window_output_sizes() {
+        assert_eq!(Window2d::simple(3).output_size(5, 5).unwrap(), (3, 3));
+        assert_eq!(Window2d::strided(2, 2).output_size(4, 6).unwrap(), (2, 3));
+        assert_eq!(Window2d::same(3).output_size(5, 5).unwrap(), (5, 5));
+        assert!(Window2d::simple(6).output_size(5, 5).is_err());
+        let zero_stride = Window2d {
+            sh: 0,
+            ..Window2d::simple(2)
+        };
+        assert!(zero_stride.output_size(4, 4).is_err());
+    }
+
+    #[test]
+    fn conv2d_matches_im2col_matmul() {
+        // Random-ish deterministic data.
+        let input =
+            Tensor::from_vec((0..2 * 5 * 5).map(|i| ((i * 7) % 11) as f32 - 5.0).collect(), [
+                2, 5, 5,
+            ])
+            .unwrap();
+        let filters =
+            Tensor::from_vec((0..3 * 2 * 3 * 3).map(|i| ((i * 5) % 7) as f32 - 3.0).collect(), [
+                3, 2, 3, 3,
+            ])
+            .unwrap();
+        let bias = Tensor::from_slice(&[0.5, -0.5, 1.0]);
+        let win = Window2d::simple(3);
+
+        let direct = conv2d(&input, &filters, &bias, win).unwrap();
+
+        let cols = im2col(&input, win).unwrap();
+        let wmat = filters.reshape([3, 2 * 3 * 3]).unwrap();
+        let prod = matmul(&wmat, &cols).unwrap();
+        let (oh, ow) = win.output_size(5, 5).unwrap();
+        for fi in 0..3 {
+            for p in 0..oh * ow {
+                let expect = prod.as_slice()[fi * oh * ow + p] + bias.as_slice()[fi];
+                let got = direct.as_slice()[fi * oh * ow + p];
+                assert!((expect - got).abs() < 1e-4, "f={fi} p={p}: {expect} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_with_padding_same_size() {
+        let input = Tensor::full([1, 4, 4], 1.0);
+        let filters = Tensor::full([1, 1, 3, 3], 1.0);
+        let bias = Tensor::zeros([1]);
+        let out = conv2d(&input, &filters, &bias, Window2d::same(3)).unwrap();
+        assert_eq!(out.dims(), &[1, 4, 4]);
+        // Corner sees a 2x2 patch, centre sees full 3x3.
+        assert_eq!(out.get(&[0, 0, 0]).unwrap(), 4.0);
+        assert_eq!(out.get(&[0, 1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn conv2d_rejects_channel_mismatch() {
+        let input = Tensor::zeros([2, 4, 4]);
+        let filters = Tensor::zeros([1, 3, 3, 3]);
+        let bias = Tensor::zeros([1]);
+        assert!(conv2d(&input, &filters, &bias, Window2d::simple(3)).is_err());
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the adjoint identity that the
+        // conv backward pass relies on.
+        let win = Window2d::strided(2, 1);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), [1, 3, 3]).unwrap();
+        let cols = im2col(&x, win).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| (i as f32) * 0.5 - 2.0).collect(),
+            cols.shape().clone(),
+        )
+        .unwrap();
+        let back = col2im(&y, 1, 3, 3, win).unwrap();
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let s = softmax(&x).unwrap();
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+        assert!(s.as_slice()[2] > s.as_slice()[1]);
+        assert!(s.as_slice()[1] > s.as_slice()[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let x = Tensor::from_slice(&[1000.0, 1000.0]);
+        let s = softmax(&x).unwrap();
+        assert!(s.all_finite());
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_known() {
+        let x = Tensor::from_slice(&[0.0, 0.0]);
+        assert!((log_sum_exp(&x).unwrap() - (2.0f32).ln()).abs() < 1e-6);
+        assert!(log_sum_exp(&Tensor::from_slice(&[])).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Shape and stride algebra for dense row-major tensors.
+
+use crate::error::{Result, ShapeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense tensor: an ordered list of axis lengths.
+///
+/// Shapes are row-major ("C order"): the last axis is contiguous in memory.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from axis lengths.
+    ///
+    /// A rank-0 shape (scalar) is allowed and has `len() == 1`.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Axis lengths as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of axis lengths; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the shape contains zero elements (some axis has length 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides, in elements, one per axis.
+    ///
+    /// An axis of length 1 still receives its natural stride. Rank-0 shapes
+    /// return an empty vector.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-axis index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::RankMismatch`] when `index.len() != rank()` and
+    /// [`ShapeError::IndexOutOfBounds`] when any coordinate exceeds its axis.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(ShapeError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        let mut offset = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            if i >= d {
+                return Err(ShapeError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            offset += i * strides[axis];
+        }
+        Ok(offset)
+    }
+
+    /// Inverse of [`Shape::offset`]: converts a flat offset into coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::IndexOutOfBounds`] when `offset >= len()`.
+    pub fn coords(&self, offset: usize) -> Result<Vec<usize>> {
+        if offset >= self.len().max(1) || self.is_empty() && self.rank() > 0 {
+            return Err(ShapeError::IndexOutOfBounds {
+                index: vec![offset],
+                shape: self.dims.clone(),
+            });
+        }
+        let mut rem = offset;
+        let strides = self.strides();
+        let mut coords = vec![0; self.rank()];
+        for axis in 0..self.rank() {
+            coords[axis] = rem / strides[axis];
+            rem %= strides[axis];
+        }
+        Ok(coords)
+    }
+
+    /// Checks that two shapes are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Mismatch`] when they differ.
+    pub fn expect_same(&self, other: &Shape) -> Result<()> {
+        if self != other {
+            return Err(ShapeError::Mismatch {
+                left: self.dims.clone(),
+                right: other.dims.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that the shape has exactly `rank` axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::RankMismatch`] otherwise.
+    pub fn expect_rank(&self, rank: usize) -> Result<()> {
+        if self.rank() != rank {
+            return Err(ShapeError::RankMismatch {
+                expected: rank,
+                actual: self.rank(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::from([3, 4, 5]);
+        for flat in 0..s.len() {
+            let coords = s.coords(flat).unwrap();
+            assert_eq!(s.offset(&coords).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank() {
+        let s = Shape::from([2, 2]);
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(ShapeError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::from([2, 2]);
+        assert!(matches!(
+            s.offset(&[0, 2]),
+            Err(ShapeError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_length_axis_is_empty() {
+        let s = Shape::from([3, 0, 2]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn expect_helpers() {
+        let a = Shape::from([2, 3]);
+        assert!(a.expect_same(&Shape::from([2, 3])).is_ok());
+        assert!(a.expect_same(&Shape::from([3, 2])).is_err());
+        assert!(a.expect_rank(2).is_ok());
+        assert!(a.expect_rank(3).is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Dense, owned, row-major `f32` tensors.
+
+use crate::error::{Result, ShapeError};
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A dense, owned, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used by the whole workspace: images,
+/// weights, activations and gradients are all `Tensor`s. The representation
+/// is a flat `Vec<f32>` plus a [`Shape`]; views are expressed with explicit
+/// offsets rather than borrowed slices to keep ownership simple across the
+/// instrumented-execution machinery in `scnn-nn`.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), scnn_tensor::ShapeError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// assert_eq!(t.get(&[1, 0])?, 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor with the given shape.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full<S: Into<Shape>>(shape: S, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::LengthMismatch`] when `data.len()` does not
+    /// equal the element count implied by `shape`.
+    pub fn from_vec<S: Into<Shape>>(data: Vec<f32>, shape: S) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(ShapeError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::from(vec![data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Axis lengths as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::offset`].
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::LengthMismatch`] when element counts differ.
+    pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.len() {
+            return Err(ShapeError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// In-place variant of [`Tensor::reshape`]; avoids copying the storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::LengthMismatch`] when element counts differ.
+    pub fn reshape_in_place<S: Into<Shape>>(&mut self, shape: S) -> Result<()> {
+        let shape = shape.into();
+        if shape.len() != self.len() {
+            return Err(ShapeError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Mismatch`] when shapes differ.
+    pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Tensor, mut f: F) -> Result<Tensor> {
+        self.shape.expect_same(&other.shape)?;
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements; `0.0` for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest element; `f32::NEG_INFINITY` for empty tensors.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element; `f32::INFINITY` for empty tensors.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element in flat row-major order.
+    ///
+    /// Ties resolve to the first occurrence; `None` for empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Multiplies every element by `k` in place.
+    pub fn scale_in_place(&mut self, k: f32) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Mismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.shape.expect_same(&other.shape)?;
+        for (x, &y) in self.data.iter_mut().zip(other.data.iter()) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Fraction of elements equal to zero — the activation-sparsity metric
+    /// that drives the side-channel mechanism modelled in `scnn-nn`.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// True when every element is finite (no NaN/inf) — used as a training
+    /// sanity check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const PREVIEW: usize = 8;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ; use [`Tensor::zip_with`] for a fallible
+    /// variant.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a + b)
+            .expect("tensor addition requires identical shapes")
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ; use [`Tensor::zip_with`] for a fallible
+    /// variant.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a - b)
+            .expect("tensor subtraction requires identical shapes")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    /// Element-wise accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ; use [`Tensor::axpy`] for a fallible
+    /// variant.
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs)
+            .expect("tensor accumulation requires identical shapes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.sum(), 0.0);
+        let f = Tensor::full([2], 1.5);
+        assert_eq!(f.as_slice(), &[1.5, 1.5]);
+        let s = Tensor::scalar(3.0);
+        assert_eq!(s.shape().rank(), 0);
+        assert_eq!(s.get(&[]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], [2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros([3, 3]);
+        t.set(&[2, 1], 7.0).unwrap();
+        assert_eq!(t.get(&[2, 1]).unwrap(), 7.0);
+        assert_eq!(t.as_slice()[7], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 5.0, 0.0]);
+        assert_eq!(t.sum(), 4.0);
+        assert_eq!(t.mean(), 1.0);
+        assert_eq!(t.max(), 5.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert_eq!(t.sparsity(), 0.25);
+    }
+
+    #[test]
+    fn argmax_ties_first() {
+        let t = Tensor::from_slice(&[2.0, 2.0, 1.0]);
+        assert_eq!(t.argmax(), Some(0));
+        assert_eq!(Tensor::from_slice(&[]).argmax(), None);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn axpy_checks_shape() {
+        let mut a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(t.all_finite());
+        t.set(&[0], f32::NAN).unwrap();
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros([100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.len() < 200);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

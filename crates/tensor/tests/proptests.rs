@@ -1,0 +1,156 @@
+//! Property-based tests for shape algebra and the numeric kernels.
+
+use proptest::prelude::*;
+use scnn_tensor::{ops, Shape, Tensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..4)
+}
+
+fn tensor_with_shape(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len: usize = dims.iter().product();
+    prop::collection::vec(-10.0f32..10.0, len)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).expect("length matches"))
+}
+
+proptest! {
+    #[test]
+    fn offset_coords_roundtrip(dims in small_dims(), seed in 0usize..10_000) {
+        let shape = Shape::new(dims);
+        if !shape.is_empty() {
+            let flat = seed % shape.len();
+            let coords = shape.coords(flat).unwrap();
+            prop_assert_eq!(shape.offset(&coords).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn strides_decrease_row_major(dims in small_dims()) {
+        let shape = Shape::new(dims);
+        let strides = shape.strides();
+        for w in strides.windows(2) {
+            prop_assert!(w[0] >= w[1], "row-major strides are non-increasing");
+        }
+        if let Some(&last) = strides.last() {
+            prop_assert_eq!(last, 1);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_contents(t in small_dims().prop_flat_map(tensor_with_shape)) {
+        let flat = t.reshape([t.len()]).unwrap();
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        prop_assert_eq!(flat.sum(), t.sum());
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f32 - 48.0)
+            .collect();
+        let a = Tensor::from_vec(data, [rows, cols]).unwrap();
+        let att = ops::transpose(&ops::transpose(&a).unwrap()).unwrap();
+        prop_assert_eq!(att, a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_identity(n in 1usize..6, seed in 0u64..1000) {
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i as u64).wrapping_mul(seed * 3 + 7) % 13) as f32 - 6.0)
+            .collect();
+        let a = Tensor::from_vec(data, [n, n]).unwrap();
+        let mut eye = Tensor::zeros([n, n]);
+        for i in 0..n {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        prop_assert_eq!(ops::matmul(&a, &eye).unwrap(), a.clone());
+        prop_assert_eq!(ops::matmul(&eye, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_is_linear(m in 1usize..6, k in 1usize..6, s in 1u64..50) {
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i as u64 * s) % 11) as f32 - 5.0).collect(),
+            [m, k],
+        ).unwrap();
+        let x = Tensor::from_vec(
+            (0..k).map(|i| ((i as u64 * s * 5) % 7) as f32 - 3.0).collect(),
+            [k],
+        ).unwrap();
+        let y1 = ops::matvec(&a, &x).unwrap();
+        let x2 = &x * 2.0;
+        let y2 = ops::matvec(&a, &x2).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-3, "A(2x) = 2(Ax): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(data in prop::collection::vec(-30.0f32..30.0, 1..20)) {
+        let x = Tensor::from_slice(&data);
+        let s = ops::softmax(&x).unwrap();
+        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Order preserved.
+        let max_in = x.argmax();
+        let max_out = s.argmax();
+        prop_assert_eq!(max_in, max_out);
+    }
+
+    #[test]
+    fn conv_direct_equals_im2col_gemm(
+        c in 1usize..3,
+        f in 1usize..3,
+        size in 4usize..7,
+        seed in 0u64..500,
+    ) {
+        let k = 3;
+        let input = Tensor::from_vec(
+            (0..c * size * size)
+                .map(|i| ((i as u64).wrapping_mul(seed * 2 + 3) % 19) as f32 / 4.0 - 2.0)
+                .collect(),
+            [c, size, size],
+        ).unwrap();
+        let filters = Tensor::from_vec(
+            (0..f * c * k * k)
+                .map(|i| ((i as u64).wrapping_mul(seed + 11) % 9) as f32 / 2.0 - 2.0)
+                .collect(),
+            [f, c, k, k],
+        ).unwrap();
+        let bias = Tensor::zeros([f]);
+        let win = ops::Window2d::simple(k);
+
+        let direct = ops::conv2d(&input, &filters, &bias, win).unwrap();
+        let cols = ops::im2col(&input, win).unwrap();
+        let wmat = filters.reshape([f, c * k * k]).unwrap();
+        let gemm = ops::matmul(&wmat, &cols).unwrap();
+        for (a, b) in direct.as_slice().iter().zip(gemm.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(size in 3usize..7, seed in 0u64..200) {
+        // <im2col(x), y> == <x, col2im(y)>
+        let win = ops::Window2d::simple(2);
+        let x = Tensor::from_vec(
+            (0..size * size).map(|i| ((i as u64 * (seed + 1)) % 23) as f32 - 11.0).collect(),
+            [1, size, size],
+        ).unwrap();
+        let cols = ops::im2col(&x, win).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| ((i as u64 * (seed + 7)) % 17) as f32 - 8.0).collect(),
+            cols.shape().clone(),
+        ).unwrap();
+        let back = ops::col2im(&y, 1, size, size, win).unwrap();
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn sparsity_bounds(t in small_dims().prop_flat_map(tensor_with_shape)) {
+        let s = t.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,565 @@
+//! Branch prediction models: static, bimodal (two-bit), gshare and a
+//! tournament chooser.
+//!
+//! The `branches` and `branch-misses` HPC events of the paper are derived
+//! from these models: every conditional branch emitted by the instrumented
+//! CNN retires one `branches` event, and a wrong prediction retires one
+//! `branch-misses` event.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics kept by every predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Conditional branches observed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Misprediction ratio in `[0, 1]`; `0.0` with no branches.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A conditional-branch predictor.
+///
+/// `observe` performs predict-then-update in one step and returns whether
+/// the prediction was correct, which is the only thing the counter model
+/// needs.
+pub trait BranchPredictor {
+    /// Predicts the branch at `pc`, updates internal state with the true
+    /// outcome `taken`, and returns `true` when the prediction was correct.
+    fn observe(&mut self, pc: u64, taken: bool) -> bool;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> BranchStats;
+
+    /// Clears statistics (prediction state is kept, matching how real PMUs
+    /// reset counters without flushing predictor state).
+    fn reset_stats(&mut self);
+}
+
+/// Predicts every branch taken (or not) — the baseline predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPredictor {
+    predict_taken: bool,
+    stats: BranchStats,
+}
+
+impl StaticPredictor {
+    /// Creates the predictor; `predict_taken` chooses its fixed guess.
+    pub fn new(predict_taken: bool) -> Self {
+        StaticPredictor {
+            predict_taken,
+            stats: BranchStats::default(),
+        }
+    }
+}
+
+impl BranchPredictor for StaticPredictor {
+    fn observe(&mut self, _pc: u64, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let correct = taken == self.predict_taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        correct
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// Saturating two-bit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TwoBit(u8);
+
+impl TwoBit {
+    const WEAK_TAKEN: TwoBit = TwoBit(2);
+
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Bimodal predictor: a table of two-bit counters indexed by low PC bits.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<TwoBit>,
+    mask: u64,
+    stats: BranchStats,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=24).contains(&index_bits), "index_bits must be 1..=24");
+        let size = 1usize << index_bits;
+        BimodalPredictor {
+            table: vec![TwoBit::WEAK_TAKEN; size],
+            mask: (size - 1) as u64,
+            stats: BranchStats::default(),
+        }
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let idx = (pc & self.mask) as usize;
+        let correct = self.table[idx].predict() == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        self.table[idx].update(taken);
+        correct
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// GShare predictor: two-bit counters indexed by `pc ⊕ global history`.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<TwoBit>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+    stats: BranchStats,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with `2^index_bits` counters and `history_bits`
+    /// of global history (`history_bits <= index_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        assert!((1..=24).contains(&index_bits), "index_bits must be 1..=24");
+        assert!(history_bits <= index_bits, "history must fit in index");
+        let size = 1usize << index_bits;
+        GsharePredictor {
+            table: vec![TwoBit::WEAK_TAKEN; size],
+            mask: (size - 1) as u64,
+            history: 0,
+            history_bits,
+            stats: BranchStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc ^ self.history) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let idx = self.index(pc);
+        let correct = self.table[idx].predict() == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        self.table[idx].update(taken);
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+        correct
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// Tournament predictor: bimodal and gshare components with a two-bit
+/// chooser per PC that learns which component predicts better.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    bimodal: BimodalPredictor,
+    gshare: GsharePredictor,
+    chooser: Vec<TwoBit>,
+    mask: u64,
+    stats: BranchStats,
+}
+
+impl TournamentPredictor {
+    /// Creates a tournament predictor with `2^index_bits` entries in every
+    /// component table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `index_bits` (see [`BimodalPredictor::new`]).
+    pub fn new(index_bits: u32) -> Self {
+        let size = 1usize << index_bits;
+        TournamentPredictor {
+            bimodal: BimodalPredictor::new(index_bits),
+            gshare: GsharePredictor::new(index_bits, index_bits.min(12)),
+            chooser: vec![TwoBit::WEAK_TAKEN; size],
+            mask: (size - 1) as u64,
+            stats: BranchStats::default(),
+        }
+    }
+}
+
+impl BranchPredictor for TournamentPredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let idx = (pc & self.mask) as usize;
+
+        // Component predictions (peek before their internal updates).
+        let bim_pred = self.bimodal.table[(pc & self.bimodal.mask) as usize].predict();
+        let gsh_pred = self.gshare.table[self.gshare.index(pc)].predict();
+        // Chooser: counter >= 2 selects gshare.
+        let use_gshare = self.chooser[idx].predict();
+        let chosen = if use_gshare { gsh_pred } else { bim_pred };
+        let correct = chosen == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+
+        // Train the chooser toward the component that was right (only when
+        // they disagree).
+        let bim_right = bim_pred == taken;
+        let gsh_right = gsh_pred == taken;
+        if bim_right != gsh_right {
+            self.chooser[idx].update(gsh_right);
+        }
+
+        // Train both components (their own stats are bookkeeping only).
+        self.bimodal.observe(pc, taken);
+        self.gshare.observe(pc, taken);
+        correct
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// Perceptron predictor (Jiménez & Lin): per-PC weight vectors dotted
+/// with the global history; trained only on mispredictions or weak
+/// outputs. Captures linearly-separable correlations that two-bit tables
+/// cannot.
+#[derive(Debug, Clone)]
+pub struct PerceptronPredictor {
+    /// One weight vector (bias + history weights) per table entry.
+    weights: Vec<Vec<i32>>,
+    mask: u64,
+    /// Global history as ±1 values (true = taken).
+    history: Vec<bool>,
+    /// Training threshold θ ≈ 1.93·h + 14 (the published optimum).
+    threshold: i32,
+    stats: BranchStats,
+}
+
+impl PerceptronPredictor {
+    /// Creates a predictor with `2^index_bits` perceptrons over
+    /// `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index_bits` is outside `1..=24` or `history_bits` is 0.
+    pub fn new(index_bits: u32, history_bits: usize) -> Self {
+        assert!((1..=24).contains(&index_bits), "index_bits must be 1..=24");
+        assert!(history_bits > 0, "history must be non-empty");
+        let size = 1usize << index_bits;
+        PerceptronPredictor {
+            weights: vec![vec![0; history_bits + 1]; size],
+            mask: (size - 1) as u64,
+            history: vec![false; history_bits],
+            threshold: (1.93 * history_bits as f64 + 14.0) as i32,
+            stats: BranchStats::default(),
+        }
+    }
+
+    fn output(&self, idx: usize) -> i32 {
+        let w = &self.weights[idx];
+        let mut y = w[0]; // bias
+        for (i, &h) in self.history.iter().enumerate() {
+            y += if h { w[i + 1] } else { -w[i + 1] };
+        }
+        y
+    }
+}
+
+impl BranchPredictor for PerceptronPredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let idx = (pc & self.mask) as usize;
+        let y = self.output(idx);
+        let predicted = y >= 0;
+        let correct = predicted == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        // Train on mispredicts or low-confidence outputs.
+        if !correct || y.abs() <= self.threshold {
+            const CLAMP: i32 = 127;
+            let t = if taken { 1 } else { -1 };
+            let w = &mut self.weights[idx];
+            w[0] = (w[0] + t).clamp(-CLAMP, CLAMP);
+            for (i, &h) in self.history.iter().enumerate() {
+                let x = if h { 1 } else { -1 };
+                w[i + 1] = (w[i + 1] + t * x).clamp(-CLAMP, CLAMP);
+            }
+        }
+        self.history.rotate_left(1);
+        if let Some(last) = self.history.last_mut() {
+            *last = taken;
+        }
+        correct
+    }
+
+    fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+}
+
+/// Predictor selection for [`crate::config::CoreConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Always-taken static predictor.
+    StaticTaken,
+    /// Bimodal two-bit table.
+    Bimodal,
+    /// GShare with global history.
+    Gshare,
+    /// Tournament of bimodal + gshare (the default; closest to a modern
+    /// core).
+    #[default]
+    Tournament,
+    /// Perceptron predictor over global history.
+    Perceptron,
+}
+
+impl PredictorKind {
+    /// Builds the predictor with `2^index_bits` table entries.
+    pub fn build(self, index_bits: u32) -> Box<dyn BranchPredictor + Send> {
+        match self {
+            PredictorKind::StaticTaken => Box::new(StaticPredictor::new(true)),
+            PredictorKind::Bimodal => Box::new(BimodalPredictor::new(index_bits)),
+            PredictorKind::Gshare => {
+                Box::new(GsharePredictor::new(index_bits, index_bits.min(12)))
+            }
+            PredictorKind::Tournament => Box::new(TournamentPredictor::new(index_bits)),
+            PredictorKind::Perceptron => {
+                Box::new(PerceptronPredictor::new(index_bits, (index_bits as usize).min(24)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<P: BranchPredictor>(p: &mut P, pattern: &[bool], reps: usize, pc: u64) {
+        for _ in 0..reps {
+            for &t in pattern {
+                p.observe(pc, t);
+            }
+        }
+    }
+
+    #[test]
+    fn static_predictor_counts() {
+        let mut p = StaticPredictor::new(true);
+        drive(&mut p, &[true, true, false], 10, 0x40);
+        assert_eq!(p.stats().branches, 30);
+        assert_eq!(p.stats().mispredictions, 10);
+        assert!((p.stats().miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = BimodalPredictor::new(10);
+        drive(&mut p, &[true], 100, 0x40);
+        p.reset_stats();
+        drive(&mut p, &[true], 100, 0x40);
+        assert_eq!(p.stats().mispredictions, 0, "steady taken loop is free");
+    }
+
+    #[test]
+    fn bimodal_loop_exit_costs_one() {
+        // A counted loop: N-1 taken, then 1 not-taken, repeated. Warmed-up
+        // two-bit counters mispredict only the exit.
+        let mut p = BimodalPredictor::new(10);
+        let mut pattern = vec![true; 9];
+        pattern.push(false);
+        drive(&mut p, &pattern, 3, 0x40); // warm up
+        p.reset_stats();
+        drive(&mut p, &pattern, 10, 0x40);
+        assert_eq!(p.stats().branches, 100);
+        assert_eq!(p.stats().mispredictions, 10, "one miss per loop exit");
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        // Bimodal cannot predict strict alternation (stuck counters);
+        // gshare learns it via history.
+        let mut b = BimodalPredictor::new(10);
+        let mut g = GsharePredictor::new(10, 8);
+        let pattern = [true, false];
+        drive(&mut b, &pattern, 200, 0x40);
+        drive(&mut g, &pattern, 200, 0x40);
+        let g_tail = {
+            g.reset_stats();
+            drive(&mut g, &pattern, 100, 0x40);
+            g.stats().miss_ratio()
+        };
+        let b_tail = {
+            b.reset_stats();
+            drive(&mut b, &pattern, 100, 0x40);
+            b.stats().miss_ratio()
+        };
+        assert!(g_tail < 0.05, "gshare tail miss ratio {g_tail}");
+        assert!(b_tail > 0.4, "bimodal tail miss ratio {b_tail}");
+    }
+
+    #[test]
+    fn tournament_at_least_tracks_better_component() {
+        let mut t = TournamentPredictor::new(10);
+        let pattern = [true, false];
+        drive(&mut t, &pattern, 300, 0x40);
+        t.reset_stats();
+        drive(&mut t, &pattern, 100, 0x40);
+        assert!(
+            t.stats().miss_ratio() < 0.05,
+            "tournament should adopt gshare on alternation, got {}",
+            t.stats().miss_ratio()
+        );
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_alias_much() {
+        let mut p = BimodalPredictor::new(12);
+        // Two branches with opposite bias at different PCs.
+        for _ in 0..100 {
+            p.observe(0x40, true);
+            p.observe(0x80, false);
+        }
+        p.reset_stats();
+        for _ in 0..100 {
+            p.observe(0x40, true);
+            p.observe(0x80, false);
+        }
+        assert_eq!(p.stats().mispredictions, 0);
+    }
+
+    #[test]
+    fn perceptron_learns_biased_branch() {
+        let mut p = PerceptronPredictor::new(8, 12);
+        drive(&mut p, &[true], 100, 0x40);
+        p.reset_stats();
+        drive(&mut p, &[true], 100, 0x40);
+        assert_eq!(p.stats().mispredictions, 0);
+    }
+
+    #[test]
+    fn perceptron_learns_history_correlation() {
+        // Branch B is taken exactly when the previous branch A was taken:
+        // a linear correlation a perceptron represents exactly.
+        let mut p = PerceptronPredictor::new(8, 8);
+        let pattern = [true, true, false, false, true, false];
+        for round in 0..120 {
+            for (i, &a) in pattern.iter().enumerate() {
+                p.observe(0x40, a);
+                p.observe(0x80, a); // perfectly correlated with A
+                let _ = (round, i);
+            }
+        }
+        p.reset_stats();
+        for _ in 0..30 {
+            for &a in &pattern {
+                p.observe(0x40, a);
+                p.observe(0x80, a);
+            }
+        }
+        let ratio = p.stats().miss_ratio();
+        assert!(ratio < 0.25, "correlated stream should be mostly predicted: {ratio}");
+    }
+
+    #[test]
+    fn perceptron_weights_stay_clamped() {
+        let mut p = PerceptronPredictor::new(4, 4);
+        // Hammer one branch far beyond the clamp.
+        drive(&mut p, &[true], 10_000, 0x40);
+        for w in &p.weights {
+            assert!(w.iter().all(|&x| x.abs() <= 127));
+        }
+    }
+
+    #[test]
+    fn kind_builds_all() {
+        for kind in [
+            PredictorKind::StaticTaken,
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::Tournament,
+            PredictorKind::Perceptron,
+        ] {
+            let mut p = kind.build(8);
+            p.observe(0x40, true);
+            assert_eq!(p.stats().branches, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bimodal_rejects_zero_bits() {
+        BimodalPredictor::new(0);
+    }
+
+    #[test]
+    fn reset_keeps_learning() {
+        let mut p = BimodalPredictor::new(8);
+        drive(&mut p, &[true], 10, 0x40);
+        p.reset_stats();
+        assert_eq!(p.stats().branches, 0);
+        // Still predicts taken immediately: state survived the reset.
+        p.observe(0x40, true);
+        assert_eq!(p.stats().mispredictions, 0);
+    }
+}

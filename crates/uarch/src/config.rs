@@ -1,0 +1,111 @@
+//! Whole-core configuration presets.
+
+use crate::branch::PredictorKind;
+use crate::cache::CacheConfig;
+use crate::cycles::CycleModel;
+use crate::hierarchy::{HierarchyConfig, LatencyModel};
+use crate::prefetch::PrefetcherKind;
+use crate::tlb::TlbConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated core: memory hierarchy, branch predictor,
+/// TLB and cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor family.
+    pub predictor: PredictorKind,
+    /// log2 of the predictor table size.
+    pub predictor_bits: u32,
+    /// Data TLB geometry.
+    pub tlb: TlbConfig,
+    /// Cycle cost model.
+    pub cycles: CycleModel,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorKind::Tournament,
+            predictor_bits: 12,
+            tlb: TlbConfig::default(),
+            cycles: CycleModel::default(),
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Full-geometry model of the paper's evaluation platform, an Intel
+    /// Xeon E5-2690 (Sandy Bridge EP): 32 KiB 8-way L1D, 256 KiB 8-way L2,
+    /// 20 MiB 20-way shared LLC, 64 B lines.
+    pub fn xeon_e5_2690() -> Self {
+        CoreConfig {
+            hierarchy: HierarchyConfig {
+                l1d: CacheConfig::new(32 * 1024, 8, 64),
+                l2: CacheConfig::new(256 * 1024, 8, 64),
+                l3: CacheConfig::new(20 * 1024 * 1024, 20, 64),
+                latency: LatencyModel {
+                    l1: 4,
+                    l2: 12,
+                    l3: 31,
+                    dram: 190,
+                },
+                prefetcher: PrefetcherKind::Stride,
+            },
+            predictor: PredictorKind::Tournament,
+            predictor_bits: 14,
+            tlb: TlbConfig {
+                entries: 64,
+                associativity: 4,
+                page_bytes: 4096,
+            },
+            cycles: CycleModel::default(),
+        }
+    }
+
+    /// A deliberately small core used by fast unit tests: tiny caches so
+    /// eviction behaviour is exercised with small workloads.
+    pub fn tiny() -> Self {
+        CoreConfig {
+            hierarchy: HierarchyConfig {
+                l1d: CacheConfig::new(1024, 2, 64),
+                l2: CacheConfig::new(4 * 1024, 4, 64),
+                l3: CacheConfig::new(16 * 1024, 4, 64),
+                latency: LatencyModel::default(),
+                prefetcher: PrefetcherKind::None,
+            },
+            predictor: PredictorKind::Bimodal,
+            predictor_bits: 8,
+            tlb: TlbConfig {
+                entries: 8,
+                associativity: 2,
+                page_bytes: 4096,
+            },
+            cycles: CycleModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_geometries() {
+        for cfg in [CoreConfig::default(), CoreConfig::xeon_e5_2690(), CoreConfig::tiny()] {
+            assert!(cfg.hierarchy.l1d.validate().is_ok());
+            assert!(cfg.hierarchy.l2.validate().is_ok());
+            assert!(cfg.hierarchy.l3.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn xeon_llc_is_20mib_20way() {
+        let cfg = CoreConfig::xeon_e5_2690();
+        assert_eq!(cfg.hierarchy.l3.size_bytes, 20 * 1024 * 1024);
+        assert_eq!(cfg.hierarchy.l3.associativity, 20);
+        assert_eq!(cfg.hierarchy.l3.num_sets(), 16384);
+    }
+}

@@ -1,0 +1,337 @@
+//! [`CoreSim`]: the full simulated core, tying hierarchy, predictor, TLB
+//! and cycle model together behind the [`Probe`] interface.
+
+use crate::branch::BranchPredictor;
+use crate::cache::CacheConfigError;
+use crate::config::CoreConfig;
+use crate::cycles::RetiredCounts;
+use crate::hierarchy::MemoryHierarchy;
+use crate::probe::Probe;
+use crate::tlb::Tlb;
+use serde::{Deserialize, Serialize};
+
+/// A raw snapshot of every architectural/microarchitectural count the
+/// simulated PMU can expose. This is the ground truth that `scnn-hpc`
+/// turns into perf-style event readings (with noise and multiplexing on
+/// top).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired data loads.
+    pub loads: u64,
+    /// Retired data stores.
+    pub stores: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Accesses that reached the LLC (`cache-references`).
+    pub llc_references: u64,
+    /// LLC misses (`cache-misses`).
+    pub llc_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Hardware prefetches issued.
+    pub prefetches: u64,
+    /// Core cycles (from the cycle model).
+    pub cycles: u64,
+    /// Reference cycles.
+    pub ref_cycles: u64,
+    /// Bus cycles.
+    pub bus_cycles: u64,
+}
+
+impl CounterSnapshot {
+    /// Per-event difference `self - earlier`, saturating at zero. Used to
+    /// turn two absolute snapshots into a measurement-window delta.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            branches: self.branches.saturating_sub(earlier.branches),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+            l1d_accesses: self.l1d_accesses.saturating_sub(earlier.l1d_accesses),
+            l1d_misses: self.l1d_misses.saturating_sub(earlier.l1d_misses),
+            l2_accesses: self.l2_accesses.saturating_sub(earlier.l2_accesses),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            llc_references: self.llc_references.saturating_sub(earlier.llc_references),
+            llc_misses: self.llc_misses.saturating_sub(earlier.llc_misses),
+            dtlb_misses: self.dtlb_misses.saturating_sub(earlier.dtlb_misses),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            ref_cycles: self.ref_cycles.saturating_sub(earlier.ref_cycles),
+            bus_cycles: self.bus_cycles.saturating_sub(earlier.bus_cycles),
+        }
+    }
+}
+
+/// The simulated core.
+///
+/// Drive it through the [`Probe`] trait from instrumented code, then call
+/// [`CoreSim::snapshot`] to read the counters.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_uarch::{CoreConfig, CoreSim, Probe};
+///
+/// # fn main() -> Result<(), scnn_uarch::cache::CacheConfigError> {
+/// let mut core = CoreSim::new(CoreConfig::default())?;
+/// for i in 0..64 {
+///     core.load(i * 64, 0x40);
+///     core.branch(0x400, i % 2 == 0);
+/// }
+/// core.alu(1000);
+/// let snap = core.snapshot();
+/// assert_eq!(snap.loads, 64);
+/// assert_eq!(snap.branches, 64);
+/// assert!(snap.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CoreSim {
+    config: CoreConfig,
+    hierarchy: MemoryHierarchy,
+    predictor: Box<dyn BranchPredictor + Send>,
+    tlb: Tlb,
+    loads: u64,
+    stores: u64,
+    alu_ops: u64,
+}
+
+impl std::fmt::Debug for CoreSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreSim")
+            .field("snapshot", &self.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoreSim {
+    /// Builds a core from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] when the cache geometry is invalid.
+    pub fn new(config: CoreConfig) -> Result<Self, CacheConfigError> {
+        Ok(CoreSim {
+            config,
+            hierarchy: MemoryHierarchy::new(config.hierarchy)?,
+            predictor: config.predictor.build(config.predictor_bits),
+            tlb: Tlb::new(config.tlb),
+            loads: 0,
+            stores: 0,
+            alu_ops: 0,
+        })
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Reads all counters. Cycles are derived on the fly from the cycle
+    /// model.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let h = self.hierarchy.stats();
+        let b = self.predictor.stats();
+        let t = self.tlb.stats();
+        let instructions = self.loads + self.stores + self.alu_ops + b.branches;
+        let retired = RetiredCounts {
+            instructions,
+            branch_misses: b.mispredictions,
+            tlb_misses: t.misses,
+            demand_memory_cycles: h.demand_cycles,
+        };
+        let cycles = self.config.cycles.cycles(&retired);
+        CounterSnapshot {
+            instructions,
+            loads: self.loads,
+            stores: self.stores,
+            branches: b.branches,
+            branch_misses: b.mispredictions,
+            l1d_accesses: h.l1d.accesses,
+            l1d_misses: h.l1d.misses,
+            l2_accesses: h.l2.accesses,
+            l2_misses: h.l2.misses,
+            llc_references: h.llc_references,
+            llc_misses: h.llc_misses,
+            dtlb_misses: t.misses,
+            prefetches: h.prefetches,
+            cycles,
+            ref_cycles: self.config.cycles.ref_cycles(cycles),
+            bus_cycles: self.config.cycles.bus_cycles(cycles),
+        }
+    }
+
+    /// Resets every counter to zero, keeping cache/predictor/TLB state
+    /// warm (what `perf stat` attach/detach does).
+    pub fn reset_counters(&mut self) {
+        self.hierarchy.reset_stats();
+        self.predictor.reset_stats();
+        self.tlb.reset_stats();
+        self.loads = 0;
+        self.stores = 0;
+        self.alu_ops = 0;
+    }
+
+    /// Flushes all cache and TLB contents — a cold start, as when the
+    /// measured process is freshly exec'd.
+    pub fn cold_start(&mut self) {
+        self.hierarchy.flush();
+        self.tlb.flush();
+    }
+
+    /// Applies co-runner / context-switch cache pollution (see
+    /// [`MemoryHierarchy::pollute`]).
+    pub fn pollute(&mut self, fraction: f64, seed: u64) {
+        self.hierarchy.pollute(fraction, seed);
+        self.tlb.flush();
+    }
+
+    /// Immutable access to the memory hierarchy.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+impl Probe for CoreSim {
+    fn load(&mut self, addr: u64, pc: u64) {
+        self.loads += 1;
+        self.tlb.translate(addr);
+        self.hierarchy.access(addr, false, pc);
+    }
+
+    fn store(&mut self, addr: u64, pc: u64) {
+        self.stores += 1;
+        self.tlb.translate(addr);
+        self.hierarchy.access(addr, true, pc);
+    }
+
+    fn branch(&mut self, pc: u64, taken: bool) {
+        self.predictor.observe(pc, taken);
+    }
+
+    fn alu(&mut self, n: u64) {
+        self.alu_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ServedBy;
+
+    fn core() -> CoreSim {
+        CoreSim::new(CoreConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let mut c = core();
+        c.load(0, 0x40);
+        c.store(64, 0x40);
+        c.branch(0x40, true);
+        c.alu(7);
+        let s = c.snapshot();
+        assert_eq!(s.instructions, 10);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+    }
+
+    #[test]
+    fn memory_side_counters_flow() {
+        let mut c = core();
+        for i in 0..100u64 {
+            c.load(i * 64, 0x40);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.l1d_accesses, 100);
+        assert!(s.l1d_misses > 0);
+        assert!(s.llc_references > 0);
+        assert!(s.llc_misses > 0);
+        assert!(s.dtlb_misses > 0);
+        assert!(s.cycles > 0);
+        assert!(s.ref_cycles < s.cycles);
+        assert!(s.bus_cycles < s.ref_cycles);
+    }
+
+    #[test]
+    fn reset_counters_keeps_warm_state() {
+        let mut c = core();
+        c.load(0, 0x40);
+        c.reset_counters();
+        let s0 = c.snapshot();
+        assert_eq!(s0.instructions, 0);
+        assert_eq!(s0.llc_misses, 0);
+        // Line is still warm: next access hits L1, no LLC traffic.
+        c.load(0, 0x40);
+        let s1 = c.snapshot();
+        assert_eq!(s1.l1d_misses, 0);
+    }
+
+    #[test]
+    fn cold_start_recreates_misses() {
+        let mut c = core();
+        c.load(0, 0x40);
+        c.cold_start();
+        c.reset_counters();
+        c.load(0, 0x40);
+        assert_eq!(c.snapshot().llc_misses, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut c = core();
+        c.load(0, 0x40);
+        let a = c.snapshot();
+        c.load(64, 0x40);
+        c.alu(10);
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.loads, 1);
+        assert_eq!(d.instructions, 11);
+        assert!(d.cycles > 0);
+    }
+
+    #[test]
+    fn pollution_causes_re_misses() {
+        let mut c = core();
+        for i in 0..8u64 {
+            c.load(i * 64, 0x40);
+        }
+        c.reset_counters();
+        c.pollute(1.0, 42);
+        for i in 0..8u64 {
+            c.load(i * 64, 0x40);
+        }
+        assert!(c.snapshot().l1d_misses > 0, "polluted lines must re-miss");
+    }
+
+    #[test]
+    fn served_by_visible_through_hierarchy() {
+        let mut c = core();
+        c.load(0, 0x40);
+        // Direct hierarchy access used by tests elsewhere — keep the
+        // accessor functional.
+        assert_eq!(c.hierarchy().stats().llc_misses, 1);
+        let _ = ServedBy::L1;
+    }
+
+    #[test]
+    fn send_bound() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CoreSim>();
+    }
+}

@@ -1,0 +1,158 @@
+//! Cycle cost model: turns retired-event counts and memory latencies into
+//! `cycles`, `ref-cycles` and `bus-cycles` figures.
+//!
+//! The model is deliberately simple — a superscalar base CPI plus
+//! serialisation penalties — because the paper's evaluator consumes
+//! *distributions* of these events, not absolute accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Sustained instructions per cycle when nothing stalls (issue width
+    /// discounted by dependency stalls).
+    pub base_ipc: f64,
+    /// Pipeline-flush penalty of a branch misprediction, in cycles.
+    pub branch_miss_penalty: u64,
+    /// Page-walk penalty of a TLB miss, in cycles.
+    pub tlb_miss_penalty: u64,
+    /// Fraction of demand memory latency hidden by out-of-order overlap,
+    /// in `[0, 1)`. `0.6` means only 40% of raw memory latency shows up as
+    /// stall cycles.
+    pub memory_overlap: f64,
+    /// Core-to-bus clock divider (`bus-cycles = cycles / bus_divider`).
+    pub bus_divider: f64,
+    /// Reference-clock ratio (`ref-cycles = cycles × ref_ratio`); models
+    /// the TSC running slightly below the turbo core clock, as in the
+    /// paper's Figure 2(b) where ref-cycles ≈ 0.986 × cycles.
+    pub ref_ratio: f64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel {
+            base_ipc: 2.0,
+            branch_miss_penalty: 15,
+            tlb_miss_penalty: 30,
+            memory_overlap: 0.6,
+            bus_divider: 26.0,
+            ref_ratio: 0.986,
+        }
+    }
+}
+
+/// The retired-event counts the model consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetiredCounts {
+    /// Retired instructions of any kind.
+    pub instructions: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Total demand memory latency from the hierarchy, in cycles.
+    pub demand_memory_cycles: u64,
+}
+
+impl CycleModel {
+    /// Core cycles implied by the retired counts.
+    pub fn cycles(&self, c: &RetiredCounts) -> u64 {
+        let base = c.instructions as f64 / self.base_ipc.max(0.1);
+        let branch = (c.branch_misses * self.branch_miss_penalty) as f64;
+        let tlb = (c.tlb_misses * self.tlb_miss_penalty) as f64;
+        let mem = c.demand_memory_cycles as f64 * (1.0 - self.memory_overlap.clamp(0.0, 0.99));
+        (base + branch + tlb + mem).round() as u64
+    }
+
+    /// `ref-cycles` derived from core cycles.
+    pub fn ref_cycles(&self, cycles: u64) -> u64 {
+        (cycles as f64 * self.ref_ratio).round() as u64
+    }
+
+    /// `bus-cycles` derived from core cycles.
+    pub fn bus_cycles(&self, cycles: u64) -> u64 {
+        (cycles as f64 / self.bus_divider.max(1.0)).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_compute_is_ipc_bound() {
+        let m = CycleModel::default();
+        let c = RetiredCounts {
+            instructions: 1000,
+            ..RetiredCounts::default()
+        };
+        assert_eq!(m.cycles(&c), 500, "1000 instructions at IPC 2");
+    }
+
+    #[test]
+    fn penalties_accumulate() {
+        let m = CycleModel::default();
+        let base = m.cycles(&RetiredCounts {
+            instructions: 1000,
+            ..RetiredCounts::default()
+        });
+        let with_misses = m.cycles(&RetiredCounts {
+            instructions: 1000,
+            branch_misses: 10,
+            tlb_misses: 2,
+            demand_memory_cycles: 100,
+        });
+        assert_eq!(with_misses, base + 150 + 60 + 40);
+    }
+
+    #[test]
+    fn derived_clocks_match_paper_ordering() {
+        // The paper's Fig 2(b): cycles > ref-cycles ≫ bus-cycles.
+        let m = CycleModel::default();
+        let cycles = 16_221_280_350u64;
+        let refc = m.ref_cycles(cycles);
+        let bus = m.bus_cycles(cycles);
+        assert!(cycles > refc);
+        assert!(refc > bus * 10);
+        // Ratio shape check: ref/cycles ≈ 0.986, bus/cycles ≈ 1/26.
+        assert!((refc as f64 / cycles as f64 - 0.986).abs() < 1e-6);
+        assert!((bus as f64 / cycles as f64 - 1.0 / 26.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_discounts_memory() {
+        let full = CycleModel {
+            memory_overlap: 0.0,
+            ..CycleModel::default()
+        }
+        .cycles(&RetiredCounts {
+            demand_memory_cycles: 1000,
+            ..RetiredCounts::default()
+        });
+        let overlapped = CycleModel {
+            memory_overlap: 0.9,
+            ..CycleModel::default()
+        }
+        .cycles(&RetiredCounts {
+            demand_memory_cycles: 1000,
+            ..RetiredCounts::default()
+        });
+        assert_eq!(full, 1000);
+        assert_eq!(overlapped, 100);
+    }
+
+    #[test]
+    fn degenerate_ipc_clamped() {
+        let m = CycleModel {
+            base_ipc: 0.0,
+            ..CycleModel::default()
+        };
+        // Must not divide by zero.
+        let c = m.cycles(&RetiredCounts {
+            instructions: 100,
+            ..RetiredCounts::default()
+        });
+        assert!(c > 0);
+    }
+}

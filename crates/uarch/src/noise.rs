@@ -1,0 +1,322 @@
+//! System-noise model: what the OS and co-running processes add to a
+//! counter reading.
+//!
+//! A real `perf stat` measurement of one classification includes timer
+//! interrupts, scheduler ticks, occasional context switches and cache
+//! pollution from other cores, plus small DVFS-induced cycle jitter. This
+//! module samples those contributions deterministically from a seeded RNG
+//! so that the reproduced distributions (paper Figs. 3–4) have realistic
+//! dispersion — without it every t-test would saturate and the paper's
+//! "branches mostly do NOT distinguish categories" shape would be lost.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Mean number of timer interrupts per million core cycles (Poisson).
+    pub interrupts_per_mcycle: f64,
+    /// Instructions retired by one interrupt handler (mean; ±50% uniform).
+    pub interrupt_instructions: u64,
+    /// Fraction of interrupt-handler instructions that are branches.
+    pub interrupt_branch_fraction: f64,
+    /// Branch misprediction ratio inside handler code.
+    pub interrupt_branch_miss_ratio: f64,
+    /// LLC misses added per interrupt (handler working set; mean; ±50%).
+    pub interrupt_llc_misses: u64,
+    /// Mean context switches per million core cycles (Poisson) — longer
+    /// measurement windows see proportionally more scheduler activity.
+    pub context_switches_per_mcycle: f64,
+    /// LLC misses added by re-warming after one context switch (mean).
+    pub context_switch_llc_misses: u64,
+    /// Multiplicative cycle jitter: one reading's cycles are scaled by
+    /// `1 + U(-jitter, +jitter)` (DVFS wobble, SMIs).
+    pub cycle_jitter: f64,
+    /// Relative jitter applied to every counter independently (measurement
+    /// and multiplexing error).
+    pub counter_jitter: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            interrupts_per_mcycle: 0.22,
+            interrupt_instructions: 9_000,
+            interrupt_branch_fraction: 0.22,
+            interrupt_branch_miss_ratio: 0.04,
+            interrupt_llc_misses: 60,
+            context_switches_per_mcycle: 0.02,
+            context_switch_llc_misses: 500,
+            cycle_jitter: 0.012,
+            counter_jitter: 0.004,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noiseless configuration (for deterministic tests and the
+    /// countermeasure ablation's "quiet system" arm).
+    pub fn quiet() -> Self {
+        NoiseConfig {
+            interrupts_per_mcycle: 0.0,
+            interrupt_instructions: 0,
+            interrupt_branch_fraction: 0.0,
+            interrupt_branch_miss_ratio: 0.0,
+            interrupt_llc_misses: 0,
+            context_switches_per_mcycle: 0.0,
+            context_switch_llc_misses: 0,
+            cycle_jitter: 0.0,
+            counter_jitter: 0.0,
+        }
+    }
+
+    /// A deliberately loud configuration (busy multi-tenant host), used by
+    /// the noise-sweep experiment.
+    pub fn noisy() -> Self {
+        NoiseConfig {
+            interrupts_per_mcycle: 2.5,
+            interrupt_instructions: 14_000,
+            interrupt_llc_misses: 400,
+            context_switches_per_mcycle: 0.10,
+            context_switch_llc_misses: 9_000,
+            cycle_jitter: 0.03,
+            counter_jitter: 0.01,
+            ..NoiseConfig::default()
+        }
+    }
+
+    /// Linear interpolation between [`NoiseConfig::quiet`] and this
+    /// configuration, scaled by `level` (`0.0` = quiet, `1.0` = self).
+    pub fn scaled(&self, level: f64) -> Self {
+        let level = level.max(0.0);
+        NoiseConfig {
+            interrupts_per_mcycle: self.interrupts_per_mcycle * level,
+            interrupt_instructions: (self.interrupt_instructions as f64 * level) as u64,
+            interrupt_branch_fraction: self.interrupt_branch_fraction,
+            interrupt_branch_miss_ratio: self.interrupt_branch_miss_ratio,
+            interrupt_llc_misses: (self.interrupt_llc_misses as f64 * level) as u64,
+            context_switches_per_mcycle: self.context_switches_per_mcycle * level,
+            context_switch_llc_misses: (self.context_switch_llc_misses as f64 * level) as u64,
+            cycle_jitter: self.cycle_jitter * level,
+            counter_jitter: self.counter_jitter * level,
+        }
+    }
+}
+
+/// Additive/multiplicative noise drawn for one measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSample {
+    /// Extra retired instructions.
+    pub instructions: u64,
+    /// Extra retired branches.
+    pub branches: u64,
+    /// Extra branch misses.
+    pub branch_misses: u64,
+    /// Extra LLC references.
+    pub llc_references: u64,
+    /// Extra LLC misses.
+    pub llc_misses: u64,
+    /// Multiplier applied to the cycle count.
+    pub cycle_multiplier: f64,
+    /// Multiplier applied independently to each counter.
+    pub counter_multiplier: f64,
+    /// Number of context switches in the window.
+    pub context_switches: u64,
+    /// Number of interrupts in the window.
+    pub interrupts: u64,
+}
+
+/// Deterministic noise generator. One [`NoiseModel`] per measurement
+/// campaign; each call to [`NoiseModel::sample`] draws the noise for one
+/// measurement window.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    config: NoiseConfig,
+    rng: ChaCha8Rng,
+}
+
+impl NoiseModel {
+    /// Creates the model with an explicit seed.
+    pub fn new(config: NoiseConfig, seed: u64) -> Self {
+        NoiseModel {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Draws the noise for one measurement window of `cycles` core cycles.
+    pub fn sample(&mut self, cycles: u64) -> NoiseSample {
+        let cfg = &self.config;
+        let mut out = NoiseSample {
+            cycle_multiplier: 1.0,
+            counter_multiplier: 1.0,
+            ..NoiseSample::default()
+        };
+
+        // Timer interrupts: Poisson with mean proportional to window size.
+        let mean = cfg.interrupts_per_mcycle * cycles as f64 / 1.0e6;
+        let interrupts = poisson(&mut self.rng, mean);
+        out.interrupts = interrupts;
+        for _ in 0..interrupts {
+            let insns = jittered(&mut self.rng, cfg.interrupt_instructions);
+            let branches = (insns as f64 * cfg.interrupt_branch_fraction) as u64;
+            out.instructions += insns;
+            out.branches += branches;
+            out.branch_misses += (branches as f64 * cfg.interrupt_branch_miss_ratio) as u64;
+            let misses = jittered(&mut self.rng, cfg.interrupt_llc_misses);
+            out.llc_misses += misses;
+            out.llc_references += misses * 3;
+        }
+
+        // Context switches: bigger cache damage, rate proportional to the
+        // window length.
+        let cs_mean = cfg.context_switches_per_mcycle * cycles as f64 / 1.0e6;
+        let switches = poisson(&mut self.rng, cs_mean);
+        out.context_switches = switches;
+        for _ in 0..switches {
+            let misses = jittered(&mut self.rng, cfg.context_switch_llc_misses);
+            out.llc_misses += misses;
+            out.llc_references += misses * 2;
+            out.instructions += misses * 6; // scheduler + re-warm work
+            out.branches += misses;
+        }
+
+        if cfg.cycle_jitter > 0.0 {
+            out.cycle_multiplier = 1.0 + self.rng.gen_range(-cfg.cycle_jitter..=cfg.cycle_jitter);
+        }
+        if cfg.counter_jitter > 0.0 {
+            out.counter_multiplier =
+                1.0 + self.rng.gen_range(-cfg.counter_jitter..=cfg.counter_jitter);
+        }
+        out
+    }
+}
+
+/// Mean ± 50% uniform jitter, at least zero.
+fn jittered(rng: &mut ChaCha8Rng, mean: u64) -> u64 {
+    if mean == 0 {
+        return 0;
+    }
+    let lo = mean / 2;
+    let hi = mean + mean / 2;
+    rng.gen_range(lo..=hi)
+}
+
+/// Knuth-style Poisson sampler (inversion for small mean, normal
+/// approximation for large).
+fn poisson(rng: &mut ChaCha8Rng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as u64;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u64;
+    while product > limit {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_config_adds_nothing() {
+        let mut m = NoiseModel::new(NoiseConfig::quiet(), 1);
+        for _ in 0..10 {
+            let s = m.sample(10_000_000);
+            assert_eq!(s.instructions, 0);
+            assert_eq!(s.llc_misses, 0);
+            assert_eq!(s.cycle_multiplier, 1.0);
+            assert_eq!(s.counter_multiplier, 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = NoiseModel::new(NoiseConfig::default(), seed);
+            (0..5).map(|_| m.sample(5_000_000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn interrupt_rate_scales_with_window() {
+        let mut m = NoiseModel::new(NoiseConfig::default(), 3);
+        let short: u64 = (0..200).map(|_| m.sample(1_000_000).interrupts).sum();
+        let mut m = NoiseModel::new(NoiseConfig::default(), 3);
+        let long: u64 = (0..200).map(|_| m.sample(20_000_000).interrupts).sum();
+        assert!(
+            long > short * 8,
+            "20× window should see ≈20× interrupts: {long} vs {short}"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_roughly_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 3000;
+        for &mean in &[0.5, 4.0, 50.0] {
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let got = total as f64 / n as f64;
+            assert!(
+                (got - mean).abs() < mean * 0.15 + 0.1,
+                "mean {mean}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn multipliers_bounded() {
+        let mut m = NoiseModel::new(NoiseConfig::default(), 9);
+        for _ in 0..100 {
+            let s = m.sample(8_000_000);
+            assert!((s.cycle_multiplier - 1.0).abs() <= NoiseConfig::default().cycle_jitter);
+            assert!((s.counter_multiplier - 1.0).abs() <= NoiseConfig::default().counter_jitter);
+        }
+    }
+
+    #[test]
+    fn scaled_interpolates() {
+        let base = NoiseConfig::default();
+        let zero = base.scaled(0.0);
+        assert_eq!(zero.interrupts_per_mcycle, 0.0);
+        assert_eq!(zero.context_switches_per_mcycle, 0.0);
+        let half = base.scaled(0.5);
+        assert!((half.interrupts_per_mcycle - base.interrupts_per_mcycle * 0.5).abs() < 1e-12);
+        let over = base.scaled(10.0);
+        assert!((over.context_switches_per_mcycle
+            - base.context_switches_per_mcycle * 10.0)
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn noisy_louder_than_default() {
+        let window = 10_000_000;
+        let total = |cfg: NoiseConfig, seed| {
+            let mut m = NoiseModel::new(cfg, seed);
+            (0..100).map(|_| m.sample(window).llc_misses).sum::<u64>()
+        };
+        assert!(total(NoiseConfig::noisy(), 5) > total(NoiseConfig::default(), 5));
+    }
+}

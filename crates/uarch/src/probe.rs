@@ -1,0 +1,149 @@
+//! The [`Probe`] trait: the contract between instrumented workloads (the
+//! CNN kernels in `scnn-nn`) and the microarchitectural simulator.
+//!
+//! Instrumented code calls the probe for every architectural event it
+//! would cause on real hardware: data loads/stores, conditional branches
+//! and retired ALU work. A [`NullProbe`] implementation compiles to
+//! nothing, so un-instrumented ("fast path") inference pays no cost.
+
+/// Receiver of the architectural event stream produced by an instrumented
+/// workload.
+///
+/// Implementors translate the stream into microarchitectural state updates
+/// (cache fills, predictor updates, …). All methods have empty defaults so
+/// lightweight probes only override what they observe.
+pub trait Probe {
+    /// A data load at virtual address `addr`, issued by the load
+    /// instruction at program counter `pc` (the PC lets PC-indexed
+    /// structures like stride prefetchers separate access streams).
+    fn load(&mut self, addr: u64, pc: u64) {
+        let _ = (addr, pc);
+    }
+
+    /// A data store at virtual address `addr` issued from `pc`.
+    fn store(&mut self, addr: u64, pc: u64) {
+        let _ = (addr, pc);
+    }
+
+    /// A conditional branch at program location `pc` whose outcome was
+    /// `taken`.
+    fn branch(&mut self, pc: u64, taken: bool) {
+        let _ = (pc, taken);
+    }
+
+    /// `n` retired arithmetic/logic instructions that touch neither memory
+    /// nor control flow.
+    fn alu(&mut self, n: u64) {
+        let _ = n;
+    }
+}
+
+/// A probe that ignores everything — the zero-cost fast path.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_uarch::{NullProbe, Probe};
+///
+/// let mut p = NullProbe;
+/// p.load(0x1000, 0x400);
+/// p.branch(0x2000, true);
+/// // No state, no cost.
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// A probe that simply counts events — useful in tests and as the cheapest
+/// possible "instruction counter" backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// Number of loads observed.
+    pub loads: u64,
+    /// Number of stores observed.
+    pub stores: u64,
+    /// Number of branches observed.
+    pub branches: u64,
+    /// Number of taken branches observed.
+    pub taken_branches: u64,
+    /// Number of ALU instructions observed.
+    pub alu_ops: u64,
+}
+
+impl CountingProbe {
+    /// Creates a zeroed counter probe.
+    pub fn new() -> Self {
+        CountingProbe::default()
+    }
+
+    /// Total retired instructions implied by the event stream.
+    pub fn instructions(&self) -> u64 {
+        self.loads + self.stores + self.branches + self.alu_ops
+    }
+}
+
+impl Probe for CountingProbe {
+    fn load(&mut self, _addr: u64, _pc: u64) {
+        self.loads += 1;
+    }
+
+    fn store(&mut self, _addr: u64, _pc: u64) {
+        self.stores += 1;
+    }
+
+    fn branch(&mut self, _pc: u64, taken: bool) {
+        self.branches += 1;
+        if taken {
+            self.taken_branches += 1;
+        }
+    }
+
+    fn alu(&mut self, n: u64) {
+        self.alu_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_inert() {
+        let mut p = NullProbe;
+        p.load(1, 0x40);
+        p.store(2, 0x40);
+        p.branch(3, false);
+        p.alu(100);
+        assert_eq!(p, NullProbe);
+    }
+
+    #[test]
+    fn counting_probe_counts() {
+        let mut p = CountingProbe::new();
+        p.load(0, 0x40);
+        p.load(64, 0x40);
+        p.store(0, 0x40);
+        p.branch(1, true);
+        p.branch(1, false);
+        p.branch(1, true);
+        p.alu(10);
+        assert_eq!(p.loads, 2);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.branches, 3);
+        assert_eq!(p.taken_branches, 2);
+        assert_eq!(p.alu_ops, 10);
+        assert_eq!(p.instructions(), 16);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut p = CountingProbe::new();
+        {
+            let dynp: &mut dyn Probe = &mut p;
+            dynp.load(0, 0x40);
+            dynp.alu(2);
+        }
+        assert_eq!(p.instructions(), 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! The measurement instrument by itself: a `perf stat`-style session over
+//! the simulated PMU, reproducing the paper's Figure 2(b) workflow —
+//! `perf stat -e <events> -p <pid>` around one classification.
+//!
+//! Also demonstrates the §3 hardware-counter budget: asking for more
+//! events than the PMU has counters triggers time multiplexing with
+//! perf-style scaled estimates.
+//!
+//! ```text
+//! cargo run --release --example perf_stat
+//! ```
+
+use scnn::data::mnist_synth::{self, MnistSynthConfig};
+use scnn::hpc::{CounterGroup, HpcEvent, PerfStat, SimPmuConfig, SimulatedPmu};
+use scnn::nn::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = models::mnist_cnn(42);
+    let ds = mnist_synth::generate(
+        &MnistSynthConfig {
+            per_class: 1,
+            ..MnistSynthConfig::default()
+        },
+        7,
+    )?;
+    let (image, label) = ds.get(5).map(|(img, l)| (img.clone(), l)).expect("dataset non-empty");
+
+    // The exact eight events of the paper's Figure 2(b), all scheduled at
+    // once on an 8-counter PMU.
+    println!("perf stat -e {} -p <cnn>", HpcEvent::FIG2B.map(|e| e.perf_name()).join(","));
+    let pmu = SimulatedPmu::new(SimPmuConfig::default(), 0xF1)?;
+    let mut session = PerfStat::new(pmu, CounterGroup::new(HpcEvent::FIG2B.to_vec(), 8)?);
+    let report = session.stat(&mut |probe| {
+        let _ = net.classify_traced(&image, probe);
+    })?;
+    println!("\n(classifying one image of digit {label})\n{report}");
+
+    // Oversubscribed: all 12 modelled events on a 4-counter budget — the
+    // kernel would time-multiplex and scale, and so does the model.
+    println!("--- same classification, 12 events on a 4-counter PMU (scaled) ---");
+    let pmu = SimulatedPmu::new(SimPmuConfig::default(), 0xF2)?;
+    let mut session = PerfStat::new(pmu, CounterGroup::new(HpcEvent::ALL.to_vec(), 4)?);
+    let report = session.stat(&mut |probe| {
+        let _ = net.classify_traced(&image, probe);
+    })?;
+    println!("{report}");
+    Ok(())
+}

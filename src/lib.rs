@@ -1,0 +1,45 @@
+//! # scnn — side-channel leakage evaluation of CNN classifiers
+//!
+//! Facade crate for the `scnn` workspace, a full Rust reproduction of
+//! *"How Secure are Deep Learning Algorithms from Side-Channel based
+//! Reverse Engineering?"* (Alam & Mukhopadhyay, DAC 2019).
+//!
+//! The workspace builds every layer of the paper's experimental stack from
+//! scratch:
+//!
+//! - [`tensor`] — dense `f32` tensors and reference numeric kernels;
+//! - [`nn`] — CNN inference/training with microarchitecturally
+//!   instrumented execution;
+//! - [`uarch`] — cache hierarchy, branch predictors, TLB, prefetcher and
+//!   OS-noise simulation;
+//! - [`hpc`] — a `perf stat`-style hardware-performance-counter façade
+//!   over the simulator (or, behind the `linux-perf` feature of
+//!   `scnn-hpc`, real `perf_event_open`);
+//! - [`data`] — synthetic MNIST/CIFAR-10 generators plus real-format
+//!   loaders;
+//! - [`stats`] — t-tests, histograms and leakage matrices;
+//! - [`core`] — the paper's evaluator, plus template-attack and
+//!   countermeasure extensions.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use scnn::core::pipeline::{Experiment, ExperimentConfig};
+//! use scnn::core::DatasetKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ExperimentConfig::quick(DatasetKind::Mnist);
+//! let outcome = Experiment::new(config).run()?;
+//! println!("{}", outcome.report.render_table());
+//! assert!(outcome.report.alarm().raised());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use scnn_core as core;
+pub use scnn_data as data;
+pub use scnn_hpc as hpc;
+pub use scnn_nn as nn;
+pub use scnn_stats as stats;
+pub use scnn_tensor as tensor;
+pub use scnn_uarch as uarch;

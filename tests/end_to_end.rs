@@ -1,0 +1,81 @@
+//! Cross-crate integration: the full paper pipeline (data → train →
+//! measure → evaluate) at test scale, on both case studies.
+
+use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
+use scnn::hpc::HpcEvent;
+use scnn::uarch::CoreConfig;
+
+fn fast(dataset: DatasetKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(dataset);
+    cfg.train_per_class = 8;
+    cfg.test_per_class = 4;
+    cfg.train.epochs = 2;
+    cfg.collection.samples_per_category = 8;
+    cfg.pmu.core = CoreConfig::tiny();
+    cfg
+}
+
+#[test]
+fn mnist_pipeline_trains_measures_and_alarms() {
+    let outcome = Experiment::new(fast(DatasetKind::Mnist)).run().unwrap();
+
+    // The model learned something.
+    assert!(
+        outcome.train_report.final_train_accuracy > 0.5,
+        "train accuracy {}",
+        outcome.train_report.final_train_accuracy
+    );
+    // Four categories, both paper events measured for each.
+    assert_eq!(outcome.observations.len(), 4);
+    for obs in &outcome.observations {
+        assert_eq!(obs.len(), 8);
+        assert!(obs.series(HpcEvent::CacheMisses).is_some());
+        assert!(obs.series(HpcEvent::Branches).is_some());
+    }
+    // The zero-skipping implementation leaks.
+    assert!(outcome.report.alarm().raised());
+    assert!(outcome
+        .report
+        .alarm()
+        .triggering_events()
+        .contains(&HpcEvent::CacheMisses));
+}
+
+#[test]
+fn cifar_pipeline_runs() {
+    let outcome = Experiment::new(fast(DatasetKind::Cifar10)).run().unwrap();
+    assert_eq!(outcome.observations.len(), 4);
+    assert_eq!(outcome.report.categories, 4);
+    // Table rendering covers every pair.
+    let table = outcome.report.render_table();
+    for pair in ["t1,2", "t1,3", "t1,4", "t2,3", "t2,4", "t3,4"] {
+        assert!(table.contains(pair), "missing {pair}:\n{table}");
+    }
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let a = Experiment::new(fast(DatasetKind::Mnist)).run().unwrap();
+    let b = Experiment::new(fast(DatasetKind::Mnist)).run().unwrap();
+    assert_eq!(a.observations, b.observations);
+    assert_eq!(a.test_accuracy, b.test_accuracy);
+    // And a different seed genuinely changes the measurements.
+    let mut cfg = fast(DatasetKind::Mnist);
+    cfg.seed ^= 1;
+    let c = Experiment::new(cfg).run().unwrap();
+    assert_ne!(a.observations, c.observations);
+}
+
+#[test]
+fn monitored_categories_follow_config() {
+    let mut cfg = fast(DatasetKind::Mnist);
+    cfg.categories = vec![7, 2];
+    let outcome = Experiment::new(cfg).run().unwrap();
+    assert_eq!(outcome.observations.len(), 2);
+    assert_eq!(outcome.report.categories, 2);
+    assert_eq!(
+        outcome.report.per_event[0].pairwise.pairs.len(),
+        1,
+        "two categories give one pair"
+    );
+}

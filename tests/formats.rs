@@ -1,0 +1,87 @@
+//! Integration: on-disk dataset formats feed the same pipeline as the
+//! synthetic generators.
+
+use scnn::data::mnist_synth::{generate, MnistSynthConfig};
+use scnn::data::{cifar_bin, cifar_synth, idx};
+use scnn::nn::models;
+use scnn::nn::train::{train, TrainConfig};
+use scnn::tensor::Tensor;
+
+#[test]
+fn idx_roundtrip_then_train() {
+    // Write a synthetic dataset in real MNIST IDX format, read it back,
+    // and train on the decoded data — the path a user with the genuine
+    // files exercises.
+    let ds = generate(
+        &MnistSynthConfig {
+            per_class: 6,
+            side: 12,
+            ..MnistSynthConfig::default()
+        },
+        5,
+    )
+    .unwrap();
+    let images: Vec<Tensor> = ds.iter().map(|(img, _)| img.clone()).collect();
+    let labels: Vec<usize> = ds.iter().map(|(_, l)| l).collect();
+
+    let mut img_bytes = Vec::new();
+    idx::write_images(&mut img_bytes, &images).unwrap();
+    let mut lbl_bytes = Vec::new();
+    idx::write_labels(&mut lbl_bytes, &labels).unwrap();
+
+    let decoded = idx::read_dataset(&img_bytes[..], &lbl_bytes[..], 10).unwrap();
+    assert_eq!(decoded.len(), ds.len());
+    assert_eq!(decoded.class_counts(), ds.class_counts());
+
+    let mut net = models::small_cnn(1, 12, 10, 3);
+    let report = train(
+        &mut net,
+        &decoded.to_samples(),
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.epoch_losses[1] < report.epoch_losses[0] * 1.2);
+}
+
+#[test]
+fn cifar_bin_roundtrip_preserves_selection() {
+    let ds = cifar_synth::generate(
+        &cifar_synth::CifarSynthConfig {
+            per_class: 3,
+            ..cifar_synth::CifarSynthConfig::default()
+        },
+        6,
+    )
+    .unwrap();
+    let mut bytes = Vec::new();
+    cifar_bin::write_batch(&mut bytes, &ds).unwrap();
+    let decoded = cifar_bin::read_batch(&bytes[..]).unwrap();
+
+    // The paper's 4-category selection must behave identically on decoded
+    // data.
+    let sel_a = ds.select_classes(&[0, 1, 2, 3]);
+    let sel_b = decoded.select_classes(&[0, 1, 2, 3]);
+    assert_eq!(sel_a.len(), sel_b.len());
+    assert_eq!(sel_a.class_counts(), sel_b.class_counts());
+}
+
+#[test]
+fn normalization_and_split_compose() {
+    let mut ds = generate(
+        &MnistSynthConfig {
+            per_class: 10,
+            side: 12,
+            ..MnistSynthConfig::default()
+        },
+        8,
+    )
+    .unwrap();
+    let (mean, std) = ds.normalize();
+    assert!(std > 0.0 && mean > 0.0);
+    let (train_set, test_set) = ds.split(0.7, 1);
+    assert_eq!(train_set.len() + test_set.len(), ds.len());
+    assert_eq!(train_set.class_counts(), vec![7; 10]);
+}
