@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local tier-1 gate — mirrors .github/workflows/ci.yml exactly.
+#
+# The workspace is hermetic (zero external crates), so every cargo step
+# runs with --offline / CARGO_NET_OFFLINE=true: a step that needs the
+# network is a regression, not an inconvenience. Run from the repo root:
+#
+#   ci/check.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "cargo build --release --offline"
+cargo build --release --offline --workspace
+
+step "cargo test --offline"
+cargo test -q --offline --workspace
+
+step "repro smoke run (tiny scale)"
+out="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8)"
+printf '%s\n' "$out"
+printf '%s' "$out" | grep -q "ALARM" || { echo "FAIL: no alarm raised"; exit 1; }
+printf '%s' "$out" | grep -q "cache-misses" || { echo "FAIL: cache-misses absent"; exit 1; }
+
+step "all checks passed"

@@ -1,7 +1,7 @@
 //! Template-attack throughput: profiling and classifying HPC feature
 //! vectors.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scnn_bench::harness::{black_box, Harness};
 use scnn_core::attack::{mount_attack, AttackClassifier, AttackConfig};
 use scnn_core::collect::CategoryObservations;
 use scnn_hpc::HpcEvent;
@@ -31,15 +31,14 @@ fn observations(categories: usize, n: usize) -> Vec<CategoryObservations> {
         .collect()
 }
 
-fn bench_attack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("attack");
+fn bench_attack(h: &mut Harness) {
     for &n in &[50usize, 200] {
         let obs = observations(4, n);
-        group.bench_with_input(BenchmarkId::new("gaussian_template", n), &n, |b, _| {
-            b.iter(|| mount_attack(&obs, &AttackConfig::default()).unwrap())
+        h.bench(&format!("attack/gaussian_template/{n}"), || {
+            black_box(mount_attack(&obs, &AttackConfig::default()).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("lda", n), &n, |b, _| {
-            b.iter(|| {
+        h.bench(&format!("attack/lda/{n}"), || {
+            black_box(
                 mount_attack(
                     &obs,
                     &AttackConfig {
@@ -47,11 +46,11 @@ fn bench_attack(c: &mut Criterion) {
                         ..AttackConfig::default()
                     },
                 )
-                .unwrap()
-            })
+                .unwrap(),
+            );
         });
-        group.bench_with_input(BenchmarkId::new("knn5", n), &n, |b, _| {
-            b.iter(|| {
+        h.bench(&format!("attack/knn5/{n}"), || {
+            black_box(
                 mount_attack(
                     &obs,
                     &AttackConfig {
@@ -59,12 +58,14 @@ fn bench_attack(c: &mut Criterion) {
                         ..AttackConfig::default()
                     },
                 )
-                .unwrap()
-            })
+                .unwrap(),
+            );
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_attack);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_attack(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
 //! Throughput of the microarchitectural substrate: single-cache accesses,
 //! the three-level hierarchy, branch predictors and the whole CoreSim.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scnn_bench::harness::{black_box, Harness};
 use scnn_uarch::branch::{BranchPredictor, GsharePredictor, TournamentPredictor};
 use scnn_uarch::cache::{Cache, CacheConfig};
 use scnn_uarch::hierarchy::{HierarchyConfig, MemoryHierarchy};
@@ -9,73 +9,61 @@ use scnn_uarch::{CoreConfig, CoreSim, Probe};
 
 const ACCESSES: u64 = 10_000;
 
-fn bench_single_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(ACCESSES));
-    for (name, stride) in [("sequential", 64u64), ("strided_4k", 4096), ("random_ish", 7919 * 64)] {
-        group.bench_with_input(BenchmarkId::new("l1_access", name), &stride, |b, &stride| {
-            let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64)).unwrap();
-            b.iter(|| {
-                for i in 0..ACCESSES {
-                    cache.access(black_box(i * stride), false);
-                }
-            })
+fn bench_single_cache(h: &mut Harness) {
+    for (name, stride) in [
+        ("sequential", 64u64),
+        ("strided_4k", 4096),
+        ("random_ish", 7919 * 64),
+    ] {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64)).unwrap();
+        h.bench_elements(&format!("cache/l1_access/{name}"), ACCESSES, || {
+            for i in 0..ACCESSES {
+                cache.access(black_box(i * stride), false);
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy");
-    group.throughput(Throughput::Elements(ACCESSES));
-    group.bench_function("three_level_walk", |b| {
-        let mut mem = MemoryHierarchy::new(HierarchyConfig::default()).unwrap();
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                mem.access(black_box((i * 2654435761) % (8 << 20)), i % 5 == 0, 0x40);
-            }
-        })
+fn bench_hierarchy(h: &mut Harness) {
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default()).unwrap();
+    h.bench_elements("hierarchy/three_level_walk", ACCESSES, || {
+        for i in 0..ACCESSES {
+            mem.access(black_box((i * 2654435761) % (8 << 20)), i % 5 == 0, 0x40);
+        }
     });
-    group.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("branch_predictor");
-    group.throughput(Throughput::Elements(ACCESSES));
-    group.bench_function("gshare", |b| {
-        let mut p = GsharePredictor::new(12, 12);
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                p.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
-            }
-        })
+fn bench_predictors(h: &mut Harness) {
+    let mut gshare = GsharePredictor::new(12, 12);
+    h.bench_elements("branch_predictor/gshare", ACCESSES, || {
+        for i in 0..ACCESSES {
+            gshare.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+        }
     });
-    group.bench_function("tournament", |b| {
-        let mut p = TournamentPredictor::new(12);
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                p.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
-            }
-        })
+    let mut tournament = TournamentPredictor::new(12);
+    h.bench_elements("branch_predictor/tournament", ACCESSES, || {
+        for i in 0..ACCESSES {
+            tournament.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+        }
     });
-    group.finish();
 }
 
-fn bench_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core_sim");
-    group.throughput(Throughput::Elements(ACCESSES));
-    group.bench_function("full_event_stream", |b| {
-        let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
-        b.iter(|| {
-            for i in 0..ACCESSES {
-                core.load(black_box(i * 64 % (4 << 20)), 0x40);
-                core.branch(0x80, i % 2 == 0);
-                core.alu(2);
-            }
-        })
+fn bench_core(h: &mut Harness) {
+    let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
+    h.bench_elements("core_sim/full_event_stream", ACCESSES, || {
+        for i in 0..ACCESSES {
+            core.load(black_box(i * 64 % (4 << 20)), 0x40);
+            core.branch(0x80, i % 2 == 0);
+            core.alu(2);
+        }
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_single_cache, bench_hierarchy, bench_predictors, bench_core);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_single_cache(&mut h);
+    bench_hierarchy(&mut h);
+    bench_predictors(&mut h);
+    bench_core(&mut h);
+    h.finish();
+}

@@ -1,8 +1,8 @@
 //! End-to-end evaluator cost: the collect → t-test pipeline that produces
 //! the paper's Tables 1 and 2 (small inputs, paper-shaped stages).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scnn_bench::bench_config;
+use scnn_bench::harness::{black_box, Harness};
 use scnn_core::collect::{collect, CollectionConfig};
 use scnn_core::evaluator::Evaluator;
 use scnn_core::pipeline::{DatasetKind, Experiment};
@@ -10,10 +10,9 @@ use scnn_data::mnist_synth::{generate, MnistSynthConfig};
 use scnn_hpc::{SimPmuConfig, SimulatedPmu};
 use scnn_nn::models;
 
-fn bench_collect_and_evaluate(c: &mut Criterion) {
+fn bench_collect_and_evaluate(h: &mut Harness) {
     // A small trained-enough model and dataset, sized so one iteration is
     // a handful of traced inferences.
-    let net = models::small_cnn(1, 12, 4, 3);
     let ds = generate(
         &MnistSynthConfig {
             per_class: 4,
@@ -29,34 +28,32 @@ fn bench_collect_and_evaluate(c: &mut Criterion) {
         ..CollectionConfig::default()
     };
 
-    let mut group = c.benchmark_group("evaluator");
-    group.sample_size(20);
-    group.bench_function("collect_4x4", |b| {
-        b.iter(|| {
-            let mut net = models::small_cnn(1, 12, 4, 3);
-            let _ = &net; // rebuilt to keep borrows simple; cost is tiny
-            let mut pmu = SimulatedPmu::new(SimPmuConfig::default(), 5).unwrap();
-            collect(&mut net, &ds, &mut pmu, &config).unwrap()
-        })
+    h.bench("evaluator/collect_4x4", || {
+        let mut net = models::small_cnn(1, 12, 4, 3);
+        let mut pmu = SimulatedPmu::new(SimPmuConfig::default(), 5).unwrap();
+        black_box(collect(&mut net, &ds, &mut pmu, &config).unwrap());
     });
     let mut net2 = models::small_cnn(1, 12, 4, 3);
     let mut pmu = SimulatedPmu::new(SimPmuConfig::default(), 5).unwrap();
     let obs = collect(&mut net2, &ds, &mut pmu, &config).unwrap();
-    group.bench_function("evaluate_only", |b| {
-        b.iter(|| Evaluator::default().evaluate(&obs).unwrap())
+    h.bench("evaluator/evaluate_only", || {
+        black_box(Evaluator::default().evaluate(&obs).unwrap());
     });
-    group.finish();
-    let _ = net;
 }
 
-fn bench_full_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment");
-    group.sample_size(10);
-    group.bench_function("paper_shaped_tiny_mnist", |b| {
-        b.iter(|| Experiment::new(bench_config(DatasetKind::Mnist)).run().unwrap())
+fn bench_full_experiment(h: &mut Harness) {
+    h.bench("experiment/paper_shaped_tiny_mnist", || {
+        black_box(
+            Experiment::new(bench_config(DatasetKind::Mnist))
+                .run()
+                .unwrap(),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_collect_and_evaluate, bench_full_experiment);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_collect_and_evaluate(&mut h);
+    bench_full_experiment(&mut h);
+    h.finish();
+}

@@ -1,12 +1,12 @@
 //! CNN inference throughput: reference (fast) path vs instrumented path
 //! against the full Xeon-class simulator — the cost of observation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn_bench::harness::{black_box, Harness};
 use scnn_data::mnist_synth::{generate, MnistSynthConfig};
 use scnn_nn::models;
 use scnn_uarch::{CoreConfig, CoreSim, CountingProbe, NullProbe};
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(h: &mut Harness) {
     let mut net = models::mnist_cnn(42);
     let ds = generate(
         &MnistSynthConfig {
@@ -19,33 +19,28 @@ fn bench_inference(c: &mut Criterion) {
     let (image, _) = ds.get(3).unwrap();
     let image = image.clone();
 
-    let mut group = c.benchmark_group("mnist_inference");
-    group.bench_function("reference", |b| {
-        b.iter(|| net.infer(black_box(&image)).unwrap())
+    h.bench("mnist_inference/reference", || {
+        black_box(net.infer(black_box(&image)).unwrap());
     });
     let net_ref = models::mnist_cnn(42);
-    group.bench_function("traced_null_probe", |b| {
-        b.iter(|| {
-            let mut probe = NullProbe;
-            net_ref.infer_traced(black_box(&image), &mut probe).unwrap()
-        })
+    h.bench("mnist_inference/traced_null_probe", || {
+        let mut probe = NullProbe;
+        black_box(net_ref.infer_traced(black_box(&image), &mut probe).unwrap());
     });
-    group.bench_function("traced_counting_probe", |b| {
-        b.iter(|| {
-            let mut probe = CountingProbe::new();
-            net_ref.infer_traced(black_box(&image), &mut probe).unwrap()
-        })
+    h.bench("mnist_inference/traced_counting_probe", || {
+        let mut probe = CountingProbe::new();
+        black_box(net_ref.infer_traced(black_box(&image), &mut probe).unwrap());
     });
-    group.bench_function("traced_core_sim", |b| {
-        let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
-        b.iter(|| {
-            core.cold_start();
-            core.reset_counters();
-            net_ref.infer_traced(black_box(&image), &mut core).unwrap()
-        })
+    let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
+    h.bench("mnist_inference/traced_core_sim", || {
+        core.cold_start();
+        core.reset_counters();
+        black_box(net_ref.infer_traced(black_box(&image), &mut core).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_inference(&mut h);
+    h.finish();
+}

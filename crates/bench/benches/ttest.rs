@@ -1,52 +1,59 @@
 //! Throughput of the statistics substrate: Welch t-tests, p-values and
 //! the full pairwise leakage matrix — the evaluator's hot loop.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scnn_bench::harness::{black_box, Harness};
 use scnn_stats::{DecisionRule, PairwiseLeakage, StudentT, Summary, TTestKind};
 
 fn sample(n: usize, offset: f64) -> Vec<f64> {
     (0..n).map(|i| offset + ((i * 37) % 101) as f64).collect()
 }
 
-fn bench_ttest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ttest");
+fn bench_ttest(h: &mut Harness) {
     for &n in &[100usize, 1_000, 10_000] {
         let a = sample(n, 0.0);
         let b = sample(n, 13.0);
-        group.bench_with_input(BenchmarkId::new("welch_raw", n), &n, |bencher, _| {
-            bencher.iter(|| scnn_stats::t_test(black_box(&a), black_box(&b), TTestKind::Welch))
+        h.bench(&format!("ttest/welch_raw/{n}"), || {
+            let _ = black_box(scnn_stats::t_test(
+                black_box(&a),
+                black_box(&b),
+                TTestKind::Welch,
+            ));
         });
         let sa: Summary = a.iter().copied().collect();
         let sb: Summary = b.iter().copied().collect();
-        group.bench_with_input(BenchmarkId::new("welch_summaries", n), &n, |bencher, _| {
-            bencher.iter(|| {
-                scnn_stats::t_test_from_summaries(black_box(&sa), black_box(&sb), TTestKind::Welch)
-            })
+        h.bench(&format!("ttest/welch_summaries/{n}"), || {
+            let _ = black_box(scnn_stats::t_test_from_summaries(
+                black_box(&sa),
+                black_box(&sb),
+                TTestKind::Welch,
+            ));
         });
     }
-    group.finish();
 }
 
-fn bench_student_p(c: &mut Criterion) {
+fn bench_student_p(h: &mut Harness) {
     let dist = StudentT::new(99.0);
-    c.bench_function("student_t_two_tailed_p", |bencher| {
-        bencher.iter(|| dist.two_tailed_p(black_box(3.17)))
+    h.bench("student_t_two_tailed_p", || {
+        black_box(dist.two_tailed_p(black_box(3.17)));
     });
 }
 
-fn bench_pairwise(c: &mut Criterion) {
+fn bench_pairwise(h: &mut Harness) {
     // The paper's workload: 4 categories, 100 samples each, 6 pairs.
     let samples: Vec<Vec<f64>> = (0..4).map(|c| sample(100, c as f64 * 40.0)).collect();
-    c.bench_function("pairwise_leakage_4x100", |bencher| {
-        bencher.iter(|| {
-            PairwiseLeakage::assess_samples(
-                black_box(&samples),
-                TTestKind::Welch,
-                DecisionRule::PValue { alpha: 0.05 },
-            )
-        })
+    h.bench("pairwise_leakage_4x100", || {
+        let _ = black_box(PairwiseLeakage::assess_samples(
+            black_box(&samples),
+            TTestKind::Welch,
+            DecisionRule::PValue { alpha: 0.05 },
+        ));
     });
 }
 
-criterion_group!(benches, bench_ttest, bench_student_p, bench_pairwise);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_ttest(&mut h);
+    bench_student_p(&mut h);
+    bench_pairwise(&mut h);
+    h.finish();
+}

@@ -24,7 +24,9 @@
 
 use scnn_core::attack::{AttackClassifier, AttackConfig};
 use scnn_core::countermeasure::Countermeasure;
-use scnn_core::pipeline::{Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome};
+use scnn_core::pipeline::{
+    Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome,
+};
 use scnn_core::report::{render_distributions, render_summary};
 use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
 use scnn_stats::ranktest;
@@ -147,7 +149,9 @@ impl Runner {
                     ev.summaries
                         .iter()
                         .enumerate()
-                        .map(|(c, s)| format!("{dataset},{},{},{}", c + 1, s.mean(), s.sample_std()))
+                        .map(|(c, s)| {
+                            format!("{dataset},{},{},{}", c + 1, s.mean(), s.sample_std())
+                        })
                         .collect()
                 })
                 .unwrap_or_default();
@@ -404,9 +408,7 @@ impl Runner {
         println!("==============================================================");
         println!("Extension E: microarchitectural ablation (MNIST, cache-misses)");
         println!("==============================================================");
-        println!(
-            "does the leak depend on the platform's microarchitecture?\n"
-        );
+        println!("does the leak depend on the platform's microarchitecture?\n");
         let base = self.options.config(DatasetKind::Mnist);
         let mut arms: Vec<(String, scnn_core::pipeline::ExperimentConfig)> = Vec::new();
 
@@ -439,7 +441,10 @@ impl Runner {
             arms.push((name.into(), cfg));
         }
 
-        println!("{:<34} {:>12} {:>12}", "platform variant", "cm pairs*", "br pairs*");
+        println!(
+            "{:<34} {:>12} {:>12}",
+            "platform variant", "cm pairs*", "br pairs*"
+        );
         for (name, cfg) in arms {
             let outcome = Experiment::new(cfg)
                 .run()
@@ -478,7 +483,10 @@ impl Runner {
             "\nnoise sweep (samples/category = {}):",
             base.collection.samples_per_category
         );
-        println!("{:<14} {:>14} {:>14}", "noise level", "cm pairs*", "br pairs*");
+        println!(
+            "{:<14} {:>14} {:>14}",
+            "noise level", "cm pairs*", "br pairs*"
+        );
         for level in [0.0, 0.5, 1.0, 2.0, 4.0] {
             let mut cfg = base.clone();
             cfg.pmu.noise = cfg.pmu.noise.scaled(level);
@@ -494,7 +502,10 @@ impl Runner {
         }
 
         println!("\nsample-count sweep (default noise):");
-        println!("{:<14} {:>14} {:>14}", "samples/cat", "cm pairs*", "br pairs*");
+        println!(
+            "{:<14} {:>14} {:>14}",
+            "samples/cat", "cm pairs*", "br pairs*"
+        );
         for samples in [10, 25, 50, 100] {
             let mut cfg = base.clone();
             cfg.collection.samples_per_category = samples;

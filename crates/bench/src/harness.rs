@@ -1,0 +1,168 @@
+//! A minimal `Instant`-based micro-benchmark harness.
+//!
+//! The workspace builds hermetically, so the `harness = false` bench
+//! targets use this instead of an external framework. The protocol per
+//! benchmark: one calibration call sizes a batch to roughly 10 ms, then
+//! several timed batches run and the best (least-noise) per-iteration
+//! time is reported. That is deliberately simpler than a full sampling
+//! framework — these numbers guide optimisation work, they are not
+//! statistical artefacts of the paper.
+//!
+//! CLI compatibility: `cargo bench` invokes each target with `--bench`;
+//! that flag (and any other `--…` flag) is ignored, and the first bare
+//! argument is kept as a substring filter over benchmark names, matching
+//! the usual `cargo bench <filter>` workflow.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimisation barrier benches wrap inputs in.
+pub use std::hint::black_box;
+
+/// Number of timed batches per benchmark.
+const BATCHES: u32 = 7;
+/// Target wall-clock per batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Cap on iterations per batch, so trivially cheap bodies terminate.
+const MAX_ITERS: u128 = 1_000_000;
+
+/// The benchmark runner: filters, times, and reports.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from the process's CLI arguments, tolerating the
+    /// flags `cargo bench`/`cargo test` pass to custom harnesses.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Harness { filter, ran: 0 }
+    }
+
+    /// A harness with an explicit name filter (`None` runs everything).
+    pub fn with_filter(filter: Option<String>) -> Self {
+        Harness { filter, ran: 0 }
+    }
+
+    /// Times `f` and prints its per-iteration cost.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        self.bench_elements(name, 0, f);
+    }
+
+    /// Times `f`, additionally reporting throughput as `elements`
+    /// processed per call (for loops over a known-size workload).
+    pub fn bench_elements<F: FnMut()>(&mut self, name: &str, elements: u64, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        let per_iter = measure(&mut f);
+        let mut line = format!("{name:<44} {:>14}/iter", format_ns(per_iter));
+        if elements > 0 && per_iter > 0.0 {
+            let rate = elements as f64 / (per_iter * 1e-9);
+            line.push_str(&format!("  {:>12}/s", format_count(rate)));
+        }
+        println!("{line}");
+    }
+
+    /// Prints a footer; call once after the last benchmark.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            match self.filter {
+                Some(f) => println!("no benchmarks match filter {f:?}"),
+                None => println!("no benchmarks registered"),
+            }
+        }
+    }
+}
+
+/// Best observed nanoseconds per iteration over the timed batches.
+fn measure<F: FnMut()>(f: &mut F) -> f64 {
+    // Calibration: size the batch so one batch is ~BATCH_TARGET.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = (BATCH_TARGET.as_nanos() / once).clamp(1, MAX_ITERS) as u32;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+        best = best.min(per);
+    }
+    best
+}
+
+/// `1234.5` → `"1.23 µs"`, scaling through ns/µs/ms/s.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// `1234567.0` → `"1.2M"`, for throughput rates.
+fn format_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.0}")
+    } else if x < 1e6 {
+        format!("{:.1}k", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.1}M", x / 1e6)
+    } else {
+        format!("{:.1}G", x / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_scale_sensibly() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2.5e9), "2.50 s");
+        assert_eq!(format_count(950.0), "950");
+        assert_eq!(format_count(1_200.0), "1.2k");
+        assert_eq!(format_count(3_400_000.0), "3.4M");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness::with_filter(Some("match-me".to_owned()));
+        let mut hits = 0;
+        h.bench("other", || hits += 1);
+        assert_eq!(hits, 0, "filtered-out benchmark must not run");
+        h.bench("does-match-me-indeed", || hits += 1);
+        assert!(hits > 0, "matching benchmark runs");
+    }
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let mut acc = 0u64;
+        let per = measure(&mut || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+        });
+        assert!(per.is_finite() && per > 0.0);
+        black_box(acc);
+    }
+}

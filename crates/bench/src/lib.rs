@@ -6,19 +6,22 @@
 //! - the `repro` binary (`cargo run --release -p scnn-bench --bin repro`),
 //!   which regenerates every table and figure of the paper plus the
 //!   extension experiments;
-//! - the Criterion benches under `benches/` (`cargo bench`), which measure
-//!   the throughput of each substrate (t-tests, cache simulation, traced
-//!   inference, the full evaluator, the template attack).
+//! - the benches under `benches/` (`cargo bench`), which measure the
+//!   throughput of each substrate (t-tests, cache simulation, traced
+//!   inference, the full evaluator, the template attack) on the in-tree
+//!   [`harness`].
 //!
 //! This library target only hosts small helpers shared between them.
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 
 /// A small but paper-shaped experiment configuration used by benches:
 /// paper-scale models with few training examples and measurements so a
-/// Criterion iteration stays in the tens-of-milliseconds range.
+/// benchmark iteration stays in the tens-of-milliseconds range.
 pub fn bench_config(dataset: DatasetKind) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper(dataset);
     cfg.train_per_class = 8;

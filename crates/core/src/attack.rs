@@ -10,17 +10,13 @@
 //! engineering of the paper's title.
 
 use crate::collect::CategoryObservations;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use scnn_hpc::HpcEvent;
-use serde::{Deserialize, Serialize};
+use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use std::error::Error;
 use std::fmt;
 
 /// Classifier the adversary uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AttackClassifier {
     /// Per-class independent Gaussian templates (naive Bayes with
     /// Gaussian likelihoods) — the classical profiling attack.
@@ -38,9 +34,8 @@ pub enum AttackClassifier {
     },
 }
 
-
 /// Attack parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackConfig {
     /// Fraction of each category's measurements used for profiling.
     pub profile_fraction: f64,
@@ -89,7 +84,7 @@ impl fmt::Display for AttackError {
 impl Error for AttackError {}
 
 /// Attack outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackOutcome {
     /// Category-recovery accuracy on held-out measurements.
     pub accuracy: f64,
@@ -425,7 +420,11 @@ fn zscore(train: &mut [(Vec<f64>, usize)], test: &mut [(Vec<f64>, usize)]) {
     for d in 0..dims {
         let n = train.len() as f64;
         let mean = train.iter().map(|(v, _)| v[d]).sum::<f64>() / n;
-        let var = train.iter().map(|(v, _)| (v[d] - mean).powi(2)).sum::<f64>() / n;
+        let var = train
+            .iter()
+            .map(|(v, _)| (v[d] - mean).powi(2))
+            .sum::<f64>()
+            / n;
         let std = var.sqrt().max(1e-9);
         for (v, _) in train.iter_mut().chain(test.iter_mut()) {
             v[d] = (v[d] - mean) / std;

@@ -8,7 +8,6 @@ use scnn_hpc::{CounterGroup, HpcEvent, Measurement, Pmu, PmuError};
 use scnn_nn::{Network, NnError};
 use scnn_tensor::Tensor;
 use scnn_uarch::Probe;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -23,16 +22,11 @@ pub trait TracedClassifier {
     /// # Errors
     ///
     /// Returns [`NnError`] when the image is incompatible with the model.
-    fn classify_traced(&mut self, image: &Tensor, probe: &mut dyn Probe)
-        -> Result<usize, NnError>;
+    fn classify_traced(&mut self, image: &Tensor, probe: &mut dyn Probe) -> Result<usize, NnError>;
 }
 
 impl TracedClassifier for Network {
-    fn classify_traced(
-        &mut self,
-        image: &Tensor,
-        probe: &mut dyn Probe,
-    ) -> Result<usize, NnError> {
+    fn classify_traced(&mut self, image: &Tensor, probe: &mut dyn Probe) -> Result<usize, NnError> {
         Network::classify_traced(self, image, probe)
     }
 }
@@ -89,7 +83,7 @@ impl From<scnn_nn::NnError> for CollectError {
 }
 
 /// Parameters of a collection campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectionConfig {
     /// Events to monitor in parallel (one group; subject to the PMU's
     /// hardware-counter budget).
@@ -115,7 +109,7 @@ impl Default for CollectionConfig {
 /// The HPC observations of one input category: per event, one value per
 /// measured classification, index-aligned across events (reading `i` of
 /// every event came from the same classification).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CategoryObservations {
     /// The category (re-mapped label).
     pub category: usize,
@@ -159,8 +153,8 @@ pub fn collect<P: Pmu>(
     if dataset.is_empty() {
         return Err(CollectError::EmptyDataset);
     }
-    let group = CounterGroup::new(config.events.clone(), config.hw_counters)
-        .map_err(PmuError::Group)?;
+    let group =
+        CounterGroup::new(config.events.clone(), config.hw_counters).map_err(PmuError::Group)?;
 
     let mut out = Vec::with_capacity(dataset.num_classes());
     for category in 0..dataset.num_classes() {
@@ -179,11 +173,11 @@ pub fn collect<P: Pmu>(
             let image = images[i % images.len()];
             let mut prediction = 0usize;
             let mut nn_err: Option<scnn_nn::NnError> = None;
-            let measurement: Measurement = pmu.measure(&group, &mut |probe| {
-                match net.classify_traced(image, probe) {
-                    Ok(p) => prediction = p,
-                    Err(e) => nn_err = Some(e),
-                }
+            let measurement: Measurement = pmu.measure(&group, &mut |probe| match net
+                .classify_traced(image, probe)
+            {
+                Ok(p) => prediction = p,
+                Err(e) => nn_err = Some(e),
             })?;
             if let Some(e) = nn_err {
                 return Err(e.into());
@@ -285,7 +279,10 @@ mod tests {
         let obs = collect(&mut net, &ds, &mut pmu, &config).unwrap();
         for o in &obs {
             for &v in o.series(HpcEvent::Instructions).unwrap() {
-                assert!(v > 1_000.0, "a CNN inference retires many instructions: {v}");
+                assert!(
+                    v > 1_000.0,
+                    "a CNN inference retires many instructions: {v}"
+                );
             }
         }
     }

@@ -4,16 +4,13 @@
 //! there.
 
 use crate::collect::TracedClassifier;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use scnn_nn::{Network, NnError};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 use scnn_uarch::Probe;
-use serde::{Deserialize, Serialize};
 
 /// A deployable countermeasure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Countermeasure {
     /// Replace every data-dependent kernel with its constant-footprint
     /// twin (no zero skipping, branchless ReLU/max) — removes the leak at
@@ -104,8 +101,7 @@ impl ProtectedModel {
     /// Unwraps the network, restoring its leaky kernels.
     pub fn into_inner(mut self) -> Network {
         self.net.set_constant_time(false);
-        self
-            .net
+        self.net
     }
 
     fn inject_dummy_work(&mut self, probe: &mut dyn Probe) {
@@ -129,11 +125,7 @@ impl ProtectedModel {
 }
 
 impl TracedClassifier for ProtectedModel {
-    fn classify_traced(
-        &mut self,
-        image: &Tensor,
-        probe: &mut dyn Probe,
-    ) -> Result<usize, NnError> {
+    fn classify_traced(&mut self, image: &Tensor, probe: &mut dyn Probe) -> Result<usize, NnError> {
         let prediction = self.net.classify_traced(image, probe)?;
         self.inject_dummy_work(probe);
         Ok(prediction)
@@ -153,7 +145,8 @@ mod tests {
     #[test]
     fn constant_time_preserves_predictions() {
         let mut plain = models::tiny_cnn(5);
-        let mut protected = ProtectedModel::new(models::tiny_cnn(5), Countermeasure::ConstantTime, 1);
+        let mut protected =
+            ProtectedModel::new(models::tiny_cnn(5), Countermeasure::ConstantTime, 1);
         for i in 0..5 {
             let img = image(0.1 * i as f32);
             let mut probe = CountingProbe::new();
@@ -197,7 +190,11 @@ mod tests {
         let plain = models::tiny_cnn(5);
         let mut probe = CountingProbe::new();
         plain.classify_traced(&image(0.5), &mut probe).unwrap();
-        assert!(a > probe.loads + 400, "dummy loads visible: {a} vs {}", probe.loads);
+        assert!(
+            a > probe.loads + 400,
+            "dummy loads visible: {a} vs {}",
+            probe.loads
+        );
     }
 
     #[test]

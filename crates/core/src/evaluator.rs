@@ -6,12 +6,11 @@ use crate::collect::CategoryObservations;
 use scnn_hpc::HpcEvent;
 use scnn_stats::moments::centered_squares;
 use scnn_stats::{DecisionRule, PairwiseLeakage, Summary, TTestError, TTestKind};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Evaluator parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvaluatorConfig {
     /// t-test flavour (the paper just says "t-test"; Welch is the default).
     pub kind: TTestKind,
@@ -90,7 +89,7 @@ impl From<TTestError> for EvaluateError {
 }
 
 /// Leakage verdict for one HPC event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventLeakage {
     /// The event.
     pub event: HpcEvent,
@@ -112,7 +111,7 @@ impl EventLeakage {
 }
 
 /// The evaluator's alarm state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Alarm {
     events: Vec<HpcEvent>,
 }
@@ -147,7 +146,7 @@ impl fmt::Display for Alarm {
 }
 
 /// Full evaluation result over all monitored events.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeakageReport {
     /// Per-event leakage assessments, in measurement order.
     pub per_event: Vec<EventLeakage>,
@@ -211,23 +210,21 @@ impl Evaluator {
         for &event in &events {
             let mut summaries = Vec::with_capacity(observations.len());
             for obs in observations {
-                let series = obs
-                    .series(event)
-                    .ok_or(EvaluateError::MissingEvent {
-                        event,
-                        category: obs.category,
-                    })?;
+                let series = obs.series(event).ok_or(EvaluateError::MissingEvent {
+                    event,
+                    category: obs.category,
+                })?;
                 summaries.push(series.iter().copied().collect::<Summary>());
             }
-            let pairwise =
-                PairwiseLeakage::assess(&summaries, self.config.kind, self.config.rule)?;
-            let holm = self.config.holm_alpha.map(|alpha| pairwise.holm_corrected(alpha));
+            let pairwise = PairwiseLeakage::assess(&summaries, self.config.kind, self.config.rule)?;
+            let holm = self
+                .config
+                .holm_alpha
+                .map(|alpha| pairwise.holm_corrected(alpha));
             let second_order = if self.config.second_order {
                 let squared: Vec<Vec<f64>> = observations
                     .iter()
-                    .map(|obs| {
-                        centered_squares(obs.series(event).unwrap_or(&[]))
-                    })
+                    .map(|obs| centered_squares(obs.series(event).unwrap_or(&[])))
                     .collect();
                 Some(PairwiseLeakage::assess_samples(
                     &squared,
@@ -266,9 +263,8 @@ mod tests {
                 let mut per_event = BTreeMap::new();
                 for (event, means) in event_means {
                     // Deterministic spread ±2 around the mean.
-                    let series: Vec<f64> = (0..n)
-                        .map(|i| means[c] + ((i % 5) as f64 - 2.0))
-                        .collect();
+                    let series: Vec<f64> =
+                        (0..n).map(|i| means[c] + ((i % 5) as f64 - 2.0)).collect();
                     per_event.insert(*event, series);
                 }
                 CategoryObservations {
@@ -363,7 +359,9 @@ mod tests {
         // first-order test is blind, the second-order test fires.
         let n = 80;
         let make = |scale: f64| -> Vec<f64> {
-            (0..n).map(|i| 1000.0 + ((i % 13) as f64 - 6.0) * scale).collect()
+            (0..n)
+                .map(|i| 1000.0 + ((i % 13) as f64 - 6.0) * scale)
+                .collect()
         };
         let mut obs = synth_obs(&[(HpcEvent::CacheMisses, vec![0.0, 0.0])], n);
         obs[0].per_event.insert(HpcEvent::CacheMisses, make(1.0));

@@ -1,0 +1,404 @@
+//! Machine-readable report output: a minimal, dependency-free JSON
+//! writer.
+//!
+//! The workspace builds hermetically, so instead of a serialization
+//! framework this module hand-rolls exactly the JSON the tooling needs:
+//! [`LeakageReport`] (the evaluator's full verdict), the per-category
+//! [`Summary`] statistics inside it, and raw [`CounterReading`]s. The
+//! `repro` binary uses it to emit results that downstream scripts can
+//! parse without scraping the text tables.
+//!
+//! Numbers follow the JSON grammar strictly: non-finite floats (a t-test
+//! on degenerate data can produce them) are emitted as `null` rather than
+//! the invalid tokens `NaN`/`inf`.
+
+use crate::evaluator::{Alarm, EvaluatorConfig, EventLeakage, LeakageReport};
+use scnn_hpc::{CounterReading, HpcEvent};
+use scnn_stats::{DecisionRule, PairResult, PairwiseLeakage, Summary, TTestKind, TTestResult};
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The value as a standalone JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Appends a JSON string literal with the mandatory escapes.
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An object under construction; fields are comma-separated as added.
+struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    fn field<T: ToJson + ?Sized>(&mut self, name: &str, value: &T) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_str(self.out, name);
+        self.out.push(':');
+        value.write_json(self.out);
+        self
+    }
+
+    fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for u64 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for usize {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` round-trips f64 exactly and always includes enough
+            // digits; its output is valid JSON for finite values.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl ToJson for HpcEvent {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self.perf_name());
+    }
+}
+
+impl ToJson for Summary {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("std", &self.sample_std())
+            .field("min", &self.min())
+            .field("max", &self.max());
+        obj.finish();
+    }
+}
+
+impl ToJson for TTestKind {
+    fn write_json(&self, out: &mut String) {
+        write_str(
+            out,
+            match self {
+                TTestKind::Welch => "welch",
+                TTestKind::Pooled => "pooled",
+            },
+        );
+    }
+}
+
+impl ToJson for TTestResult {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("t", &self.t)
+            .field("df", &self.df)
+            .field("p", &self.p)
+            .field("mean1", &self.mean1)
+            .field("mean2", &self.mean2)
+            .field("kind", &self.kind);
+        obj.finish();
+    }
+}
+
+impl ToJson for DecisionRule {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        match *self {
+            DecisionRule::PValue { alpha } => {
+                obj.field("rule", "p-value").field("alpha", &alpha);
+            }
+            DecisionRule::TThreshold { threshold } => {
+                obj.field("rule", "t-threshold")
+                    .field("threshold", &threshold);
+            }
+        }
+        obj.finish();
+    }
+}
+
+impl ToJson for PairResult {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("i", &self.i)
+            .field("j", &self.j)
+            .field("test", &self.test)
+            .field("effect_size", &self.effect_size)
+            .field("distinguishable", &self.distinguishable);
+        obj.finish();
+    }
+}
+
+impl ToJson for PairwiseLeakage {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("categories", &self.categories)
+            .field("rule", &self.rule)
+            .field("pairs", &self.pairs);
+        obj.finish();
+    }
+}
+
+impl ToJson for EventLeakage {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("event", &self.event)
+            .field("leaks", &self.leaks())
+            .field("summaries", &self.summaries)
+            .field("pairwise", &self.pairwise)
+            .field("holm", &self.holm)
+            .field("second_order", &self.second_order);
+        obj.finish();
+    }
+}
+
+impl ToJson for Alarm {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("raised", &self.raised())
+            .field("triggering_events", self.triggering_events());
+        obj.finish();
+    }
+}
+
+impl ToJson for EvaluatorConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("kind", &self.kind)
+            .field("rule", &self.rule)
+            .field("holm_alpha", &self.holm_alpha)
+            .field("second_order", &self.second_order);
+        obj.finish();
+    }
+}
+
+impl ToJson for LeakageReport {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("categories", &self.categories)
+            .field("config", &self.config)
+            .field("alarm", &self.alarm())
+            .field("per_event", &self.per_event);
+        obj.finish();
+    }
+}
+
+impl ToJson for CounterReading {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("event", &self.event)
+            .field("raw", &self.raw)
+            .field("time_enabled", &self.time_enabled)
+            .field("time_running", &self.time_running)
+            .field("scaled", &self.value());
+        obj.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::CategoryObservations;
+    use crate::evaluator::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn report() -> LeakageReport {
+        let obs: Vec<CategoryObservations> = (0..2)
+            .map(|c| {
+                let mut per_event = BTreeMap::new();
+                per_event.insert(
+                    HpcEvent::CacheMisses,
+                    (0..30).map(|i| (c * 50) as f64 + (i % 5) as f64).collect(),
+                );
+                CategoryObservations {
+                    category: c,
+                    per_event,
+                    predictions: vec![c; 30],
+                }
+            })
+            .collect();
+        Evaluator::default().evaluate(&obs).unwrap()
+    }
+
+    /// A structural check that the output is valid JSON: balanced
+    /// delimiters outside strings, no trailing garbage.
+    fn assert_balanced(json: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in json.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+        assert!(!in_str, "unterminated string in {json}");
+    }
+
+    #[test]
+    fn report_serializes_with_all_sections() {
+        let json = report().to_json();
+        assert_balanced(&json);
+        for key in [
+            "\"categories\":2",
+            "\"alarm\"",
+            "\"per_event\"",
+            "\"cache-misses\"",
+            "\"pairs\"",
+            "\"distinguishable\":true",
+            "\"raised\":true",
+            "\"rule\":\"p-value\"",
+            "\"kind\":\"welch\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn optional_sections_are_null_when_absent() {
+        let json = report().to_json();
+        assert!(json.contains("\"holm\":null"));
+        assert!(json.contains("\"second_order\":null"));
+        assert!(json.contains("\"holm_alpha\":null"));
+    }
+
+    #[test]
+    fn counter_reading_serializes() {
+        let r = CounterReading {
+            event: HpcEvent::Branches,
+            raw: 500,
+            time_enabled: 100,
+            time_running: 50,
+        };
+        let json = r.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"event\":\"branches\""));
+        assert!(json.contains("\"raw\":500"));
+        assert!(
+            json.contains("\"scaled\":1000"),
+            "multiplexing extrapolated: {json}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        "a\"b\\c\nd\u{1}".write_json(&mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!(1.5f64.to_json(), "1.5");
+    }
+
+    #[test]
+    fn floats_round_trip_precision() {
+        let x = 0.1f64 + 0.2f64;
+        assert_eq!(x.to_json().parse::<f64>().unwrap(), x);
+    }
+}

@@ -47,12 +47,20 @@ pub mod attack;
 pub mod collect;
 pub mod countermeasure;
 pub mod evaluator;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 
 pub use attack::{mount_attack, AttackClassifier, AttackConfig, AttackOutcome};
-pub use collect::{collect, CategoryObservations, CollectError, CollectionConfig, TracedClassifier};
+pub use collect::{
+    collect, CategoryObservations, CollectError, CollectionConfig, TracedClassifier,
+};
 pub use countermeasure::{Countermeasure, ProtectedModel};
-pub use evaluator::{Alarm, EvaluateError, Evaluator, EvaluatorConfig, EventLeakage, LeakageReport};
-pub use pipeline::{Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome, ModelScale};
+pub use evaluator::{
+    Alarm, EvaluateError, Evaluator, EvaluatorConfig, EventLeakage, LeakageReport,
+};
+pub use json::ToJson;
+pub use pipeline::{
+    Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome, ModelScale,
+};
 pub use report::{render_distributions, render_kde, render_summary};

@@ -52,8 +52,13 @@ impl LeakageReport {
                 } else {
                     format!("{:.4}", pair.test.p)
                 };
-                write!(out, "{:>23}{star}{:>12}", format!("{:+.4}", pair.test.t), p_str)
-                    .expect("infallible");
+                write!(
+                    out,
+                    "{:>23}{star}{:>12}",
+                    format!("{:+.4}", pair.test.t),
+                    p_str
+                )
+                .expect("infallible");
             }
             out.push('\n');
         }
@@ -134,11 +139,7 @@ pub fn render_distributions(
 /// event — the line-plot form the paper's Figures 3–4 panels use. Each
 /// category becomes a `(grid, density)` series; the text rendering prints
 /// the curve as a fixed-width profile.
-pub fn render_kde(
-    observations: &[CategoryObservations],
-    event: HpcEvent,
-    points: usize,
-) -> String {
+pub fn render_kde(observations: &[CategoryObservations], event: HpcEvent, points: usize) -> String {
     let mut out = format!("density of {event} per category (Gaussian KDE)\n");
     for obs in observations {
         let Some(series) = obs.series(event) else {
@@ -225,7 +226,10 @@ mod tests {
         }
         assert!(table.contains("cache-misses"));
         assert!(table.contains("branches"));
-        assert!(table.contains('*'), "separated cache-misses must be starred");
+        assert!(
+            table.contains('*'),
+            "separated cache-misses must be starred"
+        );
         assert!(table.contains("~0"), "huge separation gives p ≈ 0");
         assert!(table.contains("ALARM"));
     }

@@ -3,9 +3,7 @@
 //! measurement pool for high-sample leakage campaigns).
 
 use crate::dataset::{Dataset, DatasetError};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 
 /// A label-preserving image transform.

@@ -168,7 +168,10 @@ mod tests {
         bytes[0] = 10;
         assert!(matches!(
             read_batch(&bytes[..]),
-            Err(CifarBinError::BadLabel { record: 0, label: 10 })
+            Err(CifarBinError::BadLabel {
+                record: 0,
+                label: 10
+            })
         ));
     }
 

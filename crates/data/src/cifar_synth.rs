@@ -9,9 +9,7 @@
 //! sparsity.
 
 use crate::dataset::{Dataset, DatasetError};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 
 /// Default image side length (real CIFAR-10 geometry).
@@ -63,16 +61,96 @@ fn recipe_for(class: usize) -> Recipe {
     // vehicles on grey roads, animals on green/brown grounds, ships on
     // water, airplanes in sky.
     match class {
-        0 => Recipe { sky: [0.55, 0.72, 0.90], ground: [0.60, 0.75, 0.92], object: [0.80, 0.80, 0.85], shape: ObjectShape::HorizontalEllipse, object_scale: 0.75, texture: 0.09, horizon: 0.72 },
-        1 => Recipe { sky: [0.65, 0.70, 0.75], ground: [0.35, 0.35, 0.38], object: [0.75, 0.15, 0.15], shape: ObjectShape::Rectangle, object_scale: 0.6, texture: 0.05, horizon: 0.55 },
-        2 => Recipe { sky: [0.60, 0.78, 0.95], ground: [0.40, 0.60, 0.35], object: [0.55, 0.40, 0.25], shape: ObjectShape::Blob, object_scale: 0.35, texture: 0.08, horizon: 0.7 },
-        3 => Recipe { sky: [0.70, 0.65, 0.60], ground: [0.55, 0.45, 0.35], object: [0.45, 0.35, 0.30], shape: ObjectShape::Blob, object_scale: 0.55, texture: 0.12, horizon: 0.5 },
-        4 => Recipe { sky: [0.55, 0.70, 0.60], ground: [0.35, 0.50, 0.25], object: [0.50, 0.35, 0.20], shape: ObjectShape::Triangle, object_scale: 0.6, texture: 0.10, horizon: 0.45 },
-        5 => Recipe { sky: [0.72, 0.68, 0.62], ground: [0.50, 0.42, 0.32], object: [0.60, 0.50, 0.35], shape: ObjectShape::Blob, object_scale: 0.6, texture: 0.11, horizon: 0.5 },
-        6 => Recipe { sky: [0.35, 0.55, 0.35], ground: [0.25, 0.45, 0.20], object: [0.30, 0.65, 0.25], shape: ObjectShape::Blob, object_scale: 0.45, texture: 0.09, horizon: 0.4 },
-        7 => Recipe { sky: [0.65, 0.75, 0.85], ground: [0.45, 0.55, 0.30], object: [0.45, 0.30, 0.20], shape: ObjectShape::Triangle, object_scale: 0.7, texture: 0.08, horizon: 0.5 },
-        8 => Recipe { sky: [0.60, 0.72, 0.88], ground: [0.20, 0.35, 0.55], object: [0.40, 0.40, 0.45], shape: ObjectShape::Rectangle, object_scale: 0.65, texture: 0.06, horizon: 0.5 },
-        9 => Recipe { sky: [0.68, 0.72, 0.78], ground: [0.38, 0.38, 0.40], object: [0.85, 0.75, 0.25], shape: ObjectShape::Rectangle, object_scale: 0.75, texture: 0.05, horizon: 0.6 },
+        0 => Recipe {
+            sky: [0.55, 0.72, 0.90],
+            ground: [0.60, 0.75, 0.92],
+            object: [0.80, 0.80, 0.85],
+            shape: ObjectShape::HorizontalEllipse,
+            object_scale: 0.75,
+            texture: 0.09,
+            horizon: 0.72,
+        },
+        1 => Recipe {
+            sky: [0.65, 0.70, 0.75],
+            ground: [0.35, 0.35, 0.38],
+            object: [0.75, 0.15, 0.15],
+            shape: ObjectShape::Rectangle,
+            object_scale: 0.6,
+            texture: 0.05,
+            horizon: 0.55,
+        },
+        2 => Recipe {
+            sky: [0.60, 0.78, 0.95],
+            ground: [0.40, 0.60, 0.35],
+            object: [0.55, 0.40, 0.25],
+            shape: ObjectShape::Blob,
+            object_scale: 0.35,
+            texture: 0.08,
+            horizon: 0.7,
+        },
+        3 => Recipe {
+            sky: [0.70, 0.65, 0.60],
+            ground: [0.55, 0.45, 0.35],
+            object: [0.45, 0.35, 0.30],
+            shape: ObjectShape::Blob,
+            object_scale: 0.55,
+            texture: 0.12,
+            horizon: 0.5,
+        },
+        4 => Recipe {
+            sky: [0.55, 0.70, 0.60],
+            ground: [0.35, 0.50, 0.25],
+            object: [0.50, 0.35, 0.20],
+            shape: ObjectShape::Triangle,
+            object_scale: 0.6,
+            texture: 0.10,
+            horizon: 0.45,
+        },
+        5 => Recipe {
+            sky: [0.72, 0.68, 0.62],
+            ground: [0.50, 0.42, 0.32],
+            object: [0.60, 0.50, 0.35],
+            shape: ObjectShape::Blob,
+            object_scale: 0.6,
+            texture: 0.11,
+            horizon: 0.5,
+        },
+        6 => Recipe {
+            sky: [0.35, 0.55, 0.35],
+            ground: [0.25, 0.45, 0.20],
+            object: [0.30, 0.65, 0.25],
+            shape: ObjectShape::Blob,
+            object_scale: 0.45,
+            texture: 0.09,
+            horizon: 0.4,
+        },
+        7 => Recipe {
+            sky: [0.65, 0.75, 0.85],
+            ground: [0.45, 0.55, 0.30],
+            object: [0.45, 0.30, 0.20],
+            shape: ObjectShape::Triangle,
+            object_scale: 0.7,
+            texture: 0.08,
+            horizon: 0.5,
+        },
+        8 => Recipe {
+            sky: [0.60, 0.72, 0.88],
+            ground: [0.20, 0.35, 0.55],
+            object: [0.40, 0.40, 0.45],
+            shape: ObjectShape::Rectangle,
+            object_scale: 0.65,
+            texture: 0.06,
+            horizon: 0.5,
+        },
+        9 => Recipe {
+            sky: [0.68, 0.72, 0.78],
+            ground: [0.38, 0.38, 0.40],
+            object: [0.85, 0.75, 0.25],
+            shape: ObjectShape::Rectangle,
+            object_scale: 0.75,
+            texture: 0.05,
+            horizon: 0.6,
+        },
         _ => unreachable!("class must be 0..10"),
     }
 }
@@ -239,7 +317,10 @@ mod tests {
             .zip(frog.iter())
             .map(|(a, b)| (a - b).powi(2))
             .sum();
-        assert!(dist > 0.01, "airplane vs frog palettes: {airplane:?} vs {frog:?}");
+        assert!(
+            dist > 0.01,
+            "airplane vs frog palettes: {airplane:?} vs {frog:?}"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Labelled image datasets: container, splitting, filtering and
 //! normalisation.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use scnn_tensor::{Shape, Tensor};
 use std::error::Error;
 use std::fmt;
@@ -278,11 +276,7 @@ mod tests {
             Err(DatasetError::LengthMismatch { .. })
         ));
         assert!(matches!(
-            Dataset::new(
-                vec![Tensor::zeros([1]), Tensor::zeros([2])],
-                vec![0, 0],
-                1
-            ),
+            Dataset::new(vec![Tensor::zeros([1]), Tensor::zeros([2])], vec![0, 0], 1),
             Err(DatasetError::ShapeMismatch { index: 1 })
         ));
         assert!(matches!(

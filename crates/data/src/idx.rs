@@ -6,7 +6,7 @@
 //! data for other tools) can produce valid files.
 
 use crate::dataset::{Dataset, DatasetError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scnn_tensor::wire::{ByteReader, ByteWriter};
 use scnn_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
@@ -91,7 +91,7 @@ impl From<DatasetError> for IdxError {
 pub fn read_images<R: Read>(mut reader: R) -> Result<(Vec<Tensor>, usize, usize), IdxError> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = ByteReader::new(&raw);
     if buf.remaining() < 16 {
         return Err(IdxError::Truncated);
     }
@@ -130,7 +130,7 @@ pub fn read_images<R: Read>(mut reader: R) -> Result<(Vec<Tensor>, usize, usize)
 pub fn read_labels<R: Read>(mut reader: R) -> Result<Vec<usize>, IdxError> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = ByteReader::new(&raw);
     if buf.remaining() < 8 {
         return Err(IdxError::Truncated);
     }
@@ -188,7 +188,7 @@ pub fn write_images<W: Write>(mut writer: W, images: &[Tensor]) -> Result<(), Id
             (t.dims()[1], t.dims()[2])
         })
         .unwrap_or((0, 0));
-    let mut buf = BytesMut::with_capacity(16 + images.len() * rows * cols);
+    let mut buf = ByteWriter::with_capacity(16 + images.len() * rows * cols);
     buf.put_u32(MAGIC_IMAGES);
     buf.put_u32(images.len() as u32);
     buf.put_u32(rows as u32);
@@ -199,7 +199,7 @@ pub fn write_images<W: Write>(mut writer: W, images: &[Tensor]) -> Result<(), Id
             buf.put_u8((v.clamp(0.0, 1.0) * 255.0).round() as u8);
         }
     }
-    writer.write_all(&buf)?;
+    writer.write_all(buf.as_slice())?;
     Ok(())
 }
 
@@ -209,13 +209,13 @@ pub fn write_images<W: Write>(mut writer: W, images: &[Tensor]) -> Result<(), Id
 ///
 /// Returns [`IdxError::Io`] on write failure.
 pub fn write_labels<W: Write>(mut writer: W, labels: &[usize]) -> Result<(), IdxError> {
-    let mut buf = BytesMut::with_capacity(8 + labels.len());
+    let mut buf = ByteWriter::with_capacity(8 + labels.len());
     buf.put_u32(MAGIC_LABELS);
     buf.put_u32(labels.len() as u32);
     for &l in labels {
         buf.put_u8(l as u8);
     }
-    writer.write_all(&buf)?;
+    writer.write_all(buf.as_slice())?;
     Ok(())
 }
 

@@ -9,9 +9,7 @@
 //! needs (see `scnn-nn`'s crate docs).
 
 use crate::dataset::{Dataset, DatasetError};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 
 /// Default image side length (real MNIST geometry).
@@ -289,9 +287,30 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 9).unwrap();
-        let b = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 9).unwrap();
-        let c = generate(&MnistSynthConfig { per_class: 2, ..Default::default() }, 10).unwrap();
+        let a = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                ..Default::default()
+            },
+            9,
+        )
+        .unwrap();
+        let b = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                ..Default::default()
+            },
+            9,
+        )
+        .unwrap();
+        let c = generate(
+            &MnistSynthConfig {
+                per_class: 2,
+                ..Default::default()
+            },
+            10,
+        )
+        .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -1,69 +1,88 @@
 //! Property-based tests for dataset containers and on-disk formats.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! from a per-test seeded [`ChaCha8Rng`]; a failing case prints its index
+//! and reproduces exactly.
 
-use proptest::prelude::*;
 use scnn_data::{cifar_bin, idx, Dataset};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 
-fn labelled_images(classes: usize) -> impl Strategy<Value = (Vec<Tensor>, Vec<usize>)> {
-    prop::collection::vec(
-        (prop::collection::vec(0.0f32..1.0, 16), 0..classes),
-        1..30,
-    )
-    .prop_map(|entries| {
-        let mut images = Vec::new();
-        let mut labels = Vec::new();
-        for (pixels, label) in entries {
-            images.push(Tensor::from_vec(pixels, [1, 4, 4]).expect("16 pixels"));
-            labels.push(label);
-        }
-        (images, labels)
-    })
+const CASES: usize = 256;
+
+fn labelled_images(rng: &mut ChaCha8Rng, classes: usize) -> (Vec<Tensor>, Vec<usize>) {
+    let count = rng.gen_range(1usize..30);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..count {
+        let pixels: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        images.push(Tensor::from_vec(pixels, [1, 4, 4]).expect("16 pixels"));
+        labels.push(rng.gen_range(0..classes));
+    }
+    (images, labels)
 }
 
-proptest! {
-    #[test]
-    fn split_partitions_every_class((images, labels) in labelled_images(4), frac in 0.0f64..1.0, seed in 0u64..100) {
+#[test]
+fn split_partitions_every_class() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xda7a01);
+    for case in 0..CASES {
+        let (images, labels) = labelled_images(&mut rng, 4);
+        let frac = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0u64..100);
         let ds = Dataset::new(images, labels, 4).unwrap();
         let (train, test) = ds.split(frac, seed);
-        prop_assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(train.len() + test.len(), ds.len(), "case {case}");
         let total = ds.class_counts();
         let t = train.class_counts();
         let e = test.class_counts();
         for c in 0..4 {
-            prop_assert_eq!(t[c] + e[c], total[c], "class {} partition", c);
+            assert_eq!(t[c] + e[c], total[c], "case {case}: class {c} partition");
         }
     }
+}
 
-    #[test]
-    fn select_classes_remaps_into_range((images, labels) in labelled_images(6)) {
+#[test]
+fn select_classes_remaps_into_range() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xda7a02);
+    for case in 0..CASES {
+        let (images, labels) = labelled_images(&mut rng, 6);
         let ds = Dataset::new(images, labels, 6).unwrap();
         let sel = ds.select_classes(&[5, 1, 3]);
-        prop_assert_eq!(sel.num_classes(), 3);
+        assert_eq!(sel.num_classes(), 3, "case {case}");
         for (_, l) in sel.iter() {
-            prop_assert!(l < 3);
+            assert!(l < 3, "case {case}");
         }
         let expected: usize = ds.class_counts()[5] + ds.class_counts()[1] + ds.class_counts()[3];
-        prop_assert_eq!(sel.len(), expected);
+        assert_eq!(sel.len(), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn idx_roundtrip_within_quantisation((images, labels) in labelled_images(10)) {
+#[test]
+fn idx_roundtrip_within_quantisation() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xda7a03);
+    for case in 0..CASES {
+        let (images, labels) = labelled_images(&mut rng, 10);
         let mut img_bytes = Vec::new();
         idx::write_images(&mut img_bytes, &images).unwrap();
         let mut lbl_bytes = Vec::new();
         idx::write_labels(&mut lbl_bytes, &labels).unwrap();
         let back = idx::read_dataset(&img_bytes[..], &lbl_bytes[..], 10).unwrap();
-        prop_assert_eq!(back.len(), images.len());
+        assert_eq!(back.len(), images.len(), "case {case}");
         for ((img, l), (orig, ol)) in back.iter().zip(images.iter().zip(labels.iter())) {
-            prop_assert_eq!(l, *ol);
+            assert_eq!(l, *ol, "case {case}");
             for (a, b) in img.as_slice().iter().zip(orig.as_slice()) {
-                prop_assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
+                assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn cifar_bin_roundtrip(count in 1usize..8, seed in 0u64..100) {
+#[test]
+fn cifar_bin_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xda7a04);
+    for case in 0..CASES {
+        let count = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..100);
         let images: Vec<Tensor> = (0..count)
             .map(|i| {
                 Tensor::from_vec(
@@ -79,19 +98,26 @@ proptest! {
         let ds = Dataset::new(images, labels, 10).unwrap();
         let mut bytes = Vec::new();
         cifar_bin::write_batch(&mut bytes, &ds).unwrap();
-        prop_assert_eq!(bytes.len(), count * cifar_bin::RECORD_BYTES);
+        assert_eq!(bytes.len(), count * cifar_bin::RECORD_BYTES, "case {case}");
         let back = cifar_bin::read_batch(&bytes[..]).unwrap();
-        prop_assert_eq!(back.class_counts(), ds.class_counts());
+        assert_eq!(back.class_counts(), ds.class_counts(), "case {case}");
     }
+}
 
-    #[test]
-    fn normalize_centres_data((images, labels) in labelled_images(3)) {
+#[test]
+fn normalize_centres_data() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xda7a05);
+    for case in 0..CASES {
+        let (images, labels) = labelled_images(&mut rng, 3);
         let mut ds = Dataset::new(images, labels, 3).unwrap();
         let _ = ds.normalize();
         let n: usize = ds.iter().map(|(img, _)| img.len()).sum();
         if n > 0 {
             let mean: f32 = ds.iter().map(|(img, _)| img.sum()).sum::<f32>() / n as f32;
-            prop_assert!(mean.abs() < 1e-3, "post-normalisation mean {}", mean);
+            assert!(
+                mean.abs() < 1e-3,
+                "case {case}: post-normalisation mean {mean}"
+            );
         }
     }
 }

@@ -2,7 +2,6 @@
 //! Linux `perf` tool names them.
 
 use scnn_uarch::CounterSnapshot;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
@@ -13,7 +12,7 @@ use std::str::FromStr;
 /// Figure 2(b); the remainder are the extra events its §3 mentions as
 /// available ("more than 1000 depending on the ISA") that this workspace
 /// also models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HpcEvent {
     /// Retired branch instructions (`branches`).
     Branches,

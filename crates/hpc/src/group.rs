@@ -8,7 +8,6 @@
 
 use crate::event::HpcEvent;
 use crate::reading::CounterReading;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -51,7 +50,7 @@ impl Error for GroupError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterGroup {
     events: Vec<HpcEvent>,
     hw_counters: usize,
@@ -198,8 +197,8 @@ mod tests {
 
     #[test]
     fn fig2b_on_default_budget_fits() {
-        let g = CounterGroup::new(HpcEvent::FIG2B.to_vec(), CounterGroup::DEFAULT_HW_COUNTERS)
-            .unwrap();
+        let g =
+            CounterGroup::new(HpcEvent::FIG2B.to_vec(), CounterGroup::DEFAULT_HW_COUNTERS).unwrap();
         assert!(!g.is_multiplexed(), "8 events on 8 counters fit exactly");
     }
 

@@ -18,7 +18,30 @@ use crate::group::CounterGroup;
 use crate::pmu::{Measurement, Pmu, PmuError};
 use crate::reading::CounterReading;
 use scnn_uarch::{NullProbe, Probe};
+use std::ffi::{c_int, c_ulong, c_void};
 use std::io;
+
+/// Direct FFI onto the handful of C runtime symbols this backend needs.
+/// Declared in-tree so the hermetic build carries no external `libc`
+/// crate; the symbols come from the platform C runtime std already
+/// links against.
+mod sys {
+    use std::ffi::{c_int, c_long, c_ulong, c_void};
+
+    /// `perf_event_open(2)` has no C wrapper; it is invoked through
+    /// `syscall(2)` with the per-architecture number.
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_PERF_EVENT_OPEN: c_long = 241;
+
+    extern "C" {
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
 
 /// `perf_event_attr.type` for generalized hardware events.
 const PERF_TYPE_HARDWARE: u32 = 0;
@@ -101,12 +124,12 @@ const READ_FORMAT_TIMES: u64 = 0b11;
 /// attr bit 0: start disabled; bit 5: exclude_kernel; bit 6: exclude_hv.
 const ATTR_FLAGS: u64 = 1 | (1 << 5) | (1 << 6);
 
-const IOCTL_ENABLE: libc::c_ulong = 0x2400;
-const IOCTL_DISABLE: libc::c_ulong = 0x2401;
-const IOCTL_RESET: libc::c_ulong = 0x2403;
+const IOCTL_ENABLE: c_ulong = 0x2400;
+const IOCTL_DISABLE: c_ulong = 0x2401;
+const IOCTL_RESET: c_ulong = 0x2403;
 
 struct CounterFd {
-    fd: libc::c_int,
+    fd: c_int,
     event: HpcEvent,
 }
 
@@ -114,7 +137,7 @@ impl Drop for CounterFd {
     fn drop(&mut self) {
         // Safety: fd was returned by perf_event_open and is owned here.
         unsafe {
-            libc::close(self.fd);
+            sys::close(self.fd);
         }
     }
 }
@@ -150,15 +173,15 @@ impl LinuxPmu {
         // Safety: attr is a properly sized, zero-padded perf_event_attr;
         // pid=0/cpu=-1 measures the calling thread on any CPU.
         let fd = unsafe {
-            libc::syscall(
-                libc::SYS_perf_event_open,
+            sys::syscall(
+                sys::SYS_PERF_EVENT_OPEN,
                 &attr as *const PerfEventAttr,
-                0 as libc::pid_t,
-                -1 as libc::c_int,
-                -1 as libc::c_int,
-                0 as libc::c_ulong,
+                0 as c_int,
+                -1 as c_int,
+                -1 as c_int,
+                0 as c_ulong,
             )
-        } as libc::c_int;
+        } as c_int;
         if fd < 0 {
             return Err(PmuError::Backend(format!(
                 "perf_event_open({}) failed: {}",
@@ -173,9 +196,9 @@ impl LinuxPmu {
         let mut buf = [0u64; 3];
         // Safety: buf is a valid 24-byte buffer matching READ_FORMAT_TIMES.
         let n = unsafe {
-            libc::read(
+            sys::read(
                 fd.fd,
-                buf.as_mut_ptr() as *mut libc::c_void,
+                buf.as_mut_ptr() as *mut c_void,
                 std::mem::size_of_val(&buf),
             )
         };
@@ -209,8 +232,8 @@ impl Pmu for LinuxPmu {
         for fd in &fds {
             // Safety: valid perf fds; these ioctls take no argument.
             unsafe {
-                libc::ioctl(fd.fd, IOCTL_RESET, 0);
-                libc::ioctl(fd.fd, IOCTL_ENABLE, 0);
+                sys::ioctl(fd.fd, IOCTL_RESET, 0);
+                sys::ioctl(fd.fd, IOCTL_ENABLE, 0);
             }
         }
 
@@ -221,11 +244,10 @@ impl Pmu for LinuxPmu {
         for fd in &fds {
             // Safety: as above.
             unsafe {
-                libc::ioctl(fd.fd, IOCTL_DISABLE, 0);
+                sys::ioctl(fd.fd, IOCTL_DISABLE, 0);
             }
         }
-        let readings: Vec<CounterReading> =
-            fds.iter().map(Self::read).collect::<Result<_, _>>()?;
+        let readings: Vec<CounterReading> = fds.iter().map(Self::read).collect::<Result<_, _>>()?;
         let window_ns = readings.iter().map(|r| r.time_enabled).max().unwrap_or(1);
         Ok(Measurement {
             readings,

@@ -6,7 +6,6 @@ use crate::group::{CounterGroup, GroupError};
 use crate::reading::CounterReading;
 use scnn_uarch::cache::CacheConfigError;
 use scnn_uarch::Probe;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -54,7 +53,7 @@ impl From<GroupError> for PmuError {
 }
 
 /// The result of measuring one workload execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// One reading per requested event, in request order.
     pub readings: Vec<CounterReading>,
@@ -73,10 +72,7 @@ impl Measurement {
 
     /// All values as `(event, value)` pairs in request order.
     pub fn values(&self) -> Vec<(HpcEvent, u64)> {
-        self.readings
-            .iter()
-            .map(|r| (r.event, r.value()))
-            .collect()
+        self.readings.iter().map(|r| (r.event, r.value())).collect()
     }
 }
 

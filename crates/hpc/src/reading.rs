@@ -1,13 +1,12 @@
 //! Counter readings, including perf-style multiplexing metadata.
 
 use crate::event::HpcEvent;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One counter's value for one measurement window, with the
 /// `time_enabled` / `time_running` bookkeeping that `perf` reports when
 /// counters are time-multiplexed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterReading {
     /// Which event was counted.
     pub event: HpcEvent,
@@ -61,7 +60,12 @@ impl CounterReading {
 
 impl fmt::Display for CounterReading {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>20}  {}", group_digits_indian(self.value()), self.event)?;
+        write!(
+            f,
+            "{:>20}  {}",
+            group_digits_indian(self.value()),
+            self.event
+        )?;
         if self.was_multiplexed() {
             write!(f, "  ({:.2}%)", self.running_fraction() * 100.0)?;
         }

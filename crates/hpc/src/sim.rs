@@ -4,11 +4,10 @@
 use crate::group::CounterGroup;
 use crate::pmu::{Measurement, Pmu, PmuError};
 use scnn_uarch::{CoreConfig, CoreSim, CounterSnapshot, NoiseConfig, NoiseModel, Probe};
-use serde::{Deserialize, Serialize};
 
 /// How the measured process's cache state is treated between measurement
 /// windows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WarmupPolicy {
     /// Flush caches and TLB before every measurement — each classification
     /// is measured as a freshly exec'd process (the `perf stat <cmd>`
@@ -22,7 +21,7 @@ pub enum WarmupPolicy {
 }
 
 /// Configuration of the simulated PMU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimPmuConfig {
     /// The simulated core.
     pub core: CoreConfig,
@@ -110,7 +109,8 @@ impl SimulatedPmu {
     fn apply_noise(&mut self, snap: CounterSnapshot) -> CounterSnapshot {
         let n = self.noise.sample(snap.cycles);
         let scale = |v: u64| (v as f64 * n.counter_multiplier).round() as u64;
-        let cycles = ((snap.cycles + n.instructions / 2) as f64 * n.cycle_multiplier).round() as u64;
+        let cycles =
+            ((snap.cycles + n.instructions / 2) as f64 * n.cycle_multiplier).round() as u64;
         let noisy = CounterSnapshot {
             instructions: scale(snap.instructions + n.instructions),
             loads: scale(snap.loads + n.instructions / 4),
@@ -204,7 +204,11 @@ mod tests {
         // Branch-predictor state legitimately stays warm across runs (as
         // on real hardware), so cycles may differ; retired counts must
         // not.
-        assert_eq!(a.values(), b.values(), "cold-start + quiet noise → identical counts");
+        assert_eq!(
+            a.values(),
+            b.values(),
+            "cold-start + quiet noise → identical counts"
+        );
     }
 
     #[test]
@@ -238,7 +242,10 @@ mod tests {
         };
         let a = pmu.measure(&g, &mut wl).unwrap();
         let b = pmu.measure(&g, &mut wl).unwrap();
-        assert_eq!(a.value(HpcEvent::CacheMisses), b.value(HpcEvent::CacheMisses));
+        assert_eq!(
+            a.value(HpcEvent::CacheMisses),
+            b.value(HpcEvent::CacheMisses)
+        );
         assert!(a.value(HpcEvent::CacheMisses).unwrap() > 0);
     }
 
@@ -262,8 +269,7 @@ mod tests {
         let cold = pmu.measure(&g, &mut wl).unwrap();
         let warm = pmu.measure(&g, &mut wl).unwrap();
         assert!(
-            warm.value(HpcEvent::CacheMisses).unwrap()
-                < cold.value(HpcEvent::CacheMisses).unwrap(),
+            warm.value(HpcEvent::CacheMisses).unwrap() < cold.value(HpcEvent::CacheMisses).unwrap(),
             "second run should hit warm caches"
         );
     }
@@ -283,10 +289,7 @@ mod tests {
             (insns as i64 - 30_000).abs() <= 30,
             "scaling should approximately recover the total: {insns}"
         );
-        assert!(m
-            .readings
-            .iter()
-            .all(|r| r.was_multiplexed()));
+        assert!(m.readings.iter().all(|r| r.was_multiplexed()));
     }
 
     #[test]

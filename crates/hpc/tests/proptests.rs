@@ -1,23 +1,36 @@
 //! Property-based tests for the counter model: perf-style scaling must
 //! recover totals, names must round-trip, and measurements must respect
 //! the scheduling arithmetic.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! from a per-test seeded [`ChaCha8Rng`]; a failing case prints its index
+//! and reproduces exactly.
 
-use proptest::prelude::*;
 use scnn_hpc::{group_digits_indian, CounterGroup, CounterReading, HpcEvent};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 
-fn any_event() -> impl Strategy<Value = HpcEvent> {
-    (0..HpcEvent::ALL.len()).prop_map(|i| HpcEvent::ALL[i])
+const CASES: usize = 256;
+
+fn any_event(rng: &mut ChaCha8Rng) -> HpcEvent {
+    HpcEvent::ALL[rng.gen_range(0..HpcEvent::ALL.len())]
 }
 
-proptest! {
-    #[test]
-    fn event_names_roundtrip(event in any_event()) {
+#[test]
+fn event_names_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x49c01);
+    for case in 0..CASES {
+        let event = any_event(&mut rng);
         let parsed: HpcEvent = event.perf_name().parse().unwrap();
-        prop_assert_eq!(parsed, event);
+        assert_eq!(parsed, event, "case {case}");
     }
+}
 
-    #[test]
-    fn scaled_reading_recovers_total(total in 0u64..1u64 << 40, frac_millis in 1u64..1000) {
+#[test]
+fn scaled_reading_recovers_total() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x49c02);
+    for case in 0..CASES {
+        let total = rng.gen_range(0u64..1 << 40);
+        let frac_millis = rng.gen_range(1u64..1000);
         let enabled = 1_000_000u64;
         let running = enabled * frac_millis / 1000;
         let reading = CounterReading {
@@ -29,50 +42,66 @@ proptest! {
         let estimate = reading.value();
         let err = estimate.abs_diff(total);
         // Extrapolation error is bounded by the rounding granularity.
-        prop_assert!(
+        assert!(
             err as f64 <= 1000.0 / frac_millis as f64 + 2.0,
-            "total {}, frac {}/1000: estimate {}", total, frac_millis, estimate
+            "case {case}: total {total}, frac {frac_millis}/1000: estimate {estimate}"
         );
-        prop_assert!((0.0..=1.0).contains(&reading.running_fraction()));
+        assert!(
+            (0.0..=1.0).contains(&reading.running_fraction()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn group_schedule_covers_all_events(budget in 1usize..16) {
+#[test]
+fn group_schedule_covers_all_events() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x49c03);
+    for case in 0..CASES {
+        let budget = rng.gen_range(1usize..16);
         let group = CounterGroup::new(HpcEvent::ALL.to_vec(), budget).unwrap();
         let readings = group.schedule(1_000_000, |_| 500_000);
-        prop_assert_eq!(readings.len(), HpcEvent::ALL.len());
+        assert_eq!(readings.len(), HpcEvent::ALL.len(), "case {case}");
         for r in &readings {
-            prop_assert_eq!(r.was_multiplexed(), group.is_multiplexed());
+            assert_eq!(r.was_multiplexed(), group.is_multiplexed(), "case {case}");
             let err = r.value().abs_diff(500_000);
-            prop_assert!(err <= 20, "scaling error {}", err);
+            assert!(err <= 20, "case {case}: scaling error {err}");
         }
     }
+}
 
-    #[test]
-    fn schedule_fraction_bounds(budget in 1usize..32, n_events in 1usize..=12) {
+#[test]
+fn schedule_fraction_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x49c04);
+    for case in 0..CASES {
+        let budget = rng.gen_range(1usize..32);
+        let n_events = rng.gen_range(1usize..=12);
         let events: Vec<HpcEvent> = HpcEvent::ALL[..n_events].to_vec();
         let group = CounterGroup::new(events.clone(), budget).unwrap();
         for e in events {
             let f = group.schedule_fraction(e).unwrap();
-            prop_assert!(f > 0.0 && f <= 1.0);
+            assert!(f > 0.0 && f <= 1.0, "case {case}");
             if budget >= n_events {
-                prop_assert_eq!(f, 1.0);
+                assert_eq!(f, 1.0, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn indian_grouping_preserves_digits(value in 0u64..u64::MAX) {
+#[test]
+fn indian_grouping_preserves_digits() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x49c05);
+    for case in 0..CASES {
+        let value = rng.gen_range(0u64..=u64::MAX);
         let formatted = group_digits_indian(value);
         let digits: String = formatted.chars().filter(|c| c.is_ascii_digit()).collect();
-        prop_assert_eq!(digits, value.to_string());
+        assert_eq!(digits, value.to_string(), "case {case}");
         // Groups after the first comma are 2 digits, except the last is 3.
         if let Some((_, tail)) = formatted.split_once(',') {
             let parts: Vec<&str> = tail.split(',').collect();
             let (last, rest) = parts.split_last().unwrap();
-            prop_assert_eq!(last.len(), 3);
+            assert_eq!(last.len(), 3, "case {case}");
             for p in rest {
-                prop_assert_eq!(p.len(), 2);
+                assert_eq!(p.len(), 2, "case {case}");
             }
         }
     }

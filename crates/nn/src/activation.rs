@@ -142,7 +142,11 @@ impl Layer for Relu {
     fn assign_addresses(&mut self, _alloc: &mut SegmentAllocator) {}
 
     fn set_constant_time(&mut self, enabled: bool) {
-        self.style = if enabled { ReluStyle::Branchless } else { ReluStyle::Branchy };
+        self.style = if enabled {
+            ReluStyle::Branchless
+        } else {
+            ReluStyle::Branchy
+        };
     }
 
     fn spec(&self) -> crate::spec::LayerSpec {
@@ -257,7 +261,8 @@ mod tests {
     #[test]
     fn infer_mode_does_not_cache() {
         let mut relu = Relu::default();
-        relu.forward(&Tensor::from_slice(&[1.0]), Mode::Infer).unwrap();
+        relu.forward(&Tensor::from_slice(&[1.0]), Mode::Infer)
+            .unwrap();
         assert!(relu.backward(&Tensor::from_slice(&[1.0])).is_err());
     }
 }

@@ -6,8 +6,6 @@
 //! network is built (they live for the process lifetime, as in a real
 //! inference server); activations are bump-allocated per inference.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of one `f32` element in the synthetic address space.
 pub const ELEM_BYTES: u64 = 4;
 
@@ -22,7 +20,7 @@ pub const CODE_BASE: u64 = 0x0040_0000;
 
 /// A contiguous region of the synthetic address space holding `len`
 /// `f32` elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Region {
     base: u64,
     len: u64,
@@ -60,7 +58,11 @@ impl Region {
     /// builds skip the check).
     #[inline]
     pub fn addr(&self, i: usize) -> u64 {
-        debug_assert!((i as u64) < self.len, "element {i} out of region (len {})", self.len);
+        debug_assert!(
+            (i as u64) < self.len,
+            "element {i} out of region (len {})",
+            self.len
+        );
         self.base + i as u64 * ELEM_BYTES
     }
 
@@ -76,7 +78,7 @@ impl Region {
 }
 
 /// Bump allocator carving [`Region`]s out of a segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentAllocator {
     next: u64,
     start: u64,
@@ -169,7 +171,10 @@ mod tests {
         let r1 = a.alloc(16);
         a.reset();
         let r2 = a.alloc(16);
-        assert_eq!(r1, r2, "arena reuse gives identical addresses per inference");
+        assert_eq!(
+            r1, r2,
+            "arena reuse gives identical addresses per inference"
+        );
     }
 
     #[test]

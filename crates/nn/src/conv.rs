@@ -331,7 +331,9 @@ impl Layer for Conv2d {
             .as_ref()
             .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
         let (h, w, oh, ow) = self.geometry(input.shape())?;
-        grad_output.shape().expect_same(&Shape::from(vec![self.out_channels, oh, ow]))?;
+        grad_output
+            .shape()
+            .expect_same(&Shape::from(vec![self.out_channels, oh, ow]))?;
 
         let go_mat = grad_output.reshape([self.out_channels, oh * ow])?;
         let cols = ops::im2col(input, self.win)?;
@@ -339,10 +341,9 @@ impl Layer for Conv2d {
         // dW = dY · cols^T
         let cols_t = ops::transpose(&cols)?;
         let dw = ops::matmul(&go_mat, &cols_t)?;
-        self.filters.grad.axpy(
-            1.0,
-            &dw.reshape(self.filters.value.shape().clone())?,
-        )?;
+        self.filters
+            .grad
+            .axpy(1.0, &dw.reshape(self.filters.value.shape().clone())?)?;
 
         // db[f] = Σ_p dY[f][p] (skipped entirely for bias-free layers).
         if self.use_bias {
@@ -354,10 +355,10 @@ impl Layer for Conv2d {
         }
 
         // dX = col2im(W^T · dY)
-        let wmat = self
-            .filters
-            .value
-            .reshape([self.out_channels, self.in_channels * self.win.kh * self.win.kw])?;
+        let wmat = self.filters.value.reshape([
+            self.out_channels,
+            self.in_channels * self.win.kh * self.win.kw,
+        ])?;
         let wmat_t = ops::transpose(&wmat)?;
         let dcols = ops::matmul(&wmat_t, &go_mat)?;
         Ok(ops::col2im(&dcols, self.in_channels, h, w, self.win)?)
@@ -377,11 +378,20 @@ impl Layer for Conv2d {
     }
 
     fn param_count(&self) -> usize {
-        self.filters.value.len() + if self.use_bias { self.bias.value.len() } else { 0 }
+        self.filters.value.len()
+            + if self.use_bias {
+                self.bias.value.len()
+            } else {
+                0
+            }
     }
 
     fn set_constant_time(&mut self, enabled: bool) {
-        self.style = if enabled { ConvStyle::Dense } else { ConvStyle::ZeroSkip };
+        self.style = if enabled {
+            ConvStyle::Dense
+        } else {
+            ConvStyle::ZeroSkip
+        };
     }
 
     fn spec(&self) -> crate::spec::LayerSpec {
@@ -470,7 +480,10 @@ mod tests {
             }
             (probe.loads, probe.branches)
         };
-        assert_eq!(loads(&Tensor::zeros([2, 6, 6])), loads(&Tensor::full([2, 6, 6], 1.0)));
+        assert_eq!(
+            loads(&Tensor::zeros([2, 6, 6])),
+            loads(&Tensor::full([2, 6, 6], 1.0))
+        );
     }
 
     #[test]
@@ -538,10 +551,13 @@ mod tests {
         let mut conv = Conv2d::new(1, 4, 3, ConvStyle::ZeroSkip, 7).without_bias();
         assert!(!conv.has_bias());
         assert_eq!(conv.params_mut().len(), 1);
-        let y = conv.forward(&Tensor::zeros([1, 6, 6]), Mode::Infer).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros([1, 6, 6]), Mode::Infer)
+            .unwrap();
         assert_eq!(y.sum(), 0.0, "zero input must give exactly zero output");
         // Training never moves the bias.
-        conv.forward(&Tensor::full([1, 6, 6], 0.5), Mode::Train).unwrap();
+        conv.forward(&Tensor::full([1, 6, 6], 0.5), Mode::Train)
+            .unwrap();
         conv.backward(&Tensor::full([4, 4, 4], 1.0)).unwrap();
         assert_eq!(conv.bias.grad.sum(), 0.0);
     }
@@ -549,7 +565,9 @@ mod tests {
     #[test]
     fn rejects_wrong_channels() {
         let mut conv = Conv2d::new(3, 2, 3, ConvStyle::ZeroSkip, 1);
-        assert!(conv.forward(&Tensor::zeros([2, 6, 6]), Mode::Infer).is_err());
+        assert!(conv
+            .forward(&Tensor::zeros([2, 6, 6]), Mode::Infer)
+            .is_err());
     }
 
     #[test]

@@ -147,7 +147,10 @@ impl Layer for Dense {
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        Ok(Tensor::from_vec(self.compute(input.as_slice()), [self.out_dim])?)
+        Ok(Tensor::from_vec(
+            self.compute(input.as_slice()),
+            [self.out_dim],
+        )?)
     }
 
     fn forward_traced(
@@ -261,7 +264,11 @@ impl Layer for Dense {
     }
 
     fn set_constant_time(&mut self, enabled: bool) {
-        self.style = if enabled { DenseStyle::Dense } else { DenseStyle::ZeroSkip };
+        self.style = if enabled {
+            DenseStyle::Dense
+        } else {
+            DenseStyle::ZeroSkip
+        };
     }
 
     fn spec(&self) -> crate::spec::LayerSpec {
@@ -392,7 +399,12 @@ mod tests {
             }
         }
         // Bias gradient = 1.
-        assert!(d.bias.grad.as_slice().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(d
+            .bias
+            .grad
+            .as_slice()
+            .iter()
+            .all(|&g| (g - 1.0).abs() < 1e-6));
         let _ = y;
     }
 

@@ -31,7 +31,12 @@ pub fn mnist_cnn(seed: u64) -> Network {
     net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
     net.push(MaxPool2d::new(2));
     net.push(Flatten::new());
-    net.push(Dense::new(16 * 4 * 4, 64, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.push(Dense::new(
+        16 * 4 * 4,
+        64,
+        DenseStyle::ZeroSkip,
+        seed ^ 0x22,
+    ));
     net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
     net.push(Dense::new(64, 10, DenseStyle::ZeroSkip, seed ^ 0x33));
     net.finalize();
@@ -51,7 +56,12 @@ pub fn cifar_cnn(seed: u64) -> Network {
     net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
     net.push(MaxPool2d::new(2));
     net.push(Flatten::new());
-    net.push(Dense::new(16 * 5 * 5, 64, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.push(Dense::new(
+        16 * 5 * 5,
+        64,
+        DenseStyle::ZeroSkip,
+        seed ^ 0x22,
+    ));
     net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
     net.push(Dense::new(64, 10, DenseStyle::ZeroSkip, seed ^ 0x33));
     net.finalize();
@@ -98,7 +108,12 @@ pub fn small_cnn(in_channels: usize, side: usize, classes: usize, seed: u64) -> 
     net.push(Relu::new(ReluStyle::Branchy).with_threshold(ACTIVATION_PRUNE));
     net.push(MaxPool2d::new(2));
     net.push(Flatten::new());
-    net.push(Dense::new(4 * pooled * pooled, classes, DenseStyle::ZeroSkip, seed ^ 0x22));
+    net.push(Dense::new(
+        4 * pooled * pooled,
+        classes,
+        DenseStyle::ZeroSkip,
+        seed ^ 0x22,
+    ));
     net.finalize();
     net
 }
@@ -156,7 +171,10 @@ mod tests {
         );
         let y = net.infer(&Tensor::full([1, 28, 28], 0.2)).unwrap();
         assert!(y.all_finite());
-        assert_eq!(net.param_count(), 784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10);
+        assert_eq!(
+            net.param_count(),
+            784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10
+        );
     }
 
     #[test]

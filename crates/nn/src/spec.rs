@@ -1,7 +1,7 @@
 //! Network serialization: a compact binary format for trained models.
 //!
-//! The workspace's approved dependency set has `serde` but no format
-//! backend, so the format is hand-rolled: a magic/version header followed
+//! The workspace builds hermetically with no external crates, so the
+//! format is hand-rolled: a magic/version header followed
 //! by one tagged record per layer, with tensors stored as
 //! rank/dims/little-endian `f32` data. Round-tripping preserves weights
 //! bit-for-bit, so a saved model classifies — and *leaks* — identically.
@@ -12,7 +12,7 @@ use crate::dense::{Dense, DenseStyle};
 use crate::network::Network;
 use crate::pool::MaxPool2d;
 use crate::softmax::{Flatten, Softmax};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scnn_tensor::wire::{ByteReader, ByteWriter};
 use scnn_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
@@ -118,7 +118,7 @@ impl LayerSpec {
     }
 }
 
-fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+fn put_tensor(buf: &mut ByteWriter, t: &Tensor) {
     buf.put_u32(t.shape().rank() as u32);
     for &d in t.dims() {
         buf.put_u32(d as u32);
@@ -128,7 +128,7 @@ fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     }
 }
 
-fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
+fn get_tensor(buf: &mut ByteReader<'_>) -> Result<Tensor, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
     }
@@ -147,7 +147,7 @@ fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
 
 /// Encodes a sequence of layer specs into the binary model format.
 pub fn encode(specs: &[LayerSpec]) -> Vec<u8> {
-    let mut buf = BytesMut::new();
+    let mut buf = ByteWriter::new();
     buf.put_u32(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u32(specs.len() as u32);
@@ -197,7 +197,7 @@ pub fn encode(specs: &[LayerSpec]) -> Vec<u8> {
             LayerSpec::Softmax => buf.put_u8(5),
         }
     }
-    buf.to_vec()
+    buf.into_vec()
 }
 
 /// Decodes the binary model format back into layer specs.
@@ -206,7 +206,7 @@ pub fn encode(specs: &[LayerSpec]) -> Vec<u8> {
 ///
 /// Returns [`DecodeError`] on any structural inconsistency.
 pub fn decode(data: &[u8]) -> Result<Vec<LayerSpec>, DecodeError> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = ByteReader::new(data);
     if buf.remaining() < 10 {
         return Err(DecodeError::Truncated);
     }
@@ -345,7 +345,13 @@ mod tests {
         let mut net = models::tiny_cnn(9);
         let image = Tensor::from_vec(
             (0..64)
-                .map(|i| if i % 3 == 0 { 0.0 } else { (i % 7) as f32 / 7.0 })
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        (i % 7) as f32 / 7.0
+                    }
+                })
                 .collect(),
             [1, 8, 8],
         )
@@ -407,15 +413,12 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteWriter::new();
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
         buf.put_u32(1);
         buf.put_u8(99);
-        assert_eq!(
-            decode(&buf),
-            Err(DecodeError::UnknownLayer(99))
-        );
+        assert_eq!(decode(buf.as_slice()), Err(DecodeError::UnknownLayer(99)));
     }
 
     #[test]

@@ -4,9 +4,7 @@ use crate::layer::{Mode, NnError, Result};
 use crate::loss::softmax_cross_entropy;
 use crate::network::Network;
 use crate::optim::{Sgd, StepSchedule};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use scnn_tensor::Tensor;
 
 /// One labelled example.
@@ -74,8 +72,8 @@ pub struct TrainReport {
 /// # }
 /// ```
 pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Result<TrainReport> {
-    let mut opt = Sgd::new(config.schedule.base_lr, config.momentum)
-        .with_weight_decay(config.weight_decay);
+    let mut opt =
+        Sgd::new(config.schedule.base_lr, config.momentum).with_weight_decay(config.weight_decay);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);

@@ -1,45 +1,75 @@
 //! Property-based tests for the CNN engine: the traced execution path
 //! must be numerically identical to the reference path for arbitrary
 //! inputs and layer geometries, and gradients must stay sane.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! from a per-test seeded [`ChaCha8Rng`]; a failing case prints its index
+//! and reproduces exactly. The count matches the suite's historical
+//! proptest configuration (48 cases — network inference is costly).
 
-use proptest::prelude::*;
 use scnn_nn::prelude::*;
 use scnn_nn::{loss, models};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 use scnn_uarch::CountingProbe;
 
-fn image(c: usize, side: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(
-        prop_oneof![3 => Just(0.0f32), 2 => 0.01f32..1.0f32],
-        c * side * side,
-    )
-    .prop_map(move |data| Tensor::from_vec(data, [c, side, side]).expect("length matches"))
+const CASES: usize = 48;
+
+/// Mixed sparse/dense image: ~60% exact zeros, the paper's leaky regime.
+fn image(rng: &mut ChaCha8Rng, c: usize, side: usize) -> Tensor {
+    let data: Vec<f32> = (0..c * side * side)
+        .map(|_| {
+            if rng.gen_range(0u32..5) < 3 {
+                0.0
+            } else {
+                rng.gen_range(0.01f32..1.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, [c, side, side]).expect("length matches")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn conv_traced_equals_reference(
-        img in image(2, 6),
-        style in prop_oneof![Just(ConvStyle::ZeroSkip), Just(ConvStyle::Dense)],
-        seed in 0u64..100,
-    ) {
+#[test]
+fn conv_traced_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e01);
+    for case in 0..CASES {
+        let img = image(&mut rng, 2, 6);
+        let style = if rng.gen::<bool>() {
+            ConvStyle::ZeroSkip
+        } else {
+            ConvStyle::Dense
+        };
+        let seed = rng.gen_range(0u64..100);
         let mut conv = Conv2d::new(2, 3, 3, style, seed);
         let want = conv.forward(&img, Mode::Infer).unwrap();
         let mut probe = CountingProbe::new();
         let mut ctx = scnn_nn::ExecContext::new(&mut probe);
         let region = ctx.alloc_activation(img.len());
         let (got, _) = conv.forward_traced(&img, region, &mut ctx).unwrap();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn dense_traced_equals_reference(
-        data in prop::collection::vec(prop_oneof![Just(0.0f32), -2.0f32..2.0], 1..24),
-        style in prop_oneof![Just(DenseStyle::ZeroSkip), Just(DenseStyle::Dense)],
-        seed in 0u64..100,
-    ) {
+#[test]
+fn dense_traced_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e02);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..24);
+        let data: Vec<f32> = (0..len)
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect();
+        let style = if rng.gen::<bool>() {
+            DenseStyle::ZeroSkip
+        } else {
+            DenseStyle::Dense
+        };
+        let seed = rng.gen_range(0u64..100);
         let x = Tensor::from_slice(&data);
         let mut dense = Dense::new(data.len(), 5, style, seed);
         let want = dense.forward(&x, Mode::Infer).unwrap();
@@ -47,21 +77,31 @@ proptest! {
         let mut ctx = scnn_nn::ExecContext::new(&mut probe);
         let region = ctx.alloc_activation(x.len());
         let (got, _) = dense.forward_traced(&x, region, &mut ctx).unwrap();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn whole_network_traced_equals_reference(img in image(1, 10), seed in 0u64..50) {
+#[test]
+fn whole_network_traced_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e03);
+    for case in 0..CASES {
+        let img = image(&mut rng, 1, 10);
+        let seed = rng.gen_range(0u64..50);
         let mut net = models::small_cnn(1, 10, 4, seed);
         let want = net.infer(&img).unwrap();
         let mut probe = CountingProbe::new();
         let got = net.infer_traced(&img, &mut probe).unwrap();
-        prop_assert_eq!(got, want);
-        prop_assert!(probe.instructions() > 0);
+        assert_eq!(got, want, "case {case}");
+        assert!(probe.instructions() > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn constant_time_footprint_ignores_input(img in image(1, 10), seed in 0u64..50) {
+#[test]
+fn constant_time_footprint_ignores_input() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e04);
+    for case in 0..CASES {
+        let img = image(&mut rng, 1, 10);
+        let seed = rng.gen_range(0u64..50);
         let mut net = models::small_cnn(1, 10, 4, seed);
         net.set_constant_time(true);
         let count = |net: &Network, x: &Tensor| {
@@ -71,11 +111,18 @@ proptest! {
         };
         let a = count(&net, &img);
         let b = count(&net, &Tensor::zeros([1, 10, 10]));
-        prop_assert_eq!(a, b, "constant-time kernels must have static footprints");
+        assert_eq!(
+            a, b,
+            "case {case}: constant-time kernels must have static footprints"
+        );
     }
+}
 
-    #[test]
-    fn leaky_event_count_weakly_monotone_in_sparsity(seed in 0u64..50) {
+#[test]
+fn leaky_event_count_weakly_monotone_in_sparsity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e05);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u64..50);
         // All-zero input never produces more events than an all-dense one.
         let net = models::small_cnn(1, 10, 4, seed);
         let count = |x: &Tensor| {
@@ -83,37 +130,54 @@ proptest! {
             net.infer_traced(x, &mut probe).unwrap();
             probe.loads + probe.stores
         };
-        prop_assert!(count(&Tensor::zeros([1, 10, 10])) < count(&Tensor::full([1, 10, 10], 1.0)));
+        assert!(
+            count(&Tensor::zeros([1, 10, 10])) < count(&Tensor::full([1, 10, 10], 1.0)),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn relu_idempotent_and_nonnegative(data in prop::collection::vec(-5.0f32..5.0, 1..40)) {
+#[test]
+fn relu_idempotent_and_nonnegative() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e06);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
         let mut relu = Relu::default();
         let x = Tensor::from_slice(&data);
         let once = relu.forward(&x, Mode::Infer).unwrap();
         let twice = relu.forward(&once, Mode::Infer).unwrap();
-        prop_assert_eq!(&once, &twice);
-        prop_assert!(once.min() >= 0.0);
+        assert_eq!(&once, &twice, "case {case}");
+        assert!(once.min() >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn cross_entropy_gradient_sums_to_zero(
-        data in prop::collection::vec(-8.0f32..8.0, 2..12),
-        label_seed in 0usize..100,
-    ) {
+#[test]
+fn cross_entropy_gradient_sums_to_zero() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e07);
+    for case in 0..CASES {
+        let len = rng.gen_range(2usize..12);
+        let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-8.0f32..8.0)).collect();
+        let label = rng.gen_range(0usize..100) % data.len();
         let logits = Tensor::from_slice(&data);
-        let label = label_seed % data.len();
         let (loss_value, grad) = loss::softmax_cross_entropy(&logits, label).unwrap();
-        prop_assert!(loss_value >= -1e-5);
-        prop_assert!(grad.sum().abs() < 1e-4);
-        prop_assert!(grad.as_slice()[label] <= 0.0, "true-class gradient is non-positive");
+        assert!(loss_value >= -1e-5, "case {case}");
+        assert!(grad.sum().abs() < 1e-4, "case {case}");
+        assert!(
+            grad.as_slice()[label] <= 0.0,
+            "case {case}: true-class gradient is non-positive"
+        );
     }
+}
 
-    #[test]
-    fn maxpool_output_bounded_by_input(img in image(1, 8)) {
+#[test]
+fn maxpool_output_bounded_by_input() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4e4e08);
+    for case in 0..CASES {
+        let img = image(&mut rng, 1, 8);
         let mut pool = MaxPool2d::new(2);
         let y = pool.forward(&img, Mode::Infer).unwrap();
-        prop_assert!(y.max() <= img.max() + 1e-6);
-        prop_assert!(y.min() >= img.min() - 1e-6);
+        assert!(y.max() <= img.max() + 1e-6, "case {case}");
+        assert!(y.min() >= img.min() - 1e-6, "case {case}");
     }
 }

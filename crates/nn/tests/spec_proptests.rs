@@ -1,72 +1,113 @@
 //! Property-based tests for model serialization: arbitrary layer specs
 //! must round-trip exactly through the binary format.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! from a per-test seeded [`ChaCha8Rng`]; a failing case prints its index
+//! and reproduces exactly. The count matches the suite's historical
+//! proptest configuration (64 cases).
 
-use proptest::prelude::*;
 use scnn_nn::spec::{decode, encode, LayerSpec};
 use scnn_nn::{ConvStyle, DenseStyle, ReluStyle};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::Tensor;
 
-fn tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+const CASES: usize = 64;
+
+fn tensor(rng: &mut ChaCha8Rng, dims: Vec<usize>) -> Tensor {
     let len: usize = dims.iter().product();
-    prop::collection::vec(-100.0f32..100.0, len)
-        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).expect("length matches"))
+    let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+    Tensor::from_vec(data, dims).expect("length matches")
 }
 
-fn any_spec() -> impl Strategy<Value = LayerSpec> {
-    prop_oneof![
-        ((1usize..4, 1usize..4, 1usize..3), any::<bool>(), any::<bool>()).prop_flat_map(
-            |((f, c, half_k), zero_skip, use_bias)| {
-                let k = 2 * half_k + 1;
-                (tensor(vec![f, c, k, k]), tensor(vec![f])).prop_map(move |(filters, bias)| {
-                    LayerSpec::Conv2d {
-                        filters,
-                        bias,
-                        style: if zero_skip { ConvStyle::ZeroSkip } else { ConvStyle::Dense },
-                        use_bias,
-                    }
-                })
+fn any_spec(rng: &mut ChaCha8Rng) -> LayerSpec {
+    match rng.gen_range(0u32..6) {
+        0 => {
+            let f = rng.gen_range(1usize..4);
+            let c = rng.gen_range(1usize..4);
+            let k = 2 * rng.gen_range(1usize..3) + 1;
+            let style = if rng.gen::<bool>() {
+                ConvStyle::ZeroSkip
+            } else {
+                ConvStyle::Dense
+            };
+            let use_bias = rng.gen::<bool>();
+            LayerSpec::Conv2d {
+                filters: tensor(rng, vec![f, c, k, k]),
+                bias: tensor(rng, vec![f]),
+                style,
+                use_bias,
             }
-        ),
-        (any::<bool>(), 0.0f32..0.5).prop_map(|(branchy, threshold)| LayerSpec::Relu {
-            style: if branchy { ReluStyle::Branchy } else { ReluStyle::Branchless },
-            threshold,
-        }),
-        (1usize..5).prop_map(|k| LayerSpec::MaxPool2d { k }),
-        Just(LayerSpec::Flatten),
-        Just(LayerSpec::Softmax),
-        ((1usize..12, 1usize..8), any::<bool>()).prop_flat_map(|((i, o), zero_skip)| {
-            (tensor(vec![i, o]), tensor(vec![o])).prop_map(move |(weight, bias)| {
-                LayerSpec::Dense {
-                    weight,
-                    bias,
-                    style: if zero_skip { DenseStyle::ZeroSkip } else { DenseStyle::Dense },
-                }
-            })
-        }),
-    ]
+        }
+        1 => LayerSpec::Relu {
+            style: if rng.gen::<bool>() {
+                ReluStyle::Branchy
+            } else {
+                ReluStyle::Branchless
+            },
+            threshold: rng.gen_range(0.0f32..0.5),
+        },
+        2 => LayerSpec::MaxPool2d {
+            k: rng.gen_range(1usize..5),
+        },
+        3 => LayerSpec::Flatten,
+        4 => LayerSpec::Softmax,
+        _ => {
+            let i = rng.gen_range(1usize..12);
+            let o = rng.gen_range(1usize..8);
+            let style = if rng.gen::<bool>() {
+                DenseStyle::ZeroSkip
+            } else {
+                DenseStyle::Dense
+            };
+            LayerSpec::Dense {
+                weight: tensor(rng, vec![i, o]),
+                bias: tensor(rng, vec![o]),
+                style,
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn spec_vec(rng: &mut ChaCha8Rng, min: usize, max: usize) -> Vec<LayerSpec> {
+    let count = rng.gen_range(min..max);
+    (0..count).map(|_| any_spec(rng)).collect()
+}
 
-    #[test]
-    fn specs_roundtrip_exactly(specs in prop::collection::vec(any_spec(), 0..8)) {
+#[test]
+fn specs_roundtrip_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x59ec01);
+    for case in 0..CASES {
+        let specs = spec_vec(&mut rng, 0, 8);
         let bytes = encode(&specs);
         let back = decode(&bytes).unwrap();
-        prop_assert_eq!(back, specs);
+        assert_eq!(back, specs, "case {case}");
     }
+}
 
-    #[test]
-    fn any_truncation_is_rejected(specs in prop::collection::vec(any_spec(), 1..4), cut_frac in 0.0f64..1.0) {
+#[test]
+fn any_truncation_is_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x59ec02);
+    for case in 0..CASES {
+        let specs = spec_vec(&mut rng, 1, 4);
+        let cut_frac = rng.gen_range(0.0f64..1.0);
         let bytes = encode(&specs);
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
-        prop_assert!(decode(&bytes[..cut]).is_err(), "cut at {} of {}", cut, bytes.len());
+        assert!(
+            decode(&bytes[..cut]).is_err(),
+            "case {case}: cut at {cut} of {}",
+            bytes.len()
+        );
     }
+}
 
-    #[test]
-    fn corrupting_the_magic_is_rejected(specs in prop::collection::vec(any_spec(), 0..3), byte in 0usize..4) {
+#[test]
+fn corrupting_the_magic_is_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x59ec03);
+    for case in 0..CASES {
+        let specs = spec_vec(&mut rng, 0, 3);
+        let byte = rng.gen_range(0usize..4);
         let mut bytes = encode(&specs);
         bytes[byte] ^= 0x55;
-        prop_assert!(decode(&bytes).is_err());
+        assert!(decode(&bytes).is_err(), "case {case}");
     }
 }

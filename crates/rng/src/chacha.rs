@@ -1,0 +1,238 @@
+//! ChaCha8: the workhorse generator.
+//!
+//! Bernstein's ChaCha stream cipher at 8 rounds — the reduced-round
+//! variant the workspace has always used for experiment randomness
+//! (cryptographic strength is not required; statistical quality and a
+//! cheap, seekable, platform-independent stream are). The implementation
+//! follows the RFC 8439 state layout with a 64-bit block counter and a
+//! 64-bit stream number, emitting the keystream as little-endian `u32`
+//! words.
+
+use crate::core::{RngCore, SeedableRng};
+
+/// `"expand 32-byte k"` as four little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+const WORDS_PER_BLOCK: usize = 16;
+
+/// The ChaCha8 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// Block counter (state words 12–13).
+    counter: u64,
+    /// Stream number (state words 14–15): distinct streams under one key.
+    stream: u64,
+    /// The current keystream block.
+    buf: [u32; WORDS_PER_BLOCK],
+    /// Next unread word in `buf`; `WORDS_PER_BLOCK` means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Creates the generator from a 256-bit key; counter and stream start
+    /// at zero.
+    pub fn from_key(key: [u32; 8]) -> Self {
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+
+    /// Selects an independent keystream under the same key. Resets the
+    /// position to the start of the new stream.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = WORDS_PER_BLOCK;
+    }
+
+    /// The current stream number.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Number of 32-bit words consumed so far.
+    pub fn word_position(&self) -> u128 {
+        let blocks = self.counter as u128;
+        if self.index == WORDS_PER_BLOCK && blocks == 0 {
+            0
+        } else {
+            // `counter` counts generated blocks; subtract what is still
+            // buffered and unread.
+            blocks * WORDS_PER_BLOCK as u128 - (WORDS_PER_BLOCK - self.index) as u128
+        }
+    }
+
+    /// Generates the next keystream block into `buf`.
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            SIGMA[0],
+            SIGMA[1],
+            SIGMA[2],
+            SIGMA[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let input = state;
+        // 8 rounds = 4 double rounds (column + diagonal).
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// ChaCha8 eSTREAM test vector: all-zero 256-bit key, all-zero IV.
+    /// First keystream bytes from the reference implementation
+    /// (ecrypt test vector set 1, vector 0).
+    #[test]
+    fn estream_zero_key_vector() {
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut out = [0u8; 16];
+        rng.fill_bytes(&mut out);
+        assert_eq!(
+            out,
+            [
+                0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+                0xa5, 0xa1
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let stream = |seed: u64| -> Vec<u32> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..64).map(|_| rng.next_u32()).collect()
+        };
+        assert_eq!(stream(42), stream(42));
+        assert_ne!(stream(42), stream(43));
+        assert_ne!(stream(0), stream(1));
+    }
+
+    #[test]
+    fn blocks_are_contiguous() {
+        // Reading across a block boundary must not repeat or skip words.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for &w in &first {
+            assert_eq!(b.next_u32(), w);
+        }
+        let dedup: std::collections::HashSet<u32> = first.iter().copied().collect();
+        assert!(dedup.len() > 35, "40 words should be essentially distinct");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        assert_eq!(b.stream(), 1);
+        let xa: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let xb: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn word_position_tracks_consumption() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(rng.word_position(), 0);
+        for i in 1..=35u128 {
+            rng.next_u32();
+            assert_eq!(rng.word_position(), i);
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_half() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn equidistribution_over_bytes() {
+        // Coarse χ²-style check: each of 256 byte values appears.
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let mut counts = [0u32; 256];
+        let n = 256 * 200;
+        for _ in 0..n / 4 {
+            for b in rng.next_u32().to_le_bytes() {
+                counts[b as usize] += 1;
+            }
+        }
+        let expected = (n / 256) as f64;
+        for (value, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.6 && (c as f64) < expected * 1.4,
+                "byte {value} count {c} vs expected {expected}"
+            );
+        }
+    }
+}

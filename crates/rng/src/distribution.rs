@@ -1,0 +1,39 @@
+//! The distribution trait for custom samplers.
+
+use crate::core::RngCore;
+
+/// A distribution over `T`, samplable with any generator.
+///
+/// The workspace's Gaussian samplers (Box–Muller in `scnn-tensor`'s
+/// initialisers) implement this.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaCha8Rng, Rng, SeedableRng};
+
+    struct Shifted(f64);
+
+    impl Distribution<f64> for Shifted {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.0 + rng.gen::<f64>()
+        }
+    }
+
+    #[test]
+    fn custom_distribution_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = Shifted(10.0);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!((10.0..11.0).contains(&v));
+        }
+        // Also reachable through Rng::sample.
+        let v = rng.sample(&Shifted(5.0));
+        assert!((5.0..6.0).contains(&v));
+    }
+}

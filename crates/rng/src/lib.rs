@@ -1,0 +1,65 @@
+//! # scnn-rng
+//!
+//! The workspace's only source of randomness: a small, fully in-tree,
+//! deterministic PRNG stack with no external dependencies.
+//!
+//! Reproducibility is a headline claim of this artefact — every
+//! experiment, dataset, weight initialisation and noise sample must be
+//! re-derivable from a `u64` seed on any machine. Before this crate the
+//! workspace pulled `rand` + `rand_chacha` from crates.io, which made the
+//! *build itself* non-reproducible in offline environments. This crate
+//! replaces that stack with:
+//!
+//! - [`SplitMix64`] — a tiny 64-bit mixing generator, used to expand a
+//!   `u64` seed into a 256-bit ChaCha key (and usable standalone in
+//!   tests);
+//! - [`ChaCha8Rng`] — the ChaCha stream cipher reduced to 8 rounds, the
+//!   same generator family (and the same name) the workspace used before,
+//!   so every call site keeps its `ChaCha8Rng::seed_from_u64(seed)` shape;
+//! - the [`Rng`] / [`RngCore`] / [`SeedableRng`] traits mirroring the
+//!   subset of the `rand` API the workspace consumes (`gen`, `gen_range`,
+//!   `gen_bool`), plus [`SliceRandom`] for Fisher–Yates shuffles and
+//!   [`Distribution`] for custom samplers (e.g. the Box–Muller Gaussian in
+//!   `scnn-tensor`).
+//!
+//! ## Seed compatibility
+//!
+//! The *seed values* used throughout the workspace (experiment configs,
+//! `EXPERIMENTS.md`, test fixtures) are unchanged: anywhere the code said
+//! `ChaCha8Rng::seed_from_u64(42)` it still does, and all derived results
+//! are bit-for-bit reproducible across platforms. The key expansion is
+//! SplitMix64 (documented in `README.md`), so the raw keystream differs
+//! from the retired `rand_chacha` implementation — no recorded artefact
+//! depended on those bitstreams, because the dependency-based build could
+//! not even resolve offline.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_rng::{ChaCha8Rng, Rng, SeedableRng, SliceRandom};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(0u64..10);
+//! assert!(k < 10);
+//! let mut v = vec![1, 2, 3, 4];
+//! v.shuffle(&mut rng);
+//! assert_eq!(ChaCha8Rng::seed_from_u64(42).gen::<f64>(), x);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chacha;
+mod core;
+mod distribution;
+mod seq;
+mod splitmix;
+mod uniform;
+
+pub use crate::core::{Rng, RngCore, SeedableRng};
+pub use chacha::ChaCha8Rng;
+pub use distribution::Distribution;
+pub use seq::SliceRandom;
+pub use splitmix::SplitMix64;
+pub use uniform::{RangeSpec, SampleUniform};

@@ -1,0 +1,106 @@
+//! Sequence operations: shuffling and choosing with a generator.
+
+use crate::core::{Rng, RngCore};
+
+/// Randomised slice operations (Fisher–Yates shuffle, uniform choice).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place, uniformly over permutations.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates from the back: each prefix stays uniform.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaCha8Rng, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "100! leaves identity negligible"
+        );
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn shuffle_positions_are_uniformish() {
+        // Where does element 0 land? Every slot should be visited.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..4_000 {
+            let mut v: Vec<usize> = (0..8).collect();
+            v.shuffle(&mut rng);
+            counts[v.iter().position(|&x| x == 0).unwrap()] += 1;
+        }
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(c > 300, "slot {slot} hit only {c} times");
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn singleton_and_empty_shuffle_are_noops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut one = [42];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+        let mut none: [u8; 0] = [];
+        none.shuffle(&mut rng);
+    }
+}

@@ -1,0 +1,215 @@
+//! Uniform sampling over ranges: the `rng.gen_range(a..b)` surface.
+
+use crate::core::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A range argument accepted by [`Rng::gen_range`]: `a..b` or `a..=b`.
+pub trait RangeSpec<T> {
+    /// Decomposes into `(low, high, inclusive)`.
+    fn into_parts(self) -> (T, T, bool);
+}
+
+impl<T> RangeSpec<T> for Range<T> {
+    fn into_parts(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: Clone> RangeSpec<T> for RangeInclusive<T> {
+    fn into_parts(self) -> (T, T, bool) {
+        let (low, high) = self.into_inner();
+        (low, high, true)
+    }
+}
+
+/// Types uniformly samplable from a range.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Uniform draw from `[0, span)` by widening multiply with rejection
+/// (Lemire's method): unbiased, and accepts on the first draw with
+/// overwhelming probability for the span sizes used here.
+fn below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Reject the low `2^64 mod span` fraction of each residue class.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let wide = rng.next_u64() as u128 * span as u128;
+        if (wide as u64) >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range: empty range"
+                );
+                // Two's-complement subtraction gives the span for signed
+                // and unsigned types alike.
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                if inclusive && span == u64::MAX {
+                    // Full 64-bit domain: every word is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                let span = span + u64::from(inclusive);
+                low.wrapping_add(below_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 as u8,
+    u16 as u16,
+    u32 as u32,
+    u64 as u64,
+    usize as usize,
+    i8 as u8,
+    i16 as u16,
+    i32 as u32,
+    i64 as u64,
+    isize as usize,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range: empty or non-finite float range"
+                );
+                let span = high - low;
+                assert!(span.is_finite(), "gen_range: span must be finite");
+                loop {
+                    // u ∈ [0, 1); the product can still round up to
+                    // `high`, which a half-open range must reject.
+                    let u: $t = Rng::gen(rng);
+                    let value = low + u * span;
+                    if inclusive || value < high {
+                        return value;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::{ChaCha8Rng, Rng, SeedableRng, SplitMix64};
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_hit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 11];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.5f32..=1.5);
+            assert!((-1.5..=1.5).contains(&x));
+            let y = rng.gen_range(0.0f64..2.0);
+            assert!((0.0..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_mean_is_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(-3.0f64..=3.0)).sum();
+        assert!((sum / n as f64).abs() < 0.03);
+    }
+
+    #[test]
+    fn signed_ranges_straddling_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&v));
+            lo_seen |= v == -2;
+            hi_seen |= v == 2;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = rng.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(9u64..=9), 9);
+        }
+    }
+}

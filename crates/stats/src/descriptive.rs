@@ -1,7 +1,5 @@
 //! Descriptive statistics: one-pass (Welford) accumulation and quantiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable one-pass accumulator for mean and variance
 /// (Welford's algorithm), plus min/max tracking.
 ///
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -26,7 +26,10 @@ impl StudentT {
     ///
     /// Panics if `nu <= 0` or `nu` is not finite.
     pub fn new(nu: f64) -> Self {
-        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        assert!(
+            nu.is_finite() && nu > 0.0,
+            "degrees of freedom must be positive"
+        );
         StudentT { nu }
     }
 
@@ -129,7 +132,13 @@ mod tests {
     #[test]
     fn t_matches_tables() {
         // Classic two-tailed critical values: t_{0.05, nu}.
-        let cases = [(1.0, 12.706), (5.0, 2.571), (10.0, 2.228), (30.0, 2.042), (120.0, 1.980)];
+        let cases = [
+            (1.0, 12.706),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (30.0, 2.042),
+            (120.0, 1.980),
+        ];
         for &(nu, crit) in &cases {
             let d = StudentT::new(nu);
             let p = d.two_tailed_p(crit);
@@ -143,7 +152,10 @@ mod tests {
             let d = StudentT::new(nu);
             for &alpha in &[0.10, 0.05, 0.01] {
                 let crit = d.two_tailed_critical(alpha);
-                assert!((d.two_tailed_p(crit) - alpha).abs() < 1e-9, "nu={nu} alpha={alpha}");
+                assert!(
+                    (d.two_tailed_p(crit) - alpha).abs() < 1e-9,
+                    "nu={nu} alpha={alpha}"
+                );
             }
         }
     }

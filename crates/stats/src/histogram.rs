@@ -1,7 +1,6 @@
 //! Histograms and Gaussian kernel density estimates — the machinery behind
 //! the paper's Figures 3 and 4 (per-category distributions of HPC events).
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -50,7 +49,7 @@ impl Error for HistogramError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -199,7 +198,7 @@ impl Histogram {
 
 /// A Gaussian kernel density estimate evaluated on a fixed grid —
 /// the smooth analogue of [`Histogram`] used for figure series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelDensity {
     grid: Vec<f64>,
     density: Vec<f64>,
@@ -357,7 +356,11 @@ mod tests {
         assert_eq!(kde.grid().len(), 101);
         // Trapezoidal mass ≈ 1.
         let step = kde.grid()[1] - kde.grid()[0];
-        let mass: f64 = kde.density().windows(2).map(|w| 0.5 * (w[0] + w[1]) * step).sum();
+        let mass: f64 = kde
+            .density()
+            .windows(2)
+            .map(|w| 0.5 * (w[0] + w[1]) * step)
+            .sum();
         assert!((mass - 1.0).abs() < 0.02, "mass={mass}");
         assert!(kde.bandwidth() > 0.0);
     }

@@ -8,10 +8,9 @@
 
 use crate::descriptive::Summary;
 use crate::ttest::{cohens_d, t_test_from_summaries, TTestError, TTestKind, TTestResult};
-use serde::{Deserialize, Serialize};
 
 /// Decision rule used to flag a pair of distributions as distinguishable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DecisionRule {
     /// Reject when the two-tailed p-value is below `alpha` (the paper's
     /// rule, with `alpha = 0.05` for its 95% confidence tests).
@@ -45,7 +44,7 @@ impl DecisionRule {
 
 /// One entry of the pairwise matrix: categories `i` and `j` (`i < j`),
 /// their test result, effect size and the leak verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairResult {
     /// First category index.
     pub i: usize,
@@ -61,7 +60,7 @@ pub struct PairResult {
 
 /// Result of a full pairwise leakage assessment for one measured quantity
 /// (e.g. one HPC event).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairwiseLeakage {
     /// All `k·(k-1)/2` pairwise results in lexicographic `(i, j)` order.
     pub pairs: Vec<PairResult>,

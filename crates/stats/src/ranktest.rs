@@ -8,11 +8,10 @@
 
 use crate::distribution::StdNormal;
 use crate::ttest::TTestError;
-use serde::{Deserialize, Serialize};
 
 /// Result of a Mann–Whitney U test (normal approximation with tie
 /// correction, two-sided).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MannWhitneyResult {
     /// The U statistic of the first sample.
     pub u: f64,
@@ -92,7 +91,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitneyResult, TTestEr
 }
 
 /// Result of a two-sample Kolmogorov–Smirnov test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KsResult {
     /// Maximum absolute difference between the empirical CDFs.
     pub d: f64,

@@ -60,7 +60,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Panics if `x` is outside `[0, 1]` or `a`/`b` are non-positive.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&x), "betai requires 0 <= x <= 1, got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires 0 <= x <= 1, got {x}"
+    );
     assert!(a > 0.0 && b > 0.0, "betai requires a, b > 0");
     if x == 0.0 {
         return 0.0;
@@ -150,7 +153,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -168,10 +171,7 @@ mod tests {
         let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let x = (n + 1) as f64;
-            assert!(
-                (ln_gamma(x) - f.ln()).abs() < 1e-9,
-                "Γ({x}) expected {f}"
-            );
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-9, "Γ({x}) expected {f}");
         }
     }
 

@@ -9,12 +9,11 @@
 
 use crate::descriptive::Summary;
 use crate::distribution::StudentT;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Which two-sample t-test to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TTestKind {
     /// Welch's t-test: unequal variances, Welch–Satterthwaite degrees of
     /// freedom. Default, and the variant used by leakage-assessment
@@ -45,10 +44,16 @@ impl fmt::Display for TTestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TTestError::TooFewSamples { n1, n2 } => {
-                write!(f, "t-test needs at least 2 observations per sample, got {n1} and {n2}")
+                write!(
+                    f,
+                    "t-test needs at least 2 observations per sample, got {n1} and {n2}"
+                )
             }
             TTestError::DegenerateVariance => {
-                write!(f, "both samples have zero variance; t statistic is undefined")
+                write!(
+                    f,
+                    "both samples have zero variance; t statistic is undefined"
+                )
             }
         }
     }
@@ -57,7 +62,7 @@ impl fmt::Display for TTestError {
 impl Error for TTestError {}
 
 /// Outcome of a two-sample t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TTestResult {
     /// The t statistic (sign follows `mean1 - mean2`).
     pub t: f64,
@@ -90,7 +95,11 @@ impl TTestResult {
 
 impl fmt::Display for TTestResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t = {:+.4}, df = {:.1}, p = {:.4}", self.t, self.df, self.p)
+        write!(
+            f,
+            "t = {:+.4}, df = {:.1}, p = {:.4}",
+            self.t, self.df, self.p
+        )
     }
 }
 
@@ -115,7 +124,11 @@ impl fmt::Display for TTestResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn t_test(sample1: &[f64], sample2: &[f64], kind: TTestKind) -> Result<TTestResult, TTestError> {
+pub fn t_test(
+    sample1: &[f64],
+    sample2: &[f64],
+    kind: TTestKind,
+) -> Result<TTestResult, TTestError> {
     let s1: Summary = sample1.iter().copied().collect();
     let s2: Summary = sample2.iter().copied().collect();
     t_test_from_summaries(&s1, &s2, kind)

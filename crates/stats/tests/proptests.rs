@@ -1,116 +1,198 @@
 //! Property-based tests for the statistics substrate: the t-tests that
 //! decide the paper's leakage verdicts must be numerically trustworthy on
 //! arbitrary inputs.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! from a per-test seeded [`ChaCha8Rng`]; a failing case prints its index
+//! and reproduces exactly.
 
-use proptest::prelude::*;
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_stats::{
     ks_test, mann_whitney_u, quantile, special, t_test, Histogram, StudentT, Summary, TTestKind,
 };
 
-fn sample() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e5f64..1e5, 2..60)
+const CASES: usize = 256;
+
+fn sample(rng: &mut ChaCha8Rng) -> Vec<f64> {
+    let len = rng.gen_range(2usize..60);
+    (0..len).map(|_| rng.gen_range(-1e5f64..1e5)).collect()
 }
 
-proptest! {
-    #[test]
-    fn welford_matches_two_pass(data in sample()) {
+#[test]
+fn welford_matches_two_pass() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a701);
+    for case in 0..CASES {
+        let data = sample(&mut rng);
         let s: Summary = data.iter().copied().collect();
         let n = data.len() as f64;
         let mean = data.iter().sum::<f64>() / n;
         let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() <= mean.abs().max(1.0) * 1e-9);
-        prop_assert!((s.sample_variance() - var).abs() <= var.abs().max(1.0) * 1e-6);
-        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+        assert!(
+            (s.mean() - mean).abs() <= mean.abs().max(1.0) * 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (s.sample_variance() - var).abs() <= var.abs().max(1.0) * 1e-6,
+            "case {case}"
+        );
+        assert!(
+            s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn summary_merge_is_concatenation(a in sample(), b in sample()) {
+#[test]
+fn summary_merge_is_concatenation() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a702);
+    for case in 0..CASES {
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
         let mut merged: Summary = a.iter().copied().collect();
         merged.merge(&b.iter().copied().collect());
         let whole: Summary = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(merged.count(), whole.count());
-        prop_assert!((merged.mean() - whole.mean()).abs() <= whole.mean().abs().max(1.0) * 1e-9);
-        prop_assert!(
+        assert_eq!(merged.count(), whole.count(), "case {case}");
+        assert!(
+            (merged.mean() - whole.mean()).abs() <= whole.mean().abs().max(1.0) * 1e-9,
+            "case {case}"
+        );
+        assert!(
             (merged.sample_variance() - whole.sample_variance()).abs()
-                <= whole.sample_variance().abs().max(1.0) * 1e-6
+                <= whole.sample_variance().abs().max(1.0) * 1e-6,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn t_test_p_is_probability_and_antisymmetric(a in sample(), b in sample()) {
+#[test]
+fn t_test_p_is_probability_and_antisymmetric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a703);
+    for case in 0..CASES {
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
         for kind in [TTestKind::Welch, TTestKind::Pooled] {
             if let (Ok(r1), Ok(r2)) = (t_test(&a, &b, kind), t_test(&b, &a, kind)) {
-                prop_assert!((0.0..=1.0).contains(&r1.p), "p = {}", r1.p);
-                prop_assert!((r1.t + r2.t).abs() <= r1.t.abs().max(1.0) * 1e-9);
-                prop_assert!((r1.p - r2.p).abs() <= 1e-9);
+                assert!((0.0..=1.0).contains(&r1.p), "case {case}: p = {}", r1.p);
+                assert!(
+                    (r1.t + r2.t).abs() <= r1.t.abs().max(1.0) * 1e-9,
+                    "case {case}"
+                );
+                assert!((r1.p - r2.p).abs() <= 1e-9, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn shifting_one_sample_monotonically_grows_t(data in sample(), shift in 1.0f64..1e4) {
+#[test]
+fn shifting_one_sample_monotonically_grows_t() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a704);
+    for case in 0..CASES {
+        let data = sample(&mut rng);
+        let shift = rng.gen_range(1.0f64..1e4);
         let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
         let more: Vec<f64> = data.iter().map(|x| x + 2.0 * shift).collect();
         if let (Ok(r1), Ok(r2)) = (
             t_test(&shifted, &data, TTestKind::Welch),
             t_test(&more, &data, TTestKind::Welch),
         ) {
-            prop_assert!(r2.t >= r1.t - 1e-9, "bigger shift, bigger t: {} vs {}", r1.t, r2.t);
+            assert!(
+                r2.t >= r1.t - 1e-9,
+                "case {case}: bigger shift, bigger t: {} vs {}",
+                r1.t,
+                r2.t
+            );
         }
     }
+}
 
-    #[test]
-    fn student_cdf_monotone_and_bounded(nu in 1.0f64..200.0, x in -50.0f64..50.0) {
+#[test]
+fn student_cdf_monotone_and_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a705);
+    for case in 0..CASES {
+        let nu = rng.gen_range(1.0f64..200.0);
+        let x = rng.gen_range(-50.0f64..50.0);
         let d = StudentT::new(nu);
         let c = d.cdf(x);
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!(d.cdf(x + 1.0) >= c - 1e-12);
+        assert!((0.0..=1.0).contains(&c), "case {case}");
+        assert!(d.cdf(x + 1.0) >= c - 1e-12, "case {case}");
         let p = d.two_tailed_p(x);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "case {case}");
     }
+}
 
-    #[test]
-    fn betai_bounded_and_monotone_in_x(a in 0.2f64..50.0, b in 0.2f64..50.0, x in 0.0f64..1.0) {
+#[test]
+fn betai_bounded_and_monotone_in_x() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a706);
+    for case in 0..CASES {
+        let a = rng.gen_range(0.2f64..50.0);
+        let b = rng.gen_range(0.2f64..50.0);
+        let x = rng.gen_range(0.0f64..1.0);
         let v = special::betai(a, b, x);
-        prop_assert!((0.0..=1.0).contains(&v), "betai({a},{b},{x}) = {v}");
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "case {case}: betai({a},{b},{x}) = {v}"
+        );
         let v2 = special::betai(a, b, (x + 0.05).min(1.0));
-        prop_assert!(v2 >= v - 1e-9);
+        assert!(v2 >= v - 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_conserves_mass(data in sample(), bins in 1usize..30) {
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a707);
+    for case in 0..CASES {
+        let data = sample(&mut rng);
+        let bins = rng.gen_range(1usize..30);
         let h = Histogram::from_data(&data, bins, None).unwrap();
         let counted: u64 = h.counts().iter().sum::<u64>() + h.underflow() + h.overflow();
-        prop_assert_eq!(counted, data.len() as u64);
-        prop_assert_eq!(h.total(), data.len() as u64);
+        assert_eq!(counted, data.len() as u64, "case {case}");
+        assert_eq!(h.total(), data.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn quantiles_are_ordered(data in sample()) {
+#[test]
+fn quantiles_are_ordered() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a708);
+    for case in 0..CASES {
+        let data = sample(&mut rng);
         let q25 = quantile(&data, 0.25).unwrap();
         let q50 = quantile(&data, 0.50).unwrap();
         let q75 = quantile(&data, 0.75).unwrap();
-        prop_assert!(q25 <= q50 && q50 <= q75);
+        assert!(q25 <= q50 && q50 <= q75, "case {case}");
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(min <= q25 && q75 <= max);
+        assert!(min <= q25 && q75 <= max, "case {case}");
     }
+}
 
-    #[test]
-    fn rank_tests_give_probabilities(a in sample(), b in sample()) {
+#[test]
+fn rank_tests_give_probabilities() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a709);
+    for case in 0..CASES {
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
         let mwu = mann_whitney_u(&a, &b).unwrap();
-        prop_assert!((0.0..=1.0).contains(&mwu.p));
+        assert!((0.0..=1.0).contains(&mwu.p), "case {case}");
         let ks = ks_test(&a, &b).unwrap();
-        prop_assert!((0.0..=1.0).contains(&ks.p));
-        prop_assert!((0.0..=1.0).contains(&ks.d));
+        assert!((0.0..=1.0).contains(&ks.p), "case {case}");
+        assert!((0.0..=1.0).contains(&ks.d), "case {case}");
     }
+}
 
-    #[test]
-    fn identical_samples_never_reject(data in sample()) {
+#[test]
+fn identical_samples_never_reject() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57a710);
+    for case in 0..CASES {
+        let data = sample(&mut rng);
         if let Ok(r) = t_test(&data, &data, TTestKind::Welch) {
-            prop_assert!(!r.rejects_null(0.05), "t = {}, p = {}", r.t, r.p);
+            assert!(
+                !r.rejects_null(0.05),
+                "case {case}: t = {}, p = {}",
+                r.t,
+                r.p
+            );
         }
         let ks = ks_test(&data, &data).unwrap();
-        prop_assert_eq!(ks.d, 0.0);
+        assert_eq!(ks.d, 0.0, "case {case}");
     }
 }

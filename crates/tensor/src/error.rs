@@ -124,9 +124,12 @@ mod tests {
                 right_rows: 3
             }
         );
-        assert_ne!(ShapeError::ZeroDim, ShapeError::RankMismatch {
-            expected: 1,
-            actual: 2
-        });
+        assert_ne!(
+            ShapeError::ZeroDim,
+            ShapeError::RankMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
     }
 }

@@ -2,10 +2,7 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::distributions::Distribution;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use rand::SeedableRng;
+use scnn_rng::{ChaCha8Rng, Distribution, Rng, SeedableRng};
 
 /// Weight-initialisation schemes.
 ///
@@ -30,7 +27,13 @@ impl Init {
     ///
     /// `fan_in`/`fan_out` follow the convention of the layer that owns the
     /// weights (e.g. `fan_in = c * kh * kw` for a convolution).
-    pub fn sample<S: Into<Shape>>(self, shape: S, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    pub fn sample<S: Into<Shape>>(
+        self,
+        shape: S,
+        fan_in: usize,
+        fan_out: usize,
+        seed: u64,
+    ) -> Tensor {
         let shape = shape.into();
         let n = shape.len();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -101,8 +104,8 @@ mod tests {
     fn he_normal_moments() {
         let t = Init::HeNormal.sample([10_000], 50, 50, 1);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (t.len() as f32 - 1.0);
+        let var =
+            t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (t.len() as f32 - 1.0);
         let expect_var = 2.0 / 50.0;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!(

@@ -33,8 +33,10 @@ pub mod init;
 pub mod ops;
 mod shape;
 mod tensor;
+pub mod wire;
 
 pub use error::{Result, ShapeError};
 pub use init::Init;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use wire::{ByteReader, ByteWriter};

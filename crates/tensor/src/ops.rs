@@ -471,16 +471,20 @@ mod tests {
     #[test]
     fn conv2d_matches_im2col_matmul() {
         // Random-ish deterministic data.
-        let input =
-            Tensor::from_vec((0..2 * 5 * 5).map(|i| ((i * 7) % 11) as f32 - 5.0).collect(), [
-                2, 5, 5,
-            ])
-            .unwrap();
-        let filters =
-            Tensor::from_vec((0..3 * 2 * 3 * 3).map(|i| ((i * 5) % 7) as f32 - 3.0).collect(), [
-                3, 2, 3, 3,
-            ])
-            .unwrap();
+        let input = Tensor::from_vec(
+            (0..2 * 5 * 5)
+                .map(|i| ((i * 7) % 11) as f32 - 5.0)
+                .collect(),
+            [2, 5, 5],
+        )
+        .unwrap();
+        let filters = Tensor::from_vec(
+            (0..3 * 2 * 3 * 3)
+                .map(|i| ((i * 5) % 7) as f32 - 3.0)
+                .collect(),
+            [3, 2, 3, 3],
+        )
+        .unwrap();
         let bias = Tensor::from_slice(&[0.5, -0.5, 1.0]);
         let win = Window2d::simple(3);
 
@@ -494,7 +498,10 @@ mod tests {
             for p in 0..oh * ow {
                 let expect = prod.as_slice()[fi * oh * ow + p] + bias.as_slice()[fi];
                 let got = direct.as_slice()[fi * oh * ow + p];
-                assert!((expect - got).abs() < 1e-4, "f={fi} p={p}: {expect} vs {got}");
+                assert!(
+                    (expect - got).abs() < 1e-4,
+                    "f={fi} p={p}: {expect} vs {got}"
+                );
             }
         }
     }

@@ -1,7 +1,6 @@
 //! Shape and stride algebra for dense row-major tensors.
 
 use crate::error::{Result, ShapeError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a dense tensor: an ordered list of axis lengths.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.rank(), 3);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

@@ -2,7 +2,6 @@
 
 use crate::error::{Result, ShapeError};
 use crate::shape::Shape;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
@@ -26,7 +25,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,

@@ -1,0 +1,171 @@
+//! Byte-cursor helpers for the workspace's hand-rolled binary formats.
+//!
+//! `scnn-data`'s IDX loader and `scnn-nn`'s model serializer both need a
+//! small cursor over raw bytes: big-endian header fields (the IDX
+//! convention, kept for the model header too) and little-endian `f32`
+//! payloads. These two types cover that surface with plain `std` slice
+//! reads — no external buffer crate.
+//!
+//! Like the formats they serve, the getters are meant to be guarded by
+//! [`ByteReader::remaining`]; reading past the end panics, which in the
+//! callers indicates a missing bounds check rather than bad input.
+
+/// A reading cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts a cursor at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        slice
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor is at the end; check [`Self::remaining`].
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 2 remaining bytes.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 4 remaining bytes.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 4 remaining bytes.
+    pub fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+}
+
+/// A growing byte buffer with the matching put-side API.
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    data: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_then_reads_back() {
+        let mut w = ByteWriter::with_capacity(16);
+        w.put_u32(0x0000_0803);
+        w.put_u16(0xBEEF);
+        w.put_u8(7);
+        w.put_f32_le(-1.5);
+        let bytes = w.into_vec();
+        assert_eq!(&bytes[..4], &[0, 0, 8, 3], "u32 is big-endian");
+        assert_eq!(&bytes[4..6], &[0xBE, 0xEF], "u16 is big-endian");
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.get_u32(), 0x0000_0803);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f32_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f32_payloads_are_little_endian() {
+        let mut w = ByteWriter::new();
+        w.put_f32_le(1.0);
+        assert_eq!(w.as_slice(), &1.0f32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let _ = r.get_u32();
+    }
+
+    #[test]
+    fn remaining_tracks_position() {
+        let data = [0u8; 10];
+        let mut r = ByteReader::new(&data);
+        r.get_u32();
+        assert_eq!(r.remaining(), 6);
+        r.get_u16();
+        assert_eq!(r.remaining(), 4);
+    }
+}

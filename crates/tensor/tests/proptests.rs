@@ -1,60 +1,92 @@
 //! Property-based tests for shape algebra and the numeric kernels.
+//!
+//! Each property runs over `CASES` deterministically generated inputs
+//! drawn from a per-test seeded [`ChaCha8Rng`] — reproducible on every
+//! machine with no external test framework. A failing case prints its
+//! case index; rerunning is exact.
 
-use proptest::prelude::*;
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 use scnn_tensor::{ops, Shape, Tensor};
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..6, 1..4)
+const CASES: usize = 256;
+
+fn small_dims(rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let rank = rng.gen_range(1usize..4);
+    (0..rank).map(|_| rng.gen_range(1usize..6)).collect()
 }
 
-fn tensor_with_shape(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+fn tensor_with_shape(rng: &mut ChaCha8Rng, dims: Vec<usize>) -> Tensor {
     let len: usize = dims.iter().product();
-    prop::collection::vec(-10.0f32..10.0, len)
-        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).expect("length matches"))
+    let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+    Tensor::from_vec(data, dims).expect("length matches")
 }
 
-proptest! {
-    #[test]
-    fn offset_coords_roundtrip(dims in small_dims(), seed in 0usize..10_000) {
-        let shape = Shape::new(dims);
+#[test]
+fn offset_coords_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5001);
+    for case in 0..CASES {
+        let shape = Shape::new(small_dims(&mut rng));
+        let seed = rng.gen_range(0usize..10_000);
         if !shape.is_empty() {
             let flat = seed % shape.len();
             let coords = shape.coords(flat).unwrap();
-            prop_assert_eq!(shape.offset(&coords).unwrap(), flat);
+            assert_eq!(shape.offset(&coords).unwrap(), flat, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn strides_decrease_row_major(dims in small_dims()) {
-        let shape = Shape::new(dims);
+#[test]
+fn strides_decrease_row_major() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5002);
+    for case in 0..CASES {
+        let shape = Shape::new(small_dims(&mut rng));
         let strides = shape.strides();
         for w in strides.windows(2) {
-            prop_assert!(w[0] >= w[1], "row-major strides are non-increasing");
+            assert!(
+                w[0] >= w[1],
+                "case {case}: row-major strides non-increasing"
+            );
         }
         if let Some(&last) = strides.last() {
-            prop_assert_eq!(last, 1);
+            assert_eq!(last, 1, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn reshape_preserves_contents(t in small_dims().prop_flat_map(tensor_with_shape)) {
+#[test]
+fn reshape_preserves_contents() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5003);
+    for case in 0..CASES {
+        let dims = small_dims(&mut rng);
+        let t = tensor_with_shape(&mut rng, dims);
         let flat = t.reshape([t.len()]).unwrap();
-        prop_assert_eq!(flat.as_slice(), t.as_slice());
-        prop_assert_eq!(flat.sum(), t.sum());
+        assert_eq!(flat.as_slice(), t.as_slice(), "case {case}");
+        assert_eq!(flat.sum(), t.sum(), "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5004);
+    for case in 0..CASES {
+        let rows = rng.gen_range(1usize..8);
+        let cols = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..1000);
         let data: Vec<f32> = (0..rows * cols)
             .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f32 - 48.0)
             .collect();
         let a = Tensor::from_vec(data, [rows, cols]).unwrap();
         let att = ops::transpose(&ops::transpose(&a).unwrap()).unwrap();
-        prop_assert_eq!(att, a);
+        assert_eq!(att, a, "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_identity(n in 1usize..6, seed in 0u64..1000) {
+#[test]
+fn matmul_distributes_over_identity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5005);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..1000);
         let data: Vec<f32> = (0..n * n)
             .map(|i| ((i as u64).wrapping_mul(seed * 3 + 7) % 13) as f32 - 6.0)
             .collect();
@@ -63,60 +95,85 @@ proptest! {
         for i in 0..n {
             eye.set(&[i, i], 1.0).unwrap();
         }
-        prop_assert_eq!(ops::matmul(&a, &eye).unwrap(), a.clone());
-        prop_assert_eq!(ops::matmul(&eye, &a).unwrap(), a);
+        assert_eq!(ops::matmul(&a, &eye).unwrap(), a.clone(), "case {case}");
+        assert_eq!(ops::matmul(&eye, &a).unwrap(), a, "case {case}");
     }
+}
 
-    #[test]
-    fn matvec_is_linear(m in 1usize..6, k in 1usize..6, s in 1u64..50) {
+#[test]
+fn matvec_is_linear() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5006);
+    for case in 0..CASES {
+        let m = rng.gen_range(1usize..6);
+        let k = rng.gen_range(1usize..6);
+        let s = rng.gen_range(1u64..50);
         let a = Tensor::from_vec(
-            (0..m * k).map(|i| ((i as u64 * s) % 11) as f32 - 5.0).collect(),
+            (0..m * k)
+                .map(|i| ((i as u64 * s) % 11) as f32 - 5.0)
+                .collect(),
             [m, k],
-        ).unwrap();
+        )
+        .unwrap();
         let x = Tensor::from_vec(
-            (0..k).map(|i| ((i as u64 * s * 5) % 7) as f32 - 3.0).collect(),
+            (0..k)
+                .map(|i| ((i as u64 * s * 5) % 7) as f32 - 3.0)
+                .collect(),
             [k],
-        ).unwrap();
+        )
+        .unwrap();
         let y1 = ops::matvec(&a, &x).unwrap();
         let x2 = &x * 2.0;
         let y2 = ops::matvec(&a, &x2).unwrap();
         for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
-            prop_assert!((2.0 * a - b).abs() < 1e-3, "A(2x) = 2(Ax): {a} vs {b}");
+            assert!(
+                (2.0 * a - b).abs() < 1e-3,
+                "case {case}: A(2x) = 2(Ax): {a} vs {b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(data in prop::collection::vec(-30.0f32..30.0, 1..20)) {
+#[test]
+fn softmax_is_a_distribution() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5007);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..20);
+        let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-30.0f32..30.0)).collect();
         let x = Tensor::from_slice(&data);
         let s = ops::softmax(&x).unwrap();
-        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
-        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((s.sum() - 1.0).abs() < 1e-4, "case {case}");
+        assert!(
+            s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "case {case}"
+        );
         // Order preserved.
-        let max_in = x.argmax();
-        let max_out = s.argmax();
-        prop_assert_eq!(max_in, max_out);
+        assert_eq!(x.argmax(), s.argmax(), "case {case}");
     }
+}
 
-    #[test]
-    fn conv_direct_equals_im2col_gemm(
-        c in 1usize..3,
-        f in 1usize..3,
-        size in 4usize..7,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn conv_direct_equals_im2col_gemm() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5008);
+    for case in 0..CASES {
+        let c = rng.gen_range(1usize..3);
+        let f = rng.gen_range(1usize..3);
+        let size = rng.gen_range(4usize..7);
+        let seed = rng.gen_range(0u64..500);
         let k = 3;
         let input = Tensor::from_vec(
             (0..c * size * size)
                 .map(|i| ((i as u64).wrapping_mul(seed * 2 + 3) % 19) as f32 / 4.0 - 2.0)
                 .collect(),
             [c, size, size],
-        ).unwrap();
+        )
+        .unwrap();
         let filters = Tensor::from_vec(
             (0..f * c * k * k)
                 .map(|i| ((i as u64).wrapping_mul(seed + 11) % 9) as f32 / 2.0 - 2.0)
                 .collect(),
             [f, c, k, k],
-        ).unwrap();
+        )
+        .unwrap();
         let bias = Tensor::zeros([f]);
         let win = ops::Window2d::simple(k);
 
@@ -125,32 +182,61 @@ proptest! {
         let wmat = filters.reshape([f, c * k * k]).unwrap();
         let gemm = ops::matmul(&wmat, &cols).unwrap();
         for (a, b) in direct.as_slice().iter().zip(gemm.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-3, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(size in 3usize..7, seed in 0u64..200) {
+#[test]
+fn im2col_col2im_adjoint() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5009);
+    for case in 0..CASES {
+        let size = rng.gen_range(3usize..7);
+        let seed = rng.gen_range(0u64..200);
         // <im2col(x), y> == <x, col2im(y)>
         let win = ops::Window2d::simple(2);
         let x = Tensor::from_vec(
-            (0..size * size).map(|i| ((i as u64 * (seed + 1)) % 23) as f32 - 11.0).collect(),
+            (0..size * size)
+                .map(|i| ((i as u64 * (seed + 1)) % 23) as f32 - 11.0)
+                .collect(),
             [1, size, size],
-        ).unwrap();
+        )
+        .unwrap();
         let cols = ops::im2col(&x, win).unwrap();
         let y = Tensor::from_vec(
-            (0..cols.len()).map(|i| ((i as u64 * (seed + 7)) % 17) as f32 - 8.0).collect(),
+            (0..cols.len())
+                .map(|i| ((i as u64 * (seed + 7)) % 17) as f32 - 8.0)
+                .collect(),
             cols.shape().clone(),
-        ).unwrap();
+        )
+        .unwrap();
         let back = ops::col2im(&y, 1, size, size, win).unwrap();
-        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-4, "{lhs} vs {rhs}");
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-4,
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    #[test]
-    fn sparsity_bounds(t in small_dims().prop_flat_map(tensor_with_shape)) {
+#[test]
+fn sparsity_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e5010);
+    for case in 0..CASES {
+        let dims = small_dims(&mut rng);
+        let t = tensor_with_shape(&mut rng, dims);
         let s = t.sparsity();
-        prop_assert!((0.0..=1.0).contains(&s));
+        assert!((0.0..=1.0).contains(&s), "case {case}: sparsity {s}");
     }
 }

@@ -6,10 +6,8 @@
 //! CNN retires one `branches` event, and a wrong prediction retires one
 //! `branch-misses` event.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics kept by every predictor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchStats {
     /// Conditional branches observed.
     pub branches: u64,
@@ -358,7 +356,7 @@ impl BranchPredictor for PerceptronPredictor {
 }
 
 /// Predictor selection for [`crate::config::CoreConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PredictorKind {
     /// Always-taken static predictor.
     StaticTaken,
@@ -380,13 +378,12 @@ impl PredictorKind {
         match self {
             PredictorKind::StaticTaken => Box::new(StaticPredictor::new(true)),
             PredictorKind::Bimodal => Box::new(BimodalPredictor::new(index_bits)),
-            PredictorKind::Gshare => {
-                Box::new(GsharePredictor::new(index_bits, index_bits.min(12)))
-            }
+            PredictorKind::Gshare => Box::new(GsharePredictor::new(index_bits, index_bits.min(12))),
             PredictorKind::Tournament => Box::new(TournamentPredictor::new(index_bits)),
-            PredictorKind::Perceptron => {
-                Box::new(PerceptronPredictor::new(index_bits, (index_bits as usize).min(24)))
-            }
+            PredictorKind::Perceptron => Box::new(PerceptronPredictor::new(
+                index_bits,
+                (index_bits as usize).min(24),
+            )),
         }
     }
 }
@@ -518,7 +515,10 @@ mod tests {
             }
         }
         let ratio = p.stats().miss_ratio();
-        assert!(ratio < 0.25, "correlated stream should be mostly predicted: {ratio}");
+        assert!(
+            ratio < 0.25,
+            "correlated stream should be mostly predicted: {ratio}"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! A single set-associative cache with pluggable replacement policy.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Replacement policy for a cache set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplacementPolicy {
     /// Evict the least recently used line (true LRU).
     #[default]
@@ -20,7 +19,7 @@ pub enum ReplacementPolicy {
 }
 
 /// How stores interact with the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WritePolicy {
     /// Write-back with write-allocate: stores fill the line and dirty it;
     /// dirty victims are written back on eviction (the policy of every
@@ -34,7 +33,7 @@ pub enum WritePolicy {
 }
 
 /// Geometry and behaviour of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -90,7 +89,10 @@ impl CacheConfig {
         if !self.line_bytes.is_power_of_two() {
             return Err(CacheConfigError::LineNotPowerOfTwo(self.line_bytes));
         }
-        if !self.size_bytes.is_multiple_of(self.associativity * self.line_bytes) {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.associativity * self.line_bytes)
+        {
             return Err(CacheConfigError::Indivisible {
                 size: self.size_bytes,
                 assoc: self.associativity,
@@ -155,7 +157,7 @@ pub struct AccessOutcome {
 }
 
 /// Running statistics for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses (loads + stores + fills routed through `access`).
     pub accesses: u64,
@@ -519,8 +521,8 @@ mod tests {
 
     #[test]
     fn fifo_ignores_touches() {
-        let mut c = Cache::new(CacheConfig::new(512, 2, 64).with_policy(ReplacementPolicy::Fifo))
-            .unwrap();
+        let mut c =
+            Cache::new(CacheConfig::new(512, 2, 64).with_policy(ReplacementPolicy::Fifo)).unwrap();
         c.access(0, false);
         c.access(1024, false);
         c.access(0, false); // touch must NOT refresh under FIFO
@@ -645,10 +647,9 @@ mod tests {
     #[test]
     fn random_policy_deterministic() {
         let mk = || {
-            let mut c = Cache::new(
-                CacheConfig::new(512, 2, 64).with_policy(ReplacementPolicy::Random),
-            )
-            .unwrap();
+            let mut c =
+                Cache::new(CacheConfig::new(512, 2, 64).with_policy(ReplacementPolicy::Random))
+                    .unwrap();
             for i in 0..64u64 {
                 c.access((i * 7919) % 8192, false);
             }

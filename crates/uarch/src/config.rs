@@ -6,11 +6,10 @@ use crate::cycles::CycleModel;
 use crate::hierarchy::{HierarchyConfig, LatencyModel};
 use crate::prefetch::PrefetcherKind;
 use crate::tlb::TlbConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a simulated core: memory hierarchy, branch predictor,
 /// TLB and cycle model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Cache hierarchy geometry.
     pub hierarchy: HierarchyConfig,
@@ -94,7 +93,11 @@ mod tests {
 
     #[test]
     fn presets_are_valid_geometries() {
-        for cfg in [CoreConfig::default(), CoreConfig::xeon_e5_2690(), CoreConfig::tiny()] {
+        for cfg in [
+            CoreConfig::default(),
+            CoreConfig::xeon_e5_2690(),
+            CoreConfig::tiny(),
+        ] {
             assert!(cfg.hierarchy.l1d.validate().is_ok());
             assert!(cfg.hierarchy.l2.validate().is_ok());
             assert!(cfg.hierarchy.l3.validate().is_ok());

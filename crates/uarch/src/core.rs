@@ -8,13 +8,12 @@ use crate::cycles::RetiredCounts;
 use crate::hierarchy::MemoryHierarchy;
 use crate::probe::Probe;
 use crate::tlb::Tlb;
-use serde::{Deserialize, Serialize};
 
 /// A raw snapshot of every architectural/microarchitectural count the
 /// simulated PMU can expose. This is the ground truth that `scnn-hpc`
 /// turns into perf-style event readings (with noise and multiplexing on
 /// top).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// Retired instructions.
     pub instructions: u64,

@@ -5,10 +5,8 @@
 //! serialisation penalties — because the paper's evaluator consumes
 //! *distributions* of these events, not absolute accuracy.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the cycle model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleModel {
     /// Sustained instructions per cycle when nothing stalls (issue width
     /// discounted by dependency stalls).
@@ -43,7 +41,7 @@ impl Default for CycleModel {
 }
 
 /// The retired-event counts the model consumes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetiredCounts {
     /// Retired instructions of any kind.
     pub instructions: u64,

@@ -7,7 +7,6 @@
 
 use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
 use crate::prefetch::{Prefetcher, PrefetcherKind};
-use serde::{Deserialize, Serialize};
 
 /// Which level ultimately served a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +22,7 @@ pub enum ServedBy {
 }
 
 /// Access latencies per level, in core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// L1 hit latency.
     pub l1: u64,
@@ -60,7 +59,7 @@ impl LatencyModel {
 }
 
 /// Geometry of the whole hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache geometry.
     pub l1d: CacheConfig,
@@ -89,7 +88,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Aggregated statistics of the hierarchy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 data cache statistics.
     pub l1d: CacheStats,

@@ -9,13 +9,10 @@
 //! dispersion — without it every t-test would saturate and the paper's
 //! "branches mostly do NOT distinguish categories" shape would be lost.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
 
 /// Configuration of the noise model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseConfig {
     /// Mean number of timer interrupts per million core cycles (Poisson).
     pub interrupts_per_mcycle: f64,
@@ -107,7 +104,7 @@ impl NoiseConfig {
 }
 
 /// Additive/multiplicative noise drawn for one measurement window.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NoiseSample {
     /// Extra retired instructions.
     pub instructions: u64,
@@ -304,10 +301,10 @@ mod tests {
         let half = base.scaled(0.5);
         assert!((half.interrupts_per_mcycle - base.interrupts_per_mcycle * 0.5).abs() < 1e-12);
         let over = base.scaled(10.0);
-        assert!((over.context_switches_per_mcycle
-            - base.context_switches_per_mcycle * 10.0)
-            .abs()
-            < 1e-12);
+        assert!(
+            (over.context_switches_per_mcycle - base.context_switches_per_mcycle * 10.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

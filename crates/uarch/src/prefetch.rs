@@ -5,10 +5,8 @@
 //! prefetched lines land (L2 in this model, matching Intel's MLC
 //! prefetchers).
 
-use serde::{Deserialize, Serialize};
-
 /// Prefetcher selection for the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PrefetcherKind {
     /// No prefetching.
     None,

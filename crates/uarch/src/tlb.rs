@@ -1,9 +1,7 @@
 //! A simple set-associative translation lookaside buffer.
 
-use serde::{Deserialize, Serialize};
-
 /// TLB geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: usize,
@@ -26,7 +24,7 @@ impl Default for TlbConfig {
 }
 
 /// TLB statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Translations requested.
     pub accesses: u64,
@@ -91,7 +89,10 @@ impl Tlb {
             config.entries.is_multiple_of(config.associativity),
             "entries must divide evenly into ways"
         );
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let sets = config.entries / config.associativity;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The attacker profiles half the measurements per category, then
     // labels the other half.
     for (name, classifier) in [
-        ("Gaussian template attack", AttackClassifier::GaussianTemplate),
+        (
+            "Gaussian template attack",
+            AttackClassifier::GaussianTemplate,
+        ),
         ("5-nearest-neighbours", AttackClassifier::Knn { k: 5 }),
     ] {
         let result = outcome.mount_attack(&AttackConfig {

@@ -26,11 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("constant-time kernels", Some(Countermeasure::ConstantTime)),
         (
             "noise injection (20k dummy events)",
-            Some(Countermeasure::NoiseInjection { dummy_events: 20_000 }),
+            Some(Countermeasure::NoiseInjection {
+                dummy_events: 20_000,
+            }),
         ),
         (
             "constant-time + noise injection",
-            Some(Countermeasure::Combined { dummy_events: 20_000 }),
+            Some(Countermeasure::Combined {
+                dummy_events: 20_000,
+            }),
         ),
     ];
 
@@ -56,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pairs(HpcEvent::CacheMisses),
             pairs(HpcEvent::Branches),
             attack.accuracy * 100.0,
-            if outcome.report.alarm().raised() { "RAISED" } else { "quiet" }
+            if outcome.report.alarm().raised() {
+                "RAISED"
+            } else {
+                "quiet"
+            }
         );
     }
     println!("\n(pairs = category pairs distinguishable at 95%; attack chance level is 25%)");

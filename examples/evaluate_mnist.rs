@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- Figure 3: distributions ---");
     print!("{}", render_summary(&observations, HpcEvent::CacheMisses));
-    print!("{}", render_distributions(&observations, HpcEvent::CacheMisses, 10));
+    print!(
+        "{}",
+        render_distributions(&observations, HpcEvent::CacheMisses, 10)
+    );
 
     println!("\n--- Table 1: pairwise t-tests ---");
     print!("{}", leakage.render_table());

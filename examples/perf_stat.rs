@@ -23,11 +23,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         7,
     )?;
-    let (image, label) = ds.get(5).map(|(img, l)| (img.clone(), l)).expect("dataset non-empty");
+    let (image, label) = ds
+        .get(5)
+        .map(|(img, l)| (img.clone(), l))
+        .expect("dataset non-empty");
 
     // The exact eight events of the paper's Figure 2(b), all scheduled at
     // once on an 8-counter PMU.
-    println!("perf stat -e {} -p <cnn>", HpcEvent::FIG2B.map(|e| e.perf_name()).join(","));
+    println!(
+        "perf stat -e {} -p <cnn>",
+        HpcEvent::FIG2B.map(|e| e.perf_name()).join(",")
+    );
     let pmu = SimulatedPmu::new(SimPmuConfig::default(), 0xF1)?;
     let mut session = PerfStat::new(pmu, CounterGroup::new(HpcEvent::FIG2B.to_vec(), 8)?);
     let report = session.stat(&mut |probe| {

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- Deployment side ---------------------------------------------------
     let mut restored = Network::from_bytes(&std::fs::read(&path)?)?;
-    println!("reloaded: {} layers, {} parameters", restored.len(), restored.param_count());
+    println!(
+        "reloaded: {} layers, {} parameters",
+        restored.len(),
+        restored.param_count()
+    );
 
     let test_set = generate(
         &MnistSynthConfig {

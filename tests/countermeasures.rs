@@ -34,7 +34,10 @@ fn constant_time_removes_cache_miss_leak() {
     };
     let leaky_cm = pairs(&leaky, HpcEvent::CacheMisses);
     let protected_cm = pairs(&protected, HpcEvent::CacheMisses);
-    assert!(leaky_cm > 0, "baseline must leak for the test to mean anything");
+    assert!(
+        leaky_cm > 0,
+        "baseline must leak for the test to mean anything"
+    );
     assert_eq!(
         protected_cm, 0,
         "under a quiet system, constant-footprint kernels leave nothing to test"

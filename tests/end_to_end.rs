@@ -9,7 +9,7 @@ fn fast(dataset: DatasetKind) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::quick(dataset);
     cfg.train_per_class = 8;
     cfg.test_per_class = 4;
-    cfg.train.epochs = 2;
+    cfg.train.epochs = 3;
     cfg.collection.samples_per_category = 8;
     cfg.pmu.core = CoreConfig::tiny();
     cfg
