@@ -26,11 +26,15 @@ cargo build --release --offline --workspace
 step "cargo test --offline"
 cargo test -q --offline --workspace
 
-step "repro smoke run (tiny scale)"
+step "repro smoke run (tiny scale, threads 1 vs 4 must be byte-identical)"
 out="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
-      table1 --quick --samples 8)"
+      table1 --quick --samples 8 --threads 1)"
+out4="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8 --threads 4)"
 printf '%s\n' "$out"
 printf '%s' "$out" | grep -q "ALARM" || { echo "FAIL: no alarm raised"; exit 1; }
 printf '%s' "$out" | grep -q "cache-misses" || { echo "FAIL: cache-misses absent"; exit 1; }
+diff <(printf '%s' "$out") <(printf '%s' "$out4") \
+  || { echo "FAIL: report differs between --threads 1 and --threads 4"; exit 1; }
 
 step "all checks passed"

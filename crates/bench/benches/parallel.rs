@@ -1,0 +1,119 @@
+//! Threads=1 vs threads=N comparison for the parallel collection and
+//! evaluation layer, emitting `BENCH_parallel.json` at the repo root.
+//!
+//! Two properties are measured on a paper-shaped campaign:
+//!
+//! - **Determinism** (the headline): the observations and the leakage
+//!   report must be bit-identical at every thread count. This is asserted,
+//!   not just reported — a violation aborts the bench.
+//! - **Wall-clock**: per-run times at 1 and `N` workers. The JSON records
+//!   the host's available parallelism alongside the speedup, because on a
+//!   single-core runner the honest speedup is ~1×.
+
+use std::time::Instant;
+
+use scnn_bench::harness::black_box;
+use scnn_core::collect::{category_seed, collect_campaign, CollectionConfig};
+use scnn_core::evaluator::{Evaluator, EvaluatorConfig};
+use scnn_data::mnist_synth::{generate, MnistSynthConfig};
+use scnn_hpc::{SimPmuConfig, SimulatedPmu};
+use scnn_nn::models;
+use scnn_par::Threads;
+
+/// Worker count for the "parallel" arm of the comparison.
+const PAR_WORKERS: usize = 4;
+/// Timed repetitions per arm; the best run is reported, matching the
+/// least-noise convention of the in-tree harness.
+const REPS: usize = 5;
+
+fn best_of<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let value = black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("REPS > 0"))
+}
+
+fn main() {
+    let ds = generate(
+        &MnistSynthConfig {
+            per_class: 8,
+            side: 16,
+            ..MnistSynthConfig::default()
+        },
+        23,
+    )
+    .unwrap()
+    .select_classes(&[0, 1, 2, 3]);
+    let net = models::small_cnn(1, 16, 4, 3);
+    let samples = 24;
+
+    let campaign = |threads: Threads| {
+        let config = CollectionConfig {
+            samples_per_category: samples,
+            threads,
+            ..CollectionConfig::default()
+        };
+        collect_campaign(
+            |_| net.clone(),
+            &ds,
+            |c| SimulatedPmu::new(SimPmuConfig::default(), category_seed(0x9019, c)),
+            &config,
+        )
+        .unwrap()
+    };
+
+    let (seq_collect_ms, obs_seq) = best_of(|| campaign(Threads::Count(1)));
+    let (par_collect_ms, obs_par) = best_of(|| campaign(Threads::Count(PAR_WORKERS)));
+    assert_eq!(
+        obs_seq, obs_par,
+        "collection must be bit-identical at any thread count"
+    );
+
+    let evaluate = |threads: Threads| {
+        let config = EvaluatorConfig {
+            second_order: true,
+            threads,
+            ..EvaluatorConfig::default()
+        };
+        Evaluator::new(config).evaluate(&obs_seq).unwrap()
+    };
+    let (seq_eval_ms, report_seq) = best_of(|| evaluate(Threads::Count(1)));
+    let (par_eval_ms, report_par) = best_of(|| evaluate(Threads::Count(PAR_WORKERS)));
+    assert_eq!(
+        report_seq.per_event, report_par.per_event,
+        "evaluation must be bit-identical at any thread count"
+    );
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel\",\n",
+            "  \"host_parallelism\": {host},\n",
+            "  \"par_workers\": {workers},\n",
+            "  \"campaign\": {{ \"categories\": 4, \"samples_per_category\": {samples} }},\n",
+            "  \"collect_ms\": {{ \"threads_1\": {sc:.3}, \"threads_n\": {pc:.3}, \"speedup\": {cs:.3} }},\n",
+            "  \"evaluate_ms\": {{ \"threads_1\": {se:.3}, \"threads_n\": {pe:.3}, \"speedup\": {es:.3} }},\n",
+            "  \"bit_identical\": true\n",
+            "}}\n"
+        ),
+        host = host,
+        workers = PAR_WORKERS,
+        samples = samples,
+        sc = seq_collect_ms,
+        pc = par_collect_ms,
+        cs = seq_collect_ms / par_collect_ms,
+        se = seq_eval_ms,
+        pe = par_eval_ms,
+        es = seq_eval_ms / par_eval_ms,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    print!("{json}");
+    println!("wrote {path}");
+}

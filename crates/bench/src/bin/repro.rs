@@ -20,7 +20,9 @@
 //!
 //! Options: `--samples <n>` (measurements per category, default 100),
 //! `--quick` (tiny models, for smoke tests), `--csv <dir>` (additionally
-//! write the raw figure/table series as CSV files for external plotting).
+//! write the raw figure/table series as CSV files for external plotting),
+//! `--threads <n|auto>` (worker threads for collection, evaluation and
+//! minibatch training; output is bit-identical at every setting).
 
 use scnn_core::attack::{AttackClassifier, AttackConfig};
 use scnn_core::countermeasure::Countermeasure;
@@ -29,6 +31,7 @@ use scnn_core::pipeline::{
 };
 use scnn_core::report::{render_distributions, render_summary};
 use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
+use scnn_par::Threads;
 use scnn_stats::ranktest;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -38,6 +41,7 @@ struct Options {
     samples: usize,
     quick: bool,
     csv: Option<std::path::PathBuf>,
+    threads: Threads,
 }
 
 impl Options {
@@ -48,6 +52,12 @@ impl Options {
             ExperimentConfig::paper(dataset)
         };
         cfg.collection.samples_per_category = self.samples;
+        // The determinism contract (see DESIGN.md § Parallel execution)
+        // guarantees every artefact below is byte-identical whatever this
+        // setting; only the wall-clock changes.
+        cfg.collection.threads = self.threads;
+        cfg.evaluator.threads = self.threads;
+        cfg.train.threads = self.threads;
         cfg
     }
 }
@@ -530,6 +540,7 @@ fn main() -> ExitCode {
         samples: 100,
         quick: false,
         csv: None,
+        threads: Threads::Auto,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -542,6 +553,13 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => options.quick = true,
+            "--threads" => match it.next().map(|v| v.parse::<Threads>()) {
+                Some(Ok(t)) => options.threads = t,
+                _ => {
+                    eprintln!("--threads needs a worker count or \"auto\"");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--csv" => match it.next() {
                 Some(dir) => options.csv = Some(std::path::PathBuf::from(dir)),
                 None => {
@@ -593,7 +611,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: repro <fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|sweep|events|uarch|archs|all> \
-                 [--samples N] [--quick]"
+                 [--samples N] [--quick] [--threads N|auto] [--csv DIR]"
             );
             return ExitCode::FAILURE;
         }

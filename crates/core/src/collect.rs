@@ -6,6 +6,8 @@
 use scnn_data::Dataset;
 use scnn_hpc::{CounterGroup, HpcEvent, Measurement, Pmu, PmuError};
 use scnn_nn::{Network, NnError};
+use scnn_par::{Pool, Threads};
+use scnn_rng::SplitMix64;
 use scnn_tensor::Tensor;
 use scnn_uarch::Probe;
 use std::collections::BTreeMap;
@@ -93,6 +95,10 @@ pub struct CollectionConfig {
     pub samples_per_category: usize,
     /// Hardware-counter budget for the group.
     pub hw_counters: usize,
+    /// Worker threads for [`collect_campaign`]: one category campaign per
+    /// worker. Does not affect the measured values — see the determinism
+    /// contract on [`collect_campaign`].
+    pub threads: Threads,
 }
 
 impl Default for CollectionConfig {
@@ -102,6 +108,7 @@ impl Default for CollectionConfig {
             events: vec![HpcEvent::CacheMisses, HpcEvent::Branches],
             samples_per_category: 100,
             hw_counters: CounterGroup::DEFAULT_HW_COUNTERS,
+            threads: Threads::Auto,
         }
     }
 }
@@ -158,44 +165,123 @@ pub fn collect<P: Pmu>(
 
     let mut out = Vec::with_capacity(dataset.num_classes());
     for category in 0..dataset.num_classes() {
-        let images: Vec<_> = dataset.of_class(category).collect();
-        if images.is_empty() {
-            return Err(CollectError::EmptyCategory { category });
-        }
-        let mut per_event: BTreeMap<HpcEvent, Vec<f64>> = config
-            .events
-            .iter()
-            .map(|&e| (e, Vec::with_capacity(config.samples_per_category)))
-            .collect();
-        let mut predictions = Vec::with_capacity(config.samples_per_category);
-
-        for i in 0..config.samples_per_category {
-            let image = images[i % images.len()];
-            let mut prediction = 0usize;
-            let mut nn_err: Option<scnn_nn::NnError> = None;
-            let measurement: Measurement = pmu.measure(&group, &mut |probe| match net
-                .classify_traced(image, probe)
-            {
-                Ok(p) => prediction = p,
-                Err(e) => nn_err = Some(e),
-            })?;
-            if let Some(e) = nn_err {
-                return Err(e.into());
-            }
-            for reading in &measurement.readings {
-                if let Some(series) = per_event.get_mut(&reading.event) {
-                    series.push(reading.value() as f64);
-                }
-            }
-            predictions.push(prediction);
-        }
-        out.push(CategoryObservations {
-            category,
-            per_event,
-            predictions,
-        });
+        out.push(collect_category(
+            net, dataset, pmu, &group, config, category,
+        )?);
     }
     Ok(out)
+}
+
+/// Measures one category's campaign: `samples_per_category` traced
+/// classifications of that category's images through `pmu`.
+///
+/// This is the per-category body shared by the sequential [`collect`]
+/// loop and the parallel [`collect_campaign`] fan-out.
+///
+/// # Errors
+///
+/// Returns [`CollectError`] when the category is empty or a backend call
+/// fails.
+pub fn collect_category<P: Pmu>(
+    net: &mut dyn TracedClassifier,
+    dataset: &Dataset,
+    pmu: &mut P,
+    group: &CounterGroup,
+    config: &CollectionConfig,
+    category: usize,
+) -> Result<CategoryObservations, CollectError> {
+    let images: Vec<_> = dataset.of_class(category).collect();
+    if images.is_empty() {
+        return Err(CollectError::EmptyCategory { category });
+    }
+    let mut per_event: BTreeMap<HpcEvent, Vec<f64>> = config
+        .events
+        .iter()
+        .map(|&e| (e, Vec::with_capacity(config.samples_per_category)))
+        .collect();
+    let mut predictions = Vec::with_capacity(config.samples_per_category);
+
+    for i in 0..config.samples_per_category {
+        let image = images[i % images.len()];
+        let mut prediction = 0usize;
+        let mut nn_err: Option<scnn_nn::NnError> = None;
+        let measurement: Measurement = pmu.measure(group, &mut |probe| match net
+            .classify_traced(image, probe)
+        {
+            Ok(p) => prediction = p,
+            Err(e) => nn_err = Some(e),
+        })?;
+        if let Some(e) = nn_err {
+            return Err(e.into());
+        }
+        for reading in &measurement.readings {
+            if let Some(series) = per_event.get_mut(&reading.event) {
+                series.push(reading.value() as f64);
+            }
+        }
+        predictions.push(prediction);
+    }
+    Ok(CategoryObservations {
+        category,
+        per_event,
+        predictions,
+    })
+}
+
+/// Derives the seed for category `category`'s measurement environment
+/// from a campaign-level `base` seed.
+///
+/// The derivation is a pure function of `(base, category)` — it does not
+/// depend on how many categories run concurrently or in what order — so
+/// a campaign's readings are identical at every thread count.
+pub fn category_seed(base: u64, category: usize) -> u64 {
+    SplitMix64::new(base ^ (category as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_value()
+}
+
+/// Runs the collection campaign with one worker per category, each on its
+/// own classifier and PMU.
+///
+/// `make_classifier(c)` and `make_pmu(c)` build category `c`'s private
+/// measurement environment; deriving any per-category randomness via
+/// [`category_seed`] keeps each factory a pure function of the category
+/// index. Under that contract the observations are **bit-identical at
+/// every thread count** (including `Threads::Count(1)`), because each
+/// category's campaign never shares mutable state with another.
+///
+/// This is the paper's §4 setup taken literally: each input category is
+/// monitored "considering each category individually", so the campaigns
+/// are independent by construction and the fan-out is free.
+///
+/// # Errors
+///
+/// Returns [`CollectError`] when the dataset or a category is empty or a
+/// backend call fails. With several failing categories, the error of the
+/// lowest-numbered one is reported (matching the sequential loop).
+pub fn collect_campaign<C, P, FC, FP>(
+    make_classifier: FC,
+    dataset: &Dataset,
+    make_pmu: FP,
+    config: &CollectionConfig,
+) -> Result<Vec<CategoryObservations>, CollectError>
+where
+    C: TracedClassifier + Send,
+    P: Pmu + Send,
+    FC: Fn(usize) -> C + Sync,
+    FP: Fn(usize) -> Result<P, PmuError> + Sync,
+{
+    if dataset.is_empty() {
+        return Err(CollectError::EmptyDataset);
+    }
+    let group =
+        CounterGroup::new(config.events.clone(), config.hw_counters).map_err(PmuError::Group)?;
+
+    let pool = Pool::new(config.threads);
+    let results = pool.par_map((0..dataset.num_classes()).collect(), |category| {
+        let mut net = make_classifier(category);
+        let mut pmu = make_pmu(category)?;
+        collect_category(&mut net, dataset, &mut pmu, &group, config, category)
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -285,6 +371,107 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn campaign_bit_identical_across_thread_counts() {
+        let run = |threads: Threads| {
+            let (net, ds, _) = tiny_setup();
+            let config = CollectionConfig {
+                samples_per_category: 5,
+                threads,
+                ..CollectionConfig::default()
+            };
+            collect_campaign(
+                |_| net.clone(),
+                &ds,
+                |c| {
+                    SimulatedPmu::new(
+                        SimPmuConfig {
+                            core: CoreConfig::tiny(),
+                            ..SimPmuConfig::default()
+                        },
+                        category_seed(5, c),
+                    )
+                },
+                &config,
+            )
+            .unwrap()
+        };
+        let seq = run(Threads::Count(1));
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq, run(Threads::Count(2)));
+        assert_eq!(seq, run(Threads::Count(4)));
+    }
+
+    #[test]
+    fn campaign_threads_one_matches_manual_sequential_loop() {
+        let (net, ds, _) = tiny_setup();
+        let config = CollectionConfig {
+            samples_per_category: 4,
+            threads: Threads::Count(1),
+            ..CollectionConfig::default()
+        };
+        let make_pmu = |c: usize| {
+            SimulatedPmu::new(
+                SimPmuConfig {
+                    core: CoreConfig::tiny(),
+                    ..SimPmuConfig::default()
+                },
+                category_seed(9, c),
+            )
+        };
+        let campaign = collect_campaign(|_| net.clone(), &ds, make_pmu, &config).unwrap();
+
+        let group = CounterGroup::new(config.events.clone(), config.hw_counters).unwrap();
+        let mut manual = Vec::new();
+        for c in 0..ds.num_classes() {
+            let mut n = net.clone();
+            let mut pmu = make_pmu(c).unwrap();
+            manual.push(collect_category(&mut n, &ds, &mut pmu, &group, &config, c).unwrap());
+        }
+        assert_eq!(campaign, manual);
+    }
+
+    #[test]
+    fn category_seed_is_pure_and_spreads() {
+        assert_eq!(category_seed(42, 3), category_seed(42, 3));
+        assert_ne!(category_seed(42, 0), category_seed(42, 1));
+        assert_ne!(category_seed(42, 0), category_seed(43, 0));
+    }
+
+    #[test]
+    fn campaign_reports_lowest_failing_category() {
+        let (net, ds, _) = tiny_setup();
+        // Classes {0,1} exist; a 3-class dataset leaves category 2 empty.
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for (img, l) in ds.iter() {
+            images.push(img.clone());
+            labels.push(l);
+        }
+        let ds3 = Dataset::new(images, labels, 3).unwrap();
+        let err = collect_campaign(
+            |_| net.clone(),
+            &ds3,
+            |c| {
+                SimulatedPmu::new(
+                    SimPmuConfig {
+                        core: CoreConfig::tiny(),
+                        ..SimPmuConfig::default()
+                    },
+                    category_seed(1, c),
+                )
+            },
+            &CollectionConfig {
+                threads: Threads::Count(3),
+                ..CollectionConfig::default()
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(CollectError::EmptyCategory { category: 2 })
+        ));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use crate::collect::CategoryObservations;
 use scnn_hpc::HpcEvent;
+use scnn_par::{Pool, Threads};
 use scnn_stats::moments::centered_squares;
-use scnn_stats::{DecisionRule, PairwiseLeakage, Summary, TTestError, TTestKind};
+use scnn_stats::{DecisionRule, PairResult, PairwiseLeakage, Summary, TTestError, TTestKind};
 use std::error::Error;
 use std::fmt;
 
@@ -27,6 +28,11 @@ pub struct EvaluatorConfig {
     /// noise-injection countermeasures that equalise means but not
     /// spreads.
     pub second_order: bool,
+    /// Worker threads for the pairwise matrix. Every cell is a pure
+    /// function of two per-category summaries and cells are assembled in
+    /// `(event, i, j)` order, so the report is identical at every thread
+    /// count. Not part of the serialized report.
+    pub threads: Threads,
 }
 
 impl Default for EvaluatorConfig {
@@ -36,6 +42,7 @@ impl Default for EvaluatorConfig {
             rule: DecisionRule::PValue { alpha: 0.05 },
             holm_alpha: None,
             second_order: false,
+            threads: Threads::Auto,
         }
     }
 }
@@ -206,9 +213,15 @@ impl Evaluator {
         // Events come from the first category's map; every category must
         // have every event.
         let events: Vec<HpcEvent> = observations[0].per_event.keys().copied().collect();
-        let mut per_event = Vec::with_capacity(events.len());
+        let k = observations.len();
+
+        // Per-event summaries (and, when requested, summaries of the
+        // centered squares for the second-order test). Cheap single pass;
+        // the quadratic work is the pairwise matrix below.
+        let mut first: Vec<Vec<Summary>> = Vec::with_capacity(events.len());
+        let mut second: Vec<Vec<Summary>> = Vec::new();
         for &event in &events {
-            let mut summaries = Vec::with_capacity(observations.len());
+            let mut summaries = Vec::with_capacity(k);
             for obs in observations {
                 let series = obs.series(event).ok_or(EvaluateError::MissingEvent {
                     event,
@@ -216,24 +229,71 @@ impl Evaluator {
                 })?;
                 summaries.push(series.iter().copied().collect::<Summary>());
             }
-            let pairwise = PairwiseLeakage::assess(&summaries, self.config.kind, self.config.rule)?;
+            first.push(summaries);
+            if self.config.second_order {
+                second.push(
+                    observations
+                        .iter()
+                        .map(|obs| {
+                            centered_squares(obs.series(event).unwrap_or(&[]))
+                                .iter()
+                                .copied()
+                                .collect::<Summary>()
+                        })
+                        .collect(),
+                );
+            }
+        }
+
+        // Every cell of every matrix is a pure function of two summaries,
+        // so all cells fan out as one flat job list. Results come back in
+        // job order, which makes the assembly below — and therefore the
+        // whole report — independent of the thread count.
+        let mut jobs: Vec<(usize, bool, usize, usize)> = Vec::new();
+        for e in 0..events.len() {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    jobs.push((e, false, i, j));
+                    if self.config.second_order {
+                        jobs.push((e, true, i, j));
+                    }
+                }
+            }
+        }
+        let pool = Pool::new(self.config.threads);
+        let (kind, rule) = (self.config.kind, self.config.rule);
+        let cells = pool.par_map(jobs, |(e, is_second, i, j)| {
+            let summaries = if is_second { &second[e] } else { &first[e] };
+            PairResult::compute(summaries, i, j, kind, rule)
+        });
+
+        let mut cells = cells.into_iter();
+        let mut per_event = Vec::with_capacity(events.len());
+        for (event, summaries) in events.iter().copied().zip(first) {
+            let mut pairs = Vec::with_capacity(k * (k - 1) / 2);
+            let mut second_pairs = Vec::new();
+            for i in 0..k {
+                for _ in (i + 1)..k {
+                    pairs.push(cells.next().expect("one cell per job")?);
+                    if self.config.second_order {
+                        second_pairs.push(cells.next().expect("one cell per job")?);
+                    }
+                }
+            }
+            let pairwise = PairwiseLeakage {
+                pairs,
+                categories: k,
+                rule,
+            };
             let holm = self
                 .config
                 .holm_alpha
                 .map(|alpha| pairwise.holm_corrected(alpha));
-            let second_order = if self.config.second_order {
-                let squared: Vec<Vec<f64>> = observations
-                    .iter()
-                    .map(|obs| centered_squares(obs.series(event).unwrap_or(&[])))
-                    .collect();
-                Some(PairwiseLeakage::assess_samples(
-                    &squared,
-                    self.config.kind,
-                    self.config.rule,
-                )?)
-            } else {
-                None
-            };
+            let second_order = self.config.second_order.then_some(PairwiseLeakage {
+                pairs: second_pairs,
+                categories: k,
+                rule,
+            });
             per_event.push(EventLeakage {
                 event,
                 summaries,
@@ -244,7 +304,7 @@ impl Evaluator {
         }
         Ok(LeakageReport {
             per_event,
-            categories: observations.len(),
+            categories: k,
             config: self.config,
         })
     }
@@ -378,6 +438,55 @@ mod tests {
             ev.second_order.as_ref().unwrap().leaks(),
             "second order must catch the variance difference"
         );
+    }
+
+    #[test]
+    fn report_identical_across_thread_counts() {
+        let obs = synth_obs(
+            &[
+                (HpcEvent::CacheMisses, vec![100.0, 200.0, 300.0, 400.0]),
+                (HpcEvent::Branches, vec![5000.0, 5000.1, 5000.0, 5000.1]),
+            ],
+            50,
+        );
+        let run = |threads: Threads| {
+            Evaluator::new(EvaluatorConfig {
+                holm_alpha: Some(0.05),
+                second_order: true,
+                threads,
+                ..EvaluatorConfig::default()
+            })
+            .evaluate(&obs)
+            .unwrap()
+        };
+        let seq = run(Threads::Count(1));
+        let par = run(Threads::Count(4));
+        // The thread knob itself differs inside `config`; everything the
+        // report derives from the data must be bit-identical.
+        assert_eq!(seq.per_event, par.per_event);
+        assert_eq!(seq.categories, par.categories);
+        assert_eq!(seq.alarm(), par.alarm());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_assess() {
+        // The fan-out must assemble exactly the matrix the reference
+        // PairwiseLeakage::assess loop produces.
+        let obs = synth_obs(&[(HpcEvent::CacheMisses, vec![10.0, 50.0, 90.0])], 30);
+        let report = Evaluator::new(EvaluatorConfig {
+            threads: Threads::Count(3),
+            ..EvaluatorConfig::default()
+        })
+        .evaluate(&obs)
+        .unwrap();
+        let ev = report.event(HpcEvent::CacheMisses).unwrap();
+        let reference = PairwiseLeakage::assess(
+            &ev.summaries,
+            TTestKind::Welch,
+            DecisionRule::PValue { alpha: 0.05 },
+        )
+        .unwrap();
+        assert_eq!(ev.pairwise, reference);
     }
 
     #[test]

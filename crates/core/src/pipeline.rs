@@ -3,7 +3,9 @@
 //! paper's §5, as one configurable object.
 
 use crate::attack::{mount_attack, AttackConfig, AttackError, AttackOutcome};
-use crate::collect::{collect, CategoryObservations, CollectError, CollectionConfig};
+use crate::collect::{
+    category_seed, collect_campaign, CategoryObservations, CollectError, CollectionConfig,
+};
 use crate::countermeasure::{Countermeasure, ProtectedModel};
 use crate::evaluator::{EvaluateError, Evaluator, EvaluatorConfig, LeakageReport};
 use scnn_data::cifar_synth::{self, CifarSynthConfig};
@@ -336,19 +338,26 @@ impl Experiment {
         let test_accuracy = accuracy(&mut net, &test_set.to_samples())?;
 
         let monitored = test_set.select_classes(&cfg.categories);
-        let mut pmu = SimulatedPmu::new(cfg.pmu, cfg.seed ^ 0x9019)?;
 
-        let (observations, network) = match cfg.countermeasure {
-            None => {
-                let obs = collect(&mut net, &monitored, &mut pmu, &cfg.collection)?;
-                (obs, net)
-            }
-            Some(cm) => {
-                let mut protected = ProtectedModel::new(net, cm, cfg.seed ^ 0xD011);
-                let obs = collect(&mut protected, &monitored, &mut pmu, &cfg.collection)?;
-                (obs, protected.into_inner())
-            }
+        // One campaign per category, each on its own cloned model and its
+        // own PMU seeded from the category index — a pure function of
+        // (seed, category), so readings are bit-identical at every thread
+        // count (see `collect_campaign`).
+        let pmu_base = cfg.seed ^ 0x9019;
+        let cm_base = cfg.seed ^ 0xD011;
+        let make_pmu = |c: usize| SimulatedPmu::new(cfg.pmu, category_seed(pmu_base, c));
+        let observations = match cfg.countermeasure {
+            None => collect_campaign(|_| net.clone(), &monitored, make_pmu, &cfg.collection)?,
+            Some(cm) => collect_campaign(
+                |c| ProtectedModel::new(net.clone(), cm, category_seed(cm_base, c)),
+                &monitored,
+                make_pmu,
+                &cfg.collection,
+            )?,
         };
+        // Each campaign measured a private clone; the caller gets the
+        // trained network itself, unrewritten.
+        let network = net;
 
         let report = Evaluator::new(cfg.evaluator).evaluate(&observations)?;
         Ok(ExperimentOutcome {
@@ -465,5 +474,20 @@ mod tests {
                 .observations
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        use scnn_par::Threads;
+        let run = |threads: Threads| {
+            let mut cfg = fast(DatasetKind::Mnist);
+            cfg.collection.threads = threads;
+            cfg.evaluator.threads = threads;
+            let o = Experiment::new(cfg).run().unwrap();
+            (o.observations, o.report.per_event, o.test_accuracy)
+        };
+        let seq = run(Threads::Count(1));
+        assert_eq!(seq, run(Threads::Count(2)));
+        assert_eq!(seq, run(Threads::Count(4)));
     }
 }

@@ -105,8 +105,17 @@ pub fn read_images<R: Read>(mut reader: R) -> Result<(Vec<Tensor>, usize, usize)
     let count = buf.get_u32() as usize;
     let rows = buf.get_u32() as usize;
     let cols = buf.get_u32() as usize;
-    let need = count * rows * cols;
-    if buf.remaining() < need {
+    // `count * rows * cols` wraps on hostile headers (three u32::MAX
+    // fields overflow even u64), which would let the bounds check pass
+    // and the pixel loop run off the payload. Checked arithmetic turns
+    // that into Truncated. A zero-area image shape with a nonzero count
+    // is rejected too: no payload can back it, and trusting the header's
+    // `count` there would attempt a giant allocation.
+    let need = count
+        .checked_mul(rows)
+        .and_then(|n| n.checked_mul(cols))
+        .ok_or(IdxError::Truncated)?;
+    if buf.remaining() < need || (count > 0 && rows * cols == 0) {
         return Err(IdxError::Truncated);
     }
     let mut images = Vec::with_capacity(count);
@@ -290,6 +299,42 @@ mod tests {
         bytes.extend_from_slice(&28u32.to_be_bytes());
         assert!(matches!(read_images(&bytes[..]), Err(IdxError::Truncated)));
         assert!(matches!(read_images(&bytes[..3]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn hostile_header_overflow_rejected() {
+        // count = rows = cols = u32::MAX: the naive size product wraps
+        // (it overflows u64), so an unchecked bounds test would pass and
+        // the reader would walk off the 4-byte payload.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[7, 7, 7, 7]);
+        assert!(matches!(read_images(&bytes[..]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn zero_area_images_with_nonzero_count_rejected() {
+        // A 0×0 image shape makes the size product 0 for any count, so
+        // the header could claim billions of images backed by nothing.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(read_images(&bytes[..]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_labels_detected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LABELS.to_be_bytes());
+        bytes.extend_from_slice(&100u32.to_be_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(read_labels(&bytes[..]), Err(IdxError::Truncated)));
+        assert!(matches!(read_labels(&bytes[..5]), Err(IdxError::Truncated)));
     }
 
     #[test]

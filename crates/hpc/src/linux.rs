@@ -229,11 +229,24 @@ impl Pmu for LinuxPmu {
             .iter()
             .map(|&e| Self::open(e))
             .collect::<Result<_, _>>()?;
+        // A failed RESET/ENABLE would leave the counter stopped at zero,
+        // and the subsequent read would return a perfectly plausible
+        // all-zero "measurement" — so every ioctl return is checked.
+        let check = |ret: c_int, op: &str, fd: &CounterFd| -> Result<(), PmuError> {
+            if ret < 0 {
+                return Err(PmuError::Backend(format!(
+                    "ioctl {op} failed for counter {}: {}",
+                    fd.event,
+                    io::Error::last_os_error()
+                )));
+            }
+            Ok(())
+        };
         for fd in &fds {
             // Safety: valid perf fds; these ioctls take no argument.
             unsafe {
-                sys::ioctl(fd.fd, IOCTL_RESET, 0);
-                sys::ioctl(fd.fd, IOCTL_ENABLE, 0);
+                check(sys::ioctl(fd.fd, IOCTL_RESET, 0), "RESET", fd)?;
+                check(sys::ioctl(fd.fd, IOCTL_ENABLE, 0), "ENABLE", fd)?;
             }
         }
 
@@ -244,7 +257,7 @@ impl Pmu for LinuxPmu {
         for fd in &fds {
             // Safety: as above.
             unsafe {
-                sys::ioctl(fd.fd, IOCTL_DISABLE, 0);
+                check(sys::ioctl(fd.fd, IOCTL_DISABLE, 0), "DISABLE", fd)?;
             }
         }
         let readings: Vec<CounterReading> = fds.iter().map(Self::read).collect::<Result<_, _>>()?;

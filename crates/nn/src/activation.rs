@@ -82,6 +82,10 @@ impl Layer for Relu {
         "relu"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape> {
         Ok(input.clone())
     }

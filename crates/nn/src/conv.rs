@@ -238,6 +238,10 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape> {
         let (_, _, oh, ow) = self.geometry(input)?;
         Ok(Shape::from(vec![self.out_channels, oh, ow]))

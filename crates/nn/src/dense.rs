@@ -137,6 +137,10 @@ impl Layer for Dense {
         "dense"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape> {
         self.check_input(input)?;
         Ok(Shape::from(vec![self.out_dim]))

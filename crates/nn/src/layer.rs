@@ -100,9 +100,14 @@ pub enum Mode {
 ///   [`ExecContext`]. This is the path the side-channel evaluator
 ///   measures;
 /// - [`Layer::backward`] — gradients for training.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Short human-readable layer name (`"conv2d"`, `"relu"`, …).
     fn name(&self) -> &'static str;
+
+    /// Clones this layer behind a fresh box, so a whole
+    /// [`Network`](crate::Network) can be duplicated for parallel
+    /// per-sample gradient evaluation.
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Output shape for a given input shape.
     ///

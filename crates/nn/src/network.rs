@@ -51,6 +51,20 @@ impl Default for Network {
     }
 }
 
+impl Clone for Network {
+    /// Deep-copies every layer (weights, gradients, kernel style and
+    /// assigned addresses) via [`Layer::clone_box`]. A clone is fully
+    /// independent: training it or running traced inference on it never
+    /// touches the original, which is what lets minibatch gradients be
+    /// evaluated on per-worker replicas.
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            finalized: self.finalized,
+        }
+    }
+}
+
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {
@@ -233,6 +247,50 @@ impl Network {
         }
     }
 
+    /// Snapshots every parameter gradient, in `visit_params` order.
+    ///
+    /// Together with [`Network::accumulate_grads`] this is the transport
+    /// for parallel minibatch training: each worker computes gradients on
+    /// its own clone, extracts them here, and the trainer sums the
+    /// snapshots into the master network in sample order.
+    pub fn grad_vector(&mut self) -> Vec<Tensor> {
+        let mut grads = Vec::new();
+        self.visit_params(|p| grads.push(p.grad.clone()));
+        grads
+    }
+
+    /// Adds a gradient snapshot (from [`Network::grad_vector`]) into this
+    /// network's parameter gradients, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` does not match this network's parameter list
+    /// (wrong length or shapes) — snapshots are only meaningful between
+    /// clones of the same network.
+    pub fn accumulate_grads(&mut self, grads: &[Tensor]) {
+        let mut i = 0;
+        self.visit_params(|p| {
+            let g = grads
+                .get(i)
+                .expect("gradient snapshot shorter than parameter list");
+            p.grad
+                .axpy(1.0, g)
+                .expect("gradient snapshot shape mismatch");
+            i += 1;
+        });
+        assert_eq!(
+            i,
+            grads.len(),
+            "gradient snapshot longer than parameter list"
+        );
+    }
+
+    /// Multiplies every parameter gradient by `factor` (used to turn a
+    /// minibatch gradient sum into a mean).
+    pub fn scale_grads(&mut self, factor: f32) {
+        self.visit_params(|p| p.grad.map_in_place(|g| g * factor));
+    }
+
     /// Immutable access to the layer stack.
     pub fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
@@ -397,6 +455,54 @@ mod tests {
         let mut total2 = 0.0f32;
         net.visit_params(|p| total2 += p.grad.norm_sq());
         assert_eq!(total2, 0.0);
+    }
+
+    #[test]
+    fn clone_is_independent_and_identical() {
+        let mut net = tiny_net();
+        let mut copy = net.clone();
+        let x = image(4);
+        // Same numbers on both execution paths.
+        assert_eq!(net.infer(&x).unwrap(), copy.infer(&x).unwrap());
+        let mut probe = CountingProbe::new();
+        let traced = net.infer_traced(&x, &mut probe).unwrap();
+        let mut probe2 = CountingProbe::new();
+        assert_eq!(copy.infer_traced(&x, &mut probe2).unwrap(), traced);
+        assert_eq!(probe.loads, probe2.loads, "cloned addresses must match");
+        // Training the clone leaves the original untouched.
+        let before = net.infer(&x).unwrap();
+        let y = copy.forward(&x, Mode::Train).unwrap();
+        copy.zero_grads();
+        copy.backward(&Tensor::full(y.shape().clone(), 1.0))
+            .unwrap();
+        copy.visit_params(|p| {
+            let g = p.grad.clone();
+            p.value.axpy(-0.1, &g).unwrap();
+        });
+        assert_eq!(net.infer(&x).unwrap(), before);
+        assert_ne!(copy.infer(&x).unwrap(), before);
+    }
+
+    #[test]
+    fn grad_snapshot_roundtrip() {
+        let mut net = tiny_net();
+        let x = image(5);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        net.zero_grads();
+        net.backward(&Tensor::full(y.shape().clone(), 1.0)).unwrap();
+        let grads = net.grad_vector();
+        assert!(!grads.is_empty());
+
+        // Accumulating the snapshot doubles each gradient; scaling by 0.5
+        // restores the original.
+        let mut expect = grads.clone();
+        for g in &mut expect {
+            g.map_in_place(|v| v * 2.0);
+        }
+        net.accumulate_grads(&grads);
+        assert_eq!(net.grad_vector(), expect);
+        net.scale_grads(0.5);
+        assert_eq!(net.grad_vector(), grads);
     }
 
     #[test]

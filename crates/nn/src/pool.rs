@@ -98,6 +98,10 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape> {
         let (c, _, _, oh, ow) = self.geometry(input)?;
         Ok(Shape::from(vec![c, oh, ow]))

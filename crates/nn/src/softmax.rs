@@ -24,6 +24,10 @@ impl Layer for Flatten {
         "flatten"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape> {
         Ok(Shape::from(vec![input.len()]))
     }
@@ -75,6 +79,10 @@ impl Softmax {
 impl Layer for Softmax {
     fn name(&self) -> &'static str {
         "softmax"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn output_shape(&self, input: &Shape) -> Result<Shape> {

@@ -1,0 +1,308 @@
+//! # scnn-par
+//!
+//! A zero-dependency scoped worker pool for the `scnn` workspace.
+//!
+//! The paper's evaluator protocol is embarrassingly parallel: each input
+//! category's HPC campaign is independent, every cell of the pairwise
+//! t-test matrix is independent, and every sample gradient of a training
+//! minibatch is independent. This crate provides the one execution
+//! primitive those layers share — [`Pool::par_map`] — built on
+//! [`std::thread::scope`] with a fixed-size work deque, so the hermetic
+//! build stays free of external crates.
+//!
+//! # Determinism contract
+//!
+//! `par_map` returns results **in item order**, whatever the thread
+//! count, and [`Threads::Count(1)`] (or a single-item input) runs the
+//! closure on the caller's thread with no pool machinery at all. Callers
+//! keep bit-identical output across thread counts by making each item's
+//! work self-contained (own RNG stream, own scratch state) and doing any
+//! floating-point reduction over the *ordered* result vector.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_par::{Pool, Threads};
+//!
+//! let pool = Pool::new(Threads::Count(4));
+//! let squares = pool.par_map((0..8u64).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// How many worker threads a parallel stage may use.
+///
+/// The default is [`Threads::Auto`], which resolves to the machine's
+/// available parallelism. `Threads::Count(1)` requests exact sequential
+/// execution on the caller's thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Use [`std::thread::available_parallelism`] (falling back to 1 when
+    /// the OS cannot report it).
+    #[default]
+    Auto,
+    /// Use exactly this many workers; `0` is normalised to `1`.
+    Count(usize),
+}
+
+impl Threads {
+    /// The resolved worker count (always ≥ 1).
+    pub fn get(self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Threads::Count(n) => n.max(1),
+        }
+    }
+
+    /// True when this setting resolves to a single worker.
+    pub fn is_sequential(self) -> bool {
+        self.get() == 1
+    }
+}
+
+impl From<usize> for Threads {
+    /// `0` maps to [`Threads::Auto`]; anything else to that exact count.
+    fn from(n: usize) -> Self {
+        if n == 0 {
+            Threads::Auto
+        } else {
+            Threads::Count(n)
+        }
+    }
+}
+
+impl std::str::FromStr for Threads {
+    type Err = String;
+
+    /// Parses `"auto"` or a worker count (`"0"` also meaning auto).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Threads::Auto);
+        }
+        s.parse::<usize>()
+            .map(Threads::from)
+            .map_err(|_| format!("invalid thread count {s:?} (expected a number or \"auto\")"))
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Threads::Auto => write!(f, "auto"),
+            Threads::Count(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A scoped worker pool.
+///
+/// The pool is a configuration object, not a set of live threads: each
+/// [`Pool::par_map`]/[`Pool::par_for_each`] call opens one
+/// [`std::thread::scope`], drains a fixed-size deque of jobs, and joins
+/// every worker before returning. A panic in any job propagates to the
+/// caller after all workers have stopped, so no thread outlives the call
+/// even on the unwind path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pool {
+    threads: Threads,
+}
+
+/// Locks `m`, treating a poisoned mutex as still usable: jobs run outside
+/// the critical sections, so a panicking job cannot leave the shared
+/// queue or result slots in a torn state.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Pool {
+    /// Creates a pool with the given thread setting.
+    pub fn new(threads: Threads) -> Self {
+        Pool { threads }
+    }
+
+    /// The resolved worker count this pool will use.
+    pub fn workers(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Applies `f` to every item, returning the results **in item
+    /// order**.
+    ///
+    /// With a single worker (or a single item) the closure runs on the
+    /// calling thread — exact sequential behaviour. Otherwise workers
+    /// pull `(index, item)` jobs off a shared deque and write each result
+    /// into its slot, so scheduling order never affects output order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any job after all workers have joined.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = lock_ignore_poison(&queue).pop_front();
+                    let Some((index, item)) = job else { break };
+                    let result = f(item);
+                    lock_ignore_poison(&slots)[index] = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|slot| slot.expect("every job filled its slot"))
+            .collect()
+    }
+
+    /// Applies `f` to every item for its side effects only.
+    ///
+    /// Same scheduling and panic semantics as [`Pool::par_map`].
+    pub fn par_for_each<T, F>(&self, items: Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(T) + Sync,
+    {
+        self.par_map(items, f);
+    }
+}
+
+/// One-shot convenience: [`Pool::par_map`] without naming a pool.
+pub fn par_map<T, R, F>(threads: Threads, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    Pool::new(threads).par_map(items, f)
+}
+
+/// One-shot convenience: [`Pool::par_for_each`] without naming a pool.
+pub fn par_for_each<T, F>(threads: Threads, items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    Pool::new(threads).par_for_each(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order() {
+        for threads in [Threads::Count(1), Threads::Count(2), Threads::Count(7)] {
+            let pool = Pool::new(threads);
+            let out = pool.par_map((0..100usize).collect(), |x| x * 3);
+            assert_eq!(
+                out,
+                (0..100).map(|x| x * 3).collect::<Vec<_>>(),
+                "{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_parallel_exactly() {
+        // Same float work, different thread counts: bit-identical output.
+        let work = |x: usize| ((x as f64).sqrt() + 1.0).ln();
+        let seq = Pool::new(Threads::Count(1)).par_map((0..500).collect(), work);
+        let par = Pool::new(Threads::Count(4)).par_map((0..500).collect(), work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(Threads::Count(4));
+        let empty: Vec<u32> = pool.par_map(Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.par_map(vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        Pool::new(Threads::Count(3)).par_for_each((0..64).collect::<Vec<u32>>(), |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::Count(3).get(), 3);
+        assert_eq!(Threads::Count(0).get(), 1, "0 normalises to 1");
+        assert!(Threads::Auto.get() >= 1);
+        assert!(Threads::Count(1).is_sequential());
+        assert_eq!(Threads::from(0), Threads::Auto);
+        assert_eq!(Threads::from(5), Threads::Count(5));
+        assert_eq!("auto".parse::<Threads>().unwrap(), Threads::Auto);
+        assert_eq!("6".parse::<Threads>().unwrap(), Threads::Count(6));
+        assert!("six".parse::<Threads>().is_err());
+        assert_eq!(Threads::Count(2).to_string(), "2");
+        assert_eq!(Threads::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_and_pool_survives() {
+        let pool = Pool::new(Threads::Count(4));
+        let result = std::panic::catch_unwind(|| {
+            pool.par_map((0..32usize).collect(), |x| {
+                if x == 17 {
+                    panic!("job 17 exploded");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The scope joined every worker on the way out; the pool value is
+        // reusable for the next call.
+        let out = pool.par_map((0..8usize).collect(), |x| x + 1);
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_on_sequential_path_propagates_too() {
+        let pool = Pool::new(Threads::Count(1));
+        let result = std::panic::catch_unwind(|| pool.par_map(vec![0u8], |_| panic!("seq")));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[ignore = "stress test: run explicitly with `cargo test -- --ignored`"]
+    fn stress_eight_workers() {
+        let pool = Pool::new(Threads::Count(8));
+        for round in 0..50 {
+            let items: Vec<u64> = (0..10_000).collect();
+            let out = pool.par_map(items, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(13));
+            let expected: Vec<u64> = (0..10_000)
+                .map(|x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13))
+                .collect();
+            assert_eq!(out, expected, "round {round}");
+        }
+    }
+}

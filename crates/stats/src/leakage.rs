@@ -7,7 +7,9 @@
 //! threshold) and summarises which pairs are distinguishable.
 
 use crate::descriptive::Summary;
-use crate::ttest::{cohens_d, t_test_from_summaries, TTestError, TTestKind, TTestResult};
+use crate::ttest::{
+    cohens_d, saturated_df, t_test_from_summaries, TTestError, TTestKind, TTestResult,
+};
 
 /// Decision rule used to flag a pair of distributions as distinguishable.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +60,55 @@ pub struct PairResult {
     pub distinguishable: bool,
 }
 
+impl PairResult {
+    /// Computes one cell of the pairwise matrix: the t-test between
+    /// categories `i` and `j` of `summaries`, the effect size, and the
+    /// verdict under `rule`.
+    ///
+    /// Each cell depends only on the two summaries it reads, so callers
+    /// may evaluate cells in any order — or in parallel — and assemble
+    /// the same matrix as the sequential [`PairwiseLeakage::assess`]
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TTestError`] from a degenerate pair. Two constant
+    /// samples with equal values are *not* an error: they are exactly
+    /// what a leak-free implementation produces, so that case reports
+    /// `t = 0, p = 1` and no flag.
+    pub fn compute(
+        summaries: &[Summary],
+        i: usize,
+        j: usize,
+        kind: TTestKind,
+        rule: DecisionRule,
+    ) -> Result<Self, TTestError> {
+        let test = match t_test_from_summaries(&summaries[i], &summaries[j], kind) {
+            Ok(t) => t,
+            Err(TTestError::DegenerateVariance) => TTestResult {
+                t: 0.0,
+                df: saturated_df(
+                    kind,
+                    summaries[i].count() as f64,
+                    summaries[j].count() as f64,
+                ),
+                p: 1.0,
+                mean1: summaries[i].mean(),
+                mean2: summaries[j].mean(),
+                kind,
+            },
+            Err(e) => return Err(e),
+        };
+        Ok(PairResult {
+            i,
+            j,
+            test,
+            effect_size: cohens_d(&summaries[i], &summaries[j]),
+            distinguishable: rule.flags(&test),
+        })
+    }
+}
+
 /// Result of a full pairwise leakage assessment for one measured quantity
 /// (e.g. one HPC event).
 #[derive(Debug, Clone, PartialEq)]
@@ -86,28 +137,7 @@ impl PairwiseLeakage {
         let mut pairs = Vec::with_capacity(k * (k.saturating_sub(1)) / 2);
         for i in 0..k {
             for j in (i + 1)..k {
-                let test = match t_test_from_summaries(&summaries[i], &summaries[j], kind) {
-                    Ok(t) => t,
-                    // Two constant samples with equal values: perfectly
-                    // indistinguishable — exactly what a leak-free
-                    // implementation produces, not an assessment failure.
-                    Err(TTestError::DegenerateVariance) => TTestResult {
-                        t: 0.0,
-                        df: (summaries[i].count() + summaries[j].count()) as f64 - 2.0,
-                        p: 1.0,
-                        mean1: summaries[i].mean(),
-                        mean2: summaries[j].mean(),
-                        kind,
-                    },
-                    Err(e) => return Err(e),
-                };
-                pairs.push(PairResult {
-                    i,
-                    j,
-                    test,
-                    effect_size: cohens_d(&summaries[i], &summaries[j]),
-                    distinguishable: rule.flags(&test),
-                });
+                pairs.push(PairResult::compute(summaries, i, j, kind, rule)?);
             }
         }
         Ok(PairwiseLeakage {

@@ -38,6 +38,11 @@ pub enum TTestError {
     /// Both samples have zero variance and equal means — the statistic is
     /// 0/0.
     DegenerateVariance,
+    /// The degrees of freedom came out non-finite or below one, so no
+    /// Student-t p-value is defined. This indicates corrupted summary
+    /// statistics (e.g. a NaN variance); it cannot occur for finite
+    /// samples of size ≥ 2.
+    InvalidDegreesOfFreedom,
 }
 
 impl fmt::Display for TTestError {
@@ -53,6 +58,12 @@ impl fmt::Display for TTestError {
                 write!(
                     f,
                     "both samples have zero variance; t statistic is undefined"
+                )
+            }
+            TTestError::InvalidDegreesOfFreedom => {
+                write!(
+                    f,
+                    "degrees of freedom are non-finite or below 1; p-value is undefined"
                 )
             }
         }
@@ -100,6 +111,22 @@ impl fmt::Display for TTestResult {
             "t = {:+.4}, df = {:.1}, p = {:.4}",
             self.t, self.df, self.p
         )
+    }
+}
+
+/// Degrees of freedom reported when the t statistic saturates to ±∞
+/// (zero pooled variance, distinct means).
+///
+/// The true df is undefined there — the Welch–Satterthwaite formula is
+/// 0/0 — so each kind reports its natural convention: Welch uses the
+/// conservative lower bound `min(n1, n2) - 1` that its df can never go
+/// below, and the pooled test keeps its exact `n1 + n2 - 2`. The p-value
+/// on that path is 0 regardless; the df is reported for table output
+/// only.
+pub fn saturated_df(kind: TTestKind, n1: f64, n2: f64) -> f64 {
+    match kind {
+        TTestKind::Welch => (n1 - 1.0).min(n2 - 1.0),
+        TTestKind::Pooled => n1 + n2 - 2.0,
     }
 }
 
@@ -166,7 +193,7 @@ pub fn t_test_from_summaries(
                 // Infinite separation: saturate rather than return NaN.
                 return Ok(TTestResult {
                     t: diff.signum() * f64::INFINITY,
-                    df: (n1f + n2f - 2.0),
+                    df: saturated_df(kind, n1f, n2f),
                     p: 0.0,
                     mean1: s1.mean(),
                     mean2: s2.mean(),
@@ -189,7 +216,7 @@ pub fn t_test_from_summaries(
                 }
                 return Ok(TTestResult {
                     t: diff.signum() * f64::INFINITY,
-                    df,
+                    df: saturated_df(kind, n1f, n2f),
                     p: 0.0,
                     mean1: s1.mean(),
                     mean2: s2.mean(),
@@ -200,10 +227,17 @@ pub fn t_test_from_summaries(
         }
     };
 
+    // For finite samples of size ≥ 2 both df formulas are ≥ 1 (the
+    // Welch–Satterthwaite df is bounded below by min(n1, n2) - 1), so
+    // this guard only fires on corrupted summaries — which used to be
+    // silently clamped to df = 1 and produce a plausible-looking p.
+    if !(df.is_finite() && df >= 1.0) {
+        return Err(TTestError::InvalidDegreesOfFreedom);
+    }
     let p = if t.is_infinite() {
         0.0
     } else {
-        StudentT::new(df.max(1.0)).two_tailed_p(t)
+        StudentT::new(df).two_tailed_p(t)
     };
     Ok(TTestResult {
         t,
@@ -298,6 +332,55 @@ mod tests {
         assert!(r.t.is_infinite() && r.t < 0.0);
         assert_eq!(r.p, 0.0);
         assert!(r.rejects_null(0.05));
+    }
+
+    #[test]
+    fn saturation_df_follows_test_kind() {
+        // Regression: the Welch saturation path used to report the pooled
+        // df (n1 + n2 - 2). It must report a Welch-consistent df — the
+        // conservative lower bound min(n1, n2) - 1.
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 2.0];
+        let w = t_test(&a, &b, TTestKind::Welch).unwrap();
+        assert!(w.t.is_infinite());
+        assert_eq!(w.df, 1.0, "Welch saturation df = min(n1, n2) - 1");
+        let p = t_test(&a, &b, TTestKind::Pooled).unwrap();
+        assert!(p.t.is_infinite());
+        assert_eq!(p.df, 3.0, "pooled saturation df = n1 + n2 - 2");
+        assert_eq!(saturated_df(TTestKind::Welch, 3.0, 2.0), 1.0);
+        assert_eq!(saturated_df(TTestKind::Pooled, 3.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn welch_df_boundary_of_one_is_accepted() {
+        // One zero-variance sample of size 2 drives the Welch–Satterthwaite
+        // df to exactly 1.0 — the smallest legal value. This must succeed,
+        // not trip the df guard.
+        let r = t_test(&[0.0, 1.0], &[5.0, 5.0], TTestKind::Welch).unwrap();
+        assert_eq!(r.df, 1.0);
+        assert!(r.p > 0.0 && r.p < 1.0);
+    }
+
+    #[test]
+    fn corrupted_summaries_error_instead_of_clamping() {
+        // Regression: a NaN variance used to be clamped to df = 1 and
+        // yield a plausible-looking p-value. It must now surface as an
+        // explicit error.
+        let mut s1 = Summary::new();
+        let mut s2 = Summary::new();
+        for v in [1.0, f64::NAN, 2.0] {
+            s1.push(v);
+        }
+        for v in [1.0, 2.0, 3.0] {
+            s2.push(v);
+        }
+        assert_eq!(
+            t_test_from_summaries(&s1, &s2, TTestKind::Welch),
+            Err(TTestError::InvalidDegreesOfFreedom)
+        );
+        assert!(TTestError::InvalidDegreesOfFreedom
+            .to_string()
+            .contains("degrees"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub use scnn_core as core;
 pub use scnn_data as data;
 pub use scnn_hpc as hpc;
 pub use scnn_nn as nn;
+pub use scnn_par as par;
 pub use scnn_stats as stats;
 pub use scnn_tensor as tensor;
 pub use scnn_uarch as uarch;

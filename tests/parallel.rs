@@ -1,0 +1,35 @@
+//! Integration: the determinism contract of the parallel layer, checked
+//! through the public facade on a full experiment. Whatever the thread
+//! count, every artefact — observations, leakage verdicts, serialized
+//! report — must be byte-identical to the sequential run.
+
+use scnn::core::json::ToJson;
+use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome};
+use scnn::par::Threads;
+
+fn run(threads: Threads) -> ExperimentOutcome {
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist);
+    cfg.train_per_class = 6;
+    cfg.test_per_class = 3;
+    cfg.train.epochs = 1;
+    cfg.collection.samples_per_category = 6;
+    cfg.collection.threads = threads;
+    cfg.evaluator.threads = threads;
+    cfg.train.threads = threads;
+    Experiment::new(cfg).run().unwrap()
+}
+
+#[test]
+fn experiment_is_bit_identical_across_thread_counts() {
+    let sequential = run(Threads::Count(1));
+    let parallel = run(Threads::Count(4));
+
+    assert_eq!(sequential.observations, parallel.observations);
+    assert_eq!(sequential.report.per_event, parallel.report.per_event);
+    assert_eq!(sequential.test_accuracy, parallel.test_accuracy);
+    assert_eq!(
+        sequential.report.to_json(),
+        parallel.report.to_json(),
+        "serialized report must not leak the thread count"
+    );
+}
