@@ -37,4 +37,18 @@ printf '%s' "$out" | grep -q "cache-misses" || { echo "FAIL: cache-misses absent
 diff <(printf '%s' "$out") <(printf '%s' "$out4") \
   || { echo "FAIL: report differs between --threads 1 and --threads 4"; exit 1; }
 
+step "telemetry smoke run (observation-only: stdout must not change)"
+telemetry_json="$(mktemp)"
+out_tel="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8 --threads 4 --telemetry "$telemetry_json")"
+diff <(printf '%s' "$out4") <(printf '%s' "$out_tel") \
+  || { echo "FAIL: report differs with --telemetry on"; exit 1; }
+cargo run --release --offline -q -p scnn-bench --bin telemetry_lint -- "$telemetry_json" \
+  || { echo "FAIL: telemetry JSON did not lint"; exit 1; }
+grep -q '"name":"pipeline.train"' "$telemetry_json" \
+  || { echo "FAIL: telemetry missing the train phase span"; exit 1; }
+grep -q '"name":"collect.samples"' "$telemetry_json" \
+  || { echo "FAIL: telemetry missing the collect.samples counter"; exit 1; }
+rm -f "$telemetry_json"
+
 step "all checks passed"

@@ -18,23 +18,31 @@
 //! repro all             # everything above
 //! ```
 //!
-//! Options: `--samples <n>` (measurements per category, default 100),
-//! `--quick` (tiny models, for smoke tests), `--csv <dir>` (additionally
-//! write the raw figure/table series as CSV files for external plotting),
-//! `--threads <n|auto>` (worker threads for collection, evaluation and
-//! minibatch training; output is bit-identical at every setting).
+//! Options (see `repro --help` for the generated page): `--samples <n>`
+//! (measurements per category, default 100), `--quick` (tiny models, for
+//! smoke tests), `--csv <dir>` (additionally write the raw figure/table
+//! series as CSV files for external plotting), `--threads <n|auto>`
+//! (worker threads for collection, evaluation and minibatch training;
+//! output is bit-identical at every setting), `--telemetry <path>`
+//! (record span/metric telemetry to a JSON file and show live per-phase
+//! progress on stderr — stdout stays byte-identical).
 
+use scnn_bench::repro_flags;
 use scnn_core::attack::{AttackClassifier, AttackConfig};
 use scnn_core::countermeasure::Countermeasure;
+use scnn_core::json::ToJson;
 use scnn_core::pipeline::{
     Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome,
 };
 use scnn_core::report::{render_distributions, render_summary};
+use scnn_core::Error;
 use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
+use scnn_obs::{Recorder, SpanEvent, SpanPhase};
 use scnn_par::Threads;
 use scnn_stats::ranktest;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Options {
@@ -42,23 +50,20 @@ struct Options {
     quick: bool,
     csv: Option<std::path::PathBuf>,
     threads: Threads,
+    telemetry: Option<std::path::PathBuf>,
 }
 
 impl Options {
     fn config(&self, dataset: DatasetKind) -> ExperimentConfig {
-        let mut cfg = if self.quick {
+        let base = if self.quick {
             ExperimentConfig::quick(dataset)
         } else {
             ExperimentConfig::paper(dataset)
         };
-        cfg.collection.samples_per_category = self.samples;
         // The determinism contract (see DESIGN.md § Parallel execution)
-        // guarantees every artefact below is byte-identical whatever this
-        // setting; only the wall-clock changes.
-        cfg.collection.threads = self.threads;
-        cfg.evaluator.threads = self.threads;
-        cfg.train.threads = self.threads;
-        cfg
+        // guarantees every artefact below is byte-identical whatever the
+        // thread setting; only the wall-clock changes.
+        base.samples(self.samples).threads(self.threads)
     }
 }
 
@@ -533,68 +538,87 @@ impl Runner {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command: Option<String> = None;
-    let mut options = Options {
-        samples: 100,
-        quick: false,
-        csv: None,
-        threads: Threads::Auto,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.samples = n,
-                None => {
-                    eprintln!("--samples needs an integer argument");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--quick" => options.quick = true,
-            "--threads" => match it.next().map(|v| v.parse::<Threads>()) {
-                Some(Ok(t)) => options.threads = t,
-                _ => {
-                    eprintln!("--threads needs a worker count or \"auto\"");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--csv" => match it.next() {
-                Some(dir) => options.csv = Some(std::path::PathBuf::from(dir)),
-                None => {
-                    eprintln!("--csv needs a directory argument");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_owned());
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                return ExitCode::FAILURE;
-            }
+/// Live progress on stderr while telemetry is on: one line per
+/// phase-level span (depth ≤ 1 — `pipeline.run` and its children).
+/// Stderr only; stdout stays byte-identical with telemetry off.
+fn phase_progress(event: &SpanEvent) {
+    if event.depth > 1 {
+        return;
+    }
+    let indent = if event.depth == 0 { "" } else { "  " };
+    match event.phase {
+        SpanPhase::Enter => eprintln!("[telemetry] {indent}> {}", event.name),
+        SpanPhase::Exit => {
+            let elapsed = event.duration.unwrap_or_default();
+            eprintln!("[telemetry] {indent}< {} ({elapsed:.1?})", event.name);
         }
     }
+}
+
+fn run() -> Result<(), Error> {
+    let flags = repro_flags();
+    let parsed = flags
+        .parse(std::env::args().skip(1))
+        .map_err(|e| Error::msg(format!("{e} (see repro --help)")))?;
+    if parsed.is_set("--help") {
+        print!("{}", flags.help());
+        return Ok(());
+    }
+    let options = Options {
+        samples: match parsed.value("--samples") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::msg(format!("--samples needs an integer, got {v:?}")))?,
+            None => 100,
+        },
+        quick: parsed.is_set("--quick"),
+        csv: parsed.value("--csv").map(std::path::PathBuf::from),
+        threads: match parsed.value("--threads") {
+            Some(v) => v.parse().map_err(|_| {
+                Error::msg(format!("--threads needs a count or \"auto\", got {v:?}"))
+            })?,
+            None => Threads::Auto,
+        },
+        telemetry: parsed.value("--telemetry").map(std::path::PathBuf::from),
+    };
+    let command = match parsed.positionals.as_slice() {
+        [one] => one.clone(),
+        [] => return Err(Error::msg(format!("missing command\n{}", flags.help()))),
+        more => {
+            return Err(Error::msg(format!(
+                "expected one command, got {}",
+                more.join(" ")
+            )))
+        }
+    };
+
+    // Telemetry is observation-only: install the recorder around the
+    // whole command, write the snapshot after it finishes.
+    let recorder = options.telemetry.is_some().then(|| {
+        let recorder = Arc::new(Recorder::with_observer(Box::new(phase_progress)));
+        scnn_obs::install(recorder.clone());
+        recorder
+    });
+    let telemetry_path = options.telemetry.clone();
 
     let mut runner = Runner {
         options,
         cache: HashMap::new(),
     };
-    match command.as_deref() {
-        Some("fig1") => runner.fig1(),
-        Some("fig2b") => runner.fig2b(),
-        Some("fig3") => runner.distributions(DatasetKind::Mnist),
-        Some("fig4") => runner.distributions(DatasetKind::Cifar10),
-        Some("table1") => runner.table(DatasetKind::Mnist),
-        Some("table2") => runner.table(DatasetKind::Cifar10),
-        Some("attack") => runner.attack(),
-        Some("ablation") => runner.ablation(),
-        Some("sweep") => runner.sweep(),
-        Some("events") => runner.events(),
-        Some("uarch") => runner.uarch(),
-        Some("archs") => runner.archs(),
-        Some("all") => {
+    match command.as_str() {
+        "fig1" => runner.fig1(),
+        "fig2b" => runner.fig2b(),
+        "fig3" => runner.distributions(DatasetKind::Mnist),
+        "fig4" => runner.distributions(DatasetKind::Cifar10),
+        "table1" => runner.table(DatasetKind::Mnist),
+        "table2" => runner.table(DatasetKind::Cifar10),
+        "attack" => runner.attack(),
+        "ablation" => runner.ablation(),
+        "sweep" => runner.sweep(),
+        "events" => runner.events(),
+        "uarch" => runner.uarch(),
+        "archs" => runner.archs(),
+        "all" => {
             runner.fig1();
             runner.fig2b();
             runner.distributions(DatasetKind::Mnist);
@@ -608,13 +632,37 @@ fn main() -> ExitCode {
             runner.uarch();
             runner.archs();
         }
-        _ => {
-            eprintln!(
-                "usage: repro <fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|sweep|events|uarch|archs|all> \
-                 [--samples N] [--quick] [--threads N|auto] [--csv DIR]"
-            );
-            return ExitCode::FAILURE;
+        other => {
+            return Err(Error::msg(format!(
+                "unknown command {other:?}\n{}",
+                flags.help()
+            )))
         }
     }
-    ExitCode::SUCCESS
+
+    if let (Some(path), Some(recorder)) = (telemetry_path, recorder) {
+        scnn_obs::uninstall();
+        let snapshot = recorder.snapshot();
+        std::fs::write(&path, snapshot.to_json())
+            .map_err(|e| Error::io(path.display().to_string(), e))?;
+        eprintln!(
+            "[telemetry] wrote {} ({} spans, {} counters, {} histograms, {} series)",
+            path.display(),
+            snapshot.spans.len(),
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            snapshot.series.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,159 @@
+//! `telemetry_lint` — validates telemetry JSON files written by
+//! `repro --telemetry`.
+//!
+//! ```text
+//! telemetry_lint out.json [more.json ...]
+//! ```
+//!
+//! For each file: parses it with the in-tree JSON reader and checks the
+//! snapshot invariants — known version, spans carry every required key
+//! and nest consistently (each `parent` id exists and has a strictly
+//! smaller `depth`... by exactly one), counters are non-negative, and
+//! histogram bucket counts sum to the histogram's total. Exits nonzero
+//! on the first violation, printing which file and which rule failed.
+
+use scnn_core::json::{parse, Value};
+use scnn_core::Error;
+use std::process::ExitCode;
+
+/// Checks one member list key, returning the array or an error.
+fn section<'a>(root: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    root.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array {key:?} section"))
+}
+
+fn number(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("span/metric member missing numeric {key:?}"))
+}
+
+/// All snapshot invariants for one parsed document.
+fn lint(root: &Value) -> Result<String, String> {
+    let version = root
+        .get("version")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"version\"")?;
+    if version != 1.0 {
+        return Err(format!("unknown telemetry version {version}"));
+    }
+
+    let spans = section(root, "spans")?;
+    let ids: Vec<f64> = spans
+        .iter()
+        .map(|s| number(s, "id"))
+        .collect::<Result<_, _>>()?;
+    for span in spans {
+        for key in ["id", "thread", "depth", "start_ns", "duration_ns"] {
+            number(span, key)?;
+        }
+        let name = span
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("span missing string \"name\"")?;
+        let depth = number(span, "depth")?;
+        match span.get("parent") {
+            Some(Value::Null) => {
+                if depth != 0.0 {
+                    return Err(format!("root span {name:?} has nonzero depth {depth}"));
+                }
+            }
+            Some(parent) => {
+                let parent_id = parent
+                    .as_f64()
+                    .ok_or_else(|| format!("span {name:?} parent is neither null nor an id"))?;
+                let parent_span = spans
+                    .iter()
+                    .zip(&ids)
+                    .find(|(_, id)| **id == parent_id)
+                    .map(|(s, _)| s)
+                    .ok_or_else(|| format!("span {name:?} parent {parent_id} does not exist"))?;
+                let parent_depth = number(parent_span, "depth")?;
+                if depth != parent_depth + 1.0 {
+                    return Err(format!(
+                        "span {name:?} depth {depth} is not its parent's depth {parent_depth} + 1"
+                    ));
+                }
+            }
+            None => return Err(format!("span {name:?} missing \"parent\"")),
+        }
+    }
+
+    let counters = section(root, "counters")?;
+    for counter in counters {
+        let value = number(counter, "value")?;
+        if value < 0.0 {
+            return Err(format!("counter with negative value {value}"));
+        }
+    }
+
+    let histograms = section(root, "histograms")?;
+    for histogram in histograms {
+        let count = number(histogram, "count")?;
+        let buckets = histogram
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or("histogram missing \"buckets\" array")?;
+        let bucket_total: f64 = buckets
+            .iter()
+            .map(|b| {
+                b.as_array()
+                    .filter(|pair| pair.len() == 2)
+                    .and_then(|pair| pair[1].as_f64())
+                    .ok_or("histogram bucket is not an [upper_bound, count] pair")
+            })
+            .sum::<Result<f64, _>>()?;
+        if bucket_total != count {
+            return Err(format!(
+                "histogram bucket counts sum to {bucket_total}, total says {count}"
+            ));
+        }
+    }
+
+    let series = section(root, "series")?;
+    for s in series {
+        let points = s
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or("series missing \"points\" array")?;
+        if points
+            .iter()
+            .any(|p| p.as_array().map(<[Value]>::len) != Some(2))
+        {
+            return Err("series point is not an [x, y] pair".into());
+        }
+    }
+
+    Ok(format!(
+        "{} spans, {} counters, {} histograms, {} series",
+        spans.len(),
+        counters.len(),
+        histograms.len(),
+        series.len()
+    ))
+}
+
+fn run() -> Result<(), Error> {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        return Err(Error::msg("usage: telemetry_lint <file.json> [more ...]"));
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::io(path.clone(), e))?;
+        let root = parse(&text)?;
+        let summary = lint(&root).map_err(|rule| Error::msg(format!("{path}: {rule}")))?;
+        println!("{path}: OK ({summary})");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("telemetry_lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

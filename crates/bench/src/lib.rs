@@ -15,9 +15,35 @@
 
 #![warn(missing_docs)]
 
+pub mod flags;
 pub mod harness;
 
+use flags::FlagSet;
 use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
+
+/// The `repro` binary's flag vocabulary — declared here (not in the
+/// binary) so unit tests can exercise every flag without spawning a
+/// process.
+pub fn repro_flags() -> FlagSet {
+    FlagSet::new(
+        "repro",
+        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|sweep|events|uarch|archs|all> [options]",
+    )
+    .value("--samples", "N", "measurements per category (default 100)")
+    .switch("--quick", "tiny models and few samples, for smoke tests")
+    .value(
+        "--threads",
+        "N|auto",
+        "worker threads; output is bit-identical at every setting",
+    )
+    .value("--csv", "DIR", "also write raw figure/table series as CSV files")
+    .value(
+        "--telemetry",
+        "PATH",
+        "write span/metric telemetry JSON and show live phase progress on stderr",
+    )
+    .switch("--help", "print this help")
+}
 
 /// A small but paper-shaped experiment configuration used by benches:
 /// paper-scale models with few training examples and measurements so a
@@ -40,5 +66,66 @@ mod tests {
         let cfg = bench_config(DatasetKind::Mnist);
         assert!(cfg.train_per_class <= 10);
         assert!(cfg.collection.samples_per_category <= 10);
+    }
+
+    #[test]
+    fn repro_samples_flag_takes_a_value() {
+        let p = repro_flags().parse(["table1", "--samples", "8"]).unwrap();
+        assert_eq!(p.positionals, ["table1"]);
+        assert_eq!(p.value("--samples"), Some("8"));
+    }
+
+    #[test]
+    fn repro_quick_flag_is_a_switch() {
+        let p = repro_flags().parse(["--quick"]).unwrap();
+        assert!(p.is_set("--quick"));
+    }
+
+    #[test]
+    fn repro_threads_flag_takes_a_value() {
+        let p = repro_flags().parse(["--threads", "auto"]).unwrap();
+        assert_eq!(p.value("--threads"), Some("auto"));
+    }
+
+    #[test]
+    fn repro_csv_flag_takes_a_directory() {
+        let p = repro_flags().parse(["--csv", "out/csv"]).unwrap();
+        assert_eq!(p.value("--csv"), Some("out/csv"));
+    }
+
+    #[test]
+    fn repro_telemetry_flag_takes_a_path() {
+        let p = repro_flags()
+            .parse(["table1", "--telemetry", "out.json"])
+            .unwrap();
+        assert_eq!(p.value("--telemetry"), Some("out.json"));
+        assert_eq!(
+            repro_flags().parse(["--telemetry"]).unwrap_err(),
+            flags::FlagError::MissingValue("--telemetry")
+        );
+    }
+
+    #[test]
+    fn repro_help_flag_and_page() {
+        let p = repro_flags().parse(["--help"]).unwrap();
+        assert!(p.is_set("--help"));
+        let help = repro_flags().help();
+        for flag in [
+            "--samples <N>",
+            "--quick",
+            "--threads <N|auto>",
+            "--csv <DIR>",
+            "--telemetry <PATH>",
+        ] {
+            assert!(help.contains(flag), "missing {flag} in:\n{help}");
+        }
+    }
+
+    #[test]
+    fn repro_rejects_unknown_flags() {
+        assert_eq!(
+            repro_flags().parse(["--bogus"]).unwrap_err(),
+            flags::FlagError::Unknown("--bogus".into())
+        );
     }
 }

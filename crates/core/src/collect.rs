@@ -190,10 +190,14 @@ pub fn collect_category<P: Pmu>(
     config: &CollectionConfig,
     category: usize,
 ) -> Result<CategoryObservations, CollectError> {
+    // Observation-only span/counters: measured readings never depend on
+    // whether a recorder is installed.
+    let _span = scnn_obs::Span::enter_indexed("collect.category", category as u64);
     let images: Vec<_> = dataset.of_class(category).collect();
     if images.is_empty() {
         return Err(CollectError::EmptyCategory { category });
     }
+    scnn_obs::counter_add("collect.categories", 1);
     let mut per_event: BTreeMap<HpcEvent, Vec<f64>> = config
         .events
         .iter()
@@ -202,6 +206,7 @@ pub fn collect_category<P: Pmu>(
     let mut predictions = Vec::with_capacity(config.samples_per_category);
 
     for i in 0..config.samples_per_category {
+        scnn_obs::counter_add("collect.samples", 1);
         let image = images[i % images.len()];
         let mut prediction = 0usize;
         let mut nn_err: Option<scnn_nn::NnError> = None;
@@ -275,6 +280,7 @@ where
     let group =
         CounterGroup::new(config.events.clone(), config.hw_counters).map_err(PmuError::Group)?;
 
+    let _span = scnn_obs::Span::enter("collect.campaign");
     let pool = Pool::new(config.threads);
     let results = pool.par_map((0..dataset.num_classes()).collect(), |category| {
         let mut net = make_classifier(category);

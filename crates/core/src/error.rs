@@ -1,0 +1,217 @@
+//! One error type for the whole crate surface.
+//!
+//! Every module keeps its own precise error enum ([`CollectError`],
+//! [`EvaluateError`], [`AttackError`], [`ExperimentError`], …) so
+//! library callers can match on exactly what failed. [`Error`] is the
+//! ergonomic top: anything the crate (or the datasets underneath it)
+//! can raise converts into it with `?`, and [`source`] chains all the
+//! way down, so binaries and examples can return `scnn_core::Result<()>`
+//! instead of `Box<dyn Error>`.
+//!
+//! [`source`]: std::error::Error::source
+
+use crate::attack::AttackError;
+use crate::collect::CollectError;
+use crate::evaluator::EvaluateError;
+use crate::json::JsonParseError;
+use crate::pipeline::ExperimentError;
+use scnn_data::DatasetError;
+use scnn_hpc::{GroupError, PmuError};
+use scnn_nn::spec::DecodeError;
+use scnn_nn::NnError;
+use std::fmt;
+
+/// Any failure the scnn stack can produce, in one enum.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An end-to-end experiment failed (dataset → train → collect →
+    /// evaluate).
+    Experiment(ExperimentError),
+    /// An HPC collection campaign failed.
+    Collect(CollectError),
+    /// The leakage evaluator rejected its observations.
+    Evaluate(EvaluateError),
+    /// The profiling attack could not be mounted.
+    Attack(AttackError),
+    /// Dataset construction or manipulation failed.
+    Dataset(DatasetError),
+    /// Network construction, training or inference failed.
+    Nn(NnError),
+    /// A serialized model could not be decoded.
+    Decode(DecodeError),
+    /// The performance-counter backend failed.
+    Pmu(PmuError),
+    /// A counter group could not be assembled.
+    Group(GroupError),
+    /// A JSON document (e.g. a telemetry file) did not parse.
+    Json(JsonParseError),
+    /// An I/O operation failed, with the path involved when known.
+    Io {
+        /// The path being read or written, if any.
+        path: Option<String>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Anything else, described in prose (CLI misuse, invalid
+    /// configuration, …).
+    Msg(String),
+}
+
+/// Crate-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// A freeform error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error::Msg(message.into())
+    }
+
+    /// An I/O error annotated with the path it happened on.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Experiment(e) => write!(f, "experiment failed: {e}"),
+            Error::Collect(e) => write!(f, "collection failed: {e}"),
+            Error::Evaluate(e) => write!(f, "evaluation failed: {e}"),
+            Error::Attack(e) => write!(f, "attack failed: {e}"),
+            Error::Dataset(e) => write!(f, "dataset error: {e}"),
+            Error::Nn(e) => write!(f, "network error: {e}"),
+            Error::Decode(e) => write!(f, "model decode error: {e}"),
+            Error::Pmu(e) => write!(f, "pmu error: {e}"),
+            Error::Group(e) => write!(f, "counter-group error: {e}"),
+            Error::Json(e) => write!(f, "json error: {e}"),
+            Error::Io {
+                path: Some(path),
+                source,
+            } => write!(f, "io error on {path}: {source}"),
+            Error::Io { path: None, source } => write!(f, "io error: {source}"),
+            Error::Msg(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Experiment(e) => Some(e),
+            Error::Collect(e) => Some(e),
+            Error::Evaluate(e) => Some(e),
+            Error::Attack(e) => Some(e),
+            Error::Dataset(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::Pmu(e) => Some(e),
+            Error::Group(e) => Some(e),
+            Error::Json(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            Error::Msg(_) => None,
+        }
+    }
+}
+
+impl From<ExperimentError> for Error {
+    fn from(e: ExperimentError) -> Self {
+        Error::Experiment(e)
+    }
+}
+impl From<CollectError> for Error {
+    fn from(e: CollectError) -> Self {
+        Error::Collect(e)
+    }
+}
+impl From<EvaluateError> for Error {
+    fn from(e: EvaluateError) -> Self {
+        Error::Evaluate(e)
+    }
+}
+impl From<AttackError> for Error {
+    fn from(e: AttackError) -> Self {
+        Error::Attack(e)
+    }
+}
+impl From<DatasetError> for Error {
+    fn from(e: DatasetError) -> Self {
+        Error::Dataset(e)
+    }
+}
+impl From<NnError> for Error {
+    fn from(e: NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+impl From<PmuError> for Error {
+    fn from(e: PmuError) -> Self {
+        Error::Pmu(e)
+    }
+}
+impl From<GroupError> for Error {
+    fn from(e: GroupError) -> Self {
+        Error::Group(e)
+    }
+}
+impl From<JsonParseError> for Error {
+    fn from(e: JsonParseError) -> Self {
+        Error::Json(e)
+    }
+}
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io {
+            path: None,
+            source: e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_module_error_converts_and_chains() {
+        let e: Error = EvaluateError::TooFewCategories { got: 1 }.into();
+        assert!(e.to_string().contains("evaluation failed"));
+        assert!(e.source().is_some(), "source chain preserved");
+
+        let e: Error = ExperimentError::Evaluate(EvaluateError::TooFewCategories { got: 1 }).into();
+        // Two hops: Error -> ExperimentError -> EvaluateError.
+        let mid = e.source().expect("experiment source");
+        assert!(mid.source().is_some(), "nested source chain preserved");
+
+        let e: Error = DatasetError::Empty.into();
+        assert!(matches!(e, Error::Dataset(_)));
+
+        let e: Error = AttackError::NoFeatures.into();
+        assert!(matches!(e, Error::Attack(_)));
+    }
+
+    #[test]
+    fn io_errors_carry_their_path() {
+        let e = Error::io("out.json", std::io::Error::other("disk full"));
+        let text = e.to_string();
+        assert!(text.contains("out.json"), "{text}");
+        assert!(text.contains("disk full"), "{text}");
+    }
+
+    #[test]
+    fn msg_errors_display_verbatim() {
+        let e = Error::msg("unknown flag --bogus");
+        assert_eq!(e.to_string(), "unknown flag --bogus");
+        assert!(e.source().is_none());
+    }
+}

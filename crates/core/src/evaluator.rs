@@ -205,6 +205,9 @@ impl Evaluator {
         &self,
         observations: &[CategoryObservations],
     ) -> Result<LeakageReport, EvaluateError> {
+        // Observation-only span/counters; the report never depends on
+        // whether a recorder is installed.
+        let _span = scnn_obs::Span::enter("evaluate.report");
         if observations.len() < 2 {
             return Err(EvaluateError::TooFewCategories {
                 got: observations.len(),
@@ -260,12 +263,15 @@ impl Evaluator {
                 }
             }
         }
+        scnn_obs::counter_add("evaluate.ttests", jobs.len() as u64);
+        let matrix_span = scnn_obs::Span::enter("evaluate.matrix");
         let pool = Pool::new(self.config.threads);
         let (kind, rule) = (self.config.kind, self.config.rule);
         let cells = pool.par_map(jobs, |(e, is_second, i, j)| {
             let summaries = if is_second { &second[e] } else { &first[e] };
             PairResult::compute(summaries, i, j, kind, rule)
         });
+        drop(matrix_span);
 
         let mut cells = cells.into_iter();
         let mut per_event = Vec::with_capacity(events.len());

@@ -1,12 +1,14 @@
 //! Machine-readable report output: a minimal, dependency-free JSON
-//! writer.
+//! writer and reader.
 //!
 //! The workspace builds hermetically, so instead of a serialization
 //! framework this module hand-rolls exactly the JSON the tooling needs:
 //! [`LeakageReport`] (the evaluator's full verdict), the per-category
-//! [`Summary`] statistics inside it, and raw [`CounterReading`]s. The
-//! `repro` binary uses it to emit results that downstream scripts can
-//! parse without scraping the text tables.
+//! [`Summary`] statistics inside it, raw [`CounterReading`]s, and the
+//! observability layer's [`TelemetrySnapshot`]. The `repro` binary uses
+//! it to emit results that downstream scripts can parse without scraping
+//! the text tables, and [`parse`] reads any JSON document back into a
+//! [`Value`] tree (used by `telemetry_lint` and the golden tests).
 //!
 //! Numbers follow the JSON grammar strictly: non-finite floats (a t-test
 //! on degenerate data can produce them) are emitted as `null` rather than
@@ -14,7 +16,9 @@
 
 use crate::evaluator::{Alarm, EvaluatorConfig, EventLeakage, LeakageReport};
 use scnn_hpc::{CounterReading, HpcEvent};
+use scnn_obs::{CounterSnapshot, HistogramSnapshot, SeriesSnapshot, SpanRecord, TelemetrySnapshot};
 use scnn_stats::{DecisionRule, PairResult, PairwiseLeakage, Summary, TTestKind, TTestResult};
+use std::fmt;
 
 /// Types that can render themselves as a JSON value.
 pub trait ToJson {
@@ -283,6 +287,460 @@ impl ToJson for CounterReading {
     }
 }
 
+impl ToJson for u32 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry (scnn-obs) serialization. The snapshot shape is versioned;
+// tests/telemetry.rs pins the stable keys.
+// ---------------------------------------------------------------------
+
+impl ToJson for SpanRecord {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("id", &self.id)
+            .field("parent", &self.parent)
+            .field("name", self.name)
+            .field("index", &self.index)
+            .field("thread", &self.thread)
+            .field("depth", &self.depth)
+            .field("start_ns", &self.start_ns)
+            .field("duration_ns", &self.duration_ns);
+        obj.finish();
+    }
+}
+
+impl ToJson for CounterSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("name", &self.name).field("value", &self.value);
+        obj.finish();
+    }
+}
+
+/// A `(f64, u64)` histogram bucket as `[upper_bound, count]`.
+struct Bucket(f64, u64);
+
+impl ToJson for Bucket {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let buckets: Vec<Bucket> = self.buckets.iter().map(|&(le, c)| Bucket(le, c)).collect();
+        let mut obj = ObjectWriter::new(out);
+        obj.field("name", &self.name)
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("buckets", &buckets);
+        obj.finish();
+    }
+}
+
+/// An `(x, y)` series point as `[x, y]`.
+struct Point(f64, f64);
+
+impl ToJson for Point {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl ToJson for SeriesSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let points: Vec<Point> = self.points.iter().map(|&(x, y)| Point(x, y)).collect();
+        let mut obj = ObjectWriter::new(out);
+        obj.field("name", &self.name).field("points", &points);
+        obj.finish();
+    }
+}
+
+impl ToJson for TelemetrySnapshot {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("version", &self.version)
+            .field("spans", &self.spans)
+            .field("counters", &self.counters)
+            .field("histograms", &self.histograms)
+            .field("series", &self.series);
+        obj.finish();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading JSON back: a strict recursive-descent parser into `Value`.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order (they are association lists, not maps);
+/// duplicate keys are kept as-is, with [`Value::get`] returning the
+/// first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Error from [`parse`]: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a complete JSON document (one value plus optional surrounding
+/// whitespace).
+///
+/// # Errors
+///
+/// Returns [`JsonParseError`] on any grammar violation, including
+/// trailing garbage after the top-level value.
+pub fn parse(input: &str) -> Result<Value, JsonParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Containers deeper than this are rejected (guards the recursive
+/// parser's stack; real telemetry nests a handful of levels).
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), JsonParseError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {keyword:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonParseError> {
+        self.enter_container()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonParseError> {
+        self.enter_container()?;
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn enter_container(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (the leading `\u` is
+    /// consumed), combining UTF-16 surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: a low surrogate escape must follow.
+            self.expect_keyword("\\u")
+                .map_err(|_| self.error("high surrogate not followed by \\u escape"))?;
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.error("high surrogate followed by non-low surrogate"));
+            }
+            let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(high).ok_or_else(|| self.error("lone low surrogate"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number chars are ASCII by construction");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.error("number out of range"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +858,129 @@ mod tests {
     fn floats_round_trip_precision() {
         let x = 0.1f64 + 0.2f64;
         assert_eq!(x.to_json().parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn parser_accepts_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Number(-1250.0));
+        assert_eq!(
+            parse("\"hi\\n\\u0041\"").unwrap(),
+            Value::String("hi\nA".into())
+        );
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\ud83e\\udd80\"").unwrap(),
+            Value::String("\u{1F980}".into())
+        );
+    }
+
+    #[test]
+    fn parser_preserves_object_order_and_nesting() {
+        let v = parse(r#"{"b":[1,2,{"c":null}],"a":{"x":true}}"#).unwrap();
+        let b = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b[0].as_f64(), Some(1.0));
+        assert!(b[2].get("c").unwrap().is_null());
+        assert_eq!(v.get("a").unwrap().get("x").unwrap().as_bool(), Some(true));
+        match &v {
+            Value::Object(members) => assert_eq!(members[0].0, "b"),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "tru",
+            "[1]x",
+            "\"\u{1}\"",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.message.is_empty(), "{bad:?} should fail");
+        }
+        // Error carries a usable offset.
+        assert_eq!(parse("[1 2]").unwrap_err().offset, 3);
+    }
+
+    #[test]
+    fn parser_enforces_depth_limit() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).unwrap_err().message.contains("nesting"));
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn leakage_report_json_parses_back() {
+        let report = report();
+        let v = parse(&report.to_json()).expect("writer output must parse");
+        assert_eq!(
+            v.get("categories").and_then(Value::as_f64),
+            Some(report.categories as f64)
+        );
+        let per_event = v.get("per_event").unwrap().as_array().unwrap();
+        assert_eq!(per_event.len(), report.per_event.len());
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips() {
+        let recorder = std::sync::Arc::new(scnn_obs::Recorder::new());
+        scnn_obs::install(recorder.clone());
+        {
+            let _outer = scnn_obs::Span::enter("t.outer");
+            let _inner = scnn_obs::Span::enter_indexed("t.inner", 3);
+            scnn_obs::counter_add("t.count", 2);
+            scnn_obs::histogram_record("t.hist", 4.0);
+            scnn_obs::series_push("t.series", 0.0, 0.25);
+        }
+        scnn_obs::uninstall();
+        let snapshot = recorder.snapshot();
+        let v = parse(&snapshot.to_json()).expect("telemetry JSON must parse");
+        assert_eq!(v.get("version").and_then(Value::as_f64), Some(1.0));
+        let spans = v.get("spans").unwrap().as_array().unwrap();
+        let inner = spans
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some("t.inner"))
+            .expect("t.inner span present");
+        assert_eq!(inner.get("index").and_then(Value::as_f64), Some(3.0));
+        assert!(inner.get("parent").unwrap().as_f64().is_some());
+        let counters = v.get("counters").unwrap().as_array().unwrap();
+        assert!(counters.iter().any(|c| {
+            c.get("name").and_then(Value::as_str) == Some("t.count")
+                && c.get("value").and_then(Value::as_f64) == Some(2.0)
+        }));
+        let hists = v.get("histograms").unwrap().as_array().unwrap();
+        let hist = hists
+            .iter()
+            .find(|h| h.get("name").and_then(Value::as_str) == Some("t.hist"))
+            .unwrap();
+        let buckets = hist.get("buckets").unwrap().as_array().unwrap();
+        assert!(!buckets.is_empty());
+        let series = v.get("series").unwrap().as_array().unwrap();
+        let s = series
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some("t.series"))
+            .unwrap();
+        assert_eq!(
+            s.get("points").unwrap().as_array().unwrap()[0]
+                .as_array()
+                .unwrap()[1]
+                .as_f64(),
+            Some(0.25)
+        );
     }
 }

@@ -46,6 +46,7 @@
 pub mod attack;
 pub mod collect;
 pub mod countermeasure;
+pub mod error;
 pub mod evaluator;
 pub mod json;
 pub mod pipeline;
@@ -56,6 +57,7 @@ pub use collect::{
     collect, CategoryObservations, CollectError, CollectionConfig, TracedClassifier,
 };
 pub use countermeasure::{Countermeasure, ProtectedModel};
+pub use error::{Error, Result};
 pub use evaluator::{
     Alarm, EvaluateError, Evaluator, EvaluatorConfig, EventLeakage, LeakageReport,
 };

@@ -15,6 +15,7 @@ use scnn_hpc::{SimPmuConfig, SimulatedPmu};
 use scnn_nn::models;
 use scnn_nn::train::{accuracy, train, TrainConfig, TrainReport};
 use scnn_nn::Network;
+use scnn_par::Threads;
 use std::error::Error;
 use std::fmt;
 
@@ -136,6 +137,69 @@ impl ExperimentConfig {
     /// Returns the same config with a countermeasure applied.
     pub fn with_countermeasure(mut self, cm: Countermeasure) -> Self {
         self.countermeasure = Some(cm);
+        self
+    }
+
+    // Fluent builders. Every field stays `pub` — these are sugar over
+    // direct mutation, so `config.collection.samples_per_category = n`
+    // and `config.samples(n)` remain interchangeable.
+
+    /// Sets the number of HPC measurements per monitored category.
+    pub fn samples(mut self, samples_per_category: usize) -> Self {
+        self.collection.samples_per_category = samples_per_category;
+        self
+    }
+
+    /// Sets the worker-thread policy for every parallel stage at once
+    /// (collection, evaluation and minibatch training).
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.collection.threads = threads;
+        self.evaluator.threads = threads;
+        self.train.threads = threads;
+        self
+    }
+
+    /// Sets the countermeasure to apply before measuring (fluent
+    /// spelling of [`with_countermeasure`](Self::with_countermeasure)).
+    pub fn countermeasure(mut self, cm: Countermeasure) -> Self {
+        self.countermeasure = Some(cm);
+        self
+    }
+
+    /// Sets the number of training epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.train.epochs = epochs;
+        self
+    }
+
+    /// Sets the minibatch size for training (`1` = per-example SGD).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.train.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the master seed (datasets, weights and noise derive from
+    /// it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the victim model family.
+    pub fn architecture(mut self, architecture: Architecture) -> Self {
+        self.architecture = architecture;
+        self
+    }
+
+    /// Sets the monitored categories (original class labels).
+    pub fn categories(mut self, categories: Vec<usize>) -> Self {
+        self.categories = categories;
+        self
+    }
+
+    /// Sets the experiment size.
+    pub fn scale(mut self, scale: ModelScale) -> Self {
+        self.scale = scale;
         self
     }
 
@@ -329,14 +393,25 @@ impl Experiment {
     ///
     /// Returns [`ExperimentError`] from whichever stage fails.
     pub fn run(&self) -> Result<ExperimentOutcome, ExperimentError> {
+        // Telemetry spans mark the protocol's phases. They only read the
+        // wall clock — nothing they record feeds back into seeds or
+        // results, so the run is identical with a recorder installed or
+        // not (see DESIGN.md § Observability).
+        let _run_span = scnn_obs::Span::enter("pipeline.run");
         let cfg = &self.config;
+
+        let dataset_span = scnn_obs::Span::enter("pipeline.dataset");
         let train_set = cfg.generate_dataset(cfg.train_per_class, cfg.seed)?;
         let test_set = cfg.generate_dataset(cfg.test_per_class, cfg.seed ^ 0xFACE)?;
+        drop(dataset_span);
 
+        let train_span = scnn_obs::Span::enter("pipeline.train");
         let mut net = cfg.build_model();
         let train_report = train(&mut net, &train_set.to_samples(), &cfg.train)?;
         let test_accuracy = accuracy(&mut net, &test_set.to_samples())?;
+        drop(train_span);
 
+        let collect_span = scnn_obs::Span::enter("pipeline.collect");
         let monitored = test_set.select_classes(&cfg.categories);
 
         // One campaign per category, each on its own cloned model and its
@@ -358,8 +433,11 @@ impl Experiment {
         // Each campaign measured a private clone; the caller gets the
         // trained network itself, unrewritten.
         let network = net;
+        drop(collect_span);
 
+        let evaluate_span = scnn_obs::Span::enter("pipeline.evaluate");
         let report = Evaluator::new(cfg.evaluator).evaluate(&observations)?;
+        drop(evaluate_span);
         Ok(ExperimentOutcome {
             report,
             observations,
@@ -489,5 +567,34 @@ mod tests {
         let seq = run(Threads::Count(1));
         assert_eq!(seq, run(Threads::Count(2)));
         assert_eq!(seq, run(Threads::Count(4)));
+    }
+
+    #[test]
+    fn builder_chain_matches_direct_mutation() {
+        use scnn_par::Threads;
+        let built = ExperimentConfig::quick(DatasetKind::Mnist)
+            .samples(33)
+            .threads(Threads::Count(2))
+            .epochs(5)
+            .batch_size(4)
+            .seed(77)
+            .architecture(Architecture::Mlp)
+            .categories(vec![1, 2])
+            .countermeasure(Countermeasure::ConstantTime);
+
+        let mut direct = ExperimentConfig::quick(DatasetKind::Mnist);
+        direct.collection.samples_per_category = 33;
+        direct.collection.threads = Threads::Count(2);
+        direct.evaluator.threads = Threads::Count(2);
+        direct.train.threads = Threads::Count(2);
+        direct.train.epochs = 5;
+        direct.train.batch_size = 4;
+        direct.seed = 77;
+        direct.architecture = Architecture::Mlp;
+        direct.categories = vec![1, 2];
+        direct.countermeasure = Some(Countermeasure::ConstantTime);
+
+        assert_eq!(built.collection.samples_per_category, 33);
+        assert_eq!(format!("{built:?}"), format!("{direct:?}"));
     }
 }

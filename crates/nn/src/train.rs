@@ -94,6 +94,11 @@ pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Res
     let pool = Pool::new(config.threads);
 
     for epoch in 0..config.epochs {
+        // Telemetry (spans, counters, series) is observation-only: it
+        // reads loss values and wall-clock time but never touches the
+        // RNG stream, the sample order or the weights, so the training
+        // trajectory is identical with a recorder installed or not.
+        let epoch_span = scnn_obs::Span::enter_indexed("train.epoch", epoch as u64);
         opt.set_learning_rate(config.schedule.lr_at(epoch).max(1e-9));
         order.shuffle(&mut rng);
         let mut total = 0.0f64;
@@ -113,6 +118,7 @@ pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Res
                 net.backward(&grad)?;
                 opt.step(net);
             }
+            scnn_obs::counter_add("train.steps", order.len() as u64);
         } else {
             for batch in order.chunks(config.batch_size) {
                 let results = sample_gradients(net, samples, batch, &pool)?;
@@ -126,12 +132,28 @@ pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Res
                 }
                 net.scale_grads(1.0 / batch.len() as f32);
                 opt.step(net);
+                scnn_obs::counter_add("train.minibatches", 1);
             }
         }
-        epoch_losses.push(total / samples.len().max(1) as f64);
+        let mean_loss = total / samples.len().max(1) as f64;
+        epoch_losses.push(mean_loss);
         if !net.all_finite() {
             return Err(NnError::Diverged { epoch });
         }
+        scnn_obs::counter_add("train.epochs", 1);
+        if epoch_span.is_recording() {
+            scnn_obs::series_push("train.epoch_loss", epoch as f64, mean_loss);
+            // Extra observation work, gated on telemetry being live: a
+            // per-epoch training-accuracy point. `accuracy` only runs
+            // inference — weights, optimizer state and the shuffle RNG
+            // are untouched — so computing it cannot change the result.
+            scnn_obs::series_push(
+                "train.epoch_accuracy",
+                epoch as f64,
+                accuracy(net, samples)?,
+            );
+        }
+        drop(epoch_span);
     }
 
     Ok(TrainReport {
@@ -333,6 +355,46 @@ mod tests {
             "accuracy {}",
             report.final_train_accuracy
         );
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_the_trajectory() {
+        let config = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let baseline = {
+            let mut net = toy_net();
+            train(&mut net, &toy_samples(), &config).unwrap()
+        };
+
+        let recorder = std::sync::Arc::new(scnn_obs::Recorder::new());
+        scnn_obs::install(recorder.clone());
+        let observed = {
+            let mut net = toy_net();
+            train(&mut net, &toy_samples(), &config).unwrap()
+        };
+        scnn_obs::uninstall();
+
+        assert_eq!(
+            baseline, observed,
+            "telemetry must not change the training trajectory"
+        );
+
+        // Other tests in this binary may train concurrently while the
+        // recorder is installed, so assert lower bounds / membership.
+        let snap = recorder.snapshot();
+        assert!(snap.spans_named("train.epoch").count() >= config.epochs);
+        assert!(snap.counter("train.epochs").unwrap_or(0) >= config.epochs as u64);
+        assert!(snap.counter("train.steps").unwrap_or(0) > 0);
+        let losses = snap.series("train.epoch_loss").unwrap();
+        for (epoch, loss) in baseline.epoch_losses.iter().enumerate() {
+            assert!(
+                losses.points.contains(&(epoch as f64, *loss)),
+                "epoch {epoch} loss missing from telemetry series"
+            );
+        }
+        assert!(snap.series("train.epoch_accuracy").is_some());
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! # scnn-obs
+//!
+//! Zero-dependency observability layer for the `scnn` workspace: spans,
+//! counters, histograms and per-run series, collected by an installable
+//! [`Recorder`] and exported as a [`TelemetrySnapshot`].
+//!
+//! The paper's evaluator is itself a measurement tool (`perf stat`
+//! around every classification), but the pipeline that drives it —
+//! dataset generation, training, collection, the t-test matrix — was a
+//! black box. This crate is the substrate every layer shares:
+//!
+//! - [`Span`] — nested wall-clock timing (`Span::enter("collect.category")`),
+//!   with parent tracking per thread;
+//! - monotonic counters ([`counter_add`]) and log-bucketed histograms
+//!   ([`histogram_record`]) in a lazily-populated registry;
+//! - ordered series ([`series_push`]) for per-epoch training curves;
+//! - a process-wide [`Recorder`] sink with an optional observer hook for
+//!   live progress reporting.
+//!
+//! # Observation-only contract
+//!
+//! Telemetry must never influence what an experiment computes. All
+//! instrumentation in the workspace follows two rules (see DESIGN.md
+//! § Observability):
+//!
+//! 1. **No recorder, no work.** Every entry point checks [`enabled`]
+//!    first (a single relaxed atomic load) and is a no-op when nothing
+//!    is installed.
+//! 2. **Nothing deterministic flows out.** Recorded data is wall-clock
+//!    timing and occurrence counts; none of it feeds back into seeds,
+//!    scheduling decisions or reported artefacts. The byte-identical
+//!    output contract across `--threads` settings therefore holds with
+//!    telemetry on or off.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(scnn_obs::Recorder::new());
+//! scnn_obs::install(recorder.clone());
+//!
+//! {
+//!     let _run = scnn_obs::Span::enter("demo.run");
+//!     let _step = scnn_obs::Span::enter("demo.step");
+//!     scnn_obs::counter_add("demo.items", 3);
+//! }
+//!
+//! scnn_obs::uninstall();
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.spans.len(), 2);
+//! assert_eq!(snapshot.counters[0].value, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod recorder;
+mod span;
+
+pub use metrics::{CounterSnapshot, HistogramSnapshot, SeriesSnapshot};
+pub use recorder::{Recorder, SpanEvent, SpanPhase, TelemetrySnapshot};
+pub use span::{Span, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Fast-path switch: `true` iff a recorder is installed. Checked with a
+/// relaxed load before any instrumentation does real work, so the
+/// disabled cost of a span or counter is one atomic read.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder, if any.
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+
+/// True when a [`Recorder`] is installed and instrumentation is live.
+///
+/// Instrumented code may also use this to gate *extra observation work*
+/// (e.g. computing a per-epoch accuracy series) — but never work that
+/// changes deterministic outputs.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-wide telemetry sink, replacing any
+/// previous one.
+pub fn install(recorder: Arc<Recorder>) {
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Uninstalls the process-wide recorder, returning it if one was
+/// installed. Spans already entered keep reporting to the recorder they
+/// captured at entry.
+pub fn uninstall() -> Option<Arc<Recorder>> {
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    ENABLED.store(false, Ordering::Relaxed);
+    slot.take()
+}
+
+/// The installed recorder, if any.
+pub fn recorder() -> Option<Arc<Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    RECORDER
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+/// Adds `n` to the monotonic counter `name` (no-op when disabled).
+pub fn counter_add(name: &'static str, n: u64) {
+    if let Some(r) = recorder() {
+        r.counter_add(name, n);
+    }
+}
+
+/// Records `value` into the histogram `name` (no-op when disabled).
+pub fn histogram_record(name: &'static str, value: f64) {
+    if let Some(r) = recorder() {
+        r.histogram_record(name, value);
+    }
+}
+
+/// Appends the point `(x, y)` to the series `name` (no-op when
+/// disabled). Points keep their append order in the snapshot.
+pub fn series_push(name: &'static str, x: f64, y: f64) {
+    if let Some(r) = recorder() {
+        r.series_push(name, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The recorder slot is process-global; tests that install one are
+    /// serialized through this lock.
+    static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_instrumentation_is_a_no_op() {
+        let _guard = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!enabled());
+        assert!(recorder().is_none());
+        // None of these may panic or allocate registry state anywhere.
+        let _span = Span::enter("noop.span");
+        counter_add("noop.counter", 1);
+        histogram_record("noop.hist", 1.0);
+        series_push("noop.series", 0.0, 1.0);
+    }
+
+    #[test]
+    fn install_uninstall_roundtrip() {
+        let _guard = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = Arc::new(Recorder::new());
+        install(r.clone());
+        assert!(enabled());
+        counter_add("roundtrip.counter", 2);
+        counter_add("roundtrip.counter", 3);
+        let back = uninstall().expect("recorder was installed");
+        assert!(Arc::ptr_eq(&r, &back));
+        assert!(!enabled());
+        let snap = r.snapshot();
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "roundtrip.counter")
+            .unwrap();
+        assert_eq!(c.value, 5);
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let _guard = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = Arc::new(Recorder::new());
+        install(r.clone());
+        {
+            let _outer = Span::enter("nest.outer");
+            let _inner = Span::enter_indexed("nest.inner", 7);
+        }
+        uninstall();
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = snap.spans.iter().find(|s| s.name == "nest.outer").unwrap();
+        let inner = snap.spans.iter().find(|s| s.name == "nest.inner").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.index, Some(7));
+        // The inner span closed first and is contained in the outer one.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(outer.duration_ns >= inner.duration_ns);
+    }
+
+    #[test]
+    fn spans_on_worker_threads_record_their_thread() {
+        let _guard = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = Arc::new(Recorder::new());
+        install(r.clone());
+        let main_span = Span::enter("thread.main");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _s = Span::enter("thread.worker");
+            });
+        });
+        drop(main_span);
+        uninstall();
+        let snap = r.snapshot();
+        let main = snap.spans.iter().find(|s| s.name == "thread.main").unwrap();
+        let worker = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "thread.worker")
+            .unwrap();
+        assert_ne!(main.thread, worker.thread);
+        // Parenthood is tracked per thread: the worker's stack was empty.
+        assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn observer_sees_enter_and_exit() {
+        let _guard = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let events: Arc<Mutex<Vec<(String, SpanPhase, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let r = Arc::new(Recorder::with_observer(Box::new(move |e: &SpanEvent| {
+            sink.lock()
+                .unwrap()
+                .push((e.name.to_owned(), e.phase, e.depth));
+        })));
+        install(r);
+        {
+            let _a = Span::enter("obs.a");
+            let _b = Span::enter("obs.b");
+        }
+        uninstall();
+        let events = events.lock().unwrap();
+        assert_eq!(
+            *events,
+            vec![
+                ("obs.a".to_owned(), SpanPhase::Enter, 0),
+                ("obs.b".to_owned(), SpanPhase::Enter, 1),
+                ("obs.b".to_owned(), SpanPhase::Exit, 1),
+                ("obs.a".to_owned(), SpanPhase::Exit, 0),
+            ]
+        );
+    }
+}

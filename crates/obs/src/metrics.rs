@@ -1,0 +1,257 @@
+//! The metrics registry: monotonic counters, log-bucketed histograms and
+//! append-ordered series, all lazily created on first touch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Number of histogram buckets. Bucket `i` counts values `v` with
+/// `2^(i - OFFSET - 1) < v <= 2^(i - OFFSET)`; bucket 0 additionally
+/// absorbs every value `<= 2^-OFFSET` (including zero and negatives).
+const BUCKETS: usize = 64;
+
+/// Shift applied to the base-2 exponent so sub-unit values (seconds,
+/// losses) still resolve: bucket 0 tops out at 2^-20 ≈ 1e-6.
+const OFFSET: i32 = 20;
+
+fn bucket_index(value: f64) -> usize {
+    // Zero, negatives and NaN all land in the bottom bucket.
+    if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return 0;
+    }
+    // `+inf` saturates through the cast and clamps to the top bucket.
+    let exp = (value.log2().ceil() as i64).saturating_add(OFFSET as i64);
+    exp.clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// The inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    (2.0f64).powi(i as i32 - OFFSET)
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutable histogram state behind the registry lock.
+#[derive(Debug)]
+struct HistogramState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramState {
+    fn new() -> Self {
+        HistogramState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// Snapshot of one monotonic counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Dotted metric name (e.g. `collect.samples`).
+    pub name: String,
+    /// Current value. Counters only ever increase.
+    pub value: u64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name (e.g. `par.queue_occupancy`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest recorded value, `None` when empty.
+    pub max: Option<f64>,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, in
+    /// ascending bound order.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Snapshot of one series: `(x, y)` points in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Dotted metric name (e.g. `train.epoch_loss`).
+    pub name: String,
+    /// The points, in the order they were pushed.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A named-metric map: each entry is created on first touch and shared
+/// out as an `Arc` so recording never holds the map lock.
+type MetricMap<T> = Mutex<BTreeMap<&'static str, Arc<T>>>;
+
+/// The registry held by a [`Recorder`](crate::Recorder).
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: MetricMap<AtomicU64>,
+    histograms: MetricMap<Mutex<HistogramState>>,
+    series: MetricMap<Mutex<Vec<(f64, f64)>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&self, name: &'static str, n: u64) {
+        let counter = lock_ignore_poison(&self.counters)
+            .entry(name)
+            .or_default()
+            .clone();
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn histogram_record(&self, name: &'static str, value: f64) {
+        let hist = lock_ignore_poison(&self.histograms)
+            .entry(name)
+            .or_insert_with(|| Arc::new(Mutex::new(HistogramState::new())))
+            .clone();
+        lock_ignore_poison(&hist).record(value);
+    }
+
+    pub(crate) fn series_push(&self, name: &'static str, x: f64, y: f64) {
+        let series = lock_ignore_poison(&self.series)
+            .entry(name)
+            .or_default()
+            .clone();
+        lock_ignore_poison(&series).push((x, y));
+    }
+
+    pub(crate) fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        lock_ignore_poison(&self.counters)
+            .iter()
+            .map(|(name, v)| CounterSnapshot {
+                name: (*name).to_owned(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    pub(crate) fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        lock_ignore_poison(&self.histograms)
+            .iter()
+            .map(|(name, h)| {
+                let h = lock_ignore_poison(h);
+                HistogramSnapshot {
+                    name: (*name).to_owned(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: (h.count > 0).then_some(h.min),
+                    max: (h.count > 0).then_some(h.max),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| (bucket_upper(i), c))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn series_snapshots(&self) -> Vec<SeriesSnapshot> {
+        lock_ignore_poison(&self.series)
+            .iter()
+            .map(|(name, s)| SeriesSnapshot {
+                name: (*name).to_owned(),
+                points: lock_ignore_poison(s).clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort_by_name() {
+        let reg = Registry::default();
+        reg.counter_add("b.second", 2);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("b.second", 3);
+        let snap = reg.counter_snapshots();
+        assert_eq!(snap.len(), 2);
+        assert_eq!((snap[0].name.as_str(), snap[0].value), ("a.first", 1));
+        assert_eq!((snap[1].name.as_str(), snap[1].value), ("b.second", 5));
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let reg = Registry::default();
+        for v in [1.0, 4.0, 0.25, 1000.0] {
+            reg.histogram_record("h", v);
+        }
+        let snap = &reg.histogram_snapshots()[0];
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1005.25);
+        assert_eq!(snap.min, Some(0.25));
+        assert_eq!(snap.max, Some(1000.0));
+        assert_eq!(snap.mean(), Some(1005.25 / 4.0));
+        let total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4, "every value lands in exactly one bucket");
+        for w in snap.buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "bucket bounds ascend");
+        }
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+        // 1.0 has upper bound exactly 1.0.
+        assert_eq!(bucket_upper(bucket_index(1.0)), 1.0);
+        // Just above a bound falls into the next bucket.
+        assert_eq!(bucket_index(1.01), bucket_index(1.0) + 1);
+        assert!(bucket_index(1e300) < BUCKETS);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let reg = Registry::default();
+        reg.histogram_record("h", f64::NAN);
+        let snap = &reg.histogram_snapshots()[0];
+        assert_eq!(snap.count, 1);
+        // NaN min/max still "Some" since count > 0 — but a never-touched
+        // histogram cannot exist in the registry at all.
+        assert!(snap.min.is_some());
+    }
+
+    #[test]
+    fn series_keeps_append_order() {
+        let reg = Registry::default();
+        reg.series_push("s", 2.0, 20.0);
+        reg.series_push("s", 0.0, 0.5);
+        let snap = &reg.series_snapshots()[0];
+        assert_eq!(snap.points, vec![(2.0, 20.0), (0.0, 0.5)]);
+    }
+}

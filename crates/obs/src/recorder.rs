@@ -1,0 +1,232 @@
+//! The telemetry sink: spans + metrics registry + snapshot export.
+
+use crate::metrics::{CounterSnapshot, HistogramSnapshot, Registry, SeriesSnapshot};
+use crate::span::SpanRecord;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Whether a [`SpanEvent`] marks a span opening or closing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span was just entered.
+    Enter,
+    /// The span is closing; `duration` is set.
+    Exit,
+}
+
+/// A live span notification delivered to a recorder's observer, e.g. to
+/// print a per-phase progress line while a run is still going.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Optional item index (category, epoch, …).
+    pub index: Option<u64>,
+    /// Nesting depth on the entering thread.
+    pub depth: usize,
+    /// Enter or exit.
+    pub phase: SpanPhase,
+    /// Wall-clock duration; set on [`SpanPhase::Exit`] only.
+    pub duration: Option<Duration>,
+}
+
+type Observer = Box<dyn Fn(&SpanEvent) + Send + Sync>;
+
+/// Collects spans and metrics for one run.
+///
+/// A recorder is shared behind an [`Arc`](std::sync::Arc): install it
+/// with [`install`](crate::install), run the instrumented workload, then
+/// [`uninstall`](crate::uninstall) and take a [`snapshot`](Recorder::snapshot).
+pub struct Recorder {
+    epoch: Instant,
+    next_span: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    registry: Registry,
+    observer: Option<Observer>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder; its epoch (span timestamp zero) is now.
+    pub fn new() -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+            registry: Registry::default(),
+            observer: None,
+        }
+    }
+
+    /// Creates a recorder that additionally forwards every span
+    /// enter/exit to `observer` (called synchronously on the
+    /// instrumented thread — keep it cheap, write to stderr only).
+    pub fn with_observer(observer: Observer) -> Recorder {
+        Recorder {
+            observer: Some(observer),
+            ..Recorder::new()
+        }
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn nanos_since_epoch(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.epoch)
+            .unwrap_or_default()
+            .as_nanos() as u64
+    }
+
+    pub(crate) fn record_span(&self, record: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
+    }
+
+    pub(crate) fn observe(&self, event: &SpanEvent) {
+        if let Some(observer) = &self.observer {
+            observer(event);
+        }
+    }
+
+    /// Adds `n` to the monotonic counter `name`.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        self.registry.counter_add(name, n);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn histogram_record(&self, name: &'static str, value: f64) {
+        self.registry.histogram_record(name, value);
+    }
+
+    /// Appends `(x, y)` to the series `name`.
+    pub fn series_push(&self, name: &'static str, x: f64, y: f64) {
+        self.registry.series_push(name, x, y);
+    }
+
+    /// Exports everything recorded so far. Spans are ordered by id
+    /// (i.e. entry order); counters, histograms and series by name.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        spans.sort_by_key(|s| s.id);
+        TelemetrySnapshot {
+            version: TelemetrySnapshot::VERSION,
+            spans,
+            counters: self.registry.counter_snapshots(),
+            histograms: self.registry.histogram_snapshots(),
+            series: self.registry.series_snapshots(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field(
+                "spans",
+                &self
+                    .spans
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len(),
+            )
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything one recorder collected, ready for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Snapshot format version ([`TelemetrySnapshot::VERSION`]).
+    pub version: u32,
+    /// Completed spans in entry order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Series, sorted by name.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Current snapshot format version.
+    pub const VERSION: u32 = 1;
+
+    /// All spans with the given name, in entry order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of counter `name`, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The histogram `name`, if it was ever touched.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The series `name`, if it was ever touched.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_of_fresh_recorder_is_empty() {
+        let snap = Recorder::new().snapshot();
+        assert_eq!(snap.version, TelemetrySnapshot::VERSION);
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.series.is_empty());
+    }
+
+    #[test]
+    fn direct_metric_recording_without_install() {
+        // A recorder is usable stand-alone (e.g. in tests) without being
+        // installed globally.
+        let r = Recorder::new();
+        r.counter_add("direct.counter", 4);
+        r.histogram_record("direct.hist", 2.5);
+        r.series_push("direct.series", 0.0, 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("direct.counter"), Some(4));
+        assert_eq!(snap.histogram("direct.hist").unwrap().count, 1);
+        assert_eq!(snap.series("direct.series").unwrap().points.len(), 1);
+        assert_eq!(snap.counter("never.touched"), None);
+        assert!(snap.histogram("never.touched").is_none());
+        assert!(snap.series("never.touched").is_none());
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_increasing() {
+        let r = Recorder::new();
+        let a = r.next_span_id();
+        let b = r.next_span_id();
+        assert!(b > a);
+        assert!(a >= 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Nested wall-clock spans with per-thread parent tracking.
+
+use crate::recorder::{Recorder, SpanEvent, SpanPhase};
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of currently-open span ids on this thread. Parenthood is a
+    /// per-thread notion: a span opened on a worker thread has no parent
+    /// unless the worker itself opened an enclosing span.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+
+    /// Small dense id for the current thread, assigned on first use.
+    static THREAD_INDEX: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+static NEXT_THREAD_INDEX: AtomicU64 = AtomicU64::new(0);
+
+fn thread_index() -> u64 {
+    THREAD_INDEX.with(|slot| match slot.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(i));
+            i
+        }
+    })
+}
+
+/// One completed span, as stored in a
+/// [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the recorder (assigned at entry, starting at 1).
+    pub id: u64,
+    /// Id of the span that was open on the same thread at entry, if any.
+    pub parent: Option<u64>,
+    /// Dotted span name (e.g. `pipeline.train`).
+    pub name: &'static str,
+    /// Optional item index (category, epoch, …) distinguishing repeated
+    /// spans of the same name.
+    pub index: Option<u64>,
+    /// Dense id of the thread the span ran on.
+    pub thread: u64,
+    /// Nesting depth at entry (0 = no enclosing span on this thread).
+    pub depth: usize,
+    /// Entry time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+struct ActiveSpan {
+    recorder: Arc<Recorder>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    index: Option<u64>,
+    depth: usize,
+    start: Instant,
+}
+
+/// An RAII timing scope. Entering returns a guard; dropping it records
+/// the completed [`SpanRecord`] into the installed [`Recorder`].
+///
+/// When no recorder is installed the guard is inert — entry costs one
+/// relaxed atomic load and drop is free. The guard is `!Send`: a span
+/// must end on the thread that started it, because parenthood is
+/// tracked in thread-local state.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+    /// Opts out of `Send`/`Sync`: the thread-local span stack must see
+    /// entry and exit on the same thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Span {
+    /// Opens a span named `name` on the current thread.
+    pub fn enter(name: &'static str) -> Span {
+        Span::enter_inner(name, None)
+    }
+
+    /// Opens a span named `name` carrying an item index (category,
+    /// epoch, …).
+    pub fn enter_indexed(name: &'static str, index: u64) -> Span {
+        Span::enter_inner(name, Some(index))
+    }
+
+    fn enter_inner(name: &'static str, index: Option<u64>) -> Span {
+        let Some(recorder) = crate::recorder() else {
+            return Span {
+                active: None,
+                _not_send: PhantomData,
+            };
+        };
+        let id = recorder.next_span_id();
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(id);
+            (parent, depth)
+        });
+        recorder.observe(&SpanEvent {
+            name,
+            index,
+            depth,
+            phase: SpanPhase::Enter,
+            duration: None,
+        });
+        Span {
+            active: Some(ActiveSpan {
+                recorder,
+                id,
+                parent,
+                name,
+                index,
+                depth,
+                start: Instant::now(),
+            }),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// True when this span is actually recording (a recorder was
+    /// installed at entry).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let duration = active.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are strictly nested per thread, so the top of the
+            // stack is this span. Be lenient anyway: remove by id so a
+            // logic error upstream cannot corrupt unrelated spans.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        active.recorder.record_span(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            index: active.index,
+            thread: thread_index(),
+            depth: active.depth,
+            start_ns: active.recorder.nanos_since_epoch(active.start),
+            duration_ns: duration.as_nanos() as u64,
+        });
+        active.recorder.observe(&SpanEvent {
+            name: active.name,
+            index: active.index,
+            depth: active.depth,
+            phase: SpanPhase::Exit,
+            duration: Some(duration),
+        });
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => f
+                .debug_struct("Span")
+                .field("name", &a.name)
+                .field("id", &a.id)
+                .field("depth", &a.depth)
+                .finish_non_exhaustive(),
+            None => f.debug_struct("Span").field("recording", &false).finish(),
+        }
+    }
+}

@@ -149,20 +149,35 @@ impl Pool {
         F: Fn(T) -> R + Sync,
     {
         let n = items.len();
+        // Telemetry is observation-only: counters and the queue-occupancy
+        // histogram never influence scheduling, and results are still
+        // assembled in item order, so output stays bit-identical whether
+        // a recorder is installed or not.
+        scnn_obs::counter_add("par.tasks", n as u64);
         let workers = self.workers().min(n);
         if workers <= 1 {
             return items.into_iter().map(f).collect();
         }
+        scnn_obs::counter_add("par.pool_runs", 1);
 
         let queue: Mutex<VecDeque<(usize, T)>> =
             Mutex::new(items.into_iter().enumerate().collect());
         let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let observing = scnn_obs::enabled();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let job = lock_ignore_poison(&queue).pop_front();
+                    let (job, remaining) = {
+                        let mut queue = lock_ignore_poison(&queue);
+                        let job = queue.pop_front();
+                        (job, queue.len())
+                    };
                     let Some((index, item)) = job else { break };
+                    if observing {
+                        scnn_obs::counter_add("par.dispatches", 1);
+                        scnn_obs::histogram_record("par.queue_occupancy", remaining as f64);
+                    }
                     let result = f(item);
                     lock_ignore_poison(&slots)[index] = Some(result);
                 });
@@ -290,6 +305,24 @@ mod tests {
         let pool = Pool::new(Threads::Count(1));
         let result = std::panic::catch_unwind(|| pool.par_map(vec![0u8], |_| panic!("seq")));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_metrics_flow_to_an_installed_recorder() {
+        // Other tests in this binary may run par_map concurrently and
+        // also feed the global recorder, so assert lower bounds only.
+        let recorder = std::sync::Arc::new(scnn_obs::Recorder::new());
+        scnn_obs::install(recorder.clone());
+        let out = Pool::new(Threads::Count(3)).par_map((0..16usize).collect(), |x| x + 1);
+        scnn_obs::uninstall();
+        assert_eq!(out, (1..17).collect::<Vec<_>>());
+        let snap = recorder.snapshot();
+        assert!(snap.counter("par.tasks").unwrap_or(0) >= 16);
+        assert!(snap.counter("par.pool_runs").unwrap_or(0) >= 1);
+        assert!(snap.counter("par.dispatches").unwrap_or(0) >= 16);
+        let occupancy = snap.histogram("par.queue_occupancy").unwrap();
+        assert!(occupancy.count >= 16);
+        assert_eq!(occupancy.min, Some(0.0), "the last pop sees an empty queue");
     }
 
     #[test]

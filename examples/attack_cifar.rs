@@ -9,15 +9,15 @@
 use scnn::core::attack::{AttackClassifier, AttackConfig};
 use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     let samples: usize = std::env::args()
         .nth(1)
         .map(|s| s.parse())
-        .transpose()?
+        .transpose()
+        .map_err(|e| scnn::core::Error::msg(format!("samples argument: {e}")))?
         .unwrap_or(60);
 
-    let mut config = ExperimentConfig::paper(DatasetKind::Cifar10);
-    config.collection.samples_per_category = samples;
+    let config = ExperimentConfig::paper(DatasetKind::Cifar10).samples(samples);
     println!("running the CIFAR-10 case study ({samples} measurements per category)…");
     let outcome = Experiment::new(config).run()?;
     println!(

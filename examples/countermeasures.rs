@@ -11,15 +11,15 @@ use scnn::core::countermeasure::Countermeasure;
 use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
 use scnn::hpc::HpcEvent;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     let samples: usize = std::env::args()
         .nth(1)
         .map(|s| s.parse())
-        .transpose()?
+        .transpose()
+        .map_err(|e| scnn::core::Error::msg(format!("samples argument: {e}")))?
         .unwrap_or(50);
 
-    let mut base = ExperimentConfig::paper(DatasetKind::Mnist);
-    base.collection.samples_per_category = samples;
+    let base = ExperimentConfig::paper(DatasetKind::Mnist).samples(samples);
 
     let arms: Vec<(&str, Option<Countermeasure>)> = vec![
         ("leaky baseline (zero-skip + branchy ReLU)", None),
@@ -43,8 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "cm pairs", "br pairs", "attack", "alarm"
     );
     for (label, cm) in arms {
-        let mut config = base.clone();
-        config.countermeasure = cm;
+        let config = match cm {
+            Some(cm) => base.clone().countermeasure(cm),
+            None => base.clone(),
+        };
         let outcome = Experiment::new(config).run()?;
         let pairs = |event: HpcEvent| {
             outcome

@@ -19,11 +19,12 @@ use scnn::hpc::{HpcEvent, SimPmuConfig, SimulatedPmu};
 use scnn::nn::models;
 use scnn::nn::train::{accuracy, train, TrainConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     let samples: usize = std::env::args()
         .nth(1)
         .map(|s| s.parse())
-        .transpose()?
+        .transpose()
+        .map_err(|e| scnn::core::Error::msg(format!("samples argument: {e}")))?
         .unwrap_or(60);
 
     // 1. Data: 10 digit classes; the evaluator will monitor 4 of them,

@@ -14,7 +14,7 @@ use scnn::data::mnist_synth::{self, MnistSynthConfig};
 use scnn::hpc::{CounterGroup, HpcEvent, PerfStat, SimPmuConfig, SimulatedPmu};
 use scnn::nn::models;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     let net = models::mnist_cnn(42);
     let ds = mnist_synth::generate(
         &MnistSynthConfig {

@@ -7,10 +7,10 @@
 
 use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     // A fast, small-scale configuration: synthetic MNIST, a compact CNN,
     // a simulated Xeon-class PMU, 12 measurements per category.
-    let config = ExperimentConfig::quick(DatasetKind::Mnist);
+    let config = ExperimentConfig::quick(DatasetKind::Mnist).samples(12);
     println!(
         "running quick MNIST experiment ({} measurements per category)…\n",
         config.collection.samples_per_category

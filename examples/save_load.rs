@@ -11,7 +11,7 @@ use scnn::nn::train::{accuracy, train, TrainConfig};
 use scnn::nn::{models, Network};
 use scnn::uarch::CountingProbe;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> scnn::core::Result<()> {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "/tmp/scnn_mnist.model".to_owned());

@@ -19,7 +19,9 @@
 //!   loaders;
 //! - [`stats`] — t-tests, histograms and leakage matrices;
 //! - [`core`] — the paper's evaluator, plus template-attack and
-//!   countermeasure extensions.
+//!   countermeasure extensions;
+//! - [`obs`] — zero-dependency spans/counters/histograms telemetry,
+//!   observation-only (never changes experiment output).
 //!
 //! # Quickstart
 //!
@@ -27,8 +29,8 @@
 //! use scnn::core::pipeline::{Experiment, ExperimentConfig};
 //! use scnn::core::DatasetKind;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let config = ExperimentConfig::quick(DatasetKind::Mnist);
+//! # fn main() -> scnn::core::error::Result<()> {
+//! let config = ExperimentConfig::quick(DatasetKind::Mnist).samples(20);
 //! let outcome = Experiment::new(config).run()?;
 //! println!("{}", outcome.report.render_table());
 //! assert!(outcome.report.alarm().raised());
@@ -40,6 +42,7 @@ pub use scnn_core as core;
 pub use scnn_data as data;
 pub use scnn_hpc as hpc;
 pub use scnn_nn as nn;
+pub use scnn_obs as obs;
 pub use scnn_par as par;
 pub use scnn_stats as stats;
 pub use scnn_tensor as tensor;

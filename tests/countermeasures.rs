@@ -8,11 +8,11 @@ use scnn::hpc::HpcEvent;
 use scnn::uarch::{CoreConfig, NoiseConfig};
 
 fn fast() -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist);
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist)
+        .samples(10)
+        .epochs(2);
     cfg.train_per_class = 8;
     cfg.test_per_class = 4;
-    cfg.train.epochs = 2;
-    cfg.collection.samples_per_category = 10;
     cfg.pmu.core = CoreConfig::tiny();
     cfg.pmu.noise = NoiseConfig::quiet();
     cfg
@@ -58,8 +58,7 @@ fn constant_time_keeps_accuracy() {
 
 #[test]
 fn constant_time_defeats_the_attack() {
-    let mut cfg = fast();
-    cfg.collection.samples_per_category = 12;
+    let cfg = fast().samples(12);
     let leaky = Experiment::new(cfg.clone()).run().unwrap();
     let protected = Experiment::new(cfg.with_countermeasure(Countermeasure::ConstantTime))
         .run()

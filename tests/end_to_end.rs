@@ -6,11 +6,9 @@ use scnn::hpc::HpcEvent;
 use scnn::uarch::CoreConfig;
 
 fn fast(dataset: DatasetKind) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::quick(dataset);
+    let mut cfg = ExperimentConfig::quick(dataset).samples(8).epochs(3);
     cfg.train_per_class = 8;
     cfg.test_per_class = 4;
-    cfg.train.epochs = 3;
-    cfg.collection.samples_per_category = 8;
     cfg.pmu.core = CoreConfig::tiny();
     cfg
 }

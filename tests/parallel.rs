@@ -8,14 +8,12 @@ use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig, Experiment
 use scnn::par::Threads;
 
 fn run(threads: Threads) -> ExperimentOutcome {
-    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist);
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist)
+        .samples(6)
+        .epochs(1)
+        .threads(threads);
     cfg.train_per_class = 6;
     cfg.test_per_class = 3;
-    cfg.train.epochs = 1;
-    cfg.collection.samples_per_category = 6;
-    cfg.collection.threads = threads;
-    cfg.evaluator.threads = threads;
-    cfg.train.threads = threads;
     Experiment::new(cfg).run().unwrap()
 }
 

@@ -14,11 +14,10 @@ use scnn::uarch::CoreConfig;
 
 #[test]
 fn tiny_scale_pipeline_raises_cache_miss_alarm() {
-    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist);
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist).samples(8);
     assert_eq!(cfg.scale, ModelScale::Tiny, "quick config is tiny-scale");
     cfg.train_per_class = 8;
     cfg.test_per_class = 4;
-    cfg.collection.samples_per_category = 8;
     cfg.pmu.core = CoreConfig::tiny();
 
     let outcome = Experiment::new(cfg).run().unwrap();
