@@ -51,4 +51,22 @@ grep -q '"name":"collect.samples"' "$telemetry_json" \
   || { echo "FAIL: telemetry missing the collect.samples counter"; exit 1; }
 rm -f "$telemetry_json"
 
+step "artifact cache (warm rerun skips training, stdout byte-identical)"
+cache_dir="$(mktemp -d)"
+cold_err="$(mktemp)"
+warm_err="$(mktemp)"
+out_cold="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8 --threads 4 --cache-dir "$cache_dir" 2>"$cold_err")"
+out_warm="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8 --threads 4 --cache-dir "$cache_dir" 2>"$warm_err")"
+grep -q "model miss — trained and stored" "$cold_err" \
+  || { echo "FAIL: cold run did not report a model miss"; cat "$cold_err"; exit 1; }
+grep -q "model hit — training skipped" "$warm_err" \
+  || { echo "FAIL: warm run did not skip training"; cat "$warm_err"; exit 1; }
+diff <(printf '%s' "$out_cold") <(printf '%s' "$out_warm") \
+  || { echo "FAIL: report differs between cold and warm cache runs"; exit 1; }
+diff <(printf '%s' "$out4") <(printf '%s' "$out_cold") \
+  || { echo "FAIL: report differs between cached and uncached runs"; exit 1; }
+rm -rf "$cache_dir" "$cold_err" "$warm_err"
+
 step "all checks passed"

@@ -9,14 +9,22 @@
 //! - **Wall-clock**: per-run times at 1 and `N` workers. The JSON records
 //!   the host's available parallelism alongside the speedup, because on a
 //!   single-core runner the honest speedup is ~1×.
+//!
+//! Evaluation is timed twice: on the campaign's own tiny t-test matrix
+//! (`evaluate_ms`) where the evaluator's sequential bypass now avoids
+//! paying pool spin-up for microseconds of work (historically a 6×
+//! parallel *slowdown*), and on a big synthetic matrix
+//! (`evaluate_big_ms`) past the bypass cutoff, where the pool actually
+//! engages.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use scnn_bench::harness::black_box;
-use scnn_core::collect::{category_seed, collect_campaign, CollectionConfig};
+use scnn_core::collect::{category_seed, collect_campaign, CategoryObservations, CollectionConfig};
 use scnn_core::evaluator::{Evaluator, EvaluatorConfig};
 use scnn_data::mnist_synth::{generate, MnistSynthConfig};
-use scnn_hpc::{SimPmuConfig, SimulatedPmu};
+use scnn_hpc::{HpcEvent, SimPmuConfig, SimulatedPmu};
 use scnn_nn::models;
 use scnn_par::Threads;
 
@@ -74,7 +82,12 @@ fn main() {
         "collection must be bit-identical at any thread count"
     );
 
-    let evaluate = |threads: Threads| {
+    // Tiny matrix: 2 events × C(4,2) pairs × 2 orders = 24 cells, far
+    // below the evaluator's sequential-bypass cutoff. Both arms take the
+    // sequential path, so the honest speedup here is ~1× — this arm
+    // exists to show the bypass removed the historical 6× parallel
+    // slowdown on small matrices.
+    let evaluate_tiny = |threads: Threads| {
         let config = EvaluatorConfig {
             second_order: true,
             threads,
@@ -82,10 +95,55 @@ fn main() {
         };
         Evaluator::new(config).evaluate(&obs_seq).unwrap()
     };
-    let (seq_eval_ms, report_seq) = best_of(|| evaluate(Threads::Count(1)));
-    let (par_eval_ms, report_par) = best_of(|| evaluate(Threads::Count(PAR_WORKERS)));
+    let (seq_tiny_ms, report_seq) = best_of(|| evaluate_tiny(Threads::Count(1)));
+    let (par_tiny_ms, report_par) = best_of(|| evaluate_tiny(Threads::Count(PAR_WORKERS)));
     assert_eq!(
         report_seq.per_event, report_par.per_event,
+        "evaluation must be bit-identical at any thread count"
+    );
+
+    // Big matrix: 8 events × C(16,2) pairs × 2 orders = 1920 cells, well
+    // past the cutoff — this is the matrix shape where the pool earns its
+    // spin-up cost. The observations are synthetic (deterministic hash
+    // noise with a per-category shift); only the t-test matrix is timed.
+    let eval_categories = 16usize;
+    let eval_samples = 64usize;
+    let big_obs: Vec<CategoryObservations> = (0..eval_categories)
+        .map(|c| {
+            let per_event: BTreeMap<HpcEvent, Vec<f64>> = HpcEvent::ALL
+                .iter()
+                .enumerate()
+                .map(|(e, &event)| {
+                    let series = (0..eval_samples)
+                        .map(|i| {
+                            let mut x = ((c as u64) << 40) ^ ((e as u64) << 20) ^ i as u64;
+                            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            x ^= x >> 33;
+                            (x % 10_000) as f64 / 10.0 + c as f64 * 5.0
+                        })
+                        .collect();
+                    (event, series)
+                })
+                .collect();
+            CategoryObservations {
+                category: c,
+                per_event,
+                predictions: vec![0; eval_samples],
+            }
+        })
+        .collect();
+    let evaluate_big = |threads: Threads| {
+        let config = EvaluatorConfig {
+            second_order: true,
+            threads,
+            ..EvaluatorConfig::default()
+        };
+        Evaluator::new(config).evaluate(&big_obs).unwrap()
+    };
+    let (seq_eval_ms, big_seq) = best_of(|| evaluate_big(Threads::Count(1)));
+    let (par_eval_ms, big_par) = best_of(|| evaluate_big(Threads::Count(PAR_WORKERS)));
+    assert_eq!(
+        big_seq.per_event, big_par.per_event,
         "evaluation must be bit-identical at any thread count"
     );
 
@@ -97,20 +155,28 @@ fn main() {
             "  \"host_parallelism\": {host},\n",
             "  \"par_workers\": {workers},\n",
             "  \"campaign\": {{ \"categories\": 4, \"samples_per_category\": {samples} }},\n",
+            "  \"evaluator_matrix\": {{ \"categories\": {ecats}, \"events\": {eevents}, \"samples\": {esamples} }},\n",
             "  \"collect_ms\": {{ \"threads_1\": {sc:.3}, \"threads_n\": {pc:.3}, \"speedup\": {cs:.3} }},\n",
-            "  \"evaluate_ms\": {{ \"threads_1\": {se:.3}, \"threads_n\": {pe:.3}, \"speedup\": {es:.3} }},\n",
+            "  \"evaluate_ms\": {{ \"threads_1\": {st:.3}, \"threads_n\": {pt:.3}, \"speedup\": {ts:.3} }},\n",
+            "  \"evaluate_big_ms\": {{ \"threads_1\": {se:.3}, \"threads_n\": {pe:.3}, \"speedup\": {es:.3} }},\n",
             "  \"bit_identical\": true\n",
             "}}\n"
         ),
         host = host,
         workers = PAR_WORKERS,
         samples = samples,
+        ecats = eval_categories,
+        eevents = HpcEvent::ALL.len(),
+        esamples = eval_samples,
         sc = seq_collect_ms,
         pc = par_collect_ms,
         cs = seq_collect_ms / par_collect_ms,
         se = seq_eval_ms,
         pe = par_eval_ms,
         es = seq_eval_ms / par_eval_ms,
+        st = seq_tiny_ms,
+        pt = par_tiny_ms,
+        ts = seq_tiny_ms / par_tiny_ms,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(path, &json).expect("write BENCH_parallel.json");

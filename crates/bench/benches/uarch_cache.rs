@@ -1,0 +1,69 @@
+//! Throughput of the microarchitectural substrate: single-cache accesses,
+//! the three-level hierarchy, branch predictors and the whole CoreSim.
+
+use scnn_bench::harness::{black_box, Harness};
+use scnn_uarch::branch::{BranchPredictor, GsharePredictor, TournamentPredictor};
+use scnn_uarch::cache::{Cache, CacheConfig};
+use scnn_uarch::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use scnn_uarch::{CoreConfig, CoreSim, Probe};
+
+const ACCESSES: u64 = 10_000;
+
+fn bench_single_cache(h: &mut Harness) {
+    for (name, stride) in [
+        ("sequential", 64u64),
+        ("strided_4k", 4096),
+        ("random_ish", 7919 * 64),
+    ] {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64)).unwrap();
+        h.bench_elements(&format!("cache/l1_access/{name}"), ACCESSES, || {
+            for i in 0..ACCESSES {
+                cache.access(black_box(i * stride), false);
+            }
+        });
+    }
+}
+
+fn bench_hierarchy(h: &mut Harness) {
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default()).unwrap();
+    h.bench_elements("hierarchy/three_level_walk", ACCESSES, || {
+        for i in 0..ACCESSES {
+            mem.access(black_box((i * 2654435761) % (8 << 20)), i % 5 == 0, 0x40);
+        }
+    });
+}
+
+fn bench_predictors(h: &mut Harness) {
+    let mut gshare = GsharePredictor::new(12, 12);
+    h.bench_elements("branch_predictor/gshare", ACCESSES, || {
+        for i in 0..ACCESSES {
+            gshare.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+        }
+    });
+    let mut tournament = TournamentPredictor::new(12);
+    h.bench_elements("branch_predictor/tournament", ACCESSES, || {
+        for i in 0..ACCESSES {
+            tournament.observe(black_box(0x40 + (i % 17) * 4), i % 3 != 0);
+        }
+    });
+}
+
+fn bench_core(h: &mut Harness) {
+    let mut core = CoreSim::new(CoreConfig::xeon_e5_2690()).unwrap();
+    h.bench_elements("core_sim/full_event_stream", ACCESSES, || {
+        for i in 0..ACCESSES {
+            core.load(black_box(i * 64 % (4 << 20)), 0x40);
+            core.branch(0x80, i % 2 == 0);
+            core.alu(2);
+        }
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_single_cache(&mut h);
+    bench_hierarchy(&mut h);
+    bench_predictors(&mut h);
+    bench_core(&mut h);
+    h.finish();
+}

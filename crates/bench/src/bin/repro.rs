@@ -25,9 +25,13 @@
 //! (worker threads for collection, evaluation and minibatch training;
 //! output is bit-identical at every setting), `--telemetry <path>`
 //! (record span/metric telemetry to a JSON file and show live per-phase
-//! progress on stderr — stdout stays byte-identical).
+//! progress on stderr — stdout stays byte-identical), `--cache-dir <dir>`
+//! (persist trained models and per-category observations so reruns skip
+//! training and collection — stdout stays byte-identical; cache chatter
+//! goes to stderr).
 
 use scnn_bench::repro_flags;
+use scnn_cache::ArtifactCache;
 use scnn_core::attack::{AttackClassifier, AttackConfig};
 use scnn_core::countermeasure::Countermeasure;
 use scnn_core::json::ToJson;
@@ -72,9 +76,41 @@ impl Options {
 struct Runner {
     options: Options,
     cache: HashMap<&'static str, ExperimentOutcome>,
+    /// The on-disk artifact cache behind `--cache-dir`, if set. Distinct
+    /// from `cache` above: that one deduplicates within a single `repro`
+    /// process, this one persists across processes.
+    artifact_cache: Option<ArtifactCache>,
 }
 
 impl Runner {
+    /// Runs one experiment, through the persistent artifact cache when
+    /// `--cache-dir` is set. Cache chatter goes to stderr only — stdout
+    /// is byte-identical with and without a cache.
+    fn run_experiment(
+        &self,
+        label: &str,
+        cfg: ExperimentConfig,
+    ) -> Result<ExperimentOutcome, scnn_core::pipeline::ExperimentError> {
+        let Some(cache) = &self.artifact_cache else {
+            return Experiment::new(cfg).run();
+        };
+        let outcome = Experiment::new(cfg).run_cached(cache)?;
+        let u = outcome.cache;
+        if u.model_hit {
+            eprintln!("[cache] {label}: model hit — training skipped");
+        } else {
+            eprintln!("[cache] {label}: model miss — trained and stored");
+        }
+        eprintln!(
+            "[cache] {label}: {}/{} categories from cache, {} collected, {} artifacts written",
+            u.categories_hit,
+            u.categories_hit + u.categories_collected,
+            u.categories_collected,
+            u.writes
+        );
+        Ok(outcome)
+    }
+
     fn outcome(&mut self, dataset: DatasetKind) -> &ExperimentOutcome {
         let key = match dataset {
             DatasetKind::Mnist => "mnist",
@@ -87,8 +123,8 @@ impl Runner {
                 "[repro] running {dataset} experiment (train + {} measurements/category)…",
                 self.options.samples
             );
-            let outcome = Experiment::new(self.options.config(dataset))
-                .run()
+            let outcome = self
+                .run_experiment(key, self.options.config(dataset))
                 .unwrap_or_else(|e| panic!("{dataset} experiment failed: {e}"));
             eprintln!(
                 "[repro] {dataset} done in {:.1?} (CNN test accuracy {:.1}%)",
@@ -315,8 +351,8 @@ impl Runner {
         for (label, cm) in arms {
             let mut cfg = base.clone();
             cfg.countermeasure = cm;
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("ablation/{label}"), cfg)
                 .unwrap_or_else(|e| panic!("ablation arm '{label}' failed: {e}"));
             let pairs = |event| {
                 outcome
@@ -353,8 +389,8 @@ impl Runner {
             let mut cfg = self.options.config(DatasetKind::Mnist);
             cfg.collection.events = HpcEvent::FIG2B.to_vec();
             cfg.pmu.warmup = warmup;
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("events/{warmup:?}"), cfg)
                 .unwrap_or_else(|e| panic!("events experiment ({warmup:?}) failed: {e}"));
             for ev in &outcome.report.per_event {
                 let count = ev.pairwise.leak_count();
@@ -391,8 +427,8 @@ impl Runner {
         for (name, arch) in [("CNN", Architecture::Cnn), ("MLP", Architecture::Mlp)] {
             let mut cfg = self.options.config(DatasetKind::Mnist);
             cfg.architecture = arch;
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("archs/{name}"), cfg)
                 .unwrap_or_else(|e| panic!("architecture arm '{name}' failed: {e}"));
             let pairs = |event| {
                 outcome
@@ -461,8 +497,8 @@ impl Runner {
             "platform variant", "cm pairs*", "br pairs*"
         );
         for (name, cfg) in arms {
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("uarch/{name}"), cfg)
                 .unwrap_or_else(|e| panic!("uarch arm '{name}' failed: {e}"));
             let pairs = |event| {
                 outcome
@@ -505,8 +541,8 @@ impl Runner {
         for level in [0.0, 0.5, 1.0, 2.0, 4.0] {
             let mut cfg = base.clone();
             cfg.pmu.noise = cfg.pmu.noise.scaled(level);
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("sweep/noise-{level:.1}x"), cfg)
                 .unwrap_or_else(|e| panic!("noise sweep level {level} failed: {e}"));
             println!(
                 "{:<14} {:>12}/6 {:>12}/6",
@@ -524,8 +560,8 @@ impl Runner {
         for samples in [10, 25, 50, 100] {
             let mut cfg = base.clone();
             cfg.collection.samples_per_category = samples;
-            let outcome = Experiment::new(cfg)
-                .run()
+            let outcome = self
+                .run_experiment(&format!("sweep/samples-{samples}"), cfg)
                 .unwrap_or_else(|e| panic!("sample sweep n={samples} failed: {e}"));
             println!(
                 "{:<14} {:>12}/6 {:>12}/6",
@@ -581,6 +617,12 @@ fn run() -> Result<(), Error> {
         },
         telemetry: parsed.value("--telemetry").map(std::path::PathBuf::from),
     };
+    let artifact_cache = match parsed.value("--cache-dir") {
+        Some(dir) => Some(
+            ArtifactCache::open(dir).map_err(|e| Error::msg(format!("--cache-dir {dir}: {e}")))?,
+        ),
+        None => None,
+    };
     let command = match parsed.positionals.as_slice() {
         [one] => one.clone(),
         [] => return Err(Error::msg(format!("missing command\n{}", flags.help()))),
@@ -604,6 +646,7 @@ fn run() -> Result<(), Error> {
     let mut runner = Runner {
         options,
         cache: HashMap::new(),
+        artifact_cache,
     };
     match command.as_str() {
         "fig1" => runner.fig1(),

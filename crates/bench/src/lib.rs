@@ -42,6 +42,11 @@ pub fn repro_flags() -> FlagSet {
         "PATH",
         "write span/metric telemetry JSON and show live phase progress on stderr",
     )
+    .value(
+        "--cache-dir",
+        "DIR",
+        "reuse trained models and per-category observations across runs; stdout stays byte-identical",
+    )
     .switch("--help", "print this help")
 }
 
@@ -106,6 +111,18 @@ mod tests {
     }
 
     #[test]
+    fn repro_cache_dir_flag_takes_a_directory() {
+        let p = repro_flags()
+            .parse(["table1", "--cache-dir", "artifacts"])
+            .unwrap();
+        assert_eq!(p.value("--cache-dir"), Some("artifacts"));
+        assert_eq!(
+            repro_flags().parse(["--cache-dir"]).unwrap_err(),
+            flags::FlagError::MissingValue("--cache-dir")
+        );
+    }
+
+    #[test]
     fn repro_help_flag_and_page() {
         let p = repro_flags().parse(["--help"]).unwrap();
         assert!(p.is_set("--help"));
@@ -116,6 +133,7 @@ mod tests {
             "--threads <N|auto>",
             "--csv <DIR>",
             "--telemetry <PATH>",
+            "--cache-dir <DIR>",
         ] {
             assert!(help.contains(flag), "missing {flag} in:\n{help}");
         }

@@ -1,0 +1,433 @@
+//! # scnn-cache
+//!
+//! A zero-dependency, content-addressed on-disk artifact cache.
+//!
+//! The experiment pipeline's expensive phases — CNN training and
+//! per-category HPC collection — are pure functions of the experiment
+//! configuration (see DESIGN.md § Parallel execution for the determinism
+//! contract). That makes their outputs cacheable by construction: derive
+//! a [`CacheKey`] from the canonical JSON of the relevant config fields,
+//! and any later run with the same key can reuse the stored bytes
+//! instead of recomputing.
+//!
+//! Design points, in the spirit of the rest of the workspace:
+//!
+//! - **Hermetic.** The digest is an in-tree FNV-1a/SplitMix construction,
+//!   the file format is hand-rolled, and the only dependencies are other
+//!   workspace crates.
+//! - **Corruption is a miss, never a crash.** Every load verifies a
+//!   magic/version header, the payload length and an FNV-1a checksum;
+//!   any mismatch (truncated file, flipped bit, future format version)
+//!   makes [`ArtifactCache::load`] return `None` so the caller simply
+//!   recomputes.
+//! - **Writes are atomic.** [`ArtifactCache::store`] writes to a
+//!   temporary file in the cache directory and renames it into place, so
+//!   a concurrent reader sees either the old artifact or the new one,
+//!   never a torn file — and an interrupted run never poisons the cache.
+//! - **Observation-only telemetry.** `cache.hits` / `cache.misses` /
+//!   `cache.writes` counters and a `cache.lookup` span flow to an
+//!   installed [`scnn_obs`] recorder; nothing the cache records feeds
+//!   back into results.
+//!
+//! The digest is *not* cryptographic: it defends against accidental key
+//! collisions and on-disk corruption, not against an adversary who can
+//! write to the cache directory.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_cache::{ArtifactCache, CacheKey};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("scnn-cache-doc-{}", std::process::id()));
+//! let cache = ArtifactCache::open(&dir)?;
+//! let key = CacheKey::from_canonical("{\"dataset\":\"mnist\",\"seed\":7}");
+//! assert!(cache.load("model", key).is_none());
+//! cache.store("model", key, b"weights")?;
+//! assert_eq!(cache.load("model", key).as_deref(), Some(&b"weights"[..]));
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use scnn_rng::SplitMix64;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Artifact file magic: `"SCAC"` (SCnn Artifact Cache).
+const MAGIC: u32 = 0x5343_4143;
+/// Artifact format version; bump on any layout change so older binaries
+/// treat newer files as misses instead of misreading them.
+const VERSION: u16 = 1;
+/// Header bytes preceding the payload: magic(4) + version(2) +
+/// payload_len(8) + checksum(8).
+const HEADER_LEN: usize = 22;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`, starting from `seed` (use [`FNV_OFFSET`]
+/// for the standard hash).
+fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The standard 64-bit FNV-1a hash — used as the payload checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_seeded(FNV_OFFSET, bytes)
+}
+
+/// Finalizes a raw FNV state through one SplitMix64 step, which mixes
+/// high and low bits much better than FNV alone (FNV-1a barely diffuses
+/// into the top bits for short inputs).
+fn mix(x: u64) -> u64 {
+    SplitMix64::new(x).next_value()
+}
+
+/// A 128-bit content digest identifying one artifact.
+///
+/// Derived from a *canonical* string (the cache contract is that equal
+/// configurations serialize to byte-equal strings — see
+/// `scnn_core::artifact`) by two independently-seeded FNV-1a passes,
+/// each finalized through SplitMix64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// High 64 bits of the digest.
+    pub hi: u64,
+    /// Low 64 bits of the digest.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// Digests a canonical description of the artifact's inputs.
+    pub fn from_canonical(text: &str) -> Self {
+        let bytes = text.as_bytes();
+        CacheKey {
+            hi: mix(fnv1a64_seeded(FNV_OFFSET, bytes)),
+            lo: mix(fnv1a64_seeded(FNV_OFFSET ^ 0x5C44_AC1F_AC7C_4A5E, bytes)),
+        }
+    }
+
+    /// The digest as 32 lowercase hex characters (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Disambiguates concurrent writers within one process; the process id
+/// disambiguates across processes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed artifact store rooted at one directory.
+///
+/// Artifacts live directly under the root as `<kind>-<digest>.art`,
+/// where `kind` is a short slug (`model`, `obs`, …) that keeps the
+/// directory listable by humans and lets different artifact types share
+/// one cache directory without key-space tricks.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`io::Error`] of `create_dir_all` when the directory
+    /// cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ArtifactCache { root })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path of one artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is not a lowercase-alphanumeric/`-`/`_` slug —
+    /// kinds are compile-time constants, so a bad one is a programming
+    /// error, not bad input.
+    pub fn path_for(&self, kind: &str, key: CacheKey) -> PathBuf {
+        assert!(
+            !kind.is_empty()
+                && kind.bytes().all(|b| b.is_ascii_lowercase()
+                    || b.is_ascii_digit()
+                    || b == b'-'
+                    || b == b'_'),
+            "artifact kind must be a short slug, got {kind:?}"
+        );
+        self.root.join(format!("{kind}-{}.art", key.hex()))
+    }
+
+    /// Loads an artifact's payload, or `None` on a miss.
+    ///
+    /// A miss is *any* failure: no file, unreadable file, wrong magic or
+    /// version, length mismatch, checksum mismatch. Corruption therefore
+    /// degrades to recomputation, never to a crash or to wrong data.
+    pub fn load(&self, kind: &str, key: CacheKey) -> Option<Vec<u8>> {
+        let _span = scnn_obs::Span::enter("cache.lookup");
+        let payload = fs::read(self.path_for(kind, key))
+            .ok()
+            .and_then(|bytes| decode_artifact(&bytes));
+        if payload.is_some() {
+            scnn_obs::counter_add("cache.hits", 1);
+        } else {
+            scnn_obs::counter_add("cache.misses", 1);
+        }
+        payload
+    }
+
+    /// True when a valid artifact is present (same validation as
+    /// [`ArtifactCache::load`], counted the same way).
+    pub fn contains(&self, kind: &str, key: CacheKey) -> bool {
+        self.load(kind, key).is_some()
+    }
+
+    /// Stores an artifact atomically: the framed payload is written to a
+    /// temporary file in the cache directory and renamed over the final
+    /// path, so readers never observe a partial write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`]; callers treat the cache as
+    /// best-effort and may ignore it.
+    pub fn store(&self, kind: &str, key: CacheKey, payload: &[u8]) -> io::Result<()> {
+        let path = self.path_for(kind, key);
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}-{kind}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+            key.hex()
+        ));
+        let framed = encode_artifact(payload);
+        fs::write(&tmp, framed)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => {
+                scnn_obs::counter_add("cache.writes", 1);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Frames a payload with the magic/version/length/checksum header.
+fn encode_artifact(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Unframes an artifact, returning `None` on any inconsistency.
+fn decode_artifact(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().ok()?);
+    let version = u16::from_be_bytes(bytes[4..6].try_into().ok()?);
+    let len = u64::from_be_bytes(bytes[6..14].try_into().ok()?);
+    let checksum = u64::from_be_bytes(bytes[14..22].try_into().ok()?);
+    if magic != MAGIC || version != VERSION {
+        return None;
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != len || fnv1a64(payload) != checksum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scnn-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_hits_after_store() {
+        let dir = scratch("roundtrip");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("config-a");
+        assert!(cache.load("model", key).is_none(), "empty cache misses");
+        cache.store("model", key, b"payload bytes").unwrap();
+        assert_eq!(
+            cache.load("model", key).as_deref(),
+            Some(&b"payload bytes"[..])
+        );
+        assert!(cache.contains("model", key));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_stable_and_spread() {
+        let a = CacheKey::from_canonical("{\"seed\":1}");
+        assert_eq!(a, CacheKey::from_canonical("{\"seed\":1}"), "pure function");
+        assert_ne!(a, CacheKey::from_canonical("{\"seed\":2}"));
+        // A one-character change must not leave either word unchanged.
+        let b = CacheKey::from_canonical("{\"seed\":1} ");
+        assert_ne!(a.hi, b.hi);
+        assert_ne!(a.lo, b.lo);
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn kinds_partition_the_key_space() {
+        let dir = scratch("kinds");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("shared");
+        cache.store("model", key, b"m").unwrap();
+        assert!(cache.load("obs", key).is_none(), "other kind is a miss");
+        assert_eq!(cache.load("model", key).as_deref(), Some(&b"m"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dir = scratch("empty");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("empty");
+        cache.store("obs", key, b"").unwrap();
+        assert_eq!(cache.load("obs", key).as_deref(), Some(&b""[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_miss() {
+        let dir = scratch("flip");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("flip");
+        cache
+            .store("model", key, b"sensitive artifact data")
+            .unwrap();
+        let path = cache.path_for("model", key);
+        let good = fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                cache.load("model", key).is_none(),
+                "flipping byte {i} must invalidate the artifact"
+            );
+        }
+        fs::write(&path, &good).unwrap();
+        assert!(cache.load("model", key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_is_a_miss_at_every_cut() {
+        let dir = scratch("trunc");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("trunc");
+        cache.store("model", key, b"0123456789").unwrap();
+        let path = cache.path_for("model", key);
+        let good = fs::read(&path).unwrap();
+        for cut in 0..good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(cache.load("model", key).is_none(), "cut at {cut}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_is_a_miss() {
+        let dir = scratch("version");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("version");
+        cache.store("model", key, b"abc").unwrap();
+        let path = cache.path_for("model", key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4..6].copy_from_slice(&(VERSION + 1).to_be_bytes());
+        // Recompute nothing: the version is outside the checksum on
+        // purpose, so this isolates the version check.
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load("model", key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_overwrites_atomically() {
+        let dir = scratch("overwrite");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("overwrite");
+        cache.store("model", key, b"old").unwrap();
+        cache.store("model", key, b"new").unwrap();
+        assert_eq!(cache.load("model", key).as_deref(), Some(&b"new"[..]));
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counters_flow_to_an_installed_recorder() {
+        let dir = scratch("counters");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let key = CacheKey::from_canonical("counters");
+        let recorder = std::sync::Arc::new(scnn_obs::Recorder::new());
+        scnn_obs::install(recorder.clone());
+        let _ = cache.load("model", key); // miss
+        cache.store("model", key, b"x").unwrap(); // write
+        let _ = cache.load("model", key); // hit
+        scnn_obs::uninstall();
+        let snap = recorder.snapshot();
+        assert!(snap.counter("cache.misses").unwrap_or(0) >= 1);
+        assert!(snap.counter("cache.writes").unwrap_or(0) >= 1);
+        assert!(snap.counter("cache.hits").unwrap_or(0) >= 1);
+        assert!(
+            snap.spans.iter().any(|s| s.name == "cache.lookup"),
+            "lookup span recorded"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "artifact kind must be a short slug")]
+    fn bad_kind_is_rejected() {
+        let dir = scratch("badkind");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let _ = cache.path_for("../escape", CacheKey::from_canonical("x"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Cacheable pipeline artifacts: canonical keys and binary codecs.
+//!
+//! The pipeline's two expensive phases are pure functions of config
+//! fields (DESIGN.md §9), which makes their outputs safe to reuse:
+//!
+//! - the **model artifact** — trained network, training report and
+//!   held-out accuracy — keyed by everything that feeds training;
+//! - one **category artifact** per monitored category — its
+//!   [`CategoryObservations`] — keyed by the model inputs *plus*
+//!   everything that feeds collection for that category.
+//!
+//! Keys digest a canonical JSON string built from the `ToJson` impls in
+//! [`crate::json`]; thread settings are deliberately absent from those
+//! encodings (results are bit-identical across thread counts, so a
+//! different `--threads` must hit the same artifacts). Payloads ride the
+//! workspace wire helpers ([`scnn_tensor::wire`]) and are framed and
+//! checksummed by [`scnn_cache::ArtifactCache`] itself, so the decoders
+//! here only validate structure: any inconsistency returns `None` and
+//! the caller recomputes.
+
+use crate::collect::CategoryObservations;
+use crate::json::ToJson;
+use crate::pipeline::ExperimentConfig;
+use scnn_cache::CacheKey;
+use scnn_hpc::HpcEvent;
+use scnn_nn::train::TrainReport;
+use scnn_nn::Network;
+use scnn_tensor::wire::{ByteReader, ByteWriter};
+use std::collections::BTreeMap;
+
+/// Artifact kind slug for trained models.
+pub const MODEL_KIND: &str = "model";
+/// Artifact kind slug for per-category collection checkpoints.
+pub const CATEGORY_KIND: &str = "obs";
+
+/// The canonical description of everything that determines the trained
+/// model (and its bundled test accuracy): dataset synthesis, model
+/// family, training hyperparameters and the master seed.
+fn model_canonical(cfg: &ExperimentConfig) -> String {
+    format!(
+        concat!(
+            "{{\"kind\":\"model\",\"dataset\":{},\"scale\":{},\"architecture\":{},",
+            "\"train_per_class\":{},\"test_per_class\":{},\"train\":{},\"seed\":{}}}"
+        ),
+        cfg.dataset.to_json(),
+        cfg.scale.to_json(),
+        cfg.architecture.to_json(),
+        cfg.train_per_class,
+        cfg.test_per_class,
+        cfg.train.to_json(),
+        cfg.seed,
+    )
+}
+
+/// Cache key for the model artifact of `cfg`.
+pub fn model_key(cfg: &ExperimentConfig) -> CacheKey {
+    CacheKey::from_canonical(&model_canonical(cfg))
+}
+
+/// Cache key for the category artifact at position `index` within
+/// `cfg.categories`.
+///
+/// The key embeds the full model canonical (observations depend on the
+/// trained network), the collection/PMU/countermeasure parameters, the
+/// monitored-category list and the position — `collect_campaign` seeds
+/// each campaign from the *remapped* index, so position matters, not
+/// just the original class label.
+pub fn category_key(cfg: &ExperimentConfig, index: usize) -> CacheKey {
+    // SimPmuConfig is a plain tree of Copy fields with a derived Debug;
+    // its Debug string is canonical for equal values. Not as tidy as a
+    // ToJson impl, but it keeps the hpc crate free of JSON concerns.
+    let canonical = format!(
+        concat!(
+            "{{\"kind\":\"obs\",\"model\":{},\"collection\":{},\"pmu\":{},",
+            "\"countermeasure\":{},\"categories\":{},\"index\":{}}}"
+        ),
+        model_canonical(cfg),
+        cfg.collection.to_json(),
+        format!("{:?}", cfg.pmu).to_json(),
+        cfg.countermeasure.to_json(),
+        cfg.categories.to_json(),
+        index,
+    );
+    CacheKey::from_canonical(&canonical)
+}
+
+/// Serializes the model artifact: network bytes, per-epoch losses, final
+/// training accuracy and held-out test accuracy.
+pub fn encode_model(net: &Network, report: &TrainReport, test_accuracy: f64) -> Vec<u8> {
+    let net_bytes = net.to_bytes();
+    let mut buf = ByteWriter::with_capacity(net_bytes.len() + 64);
+    buf.put_u32(net_bytes.len() as u32);
+    for &b in &net_bytes {
+        buf.put_u8(b);
+    }
+    buf.put_u32(report.epoch_losses.len() as u32);
+    for &loss in &report.epoch_losses {
+        buf.put_f64_le(loss);
+    }
+    buf.put_f64_le(report.final_train_accuracy);
+    buf.put_f64_le(test_accuracy);
+    buf.into_vec()
+}
+
+/// Deserializes [`encode_model`] output; `None` on any structural
+/// inconsistency (including an undecodable embedded network).
+pub fn decode_model(payload: &[u8]) -> Option<(Network, TrainReport, f64)> {
+    let mut buf = ByteReader::new(payload);
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let net_len = buf.get_u32() as usize;
+    if buf.remaining() < net_len {
+        return None;
+    }
+    let net_bytes: Vec<u8> = (0..net_len).map(|_| buf.get_u8()).collect();
+    let net = Network::from_bytes(&net_bytes).ok()?;
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n_losses = buf.get_u32() as usize;
+    if buf.remaining() != n_losses * 8 + 16 {
+        return None;
+    }
+    let epoch_losses: Vec<f64> = (0..n_losses).map(|_| buf.get_f64_le()).collect();
+    let final_train_accuracy = buf.get_f64_le();
+    let test_accuracy = buf.get_f64_le();
+    Some((
+        net,
+        TrainReport {
+            epoch_losses,
+            final_train_accuracy,
+        },
+        test_accuracy,
+    ))
+}
+
+/// Serializes one category's collection checkpoint.
+pub fn encode_category(obs: &CategoryObservations) -> Vec<u8> {
+    let mut buf = ByteWriter::new();
+    buf.put_u32(obs.category as u32);
+    buf.put_u32(obs.per_event.len() as u32);
+    for (event, series) in &obs.per_event {
+        let name = event.perf_name();
+        buf.put_u8(name.len() as u8);
+        for &b in name.as_bytes() {
+            buf.put_u8(b);
+        }
+        buf.put_u32(series.len() as u32);
+        for &v in series {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.put_u32(obs.predictions.len() as u32);
+    for &p in &obs.predictions {
+        buf.put_u32(p as u32);
+    }
+    buf.into_vec()
+}
+
+/// Deserializes [`encode_category`] output; `None` on any structural
+/// inconsistency (unknown event names included).
+pub fn decode_category(payload: &[u8]) -> Option<CategoryObservations> {
+    let mut buf = ByteReader::new(payload);
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let category = buf.get_u32() as usize;
+    let n_events = buf.get_u32() as usize;
+    let mut per_event: BTreeMap<HpcEvent, Vec<f64>> = BTreeMap::new();
+    for _ in 0..n_events {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let name_len = buf.get_u8() as usize;
+        if buf.remaining() < name_len {
+            return None;
+        }
+        let name_bytes: Vec<u8> = (0..name_len).map(|_| buf.get_u8()).collect();
+        let name = String::from_utf8(name_bytes).ok()?;
+        let event: HpcEvent = name.parse().ok()?;
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let n = buf.get_u32() as usize;
+        if buf.remaining() / 8 < n {
+            return None;
+        }
+        let series: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
+        if per_event.insert(event, series).is_some() {
+            return None; // duplicate event record
+        }
+    }
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n_pred = buf.get_u32() as usize;
+    if buf.remaining() != n_pred * 4 {
+        return None;
+    }
+    let predictions: Vec<usize> = (0..n_pred).map(|_| buf.get_u32() as usize).collect();
+    Some(CategoryObservations {
+        category,
+        per_event,
+        predictions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countermeasure::Countermeasure;
+    use crate::pipeline::DatasetKind;
+    use scnn_nn::models;
+    use scnn_par::Threads;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::quick(DatasetKind::Mnist)
+    }
+
+    #[test]
+    fn model_key_tracks_training_inputs_only() {
+        let base = model_key(&cfg());
+        assert_eq!(base, model_key(&cfg()), "pure function of the config");
+
+        // Inside the key: anything that changes the trained network.
+        assert_ne!(base, model_key(&cfg().seed(1)));
+        assert_ne!(base, model_key(&cfg().epochs(9)));
+        assert_ne!(
+            base,
+            model_key(&ExperimentConfig::quick(DatasetKind::Cifar10))
+        );
+
+        // Outside the key: thread policy, collection size, monitored
+        // categories, countermeasure — none affect training.
+        assert_eq!(base, model_key(&cfg().threads(Threads::Count(7))));
+        assert_eq!(base, model_key(&cfg().samples(99)));
+        assert_eq!(base, model_key(&cfg().categories(vec![5, 6])));
+        assert_eq!(
+            base,
+            model_key(&cfg().countermeasure(Countermeasure::ConstantTime))
+        );
+    }
+
+    #[test]
+    fn category_key_tracks_collection_inputs() {
+        let base = category_key(&cfg(), 0);
+        assert_eq!(base, category_key(&cfg(), 0));
+        assert_ne!(base, category_key(&cfg(), 1), "position seeds the campaign");
+        assert_ne!(base, category_key(&cfg().samples(99), 0));
+        assert_ne!(base, category_key(&cfg().categories(vec![5, 6]), 0));
+        assert_ne!(
+            base,
+            category_key(&cfg().countermeasure(Countermeasure::ConstantTime), 0)
+        );
+        assert_ne!(
+            base,
+            category_key(&cfg().seed(1), 0),
+            "new model, new readings"
+        );
+        assert_eq!(base, category_key(&cfg().threads(Threads::Count(7)), 0));
+    }
+
+    #[test]
+    fn model_artifact_roundtrips() {
+        let net = models::tiny_cnn(5);
+        let report = TrainReport {
+            epoch_losses: vec![2.3, 1.1, 0.6],
+            final_train_accuracy: 0.875,
+        };
+        let payload = encode_model(&net, &report, 0.75);
+        let (restored, r2, acc) = decode_model(&payload).unwrap();
+        assert_eq!(restored.to_bytes(), net.to_bytes());
+        assert_eq!(r2, report);
+        assert_eq!(acc, 0.75);
+    }
+
+    #[test]
+    fn model_artifact_rejects_truncation_everywhere() {
+        let payload = encode_model(
+            &models::tiny_cnn(5),
+            &TrainReport {
+                epoch_losses: vec![0.5],
+                final_train_accuracy: 1.0,
+            },
+            0.5,
+        );
+        for cut in 0..payload.len() {
+            assert!(decode_model(&payload[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn category_artifact_roundtrips() {
+        let mut per_event = BTreeMap::new();
+        per_event.insert(HpcEvent::CacheMisses, vec![1.5, 2.5, f64::NAN]);
+        per_event.insert(HpcEvent::Branches, vec![100.0]);
+        let obs = CategoryObservations {
+            category: 3,
+            per_event,
+            predictions: vec![3, 3, 1],
+        };
+        let restored = decode_category(&encode_category(&obs)).unwrap();
+        assert_eq!(restored.category, obs.category);
+        assert_eq!(restored.predictions, obs.predictions);
+        assert_eq!(
+            restored.series(HpcEvent::Branches),
+            obs.series(HpcEvent::Branches)
+        );
+        // NaN payload bits survive bit-for-bit (PartialEq would hide it).
+        assert!(restored.series(HpcEvent::CacheMisses).unwrap()[2].is_nan());
+    }
+
+    #[test]
+    fn category_artifact_rejects_truncation_everywhere() {
+        let mut per_event = BTreeMap::new();
+        per_event.insert(HpcEvent::Cycles, vec![7.0, 8.0]);
+        let obs = CategoryObservations {
+            category: 0,
+            per_event,
+            predictions: vec![0, 0],
+        };
+        let payload = encode_category(&obs);
+        for cut in 0..payload.len() {
+            assert!(decode_category(&payload[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn category_artifact_rejects_unknown_event_names() {
+        let mut buf = ByteWriter::new();
+        buf.put_u32(0); // category
+        buf.put_u32(1); // one event
+        let name = b"no-such-event";
+        buf.put_u8(name.len() as u8);
+        for &b in name {
+            buf.put_u8(b);
+        }
+        buf.put_u32(0); // empty series
+        buf.put_u32(0); // no predictions
+        assert!(decode_category(buf.as_slice()).is_none());
+    }
+}

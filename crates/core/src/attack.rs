@@ -396,7 +396,9 @@ fn knn_classify(train: &[(Vec<f64>, usize)], v: &[f64], k: usize, classes: usize
             (d, *c)
         })
         .collect();
-    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+    // total_cmp: a NaN distance (one corrupt counter reading) sorts last
+    // instead of panicking, so it merely loses the vote.
+    dists.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut votes = vec![0usize; classes];
     for &(_, c) in dists.iter().take(k.max(1)) {
         votes[c] += 1;
@@ -616,6 +618,29 @@ mod tests {
             lda.accuracy,
             diag.accuracy
         );
+    }
+
+    #[test]
+    fn nan_observation_does_not_abort_the_attack() {
+        // One corrupt counter reading in each classifier's path: the
+        // attack must return an outcome (possibly degraded), never panic.
+        let mut obs = obs_with_separation(100.0, 60);
+        obs[1].per_event.get_mut(&HpcEvent::CacheMisses).unwrap()[3] = f64::NAN;
+        for classifier in [
+            AttackClassifier::GaussianTemplate,
+            AttackClassifier::Lda,
+            AttackClassifier::Knn { k: 5 },
+        ] {
+            let out = mount_attack(
+                &obs,
+                &AttackConfig {
+                    classifier,
+                    ..AttackConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.confusion.len(), 4, "{classifier:?}");
+        }
     }
 
     #[test]

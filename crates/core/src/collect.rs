@@ -274,6 +274,45 @@ where
     FC: Fn(usize) -> C + Sync,
     FP: Fn(usize) -> Result<P, PmuError> + Sync,
 {
+    let all: Vec<usize> = (0..dataset.num_classes()).collect();
+    collect_selected(make_classifier, dataset, make_pmu, config, &all, |_| {})
+}
+
+/// Runs [`collect_campaign`]'s fan-out over only the listed `categories`
+/// (re-mapped indices into `dataset`), invoking `on_collected` from the
+/// worker thread as soon as each category's campaign finishes.
+///
+/// This is the resume primitive of the cached pipeline: a checkpointing
+/// caller passes the categories that are missing from its artifact store
+/// and persists each one from the callback, so an interrupted campaign
+/// restarts at the last completed category rather than from scratch.
+///
+/// Each category's measurements are a pure function of `(factories,
+/// dataset, config, category)` under [`collect_campaign`]'s contract, so
+/// collecting a subset yields bit-identical observations to the
+/// corresponding slice of the full campaign, at every thread count. The
+/// callback runs concurrently from worker threads and must not influence
+/// the measurements.
+///
+/// # Errors
+///
+/// Returns [`CollectError`] when the dataset or a listed category is
+/// empty or a backend call fails. With several failing categories, the
+/// error of the first listed failing one is reported.
+pub fn collect_selected<C, P, FC, FP>(
+    make_classifier: FC,
+    dataset: &Dataset,
+    make_pmu: FP,
+    config: &CollectionConfig,
+    categories: &[usize],
+    on_collected: impl Fn(&CategoryObservations) + Sync,
+) -> Result<Vec<CategoryObservations>, CollectError>
+where
+    C: TracedClassifier + Send,
+    P: Pmu + Send,
+    FC: Fn(usize) -> C + Sync,
+    FP: Fn(usize) -> Result<P, PmuError> + Sync,
+{
     if dataset.is_empty() {
         return Err(CollectError::EmptyDataset);
     }
@@ -282,10 +321,12 @@ where
 
     let _span = scnn_obs::Span::enter("collect.campaign");
     let pool = Pool::new(config.threads);
-    let results = pool.par_map((0..dataset.num_classes()).collect(), |category| {
+    let results = pool.par_map(categories.to_vec(), |category| {
         let mut net = make_classifier(category);
         let mut pmu = make_pmu(category)?;
-        collect_category(&mut net, dataset, &mut pmu, &group, config, category)
+        let obs = collect_category(&mut net, dataset, &mut pmu, &group, config, category)?;
+        on_collected(&obs);
+        Ok(obs)
     });
     results.into_iter().collect()
 }
@@ -408,6 +449,41 @@ mod tests {
         assert_eq!(seq.len(), 2);
         assert_eq!(seq, run(Threads::Count(2)));
         assert_eq!(seq, run(Threads::Count(4)));
+    }
+
+    #[test]
+    fn selected_subset_matches_full_campaign_slice() {
+        use std::sync::Mutex;
+        let (net, ds, _) = tiny_setup();
+        let config = CollectionConfig {
+            samples_per_category: 4,
+            threads: Threads::Count(2),
+            ..CollectionConfig::default()
+        };
+        let make_pmu = |c: usize| {
+            SimulatedPmu::new(
+                SimPmuConfig {
+                    core: CoreConfig::tiny(),
+                    ..SimPmuConfig::default()
+                },
+                category_seed(7, c),
+            )
+        };
+        let full = collect_campaign(|_| net.clone(), &ds, make_pmu, &config).unwrap();
+
+        let seen = Mutex::new(Vec::new());
+        let only_one = collect_selected(
+            |_| net.clone(),
+            &ds,
+            make_pmu,
+            &config,
+            &[1],
+            |obs: &CategoryObservations| seen.lock().unwrap().push(obs.category),
+        )
+        .unwrap();
+        assert_eq!(only_one.len(), 1);
+        assert_eq!(only_one[0], full[1]);
+        assert_eq!(*seen.lock().unwrap(), vec![1]);
     }
 
     #[test]

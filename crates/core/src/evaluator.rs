@@ -265,7 +265,14 @@ impl Evaluator {
         }
         scnn_obs::counter_add("evaluate.ttests", jobs.len() as u64);
         let matrix_span = scnn_obs::Span::enter("evaluate.matrix");
-        let pool = Pool::new(self.config.threads);
+        // One t-test cell is microseconds of special-function work, while
+        // pool spin-up costs hundreds of microseconds; below this cutoff
+        // the parallel matrix measured ~6× slower than sequential
+        // (BENCH_parallel.json, evaluate_ms). The bypass runs the
+        // same closure over the same ordered jobs, so reports stay
+        // bit-identical across thread counts either way.
+        const MIN_PARALLEL_CELLS: usize = 512;
+        let pool = Pool::new(self.config.threads).with_min_jobs(MIN_PARALLEL_CELLS);
         let (kind, rule) = (self.config.kind, self.config.rule);
         let cells = pool.par_map(jobs, |(e, is_second, i, j)| {
             let summaries = if is_second { &second[e] } else { &first[e] };

@@ -294,6 +294,96 @@ impl ToJson for u32 {
 }
 
 // ---------------------------------------------------------------------
+// Experiment-config serialization: the canonical strings the artifact
+// cache digests into keys (crate::artifact). Field sets deliberately
+// exclude anything outside the determinism boundary — `threads` settings
+// never appear, because results are bit-identical across thread counts
+// (DESIGN.md §9) and must not fragment the cache.
+// ---------------------------------------------------------------------
+
+impl ToJson for crate::pipeline::DatasetKind {
+    fn write_json(&self, out: &mut String) {
+        write_str(
+            out,
+            match self {
+                crate::pipeline::DatasetKind::Mnist => "mnist",
+                crate::pipeline::DatasetKind::Cifar10 => "cifar10",
+            },
+        );
+    }
+}
+
+impl ToJson for crate::pipeline::ModelScale {
+    fn write_json(&self, out: &mut String) {
+        write_str(
+            out,
+            match self {
+                crate::pipeline::ModelScale::Tiny => "tiny",
+                crate::pipeline::ModelScale::Paper => "paper",
+            },
+        );
+    }
+}
+
+impl ToJson for crate::pipeline::Architecture {
+    fn write_json(&self, out: &mut String) {
+        write_str(
+            out,
+            match self {
+                crate::pipeline::Architecture::Cnn => "cnn",
+                crate::pipeline::Architecture::Mlp => "mlp",
+            },
+        );
+    }
+}
+
+impl ToJson for crate::countermeasure::Countermeasure {
+    fn write_json(&self, out: &mut String) {
+        use crate::countermeasure::Countermeasure;
+        let mut obj = ObjectWriter::new(out);
+        match *self {
+            Countermeasure::ConstantTime => {
+                obj.field("kind", "constant-time");
+            }
+            Countermeasure::NoiseInjection { dummy_events } => {
+                obj.field("kind", "noise-injection")
+                    .field("dummy_events", &dummy_events);
+            }
+            Countermeasure::Combined { dummy_events } => {
+                obj.field("kind", "combined")
+                    .field("dummy_events", &dummy_events);
+            }
+        }
+        obj.finish();
+    }
+}
+
+impl ToJson for scnn_nn::train::TrainConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("epochs", &self.epochs)
+            .field("base_lr", &self.schedule.base_lr)
+            .field("gamma", &self.schedule.gamma)
+            .field("every", &self.schedule.every)
+            .field("momentum", &self.momentum)
+            .field("weight_decay", &self.weight_decay)
+            .field("seed", &self.seed)
+            .field("batch_size", &self.batch_size);
+        obj.finish();
+    }
+}
+
+impl ToJson for crate::collect::CollectionConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("events", &self.events)
+            .field("samples_per_category", &self.samples_per_category)
+            .field("hw_counters", &self.hw_counters);
+        obj.finish();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Telemetry (scnn-obs) serialization. The snapshot shape is versioned;
 // tests/telemetry.rs pins the stable keys.
 // ---------------------------------------------------------------------
@@ -858,6 +948,34 @@ mod tests {
     fn floats_round_trip_precision() {
         let x = 0.1f64 + 0.2f64;
         assert_eq!(x.to_json().parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn config_json_is_canonical_and_thread_free() {
+        use crate::countermeasure::Countermeasure;
+        use crate::pipeline::{Architecture, DatasetKind, ModelScale};
+
+        assert_eq!(DatasetKind::Mnist.to_json(), "\"mnist\"");
+        assert_eq!(ModelScale::Paper.to_json(), "\"paper\"");
+        assert_eq!(Architecture::Mlp.to_json(), "\"mlp\"");
+        assert_eq!(
+            Countermeasure::NoiseInjection { dummy_events: 9 }.to_json(),
+            "{\"kind\":\"noise-injection\",\"dummy_events\":9}"
+        );
+
+        // The cache-key boundary: thread settings are not part of the
+        // canonical config (results are bit-identical across counts).
+        let train = scnn_nn::train::TrainConfig::default().to_json();
+        assert_balanced(&train);
+        assert!(!train.contains("thread"), "{train}");
+        assert!(train.contains("\"epochs\":5"));
+        let collect = crate::collect::CollectionConfig::default().to_json();
+        assert_balanced(&collect);
+        assert!(!collect.contains("thread"), "{collect}");
+        assert!(collect.contains("\"cache-misses\""));
+
+        // Identical configs serialize to byte-identical strings.
+        assert_eq!(train, scnn_nn::train::TrainConfig::default().to_json());
     }
 
     #[test]

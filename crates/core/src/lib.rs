@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod attack;
 pub mod collect;
 pub mod countermeasure;
@@ -63,6 +64,7 @@ pub use evaluator::{
 };
 pub use json::ToJson;
 pub use pipeline::{
-    Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome, ModelScale,
+    Architecture, CacheUsage, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome,
+    ModelScale,
 };
 pub use report::{render_distributions, render_kde, render_summary};

@@ -2,12 +2,14 @@
 //! HPC collection → leakage evaluation — the full protocol of the
 //! paper's §5, as one configurable object.
 
+use crate::artifact;
 use crate::attack::{mount_attack, AttackConfig, AttackError, AttackOutcome};
 use crate::collect::{
-    category_seed, collect_campaign, CategoryObservations, CollectError, CollectionConfig,
+    category_seed, collect_selected, CategoryObservations, CollectError, CollectionConfig,
 };
 use crate::countermeasure::{Countermeasure, ProtectedModel};
 use crate::evaluator::{EvaluateError, Evaluator, EvaluatorConfig, LeakageReport};
+use scnn_cache::ArtifactCache;
 use scnn_data::cifar_synth::{self, CifarSynthConfig};
 use scnn_data::mnist_synth::{self, MnistSynthConfig};
 use scnn_data::{Dataset, DatasetError};
@@ -18,6 +20,7 @@ use scnn_nn::Network;
 use scnn_par::Threads;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which case study to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,6 +331,22 @@ impl From<AttackError> for ExperimentError {
     }
 }
 
+/// How much of a run was served from an [`ArtifactCache`].
+///
+/// All zeros (the [`Default`]) for uncached runs via
+/// [`Experiment::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheUsage {
+    /// The trained model was restored from the cache instead of trained.
+    pub model_hit: bool,
+    /// Monitored categories restored from collection checkpoints.
+    pub categories_hit: usize,
+    /// Monitored categories actually measured this run.
+    pub categories_collected: usize,
+    /// Artifacts written to the cache this run.
+    pub writes: usize,
+}
+
 /// Everything an experiment run produced.
 pub struct ExperimentOutcome {
     /// The evaluator's verdict (Tables 1–2, alarm).
@@ -340,6 +359,8 @@ pub struct ExperimentOutcome {
     pub test_accuracy: f64,
     /// The (possibly countermeasure-rewritten) trained network.
     pub network: Network,
+    /// What the artifact cache contributed (all zeros when uncached).
+    pub cache: CacheUsage,
 }
 
 impl fmt::Debug for ExperimentOutcome {
@@ -393,47 +414,170 @@ impl Experiment {
     ///
     /// Returns [`ExperimentError`] from whichever stage fails.
     pub fn run(&self) -> Result<ExperimentOutcome, ExperimentError> {
+        self.run_inner(None)
+    }
+
+    /// Runs the protocol with a persistent [`ArtifactCache`]: the trained
+    /// model and each category's observations are looked up before being
+    /// recomputed, and stored after.
+    ///
+    /// A fully warm run (model plus every category) skips dataset
+    /// synthesis, training and collection outright; a partially warm one
+    /// — e.g. an interrupted campaign — retrains/recollects only what is
+    /// missing and checkpoints each category as it completes. The outcome
+    /// is **bit-identical** to [`run`](Self::run): artifacts are keyed by
+    /// every config field that feeds them (and no others — see
+    /// [`crate::artifact`]), and a corrupt or truncated artifact decodes
+    /// to a miss, never a wrong answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] from whichever stage fails. Cache I/O
+    /// failures are not errors: an unreadable artifact is a miss and an
+    /// unwritable store is skipped.
+    pub fn run_cached(&self, cache: &ArtifactCache) -> Result<ExperimentOutcome, ExperimentError> {
+        self.run_inner(Some(cache))
+    }
+
+    fn run_inner(
+        &self,
+        cache: Option<&ArtifactCache>,
+    ) -> Result<ExperimentOutcome, ExperimentError> {
         // Telemetry spans mark the protocol's phases. They only read the
         // wall clock — nothing they record feeds back into seeds or
         // results, so the run is identical with a recorder installed or
         // not (see DESIGN.md § Observability).
         let _run_span = scnn_obs::Span::enter("pipeline.run");
         let cfg = &self.config;
+        let mut usage = CacheUsage::default();
+
+        // Consult the cache before paying for anything. Category
+        // artifacts are keyed by config alone (the model they depend on
+        // is itself a pure function of config), so they are usable even
+        // when the model artifact is absent.
+        let cached_model = cache.and_then(|c| {
+            c.load(artifact::MODEL_KIND, artifact::model_key(cfg))
+                .and_then(|p| artifact::decode_model(&p))
+        });
+        usage.model_hit = cached_model.is_some();
+        let mut slots: Vec<Option<CategoryObservations>> = match cache {
+            Some(c) => (0..cfg.categories.len())
+                .map(|i| {
+                    c.load(artifact::CATEGORY_KIND, artifact::category_key(cfg, i))
+                        .and_then(|p| artifact::decode_category(&p))
+                })
+                .collect(),
+            None => vec![None; cfg.categories.len()],
+        };
+        // `select_classes` re-maps `cfg.categories[i]` to label `i`, so a
+        // slot's position is also its campaign's category index.
+        let missing: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if cache.is_some() {
+            usage.categories_hit = slots.len() - missing.len();
+            usage.categories_collected = missing.len();
+        }
+
+        if usage.model_hit && missing.is_empty() {
+            // Fully warm: every expensive phase is served from disk, so
+            // the datasets need not even be synthesized.
+            let (network, train_report, test_accuracy) =
+                cached_model.expect("model_hit implies a decoded model");
+            let observations: Vec<CategoryObservations> = slots.into_iter().flatten().collect();
+            let evaluate_span = scnn_obs::Span::enter("pipeline.evaluate");
+            let report = Evaluator::new(cfg.evaluator).evaluate(&observations)?;
+            drop(evaluate_span);
+            return Ok(ExperimentOutcome {
+                report,
+                observations,
+                train_report,
+                test_accuracy,
+                network,
+                cache: usage,
+            });
+        }
 
         let dataset_span = scnn_obs::Span::enter("pipeline.dataset");
         let train_set = cfg.generate_dataset(cfg.train_per_class, cfg.seed)?;
         let test_set = cfg.generate_dataset(cfg.test_per_class, cfg.seed ^ 0xFACE)?;
         drop(dataset_span);
 
-        let train_span = scnn_obs::Span::enter("pipeline.train");
-        let mut net = cfg.build_model();
-        let train_report = train(&mut net, &train_set.to_samples(), &cfg.train)?;
-        let test_accuracy = accuracy(&mut net, &test_set.to_samples())?;
-        drop(train_span);
-
-        let collect_span = scnn_obs::Span::enter("pipeline.collect");
-        let monitored = test_set.select_classes(&cfg.categories);
-
-        // One campaign per category, each on its own cloned model and its
-        // own PMU seeded from the category index — a pure function of
-        // (seed, category), so readings are bit-identical at every thread
-        // count (see `collect_campaign`).
-        let pmu_base = cfg.seed ^ 0x9019;
-        let cm_base = cfg.seed ^ 0xD011;
-        let make_pmu = |c: usize| SimulatedPmu::new(cfg.pmu, category_seed(pmu_base, c));
-        let observations = match cfg.countermeasure {
-            None => collect_campaign(|_| net.clone(), &monitored, make_pmu, &cfg.collection)?,
-            Some(cm) => collect_campaign(
-                |c| ProtectedModel::new(net.clone(), cm, category_seed(cm_base, c)),
-                &monitored,
-                make_pmu,
-                &cfg.collection,
-            )?,
+        let (net, train_report, test_accuracy) = match cached_model {
+            Some(restored) => restored,
+            None => {
+                let train_span = scnn_obs::Span::enter("pipeline.train");
+                let mut net = cfg.build_model();
+                let train_report = train(&mut net, &train_set.to_samples(), &cfg.train)?;
+                let test_accuracy = accuracy(&mut net, &test_set.to_samples())?;
+                drop(train_span);
+                if let Some(c) = cache {
+                    let payload = artifact::encode_model(&net, &train_report, test_accuracy);
+                    if c.store(artifact::MODEL_KIND, artifact::model_key(cfg), &payload)
+                        .is_ok()
+                    {
+                        usage.writes += 1;
+                    }
+                }
+                (net, train_report, test_accuracy)
+            }
         };
+
+        if !missing.is_empty() {
+            let collect_span = scnn_obs::Span::enter("pipeline.collect");
+            let monitored = test_set.select_classes(&cfg.categories);
+
+            // One campaign per category, each on its own cloned model and
+            // its own PMU seeded from the category index — a pure
+            // function of (seed, category), so readings are bit-identical
+            // at every thread count (see `collect_campaign`), and a
+            // subset campaign reproduces the full campaign's slice.
+            let pmu_base = cfg.seed ^ 0x9019;
+            let cm_base = cfg.seed ^ 0xD011;
+            let make_pmu = |c: usize| SimulatedPmu::new(cfg.pmu, category_seed(pmu_base, c));
+            // Checkpoint each category from the worker thread that
+            // finished it, so an interrupted campaign resumes here.
+            let stored = AtomicUsize::new(0);
+            let on_collected = |obs: &CategoryObservations| {
+                if let Some(c) = cache {
+                    let key = artifact::category_key(cfg, obs.category);
+                    let payload = artifact::encode_category(obs);
+                    if c.store(artifact::CATEGORY_KIND, key, &payload).is_ok() {
+                        stored.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            };
+            let fresh = match cfg.countermeasure {
+                None => collect_selected(
+                    |_| net.clone(),
+                    &monitored,
+                    make_pmu,
+                    &cfg.collection,
+                    &missing,
+                    on_collected,
+                )?,
+                Some(cm) => collect_selected(
+                    |c| ProtectedModel::new(net.clone(), cm, category_seed(cm_base, c)),
+                    &monitored,
+                    make_pmu,
+                    &cfg.collection,
+                    &missing,
+                    on_collected,
+                )?,
+            };
+            for obs in fresh {
+                let slot = obs.category;
+                slots[slot] = Some(obs);
+            }
+            usage.writes += stored.load(Ordering::Relaxed);
+            drop(collect_span);
+        }
+        let observations: Vec<CategoryObservations> = slots.into_iter().flatten().collect();
         // Each campaign measured a private clone; the caller gets the
         // trained network itself, unrewritten.
         let network = net;
-        drop(collect_span);
 
         let evaluate_span = scnn_obs::Span::enter("pipeline.evaluate");
         let report = Evaluator::new(cfg.evaluator).evaluate(&observations)?;
@@ -444,6 +588,7 @@ impl Experiment {
             train_report,
             test_accuracy,
             network,
+            cache: usage,
         })
     }
 }
@@ -567,6 +712,91 @@ mod tests {
         let seq = run(Threads::Count(1));
         assert_eq!(seq, run(Threads::Count(2)));
         assert_eq!(seq, run(Threads::Count(4)));
+    }
+
+    fn scratch_cache(tag: &str) -> (std::path::PathBuf, ArtifactCache) {
+        let dir = std::env::temp_dir().join(format!("scnn-pipeline-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::open(&dir).unwrap();
+        (dir, cache)
+    }
+
+    #[test]
+    fn cached_rerun_is_warm_and_bit_identical() {
+        let (dir, cache) = scratch_cache("warm");
+        let cfg = fast(DatasetKind::Mnist);
+
+        let cold = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+        assert!(!cold.cache.model_hit);
+        assert_eq!(cold.cache.categories_collected, 4);
+        assert_eq!(cold.cache.writes, 5, "model + 4 categories stored");
+
+        let warm = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+        assert!(warm.cache.model_hit);
+        assert_eq!(warm.cache.categories_hit, 4);
+        assert_eq!(warm.cache.categories_collected, 0);
+        assert_eq!(warm.cache.writes, 0);
+
+        let plain = Experiment::new(cfg).run().unwrap();
+        assert_eq!(plain.cache, CacheUsage::default());
+        assert_eq!(warm.observations, cold.observations);
+        assert_eq!(warm.observations, plain.observations);
+        assert_eq!(warm.train_report, plain.train_report);
+        assert_eq!(warm.test_accuracy, plain.test_accuracy);
+        assert_eq!(warm.network.to_bytes(), plain.network.to_bytes());
+        assert_eq!(
+            warm.report.render_table(),
+            plain.report.render_table(),
+            "warm-cache output must be byte-identical to an uncached run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_recollects_only_the_missing_category() {
+        let (dir, cache) = scratch_cache("resume");
+        let cfg = fast(DatasetKind::Mnist);
+        let cold = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+
+        // Simulate an interrupted campaign: category 2's checkpoint is
+        // gone, everything else survived.
+        std::fs::remove_file(cache.path_for(
+            crate::artifact::CATEGORY_KIND,
+            crate::artifact::category_key(&cfg, 2),
+        ))
+        .unwrap();
+
+        let resumed = Experiment::new(cfg).run_cached(&cache).unwrap();
+        assert!(resumed.cache.model_hit);
+        assert_eq!(resumed.cache.categories_hit, 3);
+        assert_eq!(resumed.cache.categories_collected, 1);
+        assert_eq!(resumed.cache.writes, 1);
+        assert_eq!(resumed.observations, cold.observations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_recomputed_not_trusted() {
+        let (dir, cache) = scratch_cache("corrupt");
+        let cfg = fast(DatasetKind::Mnist);
+        let cold = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+
+        // Flip one byte in the stored model artifact.
+        let path = cache.path_for(
+            crate::artifact::MODEL_KIND,
+            crate::artifact::model_key(&cfg),
+        );
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rerun = Experiment::new(cfg).run_cached(&cache).unwrap();
+        assert!(!rerun.cache.model_hit, "corruption must read as a miss");
+        assert_eq!(rerun.cache.writes, 1, "the model artifact is rewritten");
+        assert_eq!(rerun.observations, cold.observations);
+        assert_eq!(rerun.test_accuracy, cold.test_accuracy);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -125,15 +125,21 @@ impl CounterGroup {
             .iter()
             .map(|&e| {
                 let total = true_value(e);
-                if frac >= 1.0 {
+                let running = (window_ns as f64 * frac).round() as u64;
+                if frac >= 1.0 || running == 0 {
+                    // Degenerate window: the scheduled slice rounds to zero
+                    // nanoseconds, so there is no meaningful multiplexing
+                    // metadata to attach. Fabricating `time_running = 1`
+                    // here made `value()` rescale by `window_ns / 1` —
+                    // orders of magnitude off for tiny windows — so report
+                    // the true whole-window count instead.
                     CounterReading::full(e, total, window_ns)
                 } else {
-                    let running = (window_ns as f64 * frac).round() as u64;
                     CounterReading {
                         event: e,
                         raw: (total as f64 * frac).round() as u64,
                         time_enabled: window_ns,
-                        time_running: running.max(1),
+                        time_running: running,
                     }
                 }
             })
@@ -200,6 +206,36 @@ mod tests {
         let g =
             CounterGroup::new(HpcEvent::FIG2B.to_vec(), CounterGroup::DEFAULT_HW_COUNTERS).unwrap();
         assert!(!g.is_multiplexed(), "8 events on 8 counters fit exactly");
+    }
+
+    #[test]
+    fn degenerate_window_reports_true_totals() {
+        // 12 events on 1 counter: the per-event slice of a 0/1/2 ns
+        // window rounds to zero. The old `.max(1)` clamp then rescaled by
+        // `window_ns / 1`, inflating or crushing the estimate; the guard
+        // must surface the exact whole-window count instead.
+        let g = CounterGroup::new(HpcEvent::ALL.to_vec(), 1).unwrap();
+        for window_ns in [0u64, 1, 2] {
+            let readings = g.schedule(window_ns, |_| 1_000_000);
+            for r in &readings {
+                assert_eq!(
+                    r.value(),
+                    1_000_000,
+                    "window_ns={window_ns} event={}",
+                    r.event
+                );
+            }
+        }
+        // A realistic window still multiplexes and extrapolates normally.
+        let readings = g.schedule(1_200_000, |_| 1_000_000);
+        for r in &readings {
+            assert!(r.was_multiplexed());
+            assert!(
+                (r.value() as i64 - 1_000_000i64).abs() <= 12,
+                "{}",
+                r.value()
+            );
+        }
     }
 
     #[test]

@@ -46,10 +46,13 @@ impl CounterReading {
 
     /// The perf-style scaled estimate: `raw × enabled / running`.
     ///
-    /// Returns `0` when the counter never ran.
+    /// When `time_running` is zero there is nothing to extrapolate from,
+    /// so the raw count is returned as-is (zero for a counter that truly
+    /// never ran; the whole-window total for a degenerate zero-length
+    /// window reported via [`CounterReading::full`]).
     pub fn value(&self) -> u64 {
         if self.time_running == 0 {
-            return 0;
+            return self.raw;
         }
         if self.time_running == self.time_enabled {
             return self.raw;

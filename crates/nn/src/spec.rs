@@ -137,8 +137,13 @@ fn get_tensor(buf: &mut ByteReader<'_>) -> Result<Tensor, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32() as usize).collect();
-    let len: usize = dims.iter().product();
-    if buf.remaining() < len * 4 {
+    // checked_mul + divide: crafted dims like [u32::MAX; 4] must surface
+    // as a decode error, not wrap `len * 4` around and pass the bound.
+    let len = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(DecodeError::BadTensor)?;
+    if buf.remaining() / 4 < len {
         return Err(DecodeError::Truncated);
     }
     let data: Vec<f32> = (0..len).map(|_| buf.get_f32_le()).collect();
@@ -233,7 +238,13 @@ pub fn decode(data: &[u8]) -> Result<Vec<LayerSpec>, DecodeError> {
                 let use_bias = buf.get_u8() != 0;
                 let filters = get_tensor(&mut buf)?;
                 let bias = get_tensor(&mut buf)?;
-                if filters.shape().rank() != 4 || bias.shape().rank() != 1 {
+                if filters.shape().rank() != 4
+                    || bias.shape().rank() != 1
+                    // Mirror Conv2d::from_params's invariants so corrupt
+                    // bytes surface here as an error, not as its asserts.
+                    || filters.dims()[2] != filters.dims()[3]
+                    || bias.dims()[0] != filters.dims()[0]
+                {
                     return Err(DecodeError::BadTensor);
                 }
                 LayerSpec::Conv2d {
@@ -277,7 +288,10 @@ pub fn decode(data: &[u8]) -> Result<Vec<LayerSpec>, DecodeError> {
                 };
                 let weight = get_tensor(&mut buf)?;
                 let bias = get_tensor(&mut buf)?;
-                if weight.shape().rank() != 2 || bias.shape().rank() != 1 {
+                if weight.shape().rank() != 2
+                    || bias.shape().rank() != 1
+                    || bias.dims()[0] != weight.dims()[1]
+                {
                     return Err(DecodeError::BadTensor);
                 }
                 LayerSpec::Dense {
@@ -409,6 +423,57 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn every_truncation_point_errors_never_panics() {
+        // Exhaustive sweep: these are now artifact-cache load paths, so a
+        // cut anywhere in the stream must be a clean DecodeError.
+        let bytes = models::tiny_cnn(2).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Network::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_bad_header() {
+        let mut buf = ByteWriter::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION + 1);
+        buf.put_u32(0);
+        assert_eq!(decode(buf.as_slice()), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn byte_flips_error_or_roundtrip_never_panic() {
+        // Flip one byte at a time through the whole model: decode must
+        // either reject it or produce some (possibly different) model —
+        // a panic or abort is the only failure mode.
+        let bytes = models::tiny_cnn(1).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x80;
+            let _ = Network::from_bytes(&bad);
+        }
+    }
+
+    #[test]
+    fn huge_dims_error_instead_of_allocating() {
+        // A conv record whose tensor claims ~2^128 elements: the dims
+        // product must be overflow-checked, not wrapped into a small
+        // bound that then over-reads or OOMs.
+        let mut buf = ByteWriter::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u32(1);
+        buf.put_u8(0); // Conv2d
+        buf.put_u8(0); // ZeroSkip
+        buf.put_u8(1); // use_bias
+        buf.put_u32(4); // rank
+        for _ in 0..4 {
+            buf.put_u32(u32::MAX);
+        }
+        assert!(decode(buf.as_slice()).is_err());
     }
 
     #[test]

@@ -111,6 +111,9 @@ impl std::fmt::Display for Threads {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pool {
     threads: Threads,
+    /// Job-count floor below which the pool runs sequentially even with
+    /// multiple workers configured; `0` (the default) never bypasses.
+    min_jobs: usize,
 }
 
 /// Locks `m`, treating a poisoned mutex as still usable: jobs run outside
@@ -123,7 +126,23 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl Pool {
     /// Creates a pool with the given thread setting.
     pub fn new(threads: Threads) -> Self {
-        Pool { threads }
+        Pool {
+            threads,
+            min_jobs: 0,
+        }
+    }
+
+    /// Runs sequentially whenever a call has fewer than `min_jobs` items.
+    ///
+    /// Spinning up a [`std::thread::scope`] costs hundreds of
+    /// microseconds; for a handful of cheap jobs that overhead dwarfs the
+    /// work (the evaluator's small t-test matrices ran 6× *slower*
+    /// parallel than sequential). The bypass cannot change results — the
+    /// sequential path is the same closure over the same ordered items —
+    /// so the bit-identical contract holds by construction.
+    pub fn with_min_jobs(mut self, min_jobs: usize) -> Self {
+        self.min_jobs = min_jobs;
+        self
     }
 
     /// The resolved worker count this pool will use.
@@ -155,7 +174,11 @@ impl Pool {
         // a recorder is installed or not.
         scnn_obs::counter_add("par.tasks", n as u64);
         let workers = self.workers().min(n);
-        if workers <= 1 {
+        if workers <= 1 || n < self.min_jobs {
+            if workers > 1 {
+                // Only count bypasses where the pool *would* have run.
+                scnn_obs::counter_add("par.seq_bypass", 1);
+            }
             return items.into_iter().map(f).collect();
         }
         scnn_obs::counter_add("par.pool_runs", 1);
@@ -280,6 +303,39 @@ mod tests {
         assert!("six".parse::<Threads>().is_err());
         assert_eq!(Threads::Count(2).to_string(), "2");
         assert_eq!(Threads::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn min_jobs_bypass_is_sequential_and_identical() {
+        let work = |x: usize| ((x as f64) * 0.5).sin();
+        let plain = Pool::new(Threads::Count(4));
+        let bypassing = plain.with_min_jobs(64);
+
+        // 32 < 64: every job runs on the caller's thread — observable
+        // directly via thread ids, with no reliance on the global
+        // recorder (other tests share it concurrently).
+        let caller = std::thread::current().id();
+        let small = bypassing.par_map((0..32).collect(), |x| {
+            assert_eq!(std::thread::current().id(), caller, "bypass must not spawn");
+            work(x)
+        });
+
+        // 64 >= 64: the pool engages again (some job lands off-thread).
+        let off_thread = std::sync::atomic::AtomicBool::new(false);
+        let large = bypassing.par_map((0..64).collect(), |x| {
+            if std::thread::current().id() != caller {
+                off_thread.store(true, Ordering::SeqCst);
+            }
+            work(x)
+        });
+        assert!(
+            off_thread.load(Ordering::SeqCst),
+            "pool should re-engage at min_jobs"
+        );
+
+        // Either way, results match the plain pool bit-for-bit.
+        assert_eq!(small, plain.par_map((0..32).collect(), work));
+        assert_eq!(large, plain.par_map((0..64).collect(), work));
     }
 
     #[test]

@@ -158,18 +158,21 @@ impl Extend<f64> for Summary {
 /// Computes the `q`-quantile (0 ≤ q ≤ 1) of a sample using linear
 /// interpolation between order statistics (type-7, the numpy default).
 ///
-/// Returns `None` for an empty sample.
+/// Returns `None` for an empty sample. NaN observations sort after every
+/// number (IEEE total order), so a quantile whose order statistics touch
+/// the NaN tail evaluates to NaN instead of aborting — one bad counter
+/// reading degrades one statistic, not the whole campaign.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or the data contains NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile requires 0 <= q <= 1");
     if data.is_empty() {
         return None;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -253,6 +256,17 @@ mod tests {
         assert_eq!(median(&data), Some(2.5));
         assert_eq!(quantile(&data, 0.25), Some(1.75));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan_without_panicking() {
+        // NaN sorts after every number under total order: low quantiles
+        // stay exact, high ones degrade to NaN — never a panic.
+        let data = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(median(&data), Some(2.5));
+        assert!(quantile(&data, 1.0).unwrap().is_nan());
+        assert!(median(&[f64::NAN]).unwrap().is_nan());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub struct Histogram {
     total: u64,
     underflow: u64,
     overflow: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -103,6 +104,7 @@ impl Histogram {
             total: 0,
             underflow: 0,
             overflow: 0,
+            nan: 0,
         };
         for &x in data {
             h.add(x);
@@ -111,9 +113,17 @@ impl Histogram {
     }
 
     /// Adds one observation. Values outside the range count as under/overflow
-    /// but still contribute to [`Histogram::total`].
+    /// and NaN counts as [`Histogram::nan`]; all still contribute to
+    /// [`Histogram::total`], and none touch the bins.
     pub fn add(&mut self, x: f64) {
         self.total += 1;
+        // NaN compares false against both edges, so without this check the
+        // float→usize cast below would saturate it into bucket 0 and
+        // silently distort the distribution.
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         if x < self.lo {
             self.underflow += 1;
             return;
@@ -148,6 +158,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// NaN observations (counted in [`Histogram::total`], binned nowhere).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
     /// `(lo, hi)` range covered by the bins.
     pub fn range(&self) -> (f64, f64) {
         (self.lo, self.hi)
@@ -167,7 +182,7 @@ impl Histogram {
     /// under/overflow mass).
     pub fn densities(&self) -> Vec<f64> {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        let in_range = self.total - self.underflow - self.overflow;
+        let in_range = self.total - self.underflow - self.overflow - self.nan;
         if in_range == 0 {
             return vec![0.0; self.counts.len()];
         }
@@ -290,6 +305,45 @@ mod tests {
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.counts().iter().sum::<u64>(), 1);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn edges_bin_exactly() {
+        let mut h = Histogram::from_data(&[0.5], 4, Some((0.0, 4.0))).unwrap();
+        h.add(0.0); // x == lo: first bin, not underflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.underflow(), 0);
+        h.add(-0.001); // x < lo: underflow, never bucket 0
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.underflow(), 1);
+        h.add(4.0); // x == hi: overflow (half-open range)
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(*h.counts().last().unwrap(), 0);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn nan_is_counted_apart_not_binned() {
+        let mut h = Histogram::from_data(&[0.5], 4, Some((0.0, 4.0))).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.counts()[0], 1, "NaN must not leak into bucket 0");
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.total(), 2);
+        // Density normalisation excludes the NaN mass.
+        let width = (h.range().1 - h.range().0) / 4.0;
+        let mass: f64 = h.densities().iter().map(|d| d * width).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinities_are_under_and_overflow() {
+        let mut h = Histogram::from_data(&[0.5], 2, Some((0.0, 1.0))).unwrap();
+        h.add(f64::NEG_INFINITY);
+        h.add(f64::INFINITY);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.nan(), 0);
     }
 
     #[test]

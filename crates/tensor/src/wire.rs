@@ -61,6 +61,15 @@ impl<'a> ByteReader<'a> {
         u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
     }
 
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 8 remaining bytes.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
     /// Reads a little-endian `f32`.
     ///
     /// # Panics
@@ -68,6 +77,15 @@ impl<'a> ByteReader<'a> {
     /// Panics on fewer than 4 remaining bytes.
     pub fn get_f32_le(&mut self) -> f32 {
         f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 8 remaining bytes.
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
     }
 }
 
@@ -105,8 +123,18 @@ impl ByteWriter {
         self.data.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
     /// Appends a little-endian `f32`.
     pub fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64_le(&mut self, v: f64) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -150,6 +178,34 @@ mod tests {
         let mut w = ByteWriter::new();
         w.put_f32_le(1.0);
         assert_eq!(w.as_slice(), &1.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn wide_fields_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u64(0xDEAD_BEEF_0BAD_F00D);
+        w.put_f64_le(-2.75);
+        w.put_f64_le(f64::NAN);
+        let bytes = w.into_vec();
+        assert_eq!(
+            &bytes[..8],
+            &0xDEAD_BEEF_0BAD_F00Du64.to_be_bytes(),
+            "u64 follows the big-endian header convention"
+        );
+        assert_eq!(
+            &bytes[8..16],
+            &(-2.75f64).to_le_bytes(),
+            "f64 payloads are little-endian"
+        );
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(r.get_f64_le(), -2.75);
+        assert!(
+            r.get_f64_le().is_nan(),
+            "NaN payload bits survive the roundtrip"
+        );
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]

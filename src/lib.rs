@@ -21,7 +21,9 @@
 //! - [`core`] — the paper's evaluator, plus template-attack and
 //!   countermeasure extensions;
 //! - [`obs`] — zero-dependency spans/counters/histograms telemetry,
-//!   observation-only (never changes experiment output).
+//!   observation-only (never changes experiment output);
+//! - [`cache`] — content-addressed on-disk artifact cache that lets the
+//!   pipeline reuse trained models and resume interrupted campaigns.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 //! # }
 //! ```
 
+pub use scnn_cache as cache;
 pub use scnn_core as core;
 pub use scnn_data as data;
 pub use scnn_hpc as hpc;

@@ -1,0 +1,143 @@
+//! Integration: the persistent artifact cache, checked through the
+//! public facade.
+//!
+//! The contracts under test (DESIGN.md §11):
+//!
+//! 1. **Warm runs skip the expensive phases** — a second `run_cached`
+//!    against the same directory restores the model and every category
+//!    checkpoint, so no `pipeline.train`/`pipeline.collect` span is
+//!    entered at all.
+//! 2. **Byte-identical results** — cached, resumed and uncached runs
+//!    produce identical observations and reports.
+//! 3. **Corruption is a miss, never a wrong answer** — a flipped byte in
+//!    an artifact causes recomputation, not a crash or a skewed report.
+//!
+//! The recorder is process-global, so every test that installs one holds
+//! [`INSTALL_LOCK`] for its whole body.
+
+use scnn::cache::ArtifactCache;
+use scnn::core::artifact::{category_key, CATEGORY_KIND};
+use scnn::core::json::ToJson;
+use scnn::core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
+use scnn::obs::Recorder;
+use std::sync::{Arc, Mutex};
+
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+fn config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist)
+        .samples(6)
+        .epochs(1);
+    cfg.train_per_class = 6;
+    cfg.test_per_class = 3;
+    cfg
+}
+
+fn scratch(tag: &str) -> (std::path::PathBuf, ArtifactCache) {
+    let dir = std::env::temp_dir().join(format!("scnn-it-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ArtifactCache::open(&dir).unwrap();
+    (dir, cache)
+}
+
+#[test]
+fn warm_run_skips_training_and_matches_uncached_byte_for_byte() {
+    let _guard = INSTALL_LOCK.lock().unwrap();
+    let (dir, cache) = scratch("warm");
+    let cfg = config();
+
+    let cold = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+    assert!(!cold.cache.model_hit);
+    assert_eq!(cold.cache.writes, 5, "model + 4 categories stored");
+
+    let recorder = Arc::new(Recorder::new());
+    scnn::obs::install(recorder.clone());
+    let warm = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+    scnn::obs::uninstall();
+    let snapshot = recorder.snapshot();
+
+    assert!(warm.cache.model_hit);
+    assert_eq!(warm.cache.categories_hit, 4);
+    let names: Vec<&str> = snapshot.spans.iter().map(|s| s.name).collect();
+    assert!(
+        !names.contains(&"pipeline.train"),
+        "warm run must skip the train phase entirely, got spans {names:?}"
+    );
+    assert!(
+        !names.contains(&"pipeline.collect"),
+        "warm run must skip collection entirely"
+    );
+    assert!(
+        !names.contains(&"pipeline.dataset"),
+        "fully warm runs skip synthesis too"
+    );
+    assert!(names.contains(&"cache.lookup"), "lookups are spanned");
+    assert!(
+        names.contains(&"pipeline.evaluate"),
+        "evaluation always runs"
+    );
+    assert_eq!(snapshot.counter("cache.hits"), Some(5));
+    assert_eq!(snapshot.counter("cache.misses"), None);
+
+    let plain = Experiment::new(cfg).run().unwrap();
+    assert_eq!(warm.observations, plain.observations);
+    assert_eq!(warm.test_accuracy, plain.test_accuracy);
+    assert_eq!(
+        warm.report.to_json(),
+        plain.report.to_json(),
+        "cached and uncached reports must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_category_artifact_is_recollected_not_trusted() {
+    // Cache traffic from this test must not leak into a recorder another
+    // test has installed (the recorder is process-global).
+    let _guard = INSTALL_LOCK.lock().unwrap();
+    let (dir, cache) = scratch("corrupt");
+    let cfg = config();
+    let cold = Experiment::new(cfg.clone()).run_cached(&cache).unwrap();
+
+    // Flip a byte in the middle of category 1's checkpoint.
+    let path = cache.path_for(CATEGORY_KIND, category_key(&cfg, 1));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let rerun = Experiment::new(cfg).run_cached(&cache).unwrap();
+    assert!(rerun.cache.model_hit);
+    assert_eq!(rerun.cache.categories_hit, 3, "the corrupt one misses");
+    assert_eq!(rerun.cache.categories_collected, 1);
+    assert_eq!(rerun.observations, cold.observations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn model_artifact_is_reused_across_sample_counts() {
+    // See corrupt_category_artifact_is_recollected_not_trusted.
+    let _guard = INSTALL_LOCK.lock().unwrap();
+    let (dir, cache) = scratch("reuse");
+    let cold = Experiment::new(config().samples(6))
+        .run_cached(&cache)
+        .unwrap();
+    assert!(!cold.cache.model_hit);
+
+    // More measurements per category: collection must rerun, but the
+    // trained model is collection-independent and is reused.
+    let more = Experiment::new(config().samples(8))
+        .run_cached(&cache)
+        .unwrap();
+    assert!(
+        more.cache.model_hit,
+        "sample count is outside the model key"
+    );
+    assert_eq!(more.cache.categories_hit, 0);
+    assert_eq!(more.cache.categories_collected, 4);
+
+    let plain = Experiment::new(config().samples(8)).run().unwrap();
+    assert_eq!(more.observations, plain.observations);
+    assert_eq!(more.report.to_json(), plain.report.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
