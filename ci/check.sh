@@ -26,6 +26,9 @@ cargo build --release --offline --workspace
 step "cargo test --offline"
 cargo test -q --offline --workspace
 
+step "batch-equivalence suite (batched GEMM path bitwise-equals scalar path)"
+cargo test -q --offline -p scnn-nn --test batch
+
 step "repro smoke run (tiny scale, threads 1 vs 4 must be byte-identical)"
 out="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
       table1 --quick --samples 8 --threads 1)"

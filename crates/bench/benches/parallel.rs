@@ -16,6 +16,12 @@
 //! parallel *slowdown*), and on a big synthetic matrix
 //! (`evaluate_big_ms`) past the bypass cutoff, where the pool actually
 //! engages.
+//!
+//! Two single-thread arms round out the picture: `gemm` reports the
+//! blocked matmul kernel's throughput (MFLOP/s), and `batch_infer_ms`
+//! measures batched inference against the per-sample loop on one thread
+//! — the speedup that batching must deliver *before* any parallelism,
+//! with the row-wise bitwise-equality contract asserted in passing.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -27,6 +33,8 @@ use scnn_data::mnist_synth::{generate, MnistSynthConfig};
 use scnn_hpc::{HpcEvent, SimPmuConfig, SimulatedPmu};
 use scnn_nn::models;
 use scnn_par::Threads;
+use scnn_tensor::ops::{self, GemmScratch};
+use scnn_tensor::Tensor;
 
 /// Worker count for the "parallel" arm of the comparison.
 const PAR_WORKERS: usize = 4;
@@ -147,6 +155,62 @@ fn main() {
         "evaluation must be bit-identical at any thread count"
     );
 
+    // Blocked GEMM throughput, single thread. The dims straddle the
+    // kernel's block boundaries (BLOCK_K = 128, BLOCK_N = 256) so the
+    // packed multi-block path is what gets timed.
+    let gemm_dim = 192usize;
+    let fill = |salt: usize| -> Tensor {
+        let data: Vec<f32> = (0..gemm_dim * gemm_dim)
+            .map(|i| ((i * 37 + salt) % 101) as f32 / 101.0 - 0.5)
+            .collect();
+        Tensor::from_vec(data, [gemm_dim, gemm_dim]).unwrap()
+    };
+    let (a, b) = (fill(0), fill(55));
+    let mut c = Tensor::zeros([gemm_dim, gemm_dim]);
+    let mut gemm_scratch = GemmScratch::new();
+    let (gemm_ms, _) = best_of(|| {
+        ops::matmul_into(&a, &b, &mut c, &mut gemm_scratch).unwrap();
+        c.as_slice()[0]
+    });
+    let gemm_mflops = 2.0 * (gemm_dim as f64).powi(3) / (gemm_ms * 1e-3) / 1e6;
+
+    // Batched vs per-sample inference, single thread: the win batching
+    // must deliver before any parallelism. The bitwise contract —
+    // batched row `s` equals per-sample inference on sample `s` — is
+    // asserted on the timed outputs.
+    let batch_n = 32usize;
+    let images: Vec<Tensor> = (0..batch_n)
+        .map(|s| {
+            let data: Vec<f32> = (0..256)
+                .map(|i| {
+                    let v = (i * 2654435761usize + s * 97) % 11;
+                    if v < 5 {
+                        0.0
+                    } else {
+                        v as f32 / 10.0
+                    }
+                })
+                .collect();
+            Tensor::from_vec(data, [1, 16, 16]).unwrap()
+        })
+        .collect();
+    let mlp = models::mnist_mlp(1, 16, 3);
+    let mut scalar_net = mlp.clone();
+    let (scalar_infer_ms, scalar_out) = best_of(|| {
+        images
+            .iter()
+            .map(|x| scalar_net.infer(x).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let mut batch_net = mlp.clone();
+    let stacked = scnn_nn::batch::stack(&images.iter().collect::<Vec<_>>()).unwrap();
+    let (batch_infer_ms, batch_out) = best_of(|| batch_net.infer_batch(&stacked).unwrap());
+    let want = scnn_nn::batch::stack(&scalar_out.iter().collect::<Vec<_>>()).unwrap();
+    assert_eq!(
+        batch_out, want,
+        "batched inference must match per-sample inference row for row"
+    );
+
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
         concat!(
@@ -159,6 +223,8 @@ fn main() {
             "  \"collect_ms\": {{ \"threads_1\": {sc:.3}, \"threads_n\": {pc:.3}, \"speedup\": {cs:.3} }},\n",
             "  \"evaluate_ms\": {{ \"threads_1\": {st:.3}, \"threads_n\": {pt:.3}, \"speedup\": {ts:.3} }},\n",
             "  \"evaluate_big_ms\": {{ \"threads_1\": {se:.3}, \"threads_n\": {pe:.3}, \"speedup\": {es:.3} }},\n",
+            "  \"gemm\": {{ \"dims\": [{gd}, {gd}, {gd}], \"ms\": {gms:.3}, \"mflops\": {gmf:.1} }},\n",
+            "  \"batch_infer_ms\": {{ \"model\": \"mnist_mlp\", \"batch_size\": {bn}, \"scalar\": {sim:.3}, \"batch\": {bim:.3}, \"speedup\": {bis:.3} }},\n",
             "  \"bit_identical\": true\n",
             "}}\n"
         ),
@@ -177,6 +243,13 @@ fn main() {
         st = seq_tiny_ms,
         pt = par_tiny_ms,
         ts = seq_tiny_ms / par_tiny_ms,
+        gd = gemm_dim,
+        gms = gemm_ms,
+        gmf = gemm_mflops,
+        bn = batch_n,
+        sim = scalar_infer_ms,
+        bim = batch_infer_ms,
+        bis = scalar_infer_ms / batch_infer_ms,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(path, &json).expect("write BENCH_parallel.json");

@@ -266,21 +266,31 @@ impl Evaluator {
         scnn_obs::counter_add("evaluate.ttests", jobs.len() as u64);
         let matrix_span = scnn_obs::Span::enter("evaluate.matrix");
         // One t-test cell is microseconds of special-function work, while
-        // pool spin-up costs hundreds of microseconds; below this cutoff
-        // the parallel matrix measured ~6× slower than sequential
-        // (BENCH_parallel.json, evaluate_ms). The bypass runs the
-        // same closure over the same ordered jobs, so reports stay
-        // bit-identical across thread counts either way.
-        const MIN_PARALLEL_CELLS: usize = 512;
-        let pool = Pool::new(self.config.threads).with_min_jobs(MIN_PARALLEL_CELLS);
+        // a cross-thread dispatch costs comparable time — per-cell jobs
+        // measured ~6× slower than sequential (BENCH_parallel.json,
+        // evaluate_ms). So the unit of parallelism is a contiguous
+        // CELL_CHUNK-cell group: coarse enough to amortise dispatch,
+        // ordered so the flatten below reassembles exact job order and
+        // the report stays bit-identical across thread counts. Matrices
+        // under MIN_PARALLEL_GROUPS groups run the same closure inline.
+        const CELL_CHUNK: usize = 64;
+        const MIN_PARALLEL_GROUPS: usize = 8;
+        let groups: Vec<Vec<(usize, bool, usize, usize)>> =
+            jobs.chunks(CELL_CHUNK).map(<[_]>::to_vec).collect();
+        let pool = Pool::new(self.config.threads).with_min_jobs(MIN_PARALLEL_GROUPS);
         let (kind, rule) = (self.config.kind, self.config.rule);
-        let cells = pool.par_map(jobs, |(e, is_second, i, j)| {
-            let summaries = if is_second { &second[e] } else { &first[e] };
-            PairResult::compute(summaries, i, j, kind, rule)
+        let cell_groups = pool.par_map(groups, |group| {
+            group
+                .into_iter()
+                .map(|(e, is_second, i, j)| {
+                    let summaries = if is_second { &second[e] } else { &first[e] };
+                    PairResult::compute(summaries, i, j, kind, rule)
+                })
+                .collect::<Vec<_>>()
         });
         drop(matrix_span);
 
-        let mut cells = cells.into_iter();
+        let mut cells = cell_groups.into_iter().flatten();
         let mut per_event = Vec::with_capacity(events.len());
         for (event, summaries) in events.iter().copied().zip(first) {
             let mut pairs = Vec::with_capacity(k * (k - 1) / 2);

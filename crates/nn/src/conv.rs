@@ -20,8 +20,28 @@
 use crate::addr::{Region, SegmentAllocator};
 use crate::exec::{ExecContext, Site};
 use crate::layer::{Layer, Mode, NnError, Param, Result};
+use scnn_tensor::gemm::{self, GemmInit, GemmScratch};
 use scnn_tensor::ops::{self, Window2d};
 use scnn_tensor::{Init, Shape, ShapeError, Tensor};
+
+/// Working buffers for the lowered (im2col + GEMM) convolution paths,
+/// reused across calls so steady-state forward/backward allocates only
+/// its output tensor. Clones are empty: scratch is working state, and a
+/// replica cloned for parallel gradient work regrows its own.
+#[derive(Debug, Default)]
+struct ConvScratch {
+    gemm: GemmScratch,
+    /// im2col lowering of the current input (one sample or a batch).
+    cols: Vec<f32>,
+    /// Staging for GEMM outputs that need reshuffling or scattering.
+    stage: Vec<f32>,
+}
+
+impl Clone for ConvScratch {
+    fn clone(&self) -> Self {
+        ConvScratch::default()
+    }
+}
 
 /// How the convolution kernel treats zero input activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +68,7 @@ pub struct Conv2d {
     filter_region: Option<Region>,
     bias_region: Option<Region>,
     cached_input: Option<Tensor>,
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -78,6 +99,7 @@ impl Conv2d {
             filter_region: None,
             bias_region: None,
             cached_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -108,6 +130,7 @@ impl Conv2d {
             filter_region: None,
             bias_region: None,
             cached_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -231,6 +254,143 @@ impl Conv2d {
         }
         Ok(Tensor::from_vec(out, [self.out_channels, oh, ow])?)
     }
+
+    /// Lowered forward: im2col into reusable scratch, then one
+    /// `[F, K] × [K, P]` GEMM seeded with the bias. Bit-compatible with
+    /// `scatter`: a fixed output's contributions arrive in `(c, ky, kx)`
+    /// order — exactly the im2col row order the GEMM reduces in — and the
+    /// GEMM's extra `w·0` padding/zero-pixel terms cannot move a finite
+    /// accumulator (see DESIGN.md §12).
+    fn lowered_forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (_, _, oh, ow) = self.geometry(input.shape())?;
+        let (rows, cols) = ops::im2col_into(input, self.win, &mut self.scratch.cols)?;
+        let mut out = vec![0.0f32; self.out_channels * cols];
+        gemm::gemm(
+            self.filters.value.as_slice(),
+            &self.scratch.cols,
+            self.out_channels,
+            rows,
+            cols,
+            GemmInit::BiasPerRow(self.bias.value.as_slice()),
+            None,
+            &mut out,
+            &mut self.scratch.gemm,
+        )?;
+        Ok(Tensor::from_vec(out, [self.out_channels, oh, ow])?)
+    }
+
+    /// Validates a `[N, C, H, W]` batch shape and returns
+    /// `(n, h, w, oh, ow)`.
+    fn batch_geometry(&self, input: &Shape) -> Result<(usize, usize, usize, usize, usize)> {
+        input.expect_rank(4)?;
+        if input.dim(1) != self.in_channels {
+            return Err(NnError::Shape(ShapeError::Mismatch {
+                left: vec![input.dim(1)],
+                right: vec![self.in_channels],
+            }));
+        }
+        let (h, w) = (input.dim(2), input.dim(3));
+        let (oh, ow) = self.win.output_size(h, w)?;
+        Ok((input.dim(0), h, w, oh, ow))
+    }
+
+    /// Backward body shared by the single-sample and batched paths, so
+    /// the two are bit-identical by construction: samples are processed
+    /// in batch order, and each sample accumulates `dW += dY·colsᵀ` and
+    /// scatters `dX = col2im(Wᵀ·dY)` through transpose-free GEMM variants
+    /// (the old standalone `transpose` round-trips are gone).
+    fn backward_lowered(&mut self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        let batched = input.shape().rank() == 4;
+        let (n, h, w, oh, ow) = if batched {
+            self.batch_geometry(input.shape())?
+        } else {
+            let (h, w, oh, ow) = self.geometry(input.shape())?;
+            (1, h, w, oh, ow)
+        };
+        let f = self.out_channels;
+        if batched {
+            grad_output
+                .shape()
+                .expect_same(&Shape::from(vec![n, f, oh, ow]))?;
+        } else {
+            grad_output
+                .shape()
+                .expect_same(&Shape::from(vec![f, oh, ow]))?;
+        }
+        let p = oh * ow;
+        let sample_len = self.in_channels * h * w;
+        let go = grad_output.as_slice();
+        let src = input.as_slice();
+        let mut dx = vec![0.0f32; n * sample_len];
+        for s in 0..n {
+            let (rows, _) = ops::im2col_slice_into(
+                &src[s * sample_len..(s + 1) * sample_len],
+                self.in_channels,
+                h,
+                w,
+                self.win,
+                &mut self.scratch.cols,
+            )?;
+            let go_s = &go[s * f * p..(s + 1) * f * p];
+            // dW += dY·colsᵀ without materialising the transpose.
+            gemm::gemm_abt(
+                go_s,
+                &self.scratch.cols,
+                f,
+                p,
+                rows,
+                true,
+                self.filters.grad.as_mut_slice(),
+            )?;
+            // db[f] = Σ_p dY[f][p] (skipped entirely for bias-free layers).
+            if self.use_bias {
+                let gb = self.bias.grad.as_mut_slice();
+                for (fi, gbf) in gb.iter_mut().enumerate() {
+                    *gbf += go_s[fi * p..(fi + 1) * p].iter().sum::<f32>();
+                }
+            }
+            // dX_s = col2im(Wᵀ·dY_s), again transpose-free.
+            self.scratch.stage.clear();
+            self.scratch.stage.resize(rows * p, 0.0);
+            gemm::gemm_atb(
+                self.filters.value.as_slice(),
+                go_s,
+                f,
+                rows,
+                p,
+                false,
+                &mut self.scratch.stage,
+            )?;
+            ops::col2im_into(
+                &self.scratch.stage,
+                self.in_channels,
+                h,
+                w,
+                self.win,
+                &mut dx[s * sample_len..(s + 1) * sample_len],
+            )?;
+        }
+        if batched {
+            Ok(Tensor::from_vec(dx, [n, self.in_channels, h, w])?)
+        } else {
+            Ok(Tensor::from_vec(dx, [self.in_channels, h, w])?)
+        }
+    }
+
+    /// Takes the forward cache, runs `body` against it, and puts it back
+    /// (repeated backward passes stay legal, as before).
+    fn with_cached_input<F>(&mut self, body: F) -> Result<Tensor>
+    where
+        F: FnOnce(&mut Self, &Tensor) -> Result<Tensor>,
+    {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
+        let result = body(self, &input);
+        self.cached_input = Some(input);
+        result
+    }
 }
 
 impl Layer for Conv2d {
@@ -251,7 +411,9 @@ impl Layer for Conv2d {
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        self.scatter(input, |_, _| {}, |_, _| {})
+        // The numeric hot path runs lowered (im2col + GEMM); `scatter`
+        // remains the *leakage model* driven by `forward_traced`.
+        self.lowered_forward(input)
     }
 
     fn forward_traced(
@@ -330,42 +492,47 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
-        let (h, w, oh, ow) = self.geometry(input.shape())?;
-        grad_output
-            .shape()
-            .expect_same(&Shape::from(vec![self.out_channels, oh, ow]))?;
+        self.with_cached_input(|layer, input| layer.backward_lowered(input, grad_output))
+    }
 
-        let go_mat = grad_output.reshape([self.out_channels, oh * ow])?;
-        let cols = ops::im2col(input, self.win)?;
-
-        // dW = dY · cols^T
-        let cols_t = ops::transpose(&cols)?;
-        let dw = ops::matmul(&go_mat, &cols_t)?;
-        self.filters
-            .grad
-            .axpy(1.0, &dw.reshape(self.filters.value.shape().clone())?)?;
-
-        // db[f] = Σ_p dY[f][p] (skipped entirely for bias-free layers).
-        if self.use_bias {
-            let gb = self.bias.grad.as_mut_slice();
-            let go = go_mat.as_slice();
-            for f in 0..self.out_channels {
-                gb[f] += go[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, _, _, oh, ow) = self.batch_geometry(input.shape())?;
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        let (rows, cols) = ops::im2col_batch_into(input, self.win, &mut self.scratch.cols)?;
+        let f = self.out_channels;
+        self.scratch.stage.clear();
+        self.scratch.stage.resize(f * n * cols, 0.0);
+        // One [F, K]×[K, N·P] GEMM over the whole batch. Sample column
+        // blocks are disjoint, so each output element reduces in exactly
+        // the order of its solo lowering.
+        gemm::gemm(
+            self.filters.value.as_slice(),
+            &self.scratch.cols,
+            f,
+            rows,
+            n * cols,
+            GemmInit::BiasPerRow(self.bias.value.as_slice()),
+            None,
+            &mut self.scratch.stage,
+            &mut self.scratch.gemm,
+        )?;
+        // Unshuffle [F, N·P] → [N, F, P].
+        let mut out = vec![0.0f32; n * f * cols];
+        for s in 0..n {
+            for fi in 0..f {
+                let dst = &mut out[(s * f + fi) * cols..(s * f + fi + 1) * cols];
+                let src =
+                    &self.scratch.stage[fi * n * cols + s * cols..fi * n * cols + (s + 1) * cols];
+                dst.copy_from_slice(src);
             }
         }
+        Ok(Tensor::from_vec(out, [n, f, oh, ow])?)
+    }
 
-        // dX = col2im(W^T · dY)
-        let wmat = self.filters.value.reshape([
-            self.out_channels,
-            self.in_channels * self.win.kh * self.win.kw,
-        ])?;
-        let wmat_t = ops::transpose(&wmat)?;
-        let dcols = ops::matmul(&wmat_t, &go_mat)?;
-        Ok(ops::col2im(&dcols, self.in_channels, h, w, self.win)?)
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.with_cached_input(|layer, input| layer.backward_lowered(input, grad_output))
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -15,6 +15,7 @@
 use crate::addr::{Region, SegmentAllocator};
 use crate::exec::{ExecContext, Site};
 use crate::layer::{Layer, Mode, NnError, Param, Result};
+use scnn_tensor::ops::{self, GemmInit, GemmScratch};
 use scnn_tensor::{Init, Shape, ShapeError, Tensor};
 
 /// How the dense kernel treats zero activations.
@@ -40,6 +41,7 @@ pub struct Dense {
     weight_region: Option<Region>,
     bias_region: Option<Region>,
     cached_input: Option<Tensor>,
+    scratch: GemmScratch,
 }
 
 impl Dense {
@@ -58,6 +60,7 @@ impl Dense {
             weight_region: None,
             bias_region: None,
             cached_input: None,
+            scratch: GemmScratch::new(),
         }
     }
 
@@ -80,6 +83,7 @@ impl Dense {
             weight_region: None,
             bias_region: None,
             cached_input: None,
+            scratch: GemmScratch::new(),
         }
     }
 
@@ -117,12 +121,12 @@ impl Dense {
     fn compute(&self, x: &[f32]) -> Vec<f32> {
         let w = self.weight.value.as_slice();
         let mut y = self.bias.value.as_slice().to_vec();
-        // Input-stationary accumulation matches the traced kernel exactly,
-        // so both paths make identical floating-point rounding decisions.
+        // Input-stationary, branch-free accumulation: one row of the batch
+        // GEMM (`y ← b; y += xᵢ·Wᵢ`, i ascending), so the scalar and
+        // batched paths make identical rounding decisions. Zero skipping
+        // is purely an *event-stream* property of the traced kernel — a
+        // numeric skip would defeat autovectorization here.
         for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
             let col = &w[i * self.out_dim..(i + 1) * self.out_dim];
             for (yj, &wij) in y.iter_mut().zip(col) {
                 *yj += wij * xi;
@@ -210,19 +214,12 @@ impl Layer for Dense {
         }
         ctx.counted_loop(Site::LOOP, self.in_dim);
 
-        let mut y = self.bias.value.as_slice().to_vec();
-        let w = self.weight.value.as_slice();
-        for (i, &xi) in x.iter().enumerate() {
-            let skip = self.style == DenseStyle::ZeroSkip && xi == 0.0;
-            if skip {
-                continue;
-            }
-            let col = &w[i * self.out_dim..(i + 1) * self.out_dim];
-            for (yj, &wij) in y.iter_mut().zip(col) {
-                *yj += wij * xi;
-            }
-        }
-        Ok((Tensor::from_vec(y, [self.out_dim])?, out_region))
+        // The event stream above models the skipping kernel; the numbers
+        // come from the same branch-free fold as the reference path.
+        Ok((
+            Tensor::from_vec(self.compute(x), [self.out_dim])?,
+            out_region,
+        ))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -252,6 +249,59 @@ impl Layer for Dense {
             *gxi = col.iter().zip(g).map(|(&wij, &gj)| wij * gj).sum();
         }
         Ok(Tensor::from_vec(gx, [self.in_dim])?)
+    }
+
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        input.shape().expect_rank(2)?;
+        if input.dims()[1] != self.in_dim {
+            return Err(NnError::Shape(ShapeError::Mismatch {
+                left: input.dims().to_vec(),
+                right: vec![input.dims()[0], self.in_dim],
+            }));
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        let n = input.dims()[0];
+        let mut out = Tensor::zeros([n, self.out_dim]);
+        // One [N, in]×[in, out] GEMM. Seeding each output row with the
+        // bias and accumulating k-ascending is exactly `compute` per row.
+        ops::gemm_into(
+            input,
+            &self.weight.value,
+            GemmInit::BiasPerCol(self.bias.value.as_slice()),
+            None,
+            &mut out,
+            &mut self.scratch,
+        )?;
+        Ok(out)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "dense" })?;
+        input.shape().expect_rank(2)?;
+        grad_output.shape().expect_rank(2)?;
+        if grad_output.dims() != [input.dims()[0], self.out_dim] {
+            return Err(NnError::Shape(ShapeError::Mismatch {
+                left: grad_output.dims().to_vec(),
+                right: vec![input.dims()[0], self.out_dim],
+            }));
+        }
+        // dW += Xᵀ·G streams samples in increasing order — the same
+        // accumulation sequence as per-sample `dW += x ⊗ g`.
+        ops::matmul_atb_acc(input, grad_output, &mut self.weight.grad)?;
+        let gb = self.bias.grad.as_mut_slice();
+        for grow in grad_output.as_slice().chunks_exact(self.out_dim) {
+            for (gbj, &gj) in gb.iter_mut().zip(grow) {
+                *gbj += gj;
+            }
+        }
+        // dX = G·Wᵀ: each dx[i] is the same j-ascending dot product the
+        // per-sample backward computes.
+        ops::matmul_abt(grad_output, &self.weight.value).map_err(NnError::from)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

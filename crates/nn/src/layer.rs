@@ -151,6 +151,33 @@ pub trait Layer: Send + Sync {
     /// preceded this call.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
 
+    /// Batched reference forward pass over a `[N, …]` input whose trailing
+    /// dimensions are one sample's shape. **Contract:** row `s` of the
+    /// output must be bit-identical to `forward` on sample `s` alone —
+    /// batching is an execution-schedule change, never a numeric one
+    /// (dense and conv layers run one GEMM over the whole batch, but with
+    /// the same per-output reduction order; see DESIGN.md §12). With
+    /// [`Mode::Train`] the layer caches the batch for
+    /// [`Layer::backward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the per-sample shape is incompatible.
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Batched backward pass: `grad_output` is `[N, …]` aligned with the
+    /// most recent [`Layer::forward_batch`] in [`Mode::Train`].
+    /// **Contract:** parameter-gradient accumulation and the returned
+    /// `[N, …]` input gradient are bit-identical to running
+    /// `forward(s); backward(s)` for each sample `s` in batch order
+    /// (without zeroing gradients in between).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when no `forward_batch(Train)`
+    /// preceded this call, and shape errors on misaligned gradients.
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
     /// Mutable access to the layer's parameters (empty for stateless
     /// layers).
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -51,6 +51,7 @@
 
 pub mod activation;
 pub mod addr;
+pub mod batch;
 pub mod conv;
 pub mod dense;
 pub mod exec;

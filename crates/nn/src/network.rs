@@ -153,6 +153,66 @@ impl Network {
         self.forward(input, Mode::Infer)
     }
 
+    /// Batched forward pass over an `[N, …]` tensor whose trailing axes
+    /// are one sample.
+    ///
+    /// Row `s` of the output is bit-identical to `forward` on sample `s`
+    /// alone: every layer's `forward_batch` preserves the per-sample
+    /// reduction order, and the heavy layers (dense, conv) lower the whole
+    /// batch through one GEMM instead of `N` small ones.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::forward`], plus shape errors when the
+    /// input is not rank ≥ 2.
+    pub fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if self.layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        let _span = scnn_obs::Span::enter("nn.forward_batch");
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_batch(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Batched inference (no caches). See [`Network::forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::forward_batch`].
+    pub fn infer_batch(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.forward_batch(input, Mode::Infer)
+    }
+
+    /// Predicted class index per batch row (first occurrence wins on
+    /// ties, matching [`Tensor::argmax`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::forward_batch`].
+    pub fn classify_batch(&mut self, input: &Tensor) -> Result<Vec<usize>> {
+        let out = self.infer_batch(input)?;
+        out.shape().expect_rank(2).map_err(NnError::from)?;
+        let classes = out.dims()[1];
+        Ok(out
+            .as_slice()
+            .chunks_exact(classes)
+            .map(|row| {
+                let mut best = row[0];
+                let mut arg = 0;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > best {
+                        best = v;
+                        arg = i;
+                    }
+                }
+                arg
+            })
+            .collect())
+    }
+
     /// Predicted class index for an input.
     ///
     /// # Errors
@@ -225,6 +285,26 @@ impl Network {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Batched backward pass from a `[N, …]` loss gradient. Must follow a
+    /// `forward_batch(…, Mode::Train)` call. Parameter gradients accumulate
+    /// exactly as if the `N` samples had been driven through
+    /// `forward`/`backward` one at a time without zeroing in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when driven out of order.
+    pub fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        let _span = scnn_obs::Span::enter("nn.backward_batch");
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_batch(&g)?;
         }
         Ok(g)
     }

@@ -53,12 +53,33 @@ impl MaxPool2d {
     fn pool_with<F: FnMut(usize, usize, usize, bool)>(
         &self,
         input: &Tensor,
-        mut emit: F,
+        emit: F,
     ) -> Result<(Tensor, Vec<usize>)> {
         let (c, h, w, oh, ow) = self.geometry(input.shape())?;
-        let src = input.as_slice();
         let mut out = vec![0.0f32; c * oh * ow];
         let mut argmax = vec![0usize; c * oh * ow];
+        self.pool_sample(
+            input.as_slice(),
+            (c, h, w, oh, ow),
+            &mut out,
+            &mut argmax,
+            emit,
+        );
+        Ok((Tensor::from_vec(out, [c, oh, ow])?, argmax))
+    }
+
+    /// Pools one `[C, H, W]` sample given as a raw slice — the unit the
+    /// batched path loops over. `dims` is `(c, h, w, oh, ow)`; `argmax`
+    /// receives *sample-local* input indices.
+    fn pool_sample<F: FnMut(usize, usize, usize, bool)>(
+        &self,
+        src: &[f32],
+        dims: (usize, usize, usize, usize, usize),
+        out: &mut [f32],
+        argmax: &mut [usize],
+        mut emit: F,
+    ) {
+        let (c, h, w, oh, ow) = dims;
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -89,7 +110,6 @@ impl MaxPool2d {
                 }
             }
         }
-        Ok((Tensor::from_vec(out, [c, oh, ow])?, argmax))
     }
 }
 
@@ -154,6 +174,46 @@ impl Layer for MaxPool2d {
             gi[ii] += grad_output.as_slice()[oi];
         }
         Ok(grad_in)
+    }
+
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        input.shape().expect_rank(4)?;
+        let n = input.dims()[0];
+        let sample_shape = Shape::from(input.dims()[1..].to_vec());
+        let (c, h, w, oh, ow) = self.geometry(&sample_shape)?;
+        let in_len = c * h * w;
+        let out_len = c * oh * ow;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; n * out_len];
+        let mut argmax = vec![0usize; n * out_len];
+        for s in 0..n {
+            let arg_s = &mut argmax[s * out_len..(s + 1) * out_len];
+            self.pool_sample(
+                &src[s * in_len..(s + 1) * in_len],
+                (c, h, w, oh, ow),
+                &mut out[s * out_len..(s + 1) * out_len],
+                arg_s,
+                |_, _, _, _| {},
+            );
+            // Rebase to batch-flat input indices so the argmax scatter in
+            // `backward` works on the batch tensor unchanged.
+            for a in arg_s.iter_mut() {
+                *a += s * in_len;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached = Some(PoolCache {
+                input_shape: input.shape().clone(),
+                argmax,
+            });
+        }
+        Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        // The argmax scatter is shape-agnostic; with batch-flat indices
+        // cached by `forward_batch` it already is the batched backward.
+        self.backward(grad_output)
     }
 
     fn assign_addresses(&mut self, _alloc: &mut SegmentAllocator) {}

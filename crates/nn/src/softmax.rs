@@ -56,6 +56,20 @@ impl Layer for Flatten {
         Ok(grad_output.reshape(shape.clone())?)
     }
 
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, sample) = crate::batch::split_batch(input.shape())?;
+        if mode == Mode::Train {
+            self.cached_shape = Some(input.shape().clone());
+        }
+        Ok(input.reshape([n, sample.len()])?)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        // The cached shape is the batch shape, so the scalar reshape is
+        // already the batched backward.
+        self.backward(grad_output)
+    }
+
     fn assign_addresses(&mut self, _alloc: &mut SegmentAllocator) {}
 
     fn spec(&self) -> crate::spec::LayerSpec {
@@ -139,6 +153,44 @@ impl Layer for Softmax {
             .map(|(&g, &p)| g * p)
             .sum();
         Ok(s.zip_with(grad_output, |p, g| p * (g - dot))?)
+    }
+
+    fn forward_batch(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        input.shape().expect_rank(2)?;
+        let (n, classes) = (input.dims()[0], input.dims()[1]);
+        let mut data = Vec::with_capacity(n * classes);
+        // Row-at-a-time: softmax has no cross-sample coupling, so the
+        // batched output is the per-row computation verbatim.
+        for row in input.as_slice().chunks_exact(classes) {
+            let s = ops::softmax(&Tensor::from_vec(row.to_vec(), [classes])?)?;
+            data.extend_from_slice(s.as_slice());
+        }
+        let out = Tensor::from_vec(data, [n, classes])?;
+        if mode == Mode::Train {
+            self.cached_output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let s = self
+            .cached_output
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "softmax" })?;
+        s.shape().expect_same(grad_output.shape())?;
+        s.shape().expect_rank(2)?;
+        let classes = s.dims()[1];
+        let mut dx = Vec::with_capacity(s.len());
+        for (srow, grow) in s
+            .as_slice()
+            .chunks_exact(classes)
+            .zip(grad_output.as_slice().chunks_exact(classes))
+        {
+            // Same fold as the scalar backward: dx = s ⊙ (g − ⟨g, s⟩).
+            let dot: f32 = grow.iter().zip(srow).map(|(&g, &p)| g * p).sum();
+            dx.extend(srow.iter().zip(grow).map(|(&p, &g)| p * (g - dot)));
+        }
+        Ok(Tensor::from_vec(dx, s.dims().to_vec())?)
     }
 
     fn assign_addresses(&mut self, _alloc: &mut SegmentAllocator) {}

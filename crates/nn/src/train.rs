@@ -11,6 +11,18 @@ use scnn_tensor::Tensor;
 /// One labelled example.
 pub type Sample = (Tensor, usize);
 
+/// Width of the fixed gradient sub-batches a minibatch is split into.
+///
+/// The gradient reduction tree — per-sample accumulation inside a chunk,
+/// per-chunk accumulation at the master — is pinned by this constant, not
+/// by how many workers happen to be available, which is what makes
+/// minibatch training bit-identical across thread counts.
+pub const GRAD_SUBBATCH: usize = 8;
+
+/// Samples per batched inference call in [`accuracy`] and
+/// [`per_class_accuracy`].
+const EVAL_BATCH: usize = 32;
+
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -26,10 +38,13 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Minibatch size. `1` (the default) runs the paper's original
     /// per-example SGD loop verbatim; larger values step on the mean
-    /// gradient of each batch, with per-sample gradients evaluated on
-    /// network replicas (in parallel when [`TrainConfig::threads`]
-    /// allows) and reduced in sample order — so the result is
-    /// bit-identical at every thread count.
+    /// gradient of each batch. The batch is split into fixed
+    /// [`GRAD_SUBBATCH`]-sample chunks — a property of the batch alone,
+    /// never of the thread count — and each chunk runs through the
+    /// batched GEMM forward/backward on its own network replica (in
+    /// parallel when [`TrainConfig::threads`] allows). Chunk gradients
+    /// are reduced in batch order, so the result is bit-identical at
+    /// every thread count.
     pub batch_size: usize,
     /// Worker threads for minibatch gradient evaluation. Ignored when
     /// `batch_size == 1`.
@@ -121,13 +136,15 @@ pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Res
             scnn_obs::counter_add("train.steps", order.len() as u64);
         } else {
             for batch in order.chunks(config.batch_size) {
-                let results = sample_gradients(net, samples, batch, &pool)?;
+                let results = chunk_gradients(net, samples, batch, &pool)?;
                 net.zero_grads();
-                for (loss, grads) in &results {
-                    if !loss.is_finite() {
-                        return Err(NnError::Diverged { epoch });
+                for (losses, grads) in &results {
+                    for &loss in losses {
+                        if !loss.is_finite() {
+                            return Err(NnError::Diverged { epoch });
+                        }
+                        total += loss as f64;
                     }
-                    total += *loss as f64;
                     net.accumulate_grads(grads);
                 }
                 net.scale_grads(1.0 / batch.len() as f32);
@@ -162,45 +179,46 @@ pub fn train(net: &mut Network, samples: &[Sample], config: &TrainConfig) -> Res
     })
 }
 
-/// Per-sample losses and gradient snapshots for one minibatch, in batch
+/// Per-chunk losses and gradient snapshots for one minibatch, in batch
 /// order.
 ///
-/// Each worker evaluates a contiguous slice of the batch on its own clone
-/// of `net`; the master's weights are never touched, so every sample's
-/// gradient is a pure function of (weights, sample) and independent of
-/// how the batch was split across workers. Flattening the per-worker
-/// slices back in order therefore yields the same `Vec` — bit for bit —
-/// at any thread count.
-fn sample_gradients(
+/// The batch is split into fixed [`GRAD_SUBBATCH`]-sample chunks —
+/// independent of the worker count, so the reduction tree never moves
+/// when the pool is resized. Each chunk runs on its own clone of `net`
+/// through the batched forward/backward (one GEMM per dense layer, one
+/// lowered pass per conv layer); the master's weights are never touched,
+/// so every chunk's gradient is a pure function of (weights, chunk) and
+/// the ordered flatten yields the same `Vec` — bit for bit — at any
+/// thread count.
+fn chunk_gradients(
     net: &Network,
     samples: &[Sample],
     batch: &[usize],
     pool: &Pool,
-) -> Result<Vec<(f32, Vec<Tensor>)>> {
-    let workers = pool.workers().clamp(1, batch.len().max(1));
-    let per_worker = batch.len().div_ceil(workers);
-    let chunks: Vec<Vec<usize>> = batch
-        .chunks(per_worker.max(1))
-        .map(<[usize]>::to_vec)
-        .collect();
-    let per_chunk = pool.par_map(chunks, |chunk| -> Result<Vec<(f32, Vec<Tensor>)>> {
+) -> Result<Vec<(Vec<f32>, Vec<Tensor>)>> {
+    let chunks: Vec<Vec<usize>> = batch.chunks(GRAD_SUBBATCH).map(<[usize]>::to_vec).collect();
+    let per_chunk = pool.par_map(chunks, |chunk| -> Result<(Vec<f32>, Vec<Tensor>)> {
         let mut replica = net.clone();
-        let mut out = Vec::with_capacity(chunk.len());
-        for i in chunk {
-            let (image, label) = &samples[i];
-            let logits = replica.forward(image, Mode::Train)?;
-            let (loss, grad) = softmax_cross_entropy(&logits, *label)?;
-            replica.zero_grads();
-            replica.backward(&grad)?;
-            out.push((loss, replica.grad_vector()));
+        let images: Vec<&Tensor> = chunk.iter().map(|&i| &samples[i].0).collect();
+        let input = crate::batch::stack(&images)?;
+        let logits = replica.forward_batch(&input, Mode::Train)?;
+        let classes = logits.dims()[1];
+        let mut losses = Vec::with_capacity(chunk.len());
+        let mut grad_rows = Vec::with_capacity(logits.len());
+        for (row, &i) in logits.as_slice().chunks_exact(classes).zip(&chunk) {
+            // Same per-row loss computation as the per-example path:
+            // forward_batch row s is bit-identical to forward on sample s.
+            let logits_s = Tensor::from_vec(row.to_vec(), [classes])?;
+            let (loss, grad) = softmax_cross_entropy(&logits_s, samples[i].1)?;
+            losses.push(loss);
+            grad_rows.extend_from_slice(grad.as_slice());
         }
-        Ok(out)
+        let grad = Tensor::from_vec(grad_rows, [chunk.len(), classes])?;
+        replica.zero_grads();
+        replica.backward_batch(&grad)?;
+        Ok((losses, replica.grad_vector()))
     });
-    let mut flat = Vec::with_capacity(batch.len());
-    for chunk in per_chunk {
-        flat.extend(chunk?);
-    }
-    Ok(flat)
+    per_chunk.into_iter().collect()
 }
 
 /// Classification accuracy of `net` over `samples`.
@@ -213,10 +231,14 @@ pub fn accuracy(net: &mut Network, samples: &[Sample]) -> Result<f64> {
         return Ok(0.0);
     }
     let mut correct = 0usize;
-    for (image, label) in samples {
-        if net.classify(image)? == *label {
-            correct += 1;
-        }
+    for chunk in samples.chunks(EVAL_BATCH) {
+        let images: Vec<&Tensor> = chunk.iter().map(|(image, _)| image).collect();
+        let preds = net.classify_batch(&crate::batch::stack(&images)?)?;
+        correct += preds
+            .iter()
+            .zip(chunk)
+            .filter(|(&p, (_, label))| p == *label)
+            .count();
     }
     Ok(correct as f64 / samples.len() as f64)
 }
@@ -234,11 +256,15 @@ pub fn per_class_accuracy(
 ) -> Result<Vec<f64>> {
     let mut correct = vec![0usize; num_classes];
     let mut total = vec![0usize; num_classes];
-    for (image, label) in samples {
-        if *label < num_classes {
-            total[*label] += 1;
-            if net.classify(image)? == *label {
-                correct[*label] += 1;
+    for chunk in samples.chunks(EVAL_BATCH) {
+        let images: Vec<&Tensor> = chunk.iter().map(|(image, _)| image).collect();
+        let preds = net.classify_batch(&crate::batch::stack(&images)?)?;
+        for (&pred, (_, label)) in preds.iter().zip(chunk) {
+            if *label < num_classes {
+                total[*label] += 1;
+                if pred == *label {
+                    correct[*label] += 1;
+                }
             }
         }
     }

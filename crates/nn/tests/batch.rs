@@ -1,0 +1,256 @@
+//! Batched-execution equivalence properties.
+//!
+//! The contract pinned here is the determinism story of the batched GEMM
+//! hot path: for every layer kind and for whole networks,
+//! `forward_batch` row `s` is **bitwise** equal to `forward` on sample
+//! `s` alone, and `backward_batch` accumulates exactly the parameter and
+//! input gradients of driving the samples through the scalar
+//! `forward`/`backward` one at a time without zeroing in between.
+//!
+//! Bitwise means `==` on `f32`, which deliberately identifies `-0.0` and
+//! `+0.0`: the batched kernels drop the scalar path's zero-skip branch,
+//! so products of exact-zero activations contribute `±0.0` terms that
+//! can flip the sign of a zero without ever changing a finite value.
+//!
+//! Batch sizes cover the ragged cases a fixed sub-batch width produces
+//! (`N = 1`, a prime, and a non-divisor remainder).
+
+use scnn_nn::batch::stack;
+use scnn_nn::prelude::*;
+use scnn_nn::{models, Layer};
+use scnn_rng::{ChaCha8Rng, Rng, SeedableRng};
+use scnn_tensor::Tensor;
+
+const BATCH_SIZES: [usize; 3] = [1, 3, 7];
+
+/// Mixed sparse/dense tensor: ~60% exact zeros, the paper's leaky regime
+/// and the regime where zero-skip vs. branch-free kernels could disagree
+/// if the equivalence argument were wrong.
+fn sparse(rng: &mut ChaCha8Rng, dims: &[usize]) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|_| {
+            if rng.gen_range(0u32..5) < 3 {
+                0.0
+            } else {
+                rng.gen_range(-1.0f32..1.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims.to_vec()).unwrap()
+}
+
+/// Drives `scalar` per-sample and `batched` over the stacked batch, then
+/// checks the full contract: forward rows, input-gradient rows, and
+/// accumulated parameter gradients.
+fn assert_batch_equivalent(
+    mut scalar: Box<dyn Layer>,
+    mut batched: Box<dyn Layer>,
+    inputs: &[Tensor],
+    grads: &[Tensor],
+) {
+    let n = inputs.len();
+
+    // Scalar reference: interleaved forward/backward per sample, never
+    // zeroing parameter gradients — the accumulation backward_batch must
+    // reproduce.
+    let mut want_out = Vec::with_capacity(n);
+    let mut want_dx = Vec::with_capacity(n);
+    for (x, g) in inputs.iter().zip(grads) {
+        want_out.push(scalar.forward(x, Mode::Train).unwrap());
+        want_dx.push(scalar.backward(g).unwrap());
+    }
+
+    let x_batch = stack(&inputs.iter().collect::<Vec<_>>()).unwrap();
+    let out = batched.forward_batch(&x_batch, Mode::Train).unwrap();
+    let g_batch = stack(&grads.iter().collect::<Vec<_>>()).unwrap();
+    let dx = batched.backward_batch(&g_batch).unwrap();
+
+    let name = scalar.name();
+    assert_eq!(
+        out,
+        stack(&want_out.iter().collect::<Vec<_>>()).unwrap(),
+        "{name}: forward_batch vs {n} scalar forwards"
+    );
+    assert_eq!(
+        dx,
+        stack(&want_dx.iter().collect::<Vec<_>>()).unwrap(),
+        "{name}: backward_batch vs {n} scalar backwards"
+    );
+    let want_grads: Vec<Tensor> = scalar.params_mut().iter().map(|p| p.grad.clone()).collect();
+    let got_grads: Vec<Tensor> = batched
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.clone())
+        .collect();
+    assert_eq!(
+        got_grads, want_grads,
+        "{name}: accumulated parameter gradients"
+    );
+}
+
+#[test]
+fn dense_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c01);
+    for style in [DenseStyle::ZeroSkip, DenseStyle::Dense] {
+        for n in BATCH_SIZES {
+            let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[9])).collect();
+            let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[5])).collect();
+            assert_batch_equivalent(
+                Box::new(Dense::new(9, 5, style, 3)),
+                Box::new(Dense::new(9, 5, style, 3)),
+                &inputs,
+                &grads,
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c02);
+    for n in BATCH_SIZES {
+        let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 6, 6])).collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[3, 4, 4])).collect();
+        assert_batch_equivalent(
+            Box::new(Conv2d::new(2, 3, 3, ConvStyle::ZeroSkip, 7)),
+            Box::new(Conv2d::new(2, 3, 3, ConvStyle::ZeroSkip, 7)),
+            &inputs,
+            &grads,
+        );
+        // And with bias disabled, as the case-study models configure it.
+        let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[1, 5, 5])).collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 3, 3])).collect();
+        assert_batch_equivalent(
+            Box::new(Conv2d::new(1, 2, 3, ConvStyle::Dense, 11).without_bias()),
+            Box::new(Conv2d::new(1, 2, 3, ConvStyle::Dense, 11).without_bias()),
+            &inputs,
+            &grads,
+        );
+    }
+}
+
+#[test]
+fn pool_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c03);
+    for n in BATCH_SIZES {
+        let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 6, 6])).collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 3, 3])).collect();
+        assert_batch_equivalent(
+            Box::new(MaxPool2d::new(2)),
+            Box::new(MaxPool2d::new(2)),
+            &inputs,
+            &grads,
+        );
+    }
+}
+
+#[test]
+fn relu_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c04);
+    for style in [ReluStyle::Branchy, ReluStyle::Branchless] {
+        for n in BATCH_SIZES {
+            let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 4, 4])).collect();
+            let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 4, 4])).collect();
+            assert_batch_equivalent(
+                Box::new(Relu::new(style).with_threshold(0.02)),
+                Box::new(Relu::new(style).with_threshold(0.02)),
+                &inputs,
+                &grads,
+            );
+        }
+    }
+}
+
+#[test]
+fn flatten_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c05);
+    for n in BATCH_SIZES {
+        let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[2, 3, 4])).collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[24])).collect();
+        assert_batch_equivalent(
+            Box::new(Flatten::new()),
+            Box::new(Flatten::new()),
+            &inputs,
+            &grads,
+        );
+    }
+}
+
+#[test]
+fn softmax_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c06);
+    for n in BATCH_SIZES {
+        let inputs: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[10])).collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[10])).collect();
+        assert_batch_equivalent(
+            Box::new(Softmax::new()),
+            Box::new(Softmax::new()),
+            &inputs,
+            &grads,
+        );
+    }
+}
+
+#[test]
+fn network_batch_matches_scalar_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c07);
+    for n in BATCH_SIZES {
+        let mut scalar = models::small_cnn(1, 10, 4, 21);
+        let mut batched = models::small_cnn(1, 10, 4, 21);
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| sparse(&mut rng, &[1, 10, 10]).map(f32::abs))
+            .collect();
+        let grads: Vec<Tensor> = (0..n).map(|_| sparse(&mut rng, &[4])).collect();
+
+        scalar.zero_grads();
+        let mut want_out = Vec::new();
+        let mut want_dx = Vec::new();
+        for (x, g) in inputs.iter().zip(&grads) {
+            want_out.push(scalar.forward(x, Mode::Train).unwrap());
+            want_dx.push(scalar.backward(g).unwrap());
+        }
+
+        batched.zero_grads();
+        let x_batch = stack(&inputs.iter().collect::<Vec<_>>()).unwrap();
+        let out = batched.forward_batch(&x_batch, Mode::Train).unwrap();
+        let g_batch = stack(&grads.iter().collect::<Vec<_>>()).unwrap();
+        let dx = batched.backward_batch(&g_batch).unwrap();
+
+        assert_eq!(out, stack(&want_out.iter().collect::<Vec<_>>()).unwrap());
+        assert_eq!(dx, stack(&want_dx.iter().collect::<Vec<_>>()).unwrap());
+        assert_eq!(batched.grad_vector(), scalar.grad_vector());
+    }
+}
+
+#[test]
+fn classify_batch_matches_scalar() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xba7c08);
+    let mut net = models::mnist_mlp(1, 6, 9);
+    for n in BATCH_SIZES {
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| sparse(&mut rng, &[1, 6, 6]).map(f32::abs))
+            .collect();
+        let want: Vec<usize> = inputs.iter().map(|x| net.classify(x).unwrap()).collect();
+        let got = net
+            .classify_batch(&stack(&inputs.iter().collect::<Vec<_>>()).unwrap())
+            .unwrap();
+        assert_eq!(got, want, "n = {n}");
+    }
+}
+
+#[test]
+fn infer_batch_rejects_rank_1_input() {
+    let mut net = models::mnist_mlp(1, 6, 1);
+    assert!(net.infer_batch(&Tensor::zeros([36])).is_err());
+}
+
+#[test]
+fn ragged_final_subbatch_width_is_exercised() {
+    // `GRAD_SUBBATCH` chunking leaves a ragged tail whenever the batch
+    // size is not a multiple; pin that the width used by the trainer and
+    // the ragged sizes covered here stay in sync.
+    assert!(BATCH_SIZES
+        .iter()
+        .any(|&n| n % scnn_nn::train::GRAD_SUBBATCH != 0));
+}

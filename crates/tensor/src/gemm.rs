@@ -1,0 +1,571 @@
+//! Cache-blocked, register-tiled GEMM kernels over raw `f32` slices.
+//!
+//! These are the slice-level engines behind the [`crate::ops`] matrix
+//! wrappers and the batched forward/backward paths in `scnn-nn`. Two
+//! properties drive the design:
+//!
+//! - **Throughput.** The inner loops are branch-free (no per-element
+//!   zero test — that defeats autovectorization on dense operands; any
+//!   sparsity exploitation belongs to the *traced* sparse-im2col kernels
+//!   in `scnn-nn`, which model it as an event stream, not as arithmetic).
+//!   `B` is packed into a contiguous panel when it exceeds one block, so
+//!   the hot loop streams cache-resident rows, and each `C` row segment
+//!   is held in a register tile across the whole depth of a `k` block.
+//! - **Determinism.** Block sizes are fixed constants, `k` blocks are
+//!   visited in increasing order, and the register tile is seeded from
+//!   (and stored back to) `C` — so every `C[i][j]` is a *single running
+//!   left fold over `k` in increasing order*, exactly the rounding
+//!   sequence of the textbook `i/k/j` triple loop. Blocking changes the
+//!   memory schedule, never the reduction order, which is what keeps
+//!   results bit-identical across shapes, thread counts and refactors
+//!   (see DESIGN.md §12).
+
+use crate::error::{Result, ShapeError};
+
+/// Depth (`k` extent) of one panel block. Each `C[i][j]` accumulates its
+/// `k` range in increasing block order, so this only affects scheduling.
+const BLOCK_K: usize = 128;
+/// Width (`j` extent) of one panel block: `BLOCK_K × BLOCK_N` floats =
+/// 128 KiB, sized to sit comfortably in L2 while the register tile
+/// streams it.
+const BLOCK_N: usize = 256;
+/// Register-tile width: one `C` row segment of this many accumulators is
+/// kept in registers across an entire `k` block (two 8-lane vectors on
+/// AVX2 targets).
+const TILE_N: usize = 16;
+
+/// Caller-owned scratch for panel packing, so steady-state GEMM calls
+/// allocate nothing. Cloning yields an *empty* scratch: buffers are lazy
+/// working state, not data, and network replicas must not pay to copy
+/// them.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    panel: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+}
+
+impl Clone for GemmScratch {
+    fn clone(&self) -> Self {
+        GemmScratch::default()
+    }
+}
+
+/// How the output matrix is initialised before accumulation.
+///
+/// Bias is an *initialiser*, not an epilogue: seeding `C` with the bias
+/// and then accumulating reproduces, bit for bit, the per-sample kernels
+/// that start from the bias vector (`y ← b; y += xᵢ·Wᵢ`).
+#[derive(Debug, Clone, Copy)]
+pub enum GemmInit<'a> {
+    /// `C ← 0`.
+    Zeros,
+    /// `C[i][j] ← bias[j]` — one bias per output column (dense layers:
+    /// `[N, in]·[in, out]` with a `[out]` bias).
+    BiasPerCol(&'a [f32]),
+    /// `C[i][j] ← bias[i]` — one bias per output row (convolution
+    /// lowering: `[F, K]·[K, N·P]` with a `[F]` bias).
+    BiasPerRow(&'a [f32]),
+}
+
+/// `C = init ∘ (A·B)` with an optional fused thresholded-ReLU epilogue:
+/// `A` is `[m, k]`, `B` is `[k, n]`, `C` is `[m, n]`, all row-major.
+///
+/// When `relu_threshold` is `Some(t)` every finished output is clamped
+/// to `0.0` unless it exceeds `t` (the sparsifying ReLU of `scnn-nn`),
+/// applied in one sweep while `C` is still cache-hot.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::Mismatch`] when a slice length disagrees with
+/// the stated dimensions.
+// BLAS-style surface: dims and operands stay positional like sgemm's.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    init: GemmInit<'_>,
+    relu_threshold: Option<f32>,
+    c: &mut [f32],
+    scratch: &mut GemmScratch,
+) -> Result<()> {
+    check_len(a.len(), m, k)?;
+    check_len(b.len(), k, n)?;
+    check_len(c.len(), m, n)?;
+    match init {
+        GemmInit::Zeros => c.fill(0.0),
+        GemmInit::BiasPerCol(bias) => {
+            check_len(bias.len(), 1, n)?;
+            for row in c.chunks_exact_mut(n.max(1)) {
+                row.copy_from_slice(bias);
+            }
+        }
+        GemmInit::BiasPerRow(bias) => {
+            check_len(bias.len(), m, 1)?;
+            for (row, &bv) in c.chunks_exact_mut(n.max(1)).zip(bias) {
+                row.fill(bv);
+            }
+        }
+    }
+    accumulate(a, b, m, k, n, c, scratch);
+    if let Some(t) = relu_threshold {
+        for v in c.iter_mut() {
+            *v = if *v > t { *v } else { 0.0 };
+        }
+    }
+    scnn_obs::counter_add("gemm.calls", 1);
+    scnn_obs::counter_add("gemm.flops", 2 * (m * k * n) as u64);
+    Ok(())
+}
+
+/// The blocked accumulation core: `C += A·B`. Per-element reduction
+/// order is strictly `k`-increasing (blocks ascend, `p` ascends within a
+/// block, and the register tile carries the running value through each
+/// block), matching the naive streaming `i/k/j` loop bit for bit.
+fn accumulate(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    // One-block operands are read in place; anything larger gets its
+    // current `B` block packed contiguously so panel rows are unit-stride
+    // regardless of `n`.
+    let pack = k > BLOCK_K || n > BLOCK_N;
+    for jb in (0..n).step_by(BLOCK_N) {
+        let jw = BLOCK_N.min(n - jb);
+        for kb in (0..k).step_by(BLOCK_K) {
+            let kw = BLOCK_K.min(k - kb);
+            if pack {
+                scratch.panel.clear();
+                scratch.panel.resize(kw * jw, 0.0);
+                for p in 0..kw {
+                    let src = &b[(kb + p) * n + jb..(kb + p) * n + jb + jw];
+                    scratch.panel[p * jw..(p + 1) * jw].copy_from_slice(src);
+                }
+            }
+            let panel: &[f32] = if pack { &scratch.panel } else { b };
+            // When unpacked there is exactly one block, so the panel row
+            // stride is `n` with `kb == jb == 0`; packed rows are `jw`.
+            let stride = if pack { jw } else { n };
+            for i in 0..m {
+                let arow = &a[i * k + kb..i * k + kb + kw];
+                let crow = &mut c[i * n + jb..i * n + jb + jw];
+                let mut j = 0;
+                while j + TILE_N <= jw {
+                    // The register tile: seeded from C, accumulated over
+                    // the whole k block, stored back — one rounding per
+                    // multiply-add, in k order, same as streaming.
+                    let mut acc = [0.0f32; TILE_N];
+                    acc.copy_from_slice(&crow[j..j + TILE_N]);
+                    for (p, &av) in arow.iter().enumerate() {
+                        let brow = &panel[p * stride + j..p * stride + j + TILE_N];
+                        for (accv, &bv) in acc.iter_mut().zip(brow) {
+                            *accv += av * bv;
+                        }
+                    }
+                    crow[j..j + TILE_N].copy_from_slice(&acc);
+                    j += TILE_N;
+                }
+                if j < jw {
+                    // Ragged column tail: same k-increasing streaming.
+                    for (p, &av) in arow.iter().enumerate() {
+                        let brow = &panel[p * stride + j..p * stride + jw];
+                        for (cv, &bv) in crow[j..jw].iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C (+)= A·Bᵀ` without materialising the transpose: `A` is `[m, k]`,
+/// `B` is `[n, k]`, `C` is `[m, n]`. Each output is a single left-fold
+/// dot product of two contiguous rows (`p` increasing), the same
+/// reduction order as `gemm` against an explicitly transposed `B`.
+///
+/// With `accumulate = false` the output is overwritten; with `true` the
+/// dot product is added to the existing value (gradient accumulation).
+///
+/// # Errors
+///
+/// Returns [`ShapeError::Mismatch`] on slice/dimension disagreement.
+pub fn gemm_abt(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    c: &mut [f32],
+) -> Result<()> {
+    check_len(a.len(), m, k)?;
+    check_len(b.len(), n, k)?;
+    check_len(c.len(), m, n)?;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            let out = &mut c[i * n + j];
+            *out = if accumulate { *out + dot } else { dot };
+        }
+    }
+    scnn_obs::counter_add("gemm.calls", 1);
+    scnn_obs::counter_add("gemm.flops", 2 * (m * k * n) as u64);
+    Ok(())
+}
+
+/// `C (+)= Aᵀ·B` without materialising the transpose: `A` is `[r, m]`,
+/// `B` is `[r, n]`, `C` is `[m, n]`. The reduction streams `r` in
+/// increasing order (outer loop), so accumulating a batch reproduces the
+/// per-sample `C += aᵣ ⊗ bᵣ` outer-product sequence bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::Mismatch`] on slice/dimension disagreement.
+pub fn gemm_atb(
+    a: &[f32],
+    b: &[f32],
+    r: usize,
+    m: usize,
+    n: usize,
+    accumulate: bool,
+    c: &mut [f32],
+) -> Result<()> {
+    check_len(a.len(), r, m)?;
+    check_len(b.len(), r, n)?;
+    check_len(c.len(), m, n)?;
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for row in 0..r {
+        let arow = &a[row * m..(row + 1) * m];
+        let brow = &b[row * n..(row + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    scnn_obs::counter_add("gemm.calls", 1);
+    scnn_obs::counter_add("gemm.flops", 2 * (r * m * n) as u64);
+    Ok(())
+}
+
+/// Square tile edge for the blocked transpose: a 32×32 `f32` tile is
+/// 4 KiB on each side, so both the row-major reads and the column-major
+/// writes stay within a handful of cache lines per tile.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Blocked out-of-place transpose: `dst[j][i] = src[i][j]` for an
+/// `[m, n]` source. A pure permutation — no arithmetic, so there is
+/// nothing to keep deterministic beyond the copy itself.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::Mismatch`] on slice/dimension disagreement.
+pub fn transpose_into(src: &[f32], m: usize, n: usize, dst: &mut [f32]) -> Result<()> {
+    check_len(src.len(), m, n)?;
+    check_len(dst.len(), n, m)?;
+    for ib in (0..m).step_by(TRANSPOSE_TILE) {
+        let ih = TRANSPOSE_TILE.min(m - ib);
+        for jb in (0..n).step_by(TRANSPOSE_TILE) {
+            let jw = TRANSPOSE_TILE.min(n - jb);
+            for i in ib..ib + ih {
+                for j in jb..jb + jw {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_len(len: usize, rows: usize, cols: usize) -> Result<()> {
+    if len != rows * cols {
+        return Err(ShapeError::Mismatch {
+            left: vec![len],
+            right: vec![rows, cols],
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill with a mix of signs and exact
+    /// zeros (zeros exercise the removed skip branch's edge cases).
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64 + 1)
+                    .wrapping_mul(seed | 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let v = ((x >> 40) % 2000) as f32 / 100.0 - 10.0;
+                if x.is_multiple_of(7) {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// The reference reduction order: naive streaming `i/k/j`, no
+    /// blocking, no branches. The blocked kernel must match bit for bit.
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_block_boundaries() {
+        // Shapes straddling every blocking edge: tiny, exactly one
+        // block, one-past, ragged tails in every dimension.
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, BLOCK_K, TILE_N),
+            (2, BLOCK_K + 1, TILE_N + 1),
+            (5, 2 * BLOCK_K + 3, BLOCK_N + 17),
+            (7, 130, 300),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = fill(m * k, 11);
+            let b = fill(k * n, 23);
+            let want = naive(&a, &b, m, k, n);
+            let mut got = vec![1.0f32; m * n]; // poisoned: init must clear
+            let mut scratch = GemmScratch::new();
+            gemm(
+                &a,
+                &b,
+                m,
+                k,
+                n,
+                GemmInit::Zeros,
+                None,
+                &mut got,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(got, want, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn bias_init_matches_seeded_streaming() {
+        let (m, k, n) = (4, 150, 20);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 5);
+        let col_bias = fill(n, 7);
+        let row_bias = fill(m, 9);
+        let mut scratch = GemmScratch::new();
+
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                want[i * n + j] = col_bias[j];
+            }
+        }
+        for (i, row) in naive(&a, &b, m, k, n).chunks(n).enumerate() {
+            // Seed-then-stream: same fold, bias first.
+            let mut seeded = col_bias.clone();
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    seeded[j] += av * b[p * n + j];
+                }
+            }
+            want[i * n..(i + 1) * n].copy_from_slice(&seeded);
+            let _ = row;
+        }
+        let mut got = vec![0.0f32; m * n];
+        gemm(
+            &a,
+            &b,
+            m,
+            k,
+            n,
+            GemmInit::BiasPerCol(&col_bias),
+            None,
+            &mut got,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(got, want);
+
+        let mut got_row = vec![0.0f32; m * n];
+        gemm(
+            &a,
+            &b,
+            m,
+            k,
+            n,
+            GemmInit::BiasPerRow(&row_bias),
+            None,
+            &mut got_row,
+            &mut scratch,
+        )
+        .unwrap();
+        for i in 0..m {
+            let mut seeded = vec![row_bias[i]; n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    seeded[j] += av * b[p * n + j];
+                }
+            }
+            assert_eq!(&got_row[i * n..(i + 1) * n], &seeded[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_thresholds() {
+        let a = [1.0f32, -1.0];
+        let b = [2.0f32, -3.0, 0.05, 0.0];
+        let mut c = [0.0f32; 2];
+        let mut scratch = GemmScratch::new();
+        // [1, 2]·[2, 2]: y = [2 - 0.05, -3 - 0] = [1.95, -3.0]
+        gemm(
+            &a,
+            &b,
+            1,
+            2,
+            2,
+            GemmInit::Zeros,
+            Some(0.1),
+            &mut c,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(c, [1.95, 0.0]);
+    }
+
+    #[test]
+    fn abt_matches_explicit_transpose() {
+        let (m, k, n) = (6, 37, 5);
+        let a = fill(m * k, 13);
+        let b = fill(n * k, 17); // [n, k]
+        let mut bt = vec![0.0f32; k * n];
+        transpose_into(&b, n, k, &mut bt).unwrap();
+        let want = naive(&a, &bt, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_abt(&a, &b, m, k, n, false, &mut got).unwrap();
+        assert_eq!(got, want);
+        // Accumulating form adds on top.
+        gemm_abt(&a, &b, m, k, n, true, &mut got).unwrap();
+        let doubled: Vec<f32> = want.iter().map(|&v| v + v).collect();
+        assert_eq!(got, doubled);
+    }
+
+    #[test]
+    fn atb_matches_explicit_transpose_and_outer_product_order() {
+        let (r, m, n) = (9, 4, 6);
+        let a = fill(r * m, 19); // [r, m]
+        let b = fill(r * n, 29); // [r, n]
+        let mut at = vec![0.0f32; m * r];
+        transpose_into(&a, r, m, &mut at).unwrap();
+        let want = naive(&at, &b, m, r, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_atb(&a, &b, r, m, n, false, &mut got).unwrap();
+        assert_eq!(got, want);
+
+        // Sequence of per-row outer products — the order gradient
+        // accumulation uses — must also match bit for bit.
+        let mut seq = vec![0.0f32; m * n];
+        for row in 0..r {
+            for i in 0..m {
+                for j in 0..n {
+                    seq[i * n + j] += a[row * m + i] * b[row * n + j];
+                }
+            }
+        }
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn transpose_blocked_is_exact_permutation() {
+        for &(m, n) in &[(1, 1), (3, 70), (70, 3), (33, 65)] {
+            let src = fill(m * n, 31);
+            let mut dst = vec![0.0f32; n * m];
+            transpose_into(&src, m, n, &mut dst).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(dst[j * m + i], src[i * n + j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_clones_empty() {
+        let mut s = GemmScratch::new();
+        let a = fill(4, 1);
+        let b = fill(4, 2);
+        let mut c = vec![0.0f32; 4];
+        gemm(&a, &b, 2, 2, 2, GemmInit::Zeros, None, &mut c, &mut s).unwrap();
+        assert!(s.clone().panel.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let mut s = GemmScratch::new();
+        let mut c = vec![0.0f32; 4];
+        assert!(gemm(
+            &[0.0; 3],
+            &[0.0; 4],
+            2,
+            2,
+            2,
+            GemmInit::Zeros,
+            None,
+            &mut c,
+            &mut s
+        )
+        .is_err());
+        assert!(gemm(
+            &[0.0; 4],
+            &[0.0; 3],
+            2,
+            2,
+            2,
+            GemmInit::Zeros,
+            None,
+            &mut c,
+            &mut s
+        )
+        .is_err());
+        assert!(gemm_abt(&[0.0; 4], &[0.0; 3], 2, 2, 2, false, &mut c).is_err());
+        assert!(gemm_atb(&[0.0; 4], &[0.0; 3], 2, 2, 2, false, &mut c).is_err());
+        assert!(transpose_into(&[0.0; 4], 2, 3, &mut c).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod gemm;
 pub mod init;
 pub mod ops;
 mod shape;

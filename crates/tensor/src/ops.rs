@@ -8,7 +8,29 @@
 use crate::error::{Result, ShapeError};
 use crate::tensor::Tensor;
 
-/// Matrix product `C = A · B` for rank-2 tensors.
+pub use crate::gemm::{GemmInit, GemmScratch};
+
+/// Checks that `a` and `b` are matrices with agreeing inner dimensions and
+/// returns `(m, k, n)`.
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// Matrix product `C = A · B` for rank-2 tensors, computed by the
+/// cache-blocked kernel in this crate. The per-element reduction order is
+/// a `k`-increasing left fold, independent of blocking (see DESIGN.md §12),
+/// and the inner loops are branch-free: sparsity skipping is a property of
+/// the *traced* kernels in `scnn-nn`, never of the numeric GEMM.
 ///
 /// # Errors
 ///
@@ -28,33 +50,196 @@ use crate::tensor::Tensor;
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _, n) = matmul_dims(a, b)?;
+    let mut out = Tensor::zeros([m, n]);
+    let mut scratch = GemmScratch::new();
+    matmul_into(a, b, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Allocation-free matrix product: `out = A · B` written into a
+/// caller-owned tensor, with panel packing reusing `scratch`.
+///
+/// # Errors
+///
+/// Returns shape errors when `out` is not `[m, n]` or the operands are not
+/// conforming matrices.
+pub fn matmul_into(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    scratch: &mut GemmScratch,
+) -> Result<()> {
+    gemm_into(a, b, GemmInit::Zeros, None, out, scratch)
+}
+
+/// Fused GEMM with bias initialisation and optional thresholded-ReLU
+/// epilogue: `out = act(init + A · B)` (see [`GemmInit`]). Seeding the
+/// output with the bias reproduces the per-sample `y ← b; y += xᵢ·Wᵢ`
+/// fold bit for bit, and the activation sweep runs while `out` is still
+/// cache-hot.
+///
+/// # Errors
+///
+/// Returns shape errors when operands, bias, or `out` disagree with the
+/// GEMM dimensions.
+pub fn gemm_into(
+    a: &Tensor,
+    b: &Tensor,
+    init: GemmInit<'_>,
+    relu_threshold: Option<f32>,
+    out: &mut Tensor,
+    scratch: &mut GemmScratch,
+) -> Result<()> {
+    let (m, k, n) = matmul_dims(a, b)?;
+    if out.dims() != [m, n] {
+        return Err(ShapeError::Mismatch {
+            left: out.dims().to_vec(),
+            right: vec![m, n],
+        });
+    }
+    crate::gemm::gemm(
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        init,
+        relu_threshold,
+        out.as_mut_slice(),
+        scratch,
+    )
+}
+
+/// `C = A · Bᵀ` without materialising the transpose: `a` is `[m, k]`,
+/// `b` is `[n, k]`. Bit-identical to `matmul(a, &transpose(b)?)` — each
+/// output is the same `k`-increasing dot-product fold.
+///
+/// # Errors
+///
+/// Returns shape errors for non-matrices or disagreeing `k` dimensions.
+pub fn matmul_abt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.shape().expect_rank(2)?;
     b.shape().expect_rank(2)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
         return Err(ShapeError::MatmulMismatch {
             left_cols: k,
             right_rows: k2,
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.as_slice();
-    let bd = b.as_slice();
-    for i in 0..m {
-        for p in 0..k {
-            let aval = ad[i * k + p];
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bv;
-            }
-        }
+    let mut out = Tensor::zeros([m, n]);
+    crate::gemm::gemm_abt(
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        false,
+        out.as_mut_slice(),
+    )?;
+    Ok(out)
+}
+
+/// `out += A · Bᵀ` — the accumulating form of [`matmul_abt`], used for
+/// in-place gradient accumulation.
+///
+/// # Errors
+///
+/// Returns shape errors when operands or `out` disagree.
+pub fn matmul_abt_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
     }
-    Tensor::from_vec(out, [m, n])
+    if out.len() != m * n {
+        return Err(ShapeError::Mismatch {
+            left: out.dims().to_vec(),
+            right: vec![m, n],
+        });
+    }
+    crate::gemm::gemm_abt(
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        true,
+        out.as_mut_slice(),
+    )
+}
+
+/// `C = Aᵀ · B` without materialising the transpose: `a` is `[r, m]`,
+/// `b` is `[r, n]`. The reduction streams `r` in increasing order, so it
+/// is bit-identical both to `matmul(&transpose(a)?, b)` and to the
+/// per-row outer-product sequence `C += aᵣ ⊗ bᵣ`.
+///
+/// # Errors
+///
+/// Returns shape errors for non-matrices or disagreeing `r` dimensions.
+pub fn matmul_atb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (r, m) = (a.dims()[0], a.dims()[1]);
+    let (r2, n) = (b.dims()[0], b.dims()[1]);
+    if r != r2 {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: r,
+            right_rows: r2,
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    crate::gemm::gemm_atb(
+        a.as_slice(),
+        b.as_slice(),
+        r,
+        m,
+        n,
+        false,
+        out.as_mut_slice(),
+    )?;
+    Ok(out)
+}
+
+/// `out += Aᵀ · B` — the accumulating form of [`matmul_atb`], used for
+/// batch-major weight-gradient accumulation (`dW += Xᵀ·G`).
+///
+/// # Errors
+///
+/// Returns shape errors when operands or `out` disagree.
+pub fn matmul_atb_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (r, m) = (a.dims()[0], a.dims()[1]);
+    let (r2, n) = (b.dims()[0], b.dims()[1]);
+    if r != r2 {
+        return Err(ShapeError::MatmulMismatch {
+            left_cols: r,
+            right_rows: r2,
+        });
+    }
+    if out.len() != m * n {
+        return Err(ShapeError::Mismatch {
+            left: out.dims().to_vec(),
+            right: vec![m, n],
+        });
+    }
+    crate::gemm::gemm_atb(
+        a.as_slice(),
+        b.as_slice(),
+        r,
+        m,
+        n,
+        true,
+        out.as_mut_slice(),
+    )
 }
 
 /// Matrix–vector product `y = A · x`.
@@ -83,7 +268,9 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, [m])
 }
 
-/// Transpose of a rank-2 tensor.
+/// Transpose of a rank-2 tensor, computed tile-by-tile so the
+/// column-strided writes stay within a few cache lines per tile instead
+/// of sweeping the whole output column-wise.
 ///
 /// # Errors
 ///
@@ -91,13 +278,8 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
     a.shape().expect_rank(2)?;
     let (m, n) = (a.dims()[0], a.dims()[1]);
-    let ad = a.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
-        }
-    }
+    crate::gemm::transpose_into(a.as_slice(), m, n, &mut out)?;
     Tensor::from_vec(out, [n, m])
 }
 
@@ -204,23 +386,31 @@ impl Window2d {
     }
 }
 
-/// Lowers a `[C, H, W]` image into the im2col matrix of shape
-/// `[C*kh*kw, oh*ow]`, the standard convolution-as-matmul transform.
-///
-/// Out-of-bounds (padding) positions contribute zeros.
-///
-/// # Errors
-///
-/// Returns [`ShapeError::RankMismatch`] for non-3-D input and window-fit
-/// errors from [`Window2d::output_size`].
-pub fn im2col(input: &Tensor, win: Window2d) -> Result<Tensor> {
-    input.shape().expect_rank(3)?;
-    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+/// Geometry of one im2col lowering: `[rows, cols]` for a single sample.
+fn im2col_geometry(c: usize, h: usize, w: usize, win: Window2d) -> Result<(usize, usize)> {
     let (oh, ow) = win.output_size(h, w)?;
-    let rows = c * win.kh * win.kw;
-    let cols = oh * ow;
-    let src = input.as_slice();
-    let mut out = vec![0.0f32; rows * cols];
+    Ok((c * win.kh * win.kw, oh * ow))
+}
+
+/// Scatters one `[C, H, W]` sample into im2col form. The destination row
+/// `r` lives at `dst[r * col_stride + col_off ..]`, which lets a batched
+/// lowering place sample `s` at column offset `s * cols` of a shared
+/// `[rows, N*cols]` matrix. `dst` must already be zeroed: padding
+/// positions are represented by the zeros left untouched.
+#[allow(clippy::too_many_arguments)] // private kernel; args mirror the geometry
+fn im2col_fill(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window2d,
+    dst: &mut [f32],
+    col_off: usize,
+    col_stride: usize,
+) {
+    let (oh, ow) = win
+        .output_size(h, w)
+        .expect("caller validated window geometry");
     for ch in 0..c {
         for ky in 0..win.kh {
             for kx in 0..win.kw {
@@ -235,14 +425,112 @@ pub fn im2col(input: &Tensor, win: Window2d) -> Result<Tensor> {
                         if ix < 0 || ix as usize >= w {
                             continue;
                         }
-                        out[row * cols + oy * ow + ox] =
+                        dst[row * col_stride + col_off + oy * ow + ox] =
                             src[(ch * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
     }
+}
+
+/// Lowers a `[C, H, W]` image into the im2col matrix of shape
+/// `[C*kh*kw, oh*ow]`, the standard convolution-as-matmul transform.
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-3-D input and window-fit
+/// errors from [`Window2d::output_size`].
+pub fn im2col(input: &Tensor, win: Window2d) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let (rows, cols) = im2col_into(input, win, &mut out)?;
     Tensor::from_vec(out, [rows, cols])
+}
+
+/// Allocation-free [`im2col`]: lowers into a caller-owned buffer (cleared,
+/// then resized to `rows * cols`) and returns `(rows, cols)`. Steady-state
+/// callers reuse the buffer's capacity across calls.
+///
+/// # Errors
+///
+/// Same as [`im2col`].
+pub fn im2col_into(input: &Tensor, win: Window2d, out: &mut Vec<f32>) -> Result<(usize, usize)> {
+    input.shape().expect_rank(3)?;
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    im2col_slice_into(input.as_slice(), c, h, w, win, out)
+}
+
+/// Slice-level [`im2col_into`] for callers whose sample lives inside a
+/// larger buffer (one sample of a batch tensor): lowers a `[C, H, W]`
+/// slice into `out` and returns `(rows, cols)`.
+///
+/// # Errors
+///
+/// Returns shape errors when `src` disagrees with the geometry.
+pub fn im2col_slice_into(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window2d,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize)> {
+    if src.len() != c * h * w {
+        return Err(ShapeError::Mismatch {
+            left: vec![src.len()],
+            right: vec![c, h, w],
+        });
+    }
+    let (rows, cols) = im2col_geometry(c, h, w, win)?;
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    im2col_fill(src, c, h, w, win, out, 0, cols);
+    Ok((rows, cols))
+}
+
+/// Batched im2col: lowers a `[N, C, H, W]` batch into one shared
+/// `[rows, N*cols]` matrix where sample `s` occupies the contiguous column
+/// block `s*cols .. (s+1)*cols`. A single `[F, rows] × [rows, N*cols]`
+/// GEMM then convolves the whole batch; because each sample's columns are
+/// disjoint, per-output reduction order is identical to lowering samples
+/// one at a time. Returns `(rows, cols)` — the *per-sample* column count.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::RankMismatch`] for non-4-D input and window-fit
+/// errors from [`Window2d::output_size`].
+pub fn im2col_batch_into(
+    batch: &Tensor,
+    win: Window2d,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize)> {
+    batch.shape().expect_rank(4)?;
+    let (n, c, h, w) = (
+        batch.dims()[0],
+        batch.dims()[1],
+        batch.dims()[2],
+        batch.dims()[3],
+    );
+    let (rows, cols) = im2col_geometry(c, h, w, win)?;
+    out.clear();
+    out.resize(rows * n * cols, 0.0);
+    let src = batch.as_slice();
+    let sample_len = c * h * w;
+    for s in 0..n {
+        im2col_fill(
+            &src[s * sample_len..(s + 1) * sample_len],
+            c,
+            h,
+            w,
+            win,
+            out,
+            s * cols,
+            n * cols,
+        );
+    }
+    Ok((rows, cols))
 }
 
 /// Inverse of [`im2col`]: scatters a `[C*kh*kw, oh*ow]` matrix back into a
@@ -255,17 +543,49 @@ pub fn im2col(input: &Tensor, win: Window2d) -> Result<Tensor> {
 /// given geometry.
 pub fn col2im(cols_mat: &Tensor, c: usize, h: usize, w: usize, win: Window2d) -> Result<Tensor> {
     cols_mat.shape().expect_rank(2)?;
-    let (oh, ow) = win.output_size(h, w)?;
-    let rows = c * win.kh * win.kw;
-    let cols = oh * ow;
+    let (rows, cols) = im2col_geometry(c, h, w, win)?;
     if cols_mat.dims() != [rows, cols] {
         return Err(ShapeError::Mismatch {
             left: cols_mat.dims().to_vec(),
             right: vec![rows, cols],
         });
     }
-    let src = cols_mat.as_slice();
     let mut out = vec![0.0f32; c * h * w];
+    col2im_into(cols_mat.as_slice(), c, h, w, win, &mut out)?;
+    Tensor::from_vec(out, [c, h, w])
+}
+
+/// Slice-level [`col2im`]: scatters a `[C*kh*kw, oh*ow]` column matrix
+/// back into a `[C, H, W]` image slice, *accumulating* into `out`. The
+/// caller owns zeroing (or pre-seeding) the destination, which lets the
+/// batched conv backward scatter each sample into its slice of a shared
+/// gradient tensor without intermediate allocations.
+///
+/// # Errors
+///
+/// Returns shape errors when slice lengths disagree with the geometry.
+pub fn col2im_into(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window2d,
+    out: &mut [f32],
+) -> Result<()> {
+    let (rows, cols) = im2col_geometry(c, h, w, win)?;
+    if src.len() != rows * cols {
+        return Err(ShapeError::Mismatch {
+            left: vec![src.len()],
+            right: vec![rows, cols],
+        });
+    }
+    if out.len() != c * h * w {
+        return Err(ShapeError::Mismatch {
+            left: vec![out.len()],
+            right: vec![c, h, w],
+        });
+    }
+    let (oh, ow) = win.output_size(h, w)?;
     for ch in 0..c {
         for ky in 0..win.kh {
             for kx in 0..win.kw {
@@ -287,7 +607,7 @@ pub fn col2im(cols_mat: &Tensor, c: usize, h: usize, w: usize, win: Window2d) ->
             }
         }
     }
-    Tensor::from_vec(out, [c, h, w])
+    Ok(())
 }
 
 /// Direct (nested-loop) 2-D convolution of a `[C, H, W]` input with
@@ -428,6 +748,133 @@ mod tests {
             matmul(&a, &b),
             Err(ShapeError::MatmulMismatch { .. })
         ));
+    }
+
+    fn filled(rows: usize, cols: usize, seed: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..rows * cols)
+                .map(|i| ((i * 7 + seed * 13) % 23) as f32 - 11.0)
+                .collect(),
+            [rows, cols],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_and_scratch() {
+        let a = filled(5, 150, 1);
+        let b = filled(150, 33, 2);
+        let want = matmul(&a, &b).unwrap();
+        let mut out = Tensor::full([5, 33], 7.0); // stale values must be overwritten
+        let mut scratch = GemmScratch::new();
+        matmul_into(&a, &b, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, want);
+        matmul_into(&a, &b, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, want);
+        let mut wrong = Tensor::zeros([5, 32]);
+        assert!(matmul_into(&a, &b, &mut wrong, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn gemm_into_bias_and_relu_match_manual_fold() {
+        let a = filled(3, 40, 3);
+        let b = filled(40, 6, 4);
+        let bias = Tensor::from_slice(&[0.5, -0.5, 1.0, 0.0, 2.0, -2.0]);
+        let mut out = Tensor::zeros([3, 6]);
+        let mut scratch = GemmScratch::new();
+        gemm_into(
+            &a,
+            &b,
+            GemmInit::BiasPerCol(bias.as_slice()),
+            Some(0.1),
+            &mut out,
+            &mut scratch,
+        )
+        .unwrap();
+        // Reference: seed with bias, stream k ascending, then threshold.
+        for i in 0..3 {
+            let mut row = bias.as_slice().to_vec();
+            for p in 0..40 {
+                let av = a.as_slice()[i * 40 + p];
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r += av * b.as_slice()[p * 6 + j];
+                }
+            }
+            for r in row.iter_mut() {
+                *r = if *r > 0.1 { *r } else { 0.0 };
+            }
+            assert_eq!(&out.as_slice()[i * 6..(i + 1) * 6], &row[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn matmul_abt_matches_materialised_transpose_bitwise() {
+        let a = filled(4, 37, 5);
+        let b = filled(9, 37, 6); // [n, k]
+        let want = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(matmul_abt(&a, &b).unwrap(), want);
+        let mut acc = want.clone();
+        matmul_abt_acc(&a, &b, &mut acc).unwrap();
+        let doubled = Tensor::from_vec(
+            want.as_slice().iter().map(|&v| v + v).collect(),
+            [4usize, 9],
+        )
+        .unwrap();
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    fn matmul_atb_matches_materialised_transpose_bitwise() {
+        let a = filled(11, 4, 7); // [r, m]
+        let b = filled(11, 5, 8); // [r, n]
+        let want = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(matmul_atb(&a, &b).unwrap(), want);
+        let mut acc = want.clone();
+        matmul_atb_acc(&a, &b, &mut acc).unwrap();
+        let doubled = Tensor::from_vec(
+            want.as_slice().iter().map(|&v| v + v).collect(),
+            [4usize, 5],
+        )
+        .unwrap();
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    fn im2col_batch_matches_per_sample_lowering() {
+        let win = Window2d::simple(3);
+        let s0 = Tensor::from_vec(
+            (0..2 * 5 * 5).map(|i| i as f32 * 0.25 - 3.0).collect(),
+            [2, 5, 5],
+        )
+        .unwrap();
+        let s1 = Tensor::from_vec(
+            (0..2 * 5 * 5)
+                .map(|i| ((i * 3) % 17) as f32 - 8.0)
+                .collect(),
+            [2, 5, 5],
+        )
+        .unwrap();
+        let mut batch_data = s0.as_slice().to_vec();
+        batch_data.extend_from_slice(s1.as_slice());
+        let batch = Tensor::from_vec(batch_data, [2, 2, 5, 5]).unwrap();
+
+        let mut lowered = Vec::new();
+        let (rows, cols) = im2col_batch_into(&batch, win, &mut lowered).unwrap();
+        let c0 = im2col(&s0, win).unwrap();
+        let c1 = im2col(&s1, win).unwrap();
+        assert_eq!((rows, cols), (c0.dims()[0], c0.dims()[1]));
+        for r in 0..rows {
+            assert_eq!(
+                &lowered[r * 2 * cols..r * 2 * cols + cols],
+                &c0.as_slice()[r * cols..(r + 1) * cols],
+                "sample 0 row {r}"
+            );
+            assert_eq!(
+                &lowered[r * 2 * cols + cols..(r + 1) * 2 * cols],
+                &c1.as_slice()[r * cols..(r + 1) * cols],
+                "sample 1 row {r}"
+            );
+        }
     }
 
     #[test]
