@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmark invariant gate — runs the `parallel` bench and fails on
+# broken *invariants*, never on timings.
+#
+# CI machines have noisy, heterogeneous performance, so asserting "the
+# parallel path is N× faster" would flake. Two properties are load-
+# bearing and machine-independent, and those are what this gate checks
+# in the emitted BENCH_parallel.json:
+#
+#   1. bit_identical == true — the parallel collect/evaluate paths and
+#      the batched GEMM inference path produced byte-identical results
+#      to their sequential/scalar counterparts (the determinism
+#      contract; a timing-independent correctness assertion).
+#   2. batch_infer speedup >= 1.0 — batched inference amortises GEMM
+#      setup algorithmically, so it must not be slower than per-sample
+#      inference even on a single-CPU host. A regression below 1.0
+#      means the batching path stopped paying for itself.
+#
+# It also checks the report carries both parallelism fields
+# (host_parallelism from /proc/cpuinfo, available_parallelism from the
+# runtime) so speedup columns stay interpretable on pinned CI shards.
+#
+#   ci/bench_gate.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== bench gate: parallel invariants =="
+cargo bench -q --offline -p scnn-bench --bench parallel
+
+report="BENCH_parallel.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+
+grep -q '"bit_identical": true' "$report" \
+  || { echo "FAIL: bit_identical is not true"; cat "$report"; exit 1; }
+
+grep -q '"host_parallelism": [0-9]' "$report" \
+  || { echo "FAIL: host_parallelism missing"; cat "$report"; exit 1; }
+grep -q '"available_parallelism": [0-9]' "$report" \
+  || { echo "FAIL: available_parallelism missing"; cat "$report"; exit 1; }
+
+# batch_infer_ms.speedup >= 1.0: extract the last "speedup" value on the
+# batch_infer_ms line and compare with awk (no bc dependency).
+speedup="$(grep '"batch_infer_ms"' "$report" | sed 's/.*"speedup": \([0-9.]*\).*/\1/')"
+[ -n "$speedup" ] || { echo "FAIL: batch_infer speedup missing"; cat "$report"; exit 1; }
+awk -v s="$speedup" 'BEGIN { exit (s >= 1.0) ? 0 : 1 }' \
+  || { echo "FAIL: batch_infer speedup $speedup < 1.0"; cat "$report"; exit 1; }
+
+echo "bench gate OK (bit_identical, batch_infer speedup $speedup)"

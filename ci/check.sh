@@ -72,4 +72,47 @@ diff <(printf '%s' "$out4") <(printf '%s' "$out_cold") \
   || { echo "FAIL: report differs between cached and uncached runs"; exit 1; }
 rm -rf "$cache_dir" "$cold_err" "$warm_err"
 
+step "uarch preset zoo lints (strict parse + canonical round-trip)"
+cargo run --release --offline -q -p scnn-bench --bin uarch_lint \
+  || { echo "FAIL: embedded presets did not lint"; exit 1; }
+cargo run --release --offline -q -p scnn-bench --bin uarch_lint -- crates/core/presets/*.json \
+  || { echo "FAIL: preset files did not lint"; exit 1; }
+
+step "uarch zoo sweep (>=3 presets, warm rerun skips train/collect, stdout byte-identical)"
+sweep_cache="$(mktemp -d)"
+sweep_json="$(mktemp)"
+sweep_tel="$(mktemp)"
+out_sweep_cold="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      sweep --quick --samples 8 --threads 4 --cache-dir "$sweep_cache" --out "$sweep_json")"
+out_sweep_warm="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      sweep --quick --samples 8 --threads 4 --cache-dir "$sweep_cache" --out "$sweep_json" \
+      --telemetry "$sweep_tel")"
+printf '%s\n' "$out_sweep_cold"
+for preset in xeon-like mobile-like embedded-like xeon-plru; do
+  printf '%s' "$out_sweep_cold" | grep -q "$preset" \
+    || { echo "FAIL: sweep table missing preset $preset"; exit 1; }
+  grep -q "\"preset\":\"$preset\"" "$sweep_json" \
+    || { echo "FAIL: sweep JSON missing preset row $preset"; exit 1; }
+done
+diff <(printf '%s' "$out_sweep_cold") <(printf '%s' "$out_sweep_warm") \
+  || { echo "FAIL: sweep stdout differs between cold and warm cache runs"; exit 1; }
+# Warm rerun must resume from artifacts: no train or collect spans.
+if grep -q '"name":"pipeline.train"' "$sweep_tel"; then
+  echo "FAIL: warm sweep re-trained the model"; exit 1
+fi
+if grep -q '"name":"pipeline.collect"' "$sweep_tel"; then
+  echo "FAIL: warm sweep re-collected observations"; exit 1
+fi
+grep -q '"name":"sweep.preset"' "$sweep_tel" \
+  || { echo "FAIL: sweep telemetry missing per-preset spans"; exit 1; }
+# The zoo must actually separate platforms: at least two distinct
+# distinguishable-pair counts across presets.
+distinct="$(grep -o '"distinguishable_pairs":[0-9]*' "$sweep_json" | sort -u | wc -l)"
+[ "$distinct" -ge 2 ] \
+  || { echo "FAIL: all presets report identical distinguishable-pair counts"; cat "$sweep_json"; exit 1; }
+rm -rf "$sweep_cache" "$sweep_json" "$sweep_tel"
+
+step "bench invariant gate (bit_identical + batch-inference speedup)"
+ci/bench_gate.sh
+
 step "all checks passed"

@@ -211,12 +211,19 @@ fn main() {
         "batched inference must match per-sample inference row for row"
     );
 
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // `available_parallelism` honours affinity pinning and cgroup caps,
+    // so it under-reports on constrained CI shards; `host_parallelism`
+    // counts the CPUs the machine physically has. Both are recorded so a
+    // reader can tell "the host is small" apart from "the process was
+    // pinned" when judging the speedup columns.
+    let host = scnn_bench::harness::host_parallelism();
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"parallel\",\n",
             "  \"host_parallelism\": {host},\n",
+            "  \"available_parallelism\": {available},\n",
             "  \"par_workers\": {workers},\n",
             "  \"campaign\": {{ \"categories\": 4, \"samples_per_category\": {samples} }},\n",
             "  \"evaluator_matrix\": {{ \"categories\": {ecats}, \"events\": {eevents}, \"samples\": {esamples} }},\n",
@@ -229,6 +236,7 @@ fn main() {
             "}}\n"
         ),
         host = host,
+        available = available,
         workers = PAR_WORKERS,
         samples = samples,
         ecats = eval_categories,

@@ -11,10 +11,11 @@
 //! repro table2          # Table 2: CIFAR-10 pairwise t-tests
 //! repro attack          # Extension A: HPC template attack accuracy
 //! repro ablation        # Extension B: countermeasure ablation
-//! repro sweep           # Extension C: leakage vs noise level / sample count
+//! repro noise           # Extension C: leakage vs noise level / sample count
 //! repro events          # Extension D: which of the 8 events leak, cold vs warm
 //! repro uarch           # Extension E: microarchitectural design ablation
 //! repro archs           # Extension F: CNN vs MLP victim architectures
+//! repro sweep           # Extension G: t-test evaluation across the preset zoo
 //! repro all             # everything above
 //! ```
 //!
@@ -28,7 +29,9 @@
 //! progress on stderr — stdout stays byte-identical), `--cache-dir <dir>`
 //! (persist trained models and per-category observations so reruns skip
 //! training and collection — stdout stays byte-identical; cache chatter
-//! goes to stderr).
+//! goes to stderr), `--uarch <name|path>` (simulate a different platform:
+//! a preset from the zoo — see `scnn_core::zoo` — or a JSON config file),
+//! `--out <path>` (for `sweep`: also write the leak table as JSON).
 
 use scnn_bench::repro_flags;
 use scnn_cache::ArtifactCache;
@@ -44,6 +47,7 @@ use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
 use scnn_obs::{Recorder, SpanEvent, SpanPhase};
 use scnn_par::Threads;
 use scnn_stats::ranktest;
+use scnn_uarch::UarchConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -55,6 +59,8 @@ struct Options {
     csv: Option<std::path::PathBuf>,
     threads: Threads,
     telemetry: Option<std::path::PathBuf>,
+    uarch: Option<UarchConfig>,
+    out: Option<std::path::PathBuf>,
 }
 
 impl Options {
@@ -67,7 +73,11 @@ impl Options {
         // The determinism contract (see DESIGN.md § Parallel execution)
         // guarantees every artefact below is byte-identical whatever the
         // thread setting; only the wall-clock changes.
-        base.samples(self.samples).threads(self.threads)
+        let mut cfg = base.samples(self.samples).threads(self.threads);
+        if let Some(uarch) = &self.uarch {
+            cfg.pmu.core = uarch.core;
+        }
+        cfg
     }
 }
 
@@ -517,7 +527,7 @@ impl Runner {
         println!("\n(* category pairs distinguishable at 95% confidence; the leak\n   is robust to platform details — it lives in the software)\n");
     }
 
-    fn sweep(&mut self) {
+    fn noise(&mut self) {
         println!("==============================================================");
         println!("Extension C: leakage vs noise level and sample count (MNIST)");
         println!("==============================================================");
@@ -542,7 +552,7 @@ impl Runner {
             let mut cfg = base.clone();
             cfg.pmu.noise = cfg.pmu.noise.scaled(level);
             let outcome = self
-                .run_experiment(&format!("sweep/noise-{level:.1}x"), cfg)
+                .run_experiment(&format!("noise/noise-{level:.1}x"), cfg)
                 .unwrap_or_else(|e| panic!("noise sweep level {level} failed: {e}"));
             println!(
                 "{:<14} {:>12}/6 {:>12}/6",
@@ -561,7 +571,7 @@ impl Runner {
             let mut cfg = base.clone();
             cfg.collection.samples_per_category = samples;
             let outcome = self
-                .run_experiment(&format!("sweep/samples-{samples}"), cfg)
+                .run_experiment(&format!("noise/samples-{samples}"), cfg)
                 .unwrap_or_else(|e| panic!("sample sweep n={samples} failed: {e}"));
             println!(
                 "{:<14} {:>12}/6 {:>12}/6",
@@ -571,6 +581,62 @@ impl Runner {
             );
         }
         println!("\n(* category pairs distinguishable at 95% confidence)\n");
+    }
+
+    fn sweep(&mut self) {
+        println!("==============================================================");
+        println!("Extension G: t-test evaluation across the microarchitecture zoo");
+        println!("==============================================================");
+        println!("(MNIST; one row per simulated platform, same model and seeds)\n");
+        let base = self.options.config(DatasetKind::Mnist);
+        let zoo = scnn_core::zoo::zoo();
+        for preset in &zoo {
+            eprintln!("[sweep] preset {}: {}", preset.name, preset.description);
+        }
+        let outcome = scnn_core::sweep::run_sweep(
+            &base,
+            &zoo,
+            self.options.threads,
+            self.artifact_cache.as_ref(),
+        )
+        .unwrap_or_else(|e| panic!("uarch sweep failed: {e}"));
+        for row in &outcome.rows {
+            let u = row.cache;
+            eprintln!(
+                "[cache] sweep/{}: model {}, {}/{} categories from cache",
+                row.preset,
+                if u.model_hit { "hit" } else { "miss" },
+                u.categories_hit,
+                u.categories_hit + u.categories_collected,
+            );
+        }
+        print!("{}", outcome.render_table());
+        println!(
+            "\n(pairs = distinguishable (event, category-pair) cells at 95%, over\n all 8 HPC events; alarms on {}/{} platforms)\n",
+            outcome.alarms(),
+            outcome.rows.len()
+        );
+        let rows: Vec<String> = outcome
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{}",
+                    r.preset, r.alarm, r.distinguishable_pairs, r.total_pairs, r.max_abs_t
+                )
+            })
+            .collect();
+        self.write_csv(
+            "sweep_uarch_zoo.csv",
+            "preset,alarm,distinguishable_pairs,total_pairs,max_abs_t",
+            &rows,
+        );
+        if let Some(path) = &self.options.out {
+            match std::fs::write(path, outcome.to_json()) {
+                Ok(()) => eprintln!("[sweep] wrote {}", path.display()),
+                Err(e) => panic!("cannot write --out {}: {e}", path.display()),
+            }
+        }
     }
 }
 
@@ -616,6 +682,14 @@ fn run() -> Result<(), Error> {
             None => Threads::Auto,
         },
         telemetry: parsed.value("--telemetry").map(std::path::PathBuf::from),
+        uarch: match parsed.value("--uarch") {
+            Some(spec) => Some(
+                scnn_core::zoo::load_uarch(spec)
+                    .map_err(|e| Error::msg(format!("--uarch: {e}")))?,
+            ),
+            None => None,
+        },
+        out: parsed.value("--out").map(std::path::PathBuf::from),
     };
     let artifact_cache = match parsed.value("--cache-dir") {
         Some(dir) => Some(
@@ -657,10 +731,11 @@ fn run() -> Result<(), Error> {
         "table2" => runner.table(DatasetKind::Cifar10),
         "attack" => runner.attack(),
         "ablation" => runner.ablation(),
-        "sweep" => runner.sweep(),
+        "noise" => runner.noise(),
         "events" => runner.events(),
         "uarch" => runner.uarch(),
         "archs" => runner.archs(),
+        "sweep" => runner.sweep(),
         "all" => {
             runner.fig1();
             runner.fig2b();
@@ -670,10 +745,11 @@ fn run() -> Result<(), Error> {
             runner.table(DatasetKind::Cifar10);
             runner.attack();
             runner.ablation();
-            runner.sweep();
+            runner.noise();
             runner.events();
             runner.uarch();
             runner.archs();
+            runner.sweep();
         }
         other => {
             return Err(Error::msg(format!(

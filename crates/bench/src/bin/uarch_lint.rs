@@ -1,0 +1,68 @@
+//! `uarch_lint` — validates microarchitecture config files (the
+//! `--uarch` schema, see `scnn_core::zoo`).
+//!
+//! ```text
+//! uarch_lint                       # lint the presets embedded in the binary
+//! uarch_lint platform.json [...]   # lint config files on disk
+//! ```
+//!
+//! For each document: parses it with the strict in-tree reader (unknown
+//! fields are errors, missing fields are reported by dotted name), runs
+//! [`UarchConfig::validate`] so the described platform is actually
+//! instantiable, and round-trips it through the canonical writer —
+//! `parse(write(parse(x)))` must reproduce the identical config, which
+//! pins the writer to the schema and therefore pins the artifact-cache
+//! key encoding. Exits nonzero on the first violation, naming the file
+//! and rule that failed.
+
+use scnn_core::zoo::{parse_uarch, PRESETS};
+use scnn_core::{Error, ToJson};
+use scnn_uarch::UarchConfig;
+use std::process::ExitCode;
+
+/// Parse + validate + round-trip one document.
+fn lint(src: &str) -> Result<UarchConfig, String> {
+    let cfg = parse_uarch(src).map_err(|e| e.to_string())?;
+    let rewritten = cfg.to_json();
+    let back = parse_uarch(&rewritten)
+        .map_err(|e| format!("canonical writer emitted an invalid document: {e}"))?;
+    if back != cfg {
+        return Err("config does not round-trip through the canonical writer".into());
+    }
+    Ok(cfg)
+}
+
+fn run() -> Result<(), Error> {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        // No arguments: lint the shipped zoo itself, and check that each
+        // preset is loadable by the name it declares.
+        for (name, src) in PRESETS {
+            let cfg = lint(src).map_err(|rule| Error::msg(format!("preset {name}: {rule}")))?;
+            if cfg.name != name {
+                return Err(Error::msg(format!(
+                    "preset {name}: declares mismatching name {:?}",
+                    cfg.name
+                )));
+            }
+            println!("preset {name}: OK ({})", cfg.description);
+        }
+        return Ok(());
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::io(path.clone(), e))?;
+        let cfg = lint(&text).map_err(|rule| Error::msg(format!("{path}: {rule}")))?;
+        println!("{path}: OK ({})", cfg.name);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("uarch_lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

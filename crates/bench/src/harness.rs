@@ -83,6 +83,40 @@ impl Harness {
     }
 }
 
+/// Logical CPUs physically present on the host, regardless of the CPU
+/// affinity mask this process runs under.
+///
+/// [`std::thread::available_parallelism`] respects cgroup limits and
+/// `sched_setaffinity` pinning, so under `taskset -c 0` (or a 1-CPU CI
+/// runner shard) it reports 1 even on a 64-core box. Benchmark reports
+/// want both numbers: what the host *has* (to judge whether a speedup
+/// was even possible) and what the process *got*. This reads
+/// `/proc/cpuinfo` first and falls back to `nproc --all`, then to
+/// `available_parallelism`, so it degrades gracefully off Linux.
+pub fn host_parallelism() -> usize {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        let processors = cpuinfo
+            .lines()
+            .filter(|l| l.starts_with("processor"))
+            .count();
+        if processors > 0 {
+            return processors.max(available);
+        }
+    }
+    if let Ok(out) = std::process::Command::new("nproc").arg("--all").output() {
+        if let Some(n) = String::from_utf8_lossy(&out.stdout)
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+        {
+            return n.max(available);
+        }
+    }
+    available
+}
+
 /// Best observed nanoseconds per iteration over the timed batches.
 fn measure<F: FnMut()>(f: &mut F) -> f64 {
     // Calibration: size the batch so one batch is ~BATCH_TARGET.
@@ -152,6 +186,14 @@ mod tests {
         assert_eq!(hits, 0, "filtered-out benchmark must not run");
         h.bench("does-match-me-indeed", || hits += 1);
         assert!(hits > 0, "matching benchmark runs");
+    }
+
+    #[test]
+    fn host_parallelism_is_at_least_available_parallelism() {
+        let host = host_parallelism();
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(host >= available, "host {host} < available {available}");
+        assert!(host >= 1);
     }
 
     #[test]

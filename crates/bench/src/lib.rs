@@ -27,7 +27,7 @@ use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 pub fn repro_flags() -> FlagSet {
     FlagSet::new(
         "repro",
-        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|sweep|events|uarch|archs|all> [options]",
+        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|noise|events|uarch|archs|sweep|all> [options]",
     )
     .value("--samples", "N", "measurements per category (default 100)")
     .switch("--quick", "tiny models and few samples, for smoke tests")
@@ -46,6 +46,16 @@ pub fn repro_flags() -> FlagSet {
         "--cache-dir",
         "DIR",
         "reuse trained models and per-category observations across runs; stdout stays byte-identical",
+    )
+    .value(
+        "--uarch",
+        "NAME|PATH",
+        "simulated platform: a preset name from the zoo or a JSON config file",
+    )
+    .value(
+        "--out",
+        "PATH",
+        "for `sweep`: also write the leak table as JSON",
     )
     .switch("--help", "print this help")
 }
@@ -123,6 +133,37 @@ mod tests {
     }
 
     #[test]
+    fn repro_uarch_flag_takes_a_name_or_path() {
+        let p = repro_flags()
+            .parse(["sweep", "--uarch", "mobile-like"])
+            .unwrap();
+        assert_eq!(p.value("--uarch"), Some("mobile-like"));
+        assert_eq!(
+            repro_flags().parse(["--uarch"]).unwrap_err(),
+            flags::FlagError::MissingValue("--uarch")
+        );
+    }
+
+    #[test]
+    fn repro_out_flag_takes_a_path() {
+        let p = repro_flags()
+            .parse(["sweep", "--out", "sweep.json"])
+            .unwrap();
+        assert_eq!(p.value("--out"), Some("sweep.json"));
+        assert_eq!(
+            repro_flags().parse(["--out"]).unwrap_err(),
+            flags::FlagError::MissingValue("--out")
+        );
+    }
+
+    #[test]
+    fn repro_usage_names_both_sweep_commands() {
+        let help = repro_flags().help();
+        assert!(help.contains("noise"), "Extension C command:\n{help}");
+        assert!(help.contains("sweep"), "zoo sweep command:\n{help}");
+    }
+
+    #[test]
     fn repro_help_flag_and_page() {
         let p = repro_flags().parse(["--help"]).unwrap();
         assert!(p.is_set("--help"));
@@ -134,6 +175,8 @@ mod tests {
             "--csv <DIR>",
             "--telemetry <PATH>",
             "--cache-dir <DIR>",
+            "--uarch <NAME|PATH>",
+            "--out <PATH>",
         ] {
             assert!(help.contains(flag), "missing {flag} in:\n{help}");
         }

@@ -66,9 +66,12 @@ pub fn model_key(cfg: &ExperimentConfig) -> CacheKey {
 /// each campaign from the *remapped* index, so position matters, not
 /// just the original class label.
 pub fn category_key(cfg: &ExperimentConfig, index: usize) -> CacheKey {
-    // SimPmuConfig is a plain tree of Copy fields with a derived Debug;
-    // its Debug string is canonical for equal values. Not as tidy as a
-    // ToJson impl, but it keeps the hpc crate free of JSON concerns.
+    // The PMU encoding is the canonical uarch-zoo schema from
+    // `crate::zoo` (every cache/TLB/predictor/noise field spelled out),
+    // so two presets differing in any simulated-platform detail key
+    // distinct observation artifacts — a `repro sweep` resumes per
+    // preset — while equal configs written by different code paths
+    // (embedded preset, `--uarch` file, Rust constructor) share keys.
     let canonical = format!(
         concat!(
             "{{\"kind\":\"obs\",\"model\":{},\"collection\":{},\"pmu\":{},",
@@ -76,7 +79,7 @@ pub fn category_key(cfg: &ExperimentConfig, index: usize) -> CacheKey {
         ),
         model_canonical(cfg),
         cfg.collection.to_json(),
-        format!("{:?}", cfg.pmu).to_json(),
+        cfg.pmu.to_json(),
         cfg.countermeasure.to_json(),
         cfg.categories.to_json(),
         index,
@@ -259,6 +262,34 @@ mod tests {
             "new model, new readings"
         );
         assert_eq!(base, category_key(&cfg().threads(Threads::Count(7)), 0));
+    }
+
+    #[test]
+    fn uarch_presets_fragment_category_keys_but_share_the_model() {
+        // The sweep's cache contract: every zoo preset reuses one trained
+        // model but measures (and checkpoints) its own observations.
+        let presets = crate::zoo::zoo();
+        let mut obs_keys = Vec::new();
+        for preset in &presets {
+            let mut c = cfg();
+            c.pmu.core = preset.core;
+            assert_eq!(
+                model_key(&cfg()),
+                model_key(&c),
+                "training is uarch-independent: {}",
+                preset.name
+            );
+            obs_keys.push(category_key(&c, 0));
+        }
+        for i in 0..obs_keys.len() {
+            for j in (i + 1)..obs_keys.len() {
+                assert_ne!(
+                    obs_keys[i], obs_keys[j],
+                    "{} and {} must key distinct observation artifacts",
+                    presets[i].name, presets[j].name
+                );
+            }
+        }
     }
 
     #[test]

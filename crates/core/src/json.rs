@@ -34,7 +34,7 @@ pub trait ToJson {
 }
 
 /// Appends a JSON string literal with the mandatory escapes.
-fn write_str(out: &mut String, s: &str) {
+pub(crate) fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -53,18 +53,18 @@ fn write_str(out: &mut String, s: &str) {
 }
 
 /// An object under construction; fields are comma-separated as added.
-struct ObjectWriter<'a> {
+pub(crate) struct ObjectWriter<'a> {
     out: &'a mut String,
     first: bool,
 }
 
 impl<'a> ObjectWriter<'a> {
-    fn new(out: &'a mut String) -> Self {
+    pub(crate) fn new(out: &'a mut String) -> Self {
         out.push('{');
         ObjectWriter { out, first: true }
     }
 
-    fn field<T: ToJson + ?Sized>(&mut self, name: &str, value: &T) -> &mut Self {
+    pub(crate) fn field<T: ToJson + ?Sized>(&mut self, name: &str, value: &T) -> &mut Self {
         if !self.first {
             self.out.push(',');
         }
@@ -75,7 +75,7 @@ impl<'a> ObjectWriter<'a> {
         self
     }
 
-    fn finish(self) {
+    pub(crate) fn finish(self) {
         self.out.push('}');
     }
 }

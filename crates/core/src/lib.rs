@@ -52,6 +52,8 @@ pub mod evaluator;
 pub mod json;
 pub mod pipeline;
 pub mod report;
+pub mod sweep;
+pub mod zoo;
 
 pub use attack::{mount_attack, AttackClassifier, AttackConfig, AttackOutcome};
 pub use collect::{

@@ -373,6 +373,31 @@ pub enum PredictorKind {
 }
 
 impl PredictorKind {
+    /// Every predictor kind, in config-file order.
+    pub const ALL: [PredictorKind; 5] = [
+        PredictorKind::StaticTaken,
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+        PredictorKind::Tournament,
+        PredictorKind::Perceptron,
+    ];
+
+    /// The stable config-file name of this predictor kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::StaticTaken => "static-taken",
+            PredictorKind::Bimodal => "bimodal",
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::Tournament => "tournament",
+            PredictorKind::Perceptron => "perceptron",
+        }
+    }
+
+    /// Looks a predictor kind up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Builds the predictor with `2^index_bits` table entries.
     pub fn build(self, index_bits: u32) -> Box<dyn BranchPredictor + Send> {
         match self {

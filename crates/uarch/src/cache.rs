@@ -18,6 +18,32 @@ pub enum ReplacementPolicy {
     Random,
 }
 
+impl ReplacementPolicy {
+    /// Every policy, in the order used by config files and error
+    /// messages.
+    pub const ALL: [ReplacementPolicy; 4] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ];
+
+    /// The stable config-file name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::TreePlru => "tree-plru",
+            ReplacementPolicy::Random => "random",
+        }
+    }
+
+    /// Looks a policy up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
 /// How stores interact with the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WritePolicy {
@@ -30,6 +56,27 @@ pub enum WritePolicy {
     /// to the next level without filling; hits update in place and
     /// propagate. Simpler embedded caches use this.
     WriteThroughNoAllocate,
+}
+
+impl WritePolicy {
+    /// Every write policy, in config-file order.
+    pub const ALL: [WritePolicy; 2] = [
+        WritePolicy::WriteBackAllocate,
+        WritePolicy::WriteThroughNoAllocate,
+    ];
+
+    /// The stable config-file name of this write policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            WritePolicy::WriteBackAllocate => "write-back-allocate",
+            WritePolicy::WriteThroughNoAllocate => "write-through-no-allocate",
+        }
+    }
+
+    /// Looks a write policy up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// Geometry and behaviour of one cache level.

@@ -51,10 +51,10 @@ pub mod tlb;
 
 pub use branch::{BranchPredictor, BranchStats, PredictorKind};
 pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy, WritePolicy};
-pub use config::CoreConfig;
+pub use config::{CoreConfig, UarchConfig, UarchConfigError};
 pub use core::{CoreSim, CounterSnapshot};
 pub use cycles::CycleModel;
-pub use hierarchy::{HierarchyConfig, MemoryHierarchy, ServedBy};
+pub use hierarchy::{HierarchyConfig, LatencyModel, MemoryHierarchy, ServedBy};
 pub use noise::{NoiseConfig, NoiseModel, NoiseSample};
 pub use prefetch::PrefetcherKind;
 pub use probe::{CountingProbe, NullProbe, Probe};

@@ -17,6 +17,29 @@ pub enum PrefetcherKind {
     Stride,
 }
 
+impl PrefetcherKind {
+    /// Every prefetcher kind, in config-file order.
+    pub const ALL: [PrefetcherKind; 3] = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Stride,
+    ];
+
+    /// The stable config-file name of this prefetcher kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::Stride => "stride",
+        }
+    }
+
+    /// Looks a prefetcher kind up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
 /// A prefetcher that proposes addresses to preload.
 pub trait Prefetcher {
     /// Observes a demand access (`pc` identifies the load site) and
