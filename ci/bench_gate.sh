@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Benchmark invariant gate — runs the `parallel` bench and fails on
-# broken *invariants*, never on timings.
+# Benchmark invariant gate — runs the `parallel` and `service` benches
+# and fails on broken *invariants*, never on timings.
 #
 # CI machines have noisy, heterogeneous performance, so asserting "the
 # parallel path is N× faster" would flake. Two properties are load-
@@ -40,6 +40,21 @@ grep -q '"host_parallelism": [0-9]' "$report" \
   || { echo "FAIL: host_parallelism missing"; cat "$report"; exit 1; }
 grep -q '"available_parallelism": [0-9]' "$report" \
   || { echo "FAIL: available_parallelism missing"; cat "$report"; exit 1; }
+grep -q '"degraded_host": \(true\|false\)' "$report" \
+  || { echo "FAIL: degraded_host flag missing"; cat "$report"; exit 1; }
+
+# On an effectively single-CPU host the "parallel" arms time-slice one
+# core, so the speedup columns measure scheduler overhead, not
+# parallelism. Skip any judgement of them — loudly, so a reader of the
+# CI log knows the columns were not vouched for on this shard.
+if grep -q '"degraded_host": true' "$report"; then
+  echo "=============================================================================="
+  echo "SKIP: degraded host (host/available parallelism is 1)."
+  echo "      The threads_1 vs threads_n speedup columns in $report"
+  echo "      measure time-slicing overhead on this shard, not parallel scaling."
+  echo "      Determinism (bit_identical) and single-thread invariants still gate."
+  echo "=============================================================================="
+fi
 
 # batch_infer_ms.speedup >= 1.0: extract the last "speedup" value on the
 # batch_infer_ms line and compare with awk (no bc dependency).
@@ -48,4 +63,32 @@ speedup="$(grep '"batch_infer_ms"' "$report" | sed 's/.*"speedup": \([0-9.]*\).*
 awk -v s="$speedup" 'BEGIN { exit (s >= 1.0) ? 0 : 1 }' \
   || { echo "FAIL: batch_infer speedup $speedup < 1.0"; cat "$report"; exit 1; }
 
-echo "bench gate OK (bit_identical, batch_infer speedup $speedup)"
+echo "== bench gate: service invariants =="
+cargo bench -q --offline -p scnn-bench --bench service
+
+service_report="BENCH_service.json"
+[ -f "$service_report" ] || { echo "FAIL: $service_report was not written"; exit 1; }
+
+# The service bench asserts exactly-once delivery and warm==cold
+# byte-identity internally (a violation aborts before the JSON is
+# written); the gate re-checks the recorded outcome so a stale or
+# hand-edited report cannot pass.
+grep -q '"lost": 0, "duplicated": 0' "$service_report" \
+  || { echo "FAIL: service bench lost or duplicated jobs"; cat "$service_report"; exit 1; }
+grep -q '"warm_equals_cold": true' "$service_report" \
+  || { echo "FAIL: warm service output diverged from cold"; cat "$service_report"; exit 1; }
+grep -q '"total": 200' "$service_report" \
+  || { echo "FAIL: service bench did not queue 200 jobs"; cat "$service_report"; exit 1; }
+grep -q '"ok": 200' "$service_report" \
+  || { echo "FAIL: service bench jobs failed"; cat "$service_report"; exit 1; }
+
+# Warm submissions dominate 8 cold arms 24:1, so the shared-cache hit
+# rate must be high. The exact value depends on how many racing
+# submissions of one arm start before its first write commits, so gate
+# on a conservative floor rather than a point value.
+hit_rate="$(grep '"cache"' "$service_report" | sed 's/.*"hit_rate": \([0-9.]*\).*/\1/')"
+[ -n "$hit_rate" ] || { echo "FAIL: cache hit_rate missing"; cat "$service_report"; exit 1; }
+awk -v h="$hit_rate" 'BEGIN { exit (h >= 0.5) ? 0 : 1 }' \
+  || { echo "FAIL: service cache hit rate $hit_rate < 0.5"; cat "$service_report"; exit 1; }
+
+echo "bench gate OK (bit_identical, batch_infer speedup $speedup, service hit rate $hit_rate)"

@@ -112,7 +112,49 @@ distinct="$(grep -o '"distinguishable_pairs":[0-9]*' "$sweep_json" | sort -u | w
   || { echo "FAIL: all presets report identical distinguishable-pair counts"; cat "$sweep_json"; exit 1; }
 rm -rf "$sweep_cache" "$sweep_json" "$sweep_tel"
 
-step "bench invariant gate (bit_identical + batch-inference speedup)"
+step "evaluation service smoke (concurrent jobs, shared cache, byte-identical to direct runs)"
+serve_dir="$(mktemp -d)"
+cat > "$serve_dir/jobs.ndjson" <<'EOF'
+{"id":"a","command":"table1","quick":true,"samples":8,"threads":1}
+{"id":"b","command":"table1","quick":true,"samples":8,"threads":1}
+{"id":"c","command":"table2","quick":true,"samples":8,"threads":1}
+{"id":"bye","command":"shutdown"}
+EOF
+cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      serve --jobs "$serve_dir/jobs.ndjson" --workers 3 \
+      --cache-dir "$serve_dir/cache" --job-stdout-dir "$serve_dir/out" \
+      --out "$serve_dir/report.json" \
+      > "$serve_dir/responses.ndjson" 2> "$serve_dir/serve.err" \
+  || { echo "FAIL: repro serve exited non-zero"; cat "$serve_dir/serve.err"; exit 1; }
+cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table1 --quick --samples 8 --threads 1 > "$serve_dir/direct_table1.out"
+cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      table2 --quick --samples 8 --threads 1 > "$serve_dir/direct_table2.out"
+# Per-job stdout must be byte-identical to the equivalent direct CLI run,
+# and the two jobs sharing one cache key must agree with each other.
+diff "$serve_dir/direct_table1.out" "$serve_dir/out/a.out" \
+  || { echo "FAIL: service job a differs from direct table1 run"; exit 1; }
+diff "$serve_dir/out/a.out" "$serve_dir/out/b.out" \
+  || { echo "FAIL: jobs a and b (same cache key) produced different output"; exit 1; }
+diff "$serve_dir/direct_table2.out" "$serve_dir/out/c.out" \
+  || { echo "FAIL: service job c differs from direct table2 run"; exit 1; }
+# Every job answered exactly once, shutdown honoured.
+ok_count="$(grep -c '"status":"ok"' "$serve_dir/responses.ndjson")"
+[ "$ok_count" -eq 4 ] \
+  || { echo "FAIL: expected 4 ok responses, got $ok_count"; cat "$serve_dir/responses.ndjson"; exit 1; }
+grep -q '"jobs":4' "$serve_dir/report.json" && grep -q '"shutdown":true' "$serve_dir/report.json" \
+  || { echo "FAIL: service report accounting wrong"; cat "$serve_dir/report.json"; exit 1; }
+# Concurrency hygiene: committed artifacts only — no orphaned tmp files,
+# nothing quarantined.
+leftover_tmp="$(find "$serve_dir/cache" -name '.tmp-*' | wc -l)"
+[ "$leftover_tmp" -eq 0 ] \
+  || { echo "FAIL: $leftover_tmp orphaned .tmp files in the shared cache"; exit 1; }
+quarantined="$(find "$serve_dir/cache/quarantine" -type f 2>/dev/null | wc -l)"
+[ "$quarantined" -eq 0 ] \
+  || { echo "FAIL: $quarantined artifacts quarantined during the smoke run"; exit 1; }
+rm -rf "$serve_dir"
+
+step "bench invariant gate (bit_identical, batch-inference speedup, service delivery)"
 ci/bench_gate.sh
 
 step "all checks passed"

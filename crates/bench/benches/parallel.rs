@@ -218,12 +218,18 @@ fn main() {
     // pinned" when judging the speedup columns.
     let host = scnn_bench::harness::host_parallelism();
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // On an effectively single-core host every "parallel" arm time-slices
+    // one CPU, so the speedup columns measure scheduler overhead, not
+    // parallelism. The flag lets consumers (ci/bench_gate.sh) skip
+    // speedup judgements loudly instead of reading noise as regression.
+    let degraded = host.min(available) == 1;
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"parallel\",\n",
             "  \"host_parallelism\": {host},\n",
             "  \"available_parallelism\": {available},\n",
+            "  \"degraded_host\": {degraded},\n",
             "  \"par_workers\": {workers},\n",
             "  \"campaign\": {{ \"categories\": 4, \"samples_per_category\": {samples} }},\n",
             "  \"evaluator_matrix\": {{ \"categories\": {ecats}, \"events\": {eevents}, \"samples\": {esamples} }},\n",
@@ -237,6 +243,7 @@ fn main() {
         ),
         host = host,
         available = available,
+        degraded = degraded,
         workers = PAR_WORKERS,
         samples = samples,
         ecats = eval_categories,

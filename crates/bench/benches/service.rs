@@ -1,0 +1,181 @@
+//! Synthetic heavy-load bench for the evaluation service, emitting
+//! `BENCH_service.json` at the repo root.
+//!
+//! Drives [`scnn_core::service::serve`] the way `repro serve` does —
+//! real experiments through [`Experiment::run_cached`] against one
+//! shared [`ArtifactCache`] — but at fleet scale: **200 queued jobs**
+//! (8 distinct experiment shapes × 25 submissions each) on a bounded
+//! worker pool. The first submission of each shape is cold (trains and
+//! collects), the other 24 are warm (artifact-cache hits), so the run
+//! exercises exactly the mixed traffic a long-running service sees.
+//!
+//! Three contracts are asserted, not just reported — a violation aborts
+//! the bench:
+//!
+//! - **zero lost or duplicated jobs**: every submitted id gets exactly
+//!   one response, and the report's accounting matches;
+//! - **warm equals cold, byte for byte**: all 25 responses of one shape
+//!   carry identical rendered output, whether the artifacts came from
+//!   the cache or from a fresh run;
+//! - **a clean cache directory**: no `.tmp-*` orphans and no
+//!   quarantined artifacts after hundreds of concurrent lookups and
+//!   racing writes against shared keys.
+//!
+//! The JSON records jobs/sec, p50/p99 submission-to-completion latency
+//! and the cache hit-rate, alongside `host_parallelism` and the same
+//! `degraded_host` flag as `BENCH_parallel.json` (on a one-core host,
+//! worker concurrency time-slices a single CPU).
+
+use scnn_cache::ArtifactCache;
+use scnn_core::pipeline::{DatasetKind, Experiment, ExperimentConfig};
+use scnn_core::service::{serve, CacheTraffic, JobOutput, JobSpec, ServiceConfig};
+use scnn_par::Threads;
+use std::collections::BTreeMap;
+use std::io::Cursor;
+
+/// Distinct experiment shapes (each its own set of cache keys).
+const ARMS: usize = 8;
+/// Submissions per shape; the first is cold, the rest hit the cache.
+const ROUNDS: usize = 25;
+/// Job-executing workers.
+const WORKERS: usize = 4;
+
+fn arm_config(arm: usize) -> ExperimentConfig {
+    // Vary the sample count so each arm derives different cache keys
+    // while staying tiny enough that 8 cold runs finish in seconds.
+    ExperimentConfig::quick(DatasetKind::Mnist)
+        .samples(4 + arm)
+        .threads(Threads::Count(1))
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("scnn-bench-service-{}", std::process::id()));
+    let cache = ArtifactCache::open(&dir).expect("open bench cache dir");
+
+    // 200 submissions, arms interleaved so cold and warm traffic mix on
+    // the queue instead of arriving in cold-then-warm phases.
+    let total_jobs = ARMS * ROUNDS;
+    let input: String = (0..total_jobs)
+        .map(|i| {
+            format!(
+                "{{\"id\":\"job-{i}\",\"command\":\"run\",\"arm\":{}}}\n",
+                i % ARMS
+            )
+        })
+        .collect();
+
+    let executor = |spec: &JobSpec| -> Result<JobOutput, String> {
+        let arm = spec
+            .usize_param("arm")?
+            .ok_or_else(|| "missing arm".to_string())?;
+        let outcome = Experiment::new(arm_config(arm))
+            .run_cached(&cache)
+            .map_err(|e| e.to_string())?;
+        let mut traffic = CacheTraffic::default();
+        traffic.add_usage(&outcome.cache);
+        Ok(JobOutput {
+            stdout: outcome.report.render_table(),
+            cache: Some(traffic),
+        })
+    };
+
+    let mut responses = Vec::new();
+    let report = serve(
+        Cursor::new(input),
+        &mut responses,
+        &ServiceConfig {
+            workers: Threads::Count(WORKERS),
+            include_stdout: true,
+        },
+        executor,
+    );
+
+    // Exactly-once delivery: one ok response per submitted id.
+    assert_eq!(report.jobs, total_jobs as u64, "every line accepted");
+    assert_eq!(report.ok, total_jobs as u64, "every job succeeded");
+    assert_eq!(report.errors + report.rejected, 0);
+    let responses = String::from_utf8(responses).expect("responses are UTF-8");
+    let mut by_arm: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for line in responses.lines() {
+        let value = scnn_core::json::parse(line).expect("response line parses");
+        let id = value
+            .get("id")
+            .and_then(|v| v.as_str())
+            .expect("id")
+            .to_owned();
+        assert_eq!(value.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert!(seen.insert(id.clone()), "duplicated response for {id}");
+        let index: usize = id.strip_prefix("job-").unwrap().parse().unwrap();
+        let stdout = value
+            .get("stdout")
+            .and_then(|v| v.as_str())
+            .expect("stdout")
+            .to_owned();
+        by_arm.entry(index % ARMS).or_default().push(stdout);
+    }
+    assert_eq!(seen.len(), total_jobs, "no lost responses");
+    for (arm, outputs) in &by_arm {
+        assert_eq!(outputs.len(), ROUNDS);
+        assert!(
+            outputs.iter().all(|o| o == &outputs[0]),
+            "arm {arm}: warm output must be byte-identical to cold"
+        );
+    }
+
+    // Concurrency hygiene: the shared cache directory holds committed
+    // artifacts only.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("bench cache dir readable")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(".tmp-"))
+        .collect();
+    assert!(leftovers.is_empty(), "orphaned tmp files: {leftovers:?}");
+    let quarantined = std::fs::read_dir(cache.quarantine_dir())
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(quarantined, 0, "no artifact may be quarantined");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let host = scnn_bench::harness::host_parallelism();
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let degraded = host.min(available) == 1;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service\",\n",
+            "  \"host_parallelism\": {host},\n",
+            "  \"available_parallelism\": {available},\n",
+            "  \"degraded_host\": {degraded},\n",
+            "  \"workers\": {workers},\n",
+            "  \"jobs\": {{ \"total\": {total}, \"arms\": {arms}, \"rounds\": {rounds}, \"ok\": {ok}, \"lost\": 0, \"duplicated\": 0 }},\n",
+            "  \"elapsed_s\": {elapsed:.3},\n",
+            "  \"jobs_per_sec\": {jps:.2},\n",
+            "  \"latency_ms\": {{ \"p50\": {p50:.3}, \"p99\": {p99:.3} }},\n",
+            "  \"max_queue_depth\": {depth},\n",
+            "  \"cache\": {{ \"lookups\": {lookups}, \"hit_rate\": {hit:.4}, \"writes\": {writes} }},\n",
+            "  \"warm_equals_cold\": true\n",
+            "}}\n"
+        ),
+        host = host,
+        available = available,
+        degraded = degraded,
+        workers = WORKERS,
+        total = total_jobs,
+        arms = ARMS,
+        rounds = ROUNDS,
+        ok = report.ok,
+        elapsed = report.elapsed_s,
+        jps = report.jobs_per_sec,
+        p50 = report.p50_ms,
+        p99 = report.p99_ms,
+        depth = report.max_queue_depth,
+        lookups = report.cache.lookups(),
+        hit = report.cache.hit_rate(),
+        writes = report.cache.writes,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, &json).expect("write BENCH_service.json");
+    print!("{json}");
+    println!("wrote {path}");
+}

@@ -31,7 +31,28 @@
 //! training and collection — stdout stays byte-identical; cache chatter
 //! goes to stderr), `--uarch <name|path>` (simulate a different platform:
 //! a preset from the zoo — see `scnn_core::zoo` — or a JSON config file),
-//! `--out <path>` (for `sweep`: also write the leak table as JSON).
+//! `--out <path>` (for `sweep`: also write the leak table as JSON; for
+//! `serve`: write the service report as JSON).
+//!
+//! # Service mode
+//!
+//! ```text
+//! repro serve           # job server: newline-delimited JSON jobs on stdin
+//! ```
+//!
+//! `serve` turns `repro` into a long-running evaluation service: job
+//! specs (`{"id":"a","command":"table1","quick":true,"samples":8}`)
+//! stream in over stdin, a file (`--jobs <path>`) or a Unix socket
+//! (`--socket <path>`); a bounded worker fleet (`--workers <n|auto>`)
+//! executes them against one shared artifact cache (`--cache-dir`), and
+//! one JSON response per job streams back in completion order. Each job
+//! runs through the **same** `Runner` code path as the direct CLI, so
+//! its captured stdout is byte-identical to the equivalent direct
+//! invocation (pinned by `ci/check.sh`). `--job-stdout-dir <dir>`
+//! writes each job's stdout to `<dir>/<id>.out`; `--cache-budget
+//! <bytes>` garbage-collects the shared cache down to a size budget
+//! after the run. See DESIGN.md §14 for the protocol and scheduling
+//! semantics.
 
 use scnn_bench::repro_flags;
 use scnn_cache::ArtifactCache;
@@ -42,6 +63,7 @@ use scnn_core::pipeline::{
     Architecture, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome,
 };
 use scnn_core::report::{render_distributions, render_summary};
+use scnn_core::service::{self, CacheTraffic, JobOutput, JobSpec, ServiceConfig, ServiceReport};
 use scnn_core::Error;
 use scnn_hpc::{CounterGroup, HpcEvent, PerfStat, SimulatedPmu, WarmupPolicy};
 use scnn_obs::{Recorder, SpanEvent, SpanPhase};
@@ -49,10 +71,27 @@ use scnn_par::Threads;
 use scnn_stats::ranktest;
 use scnn_uarch::UarchConfig;
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Writes one line (or fragment) of artefact output to the runner's
+/// sink. Direct CLI runs sink to real stdout; `repro serve` sinks each
+/// job to its own buffer **through this same macro and the same Runner
+/// methods**, which is what makes service output byte-identical to a
+/// direct run by construction. Stdout write failures abort like
+/// `println!` would.
+macro_rules! o {
+    ($r:expr) => { writeln!($r.out).expect("artefact output write failed") };
+    ($r:expr, $($arg:tt)*) => { writeln!($r.out, $($arg)*).expect("artefact output write failed") };
+}
+macro_rules! op {
+    ($r:expr, $($arg:tt)*) => { write!($r.out, $($arg)*).expect("artefact output write failed") };
+}
+
+#[derive(Clone)]
 struct Options {
     samples: usize,
     quick: bool,
@@ -83,21 +122,31 @@ impl Options {
 
 /// Runs (and caches) the main experiment per dataset so `repro all` does
 /// not retrain and remeasure for every artefact.
-struct Runner {
+///
+/// Generic over the output sink: the CLI hands it real stdout, `repro
+/// serve` hands each job a private buffer. Everything an artefact
+/// command prints goes through `self.out` (the `o!`/`op!` macros);
+/// stderr chatter stays on the process stderr in both modes.
+struct Runner<W: Write> {
     options: Options,
     cache: HashMap<&'static str, ExperimentOutcome>,
     /// The on-disk artifact cache behind `--cache-dir`, if set. Distinct
     /// from `cache` above: that one deduplicates within a single `repro`
-    /// process, this one persists across processes.
+    /// process, this one persists across processes (and is shared by
+    /// every job of a `serve` fleet).
     artifact_cache: Option<ArtifactCache>,
+    out: W,
+    /// Aggregated artifact-cache traffic across every experiment this
+    /// runner executed — reported per job in service mode.
+    traffic: CacheTraffic,
 }
 
-impl Runner {
+impl<W: Write> Runner<W> {
     /// Runs one experiment, through the persistent artifact cache when
     /// `--cache-dir` is set. Cache chatter goes to stderr only — stdout
     /// is byte-identical with and without a cache.
     fn run_experiment(
-        &self,
+        &mut self,
         label: &str,
         cfg: ExperimentConfig,
     ) -> Result<ExperimentOutcome, scnn_core::pipeline::ExperimentError> {
@@ -106,6 +155,7 @@ impl Runner {
         };
         let outcome = Experiment::new(cfg).run_cached(cache)?;
         let u = outcome.cache;
+        self.traffic.add_usage(&u);
         if u.model_hit {
             eprintln!("[cache] {label}: model hit — training skipped");
         } else {
@@ -121,7 +171,11 @@ impl Runner {
         Ok(outcome)
     }
 
-    fn outcome(&mut self, dataset: DatasetKind) -> &ExperimentOutcome {
+    /// Ensures the memoised outcome for `dataset` exists and returns its
+    /// key into `self.cache`. Callers index the map themselves
+    /// (`&self.cache[key]`) so the borrow stays on that one field and
+    /// artefact text can keep flowing to `self.out` alongside it.
+    fn ensure(&mut self, dataset: DatasetKind) -> &'static str {
         let key = match dataset {
             DatasetKind::Mnist => "mnist",
             DatasetKind::Cifar10 => "cifar",
@@ -143,7 +197,7 @@ impl Runner {
             );
             self.cache.insert(key, outcome);
         }
-        &self.cache[key]
+        key
     }
 
     /// Writes one CSV file into the `--csv` directory, if set.
@@ -173,7 +227,8 @@ impl Runner {
         if self.options.csv.is_none() {
             return;
         }
-        let outcome = self.outcome(dataset);
+        let key = self.ensure(dataset);
+        let outcome = &self.cache[key];
         let mut rows = Vec::new();
         for obs in &outcome.observations {
             for (event, series) in &obs.per_event {
@@ -192,17 +247,28 @@ impl Runner {
     }
 
     fn fig1(&mut self) {
-        println!("==============================================================");
-        println!("Figure 1: average cache-misses during classification");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self, "Figure 1: average cache-misses during classification");
+        o!(
+            self,
+            "=============================================================="
+        );
         for dataset in [DatasetKind::Mnist, DatasetKind::Cifar10] {
             let panel = match dataset {
                 DatasetKind::Mnist => "(a) MNIST",
                 DatasetKind::Cifar10 => "(b) CIFAR-10",
             };
-            let outcome = self.outcome(dataset);
-            println!("\n--- Figure 1{panel} ---");
-            print!("{}", outcome.report.render_means(HpcEvent::CacheMisses, 40));
+            let key = self.ensure(dataset);
+            let outcome = &self.cache[key];
+            o!(self, "\n--- Figure 1{panel} ---");
+            op!(
+                self,
+                "{}",
+                outcome.report.render_means(HpcEvent::CacheMisses, 40)
+            );
             let rows: Vec<String> = outcome
                 .report
                 .event(HpcEvent::CacheMisses)
@@ -222,13 +288,22 @@ impl Runner {
             };
             self.write_csv(file, "dataset,category,mean_cache_misses,std", &rows);
         }
-        println!();
+        o!(self);
     }
 
     fn fig2b(&mut self) {
-        println!("==============================================================");
-        println!("Figure 2(b): HPC events of a single MNIST classification");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Figure 2(b): HPC events of a single MNIST classification"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
         let cfg = self.options.config(DatasetKind::Mnist);
         let image = scnn_data::mnist_synth::generate(
             &scnn_data::mnist_synth::MnistSynthConfig {
@@ -243,7 +318,8 @@ impl Runner {
         .map(|(img, _)| img.clone())
         .expect("per_class = 1 yields an image");
         // One trained model, one classification, all eight events at once.
-        let outcome = self.outcome(DatasetKind::Mnist);
+        let key = self.ensure(DatasetKind::Mnist);
+        let outcome = &self.cache[key];
         let pmu = SimulatedPmu::new(cfg.pmu, 0x000F_162B).expect("default geometry is valid");
         let group = CounterGroup::new(HpcEvent::FIG2B.to_vec(), 8).expect("8 distinct events");
         let mut session = PerfStat::new(pmu, group);
@@ -253,7 +329,7 @@ impl Runner {
                 let _ = net.classify_traced(&image, probe);
             })
             .expect("simulated measurement cannot fail");
-        println!("{report}");
+        o!(self, "{report}");
     }
 
     fn distributions(&mut self, dataset: DatasetKind) {
@@ -261,15 +337,26 @@ impl Runner {
             DatasetKind::Mnist => ("Figure 3", "MNIST"),
             DatasetKind::Cifar10 => ("Figure 4", "CIFAR-10"),
         };
-        println!("==============================================================");
-        println!("{figure}: per-category HPC distributions, {name}");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self, "{figure}: per-category HPC distributions, {name}");
+        o!(
+            self,
+            "=============================================================="
+        );
         {
-            let outcome = self.outcome(dataset);
+            let key = self.ensure(dataset);
+            let outcome = &self.cache[key];
             for (panel, event) in [("a", HpcEvent::CacheMisses), ("b", HpcEvent::Branches)] {
-                println!("\n--- {figure}({panel}): {event} ---");
-                print!("{}", render_summary(&outcome.observations, event));
-                print!("{}", render_distributions(&outcome.observations, event, 12));
+                o!(self, "\n--- {figure}({panel}): {event} ---");
+                op!(self, "{}", render_summary(&outcome.observations, event));
+                op!(
+                    self,
+                    "{}",
+                    render_distributions(&outcome.observations, event, 12)
+                );
             }
         }
         let file = match dataset {
@@ -277,7 +364,7 @@ impl Runner {
             DatasetKind::Cifar10 => "fig4_cifar_observations.csv",
         };
         self.csv_observations(dataset, file);
-        println!();
+        o!(self);
     }
 
     fn table(&mut self, dataset: DatasetKind) {
@@ -285,34 +372,57 @@ impl Runner {
             DatasetKind::Mnist => ("Table 1", "MNIST"),
             DatasetKind::Cifar10 => ("Table 2", "CIFAR-10"),
         };
-        println!("==============================================================");
-        println!("{table}: pairwise t-tests, {name} (* = distinguishable at 95%)");
-        println!("==============================================================");
-        let outcome = self.outcome(dataset);
-        print!("{}", outcome.report.render_table());
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "{table}: pairwise t-tests, {name} (* = distinguishable at 95%)"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        let key = self.ensure(dataset);
+        let outcome = &self.cache[key];
+        op!(self, "{}", outcome.report.render_table());
 
         // Rank-test cross-check (robustness extension).
-        println!("rank-test cross-check (Mann-Whitney p-values, cache-misses):");
+        o!(
+            self,
+            "rank-test cross-check (Mann-Whitney p-values, cache-misses):"
+        );
         let obs = &outcome.observations;
         for i in 0..obs.len() {
             for j in (i + 1)..obs.len() {
                 let a = obs[i].series(HpcEvent::CacheMisses).unwrap_or(&[]);
                 let b = obs[j].series(HpcEvent::CacheMisses).unwrap_or(&[]);
                 if let Ok(r) = ranktest::mann_whitney_u(a, b) {
-                    println!("  u{},{}: p = {:.4}", i + 1, j + 1, r.p);
+                    o!(self, "  u{},{}: p = {:.4}", i + 1, j + 1, r.p);
                 }
             }
         }
-        println!();
+        o!(self);
     }
 
     fn attack(&mut self) {
-        println!("==============================================================");
-        println!("Extension A: input-category recovery from HPC readings");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension A: input-category recovery from HPC readings"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
         for dataset in [DatasetKind::Mnist, DatasetKind::Cifar10] {
-            let outcome = self.outcome(dataset);
-            println!("\n--- {dataset} ---");
+            let key = self.ensure(dataset);
+            let outcome = &self.cache[key];
+            o!(self, "\n--- {dataset} ---");
             for (label, classifier) in [
                 ("gaussian template", AttackClassifier::GaussianTemplate),
                 ("LDA (pooled covariance)", AttackClassifier::Lda),
@@ -323,20 +433,26 @@ impl Runner {
                     ..AttackConfig::default()
                 }) {
                     Ok(out) => {
-                        println!("[{label}]");
-                        print!("{out}");
+                        o!(self, "[{label}]");
+                        op!(self, "{out}");
                     }
-                    Err(e) => println!("[{label}] attack failed: {e}"),
+                    Err(e) => o!(self, "[{label}] attack failed: {e}"),
                 }
             }
         }
-        println!();
+        o!(self);
     }
 
     fn ablation(&mut self) {
-        println!("==============================================================");
-        println!("Extension B: countermeasure ablation (MNIST)");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self, "Extension B: countermeasure ablation (MNIST)");
+        o!(
+            self,
+            "=============================================================="
+        );
         let base = self.options.config(DatasetKind::Mnist);
         let arms: Vec<(&str, Option<Countermeasure>)> = vec![
             ("leaky baseline", None),
@@ -354,9 +470,13 @@ impl Runner {
                 }),
             ),
         ];
-        println!(
+        o!(
+            self,
             "{:<40} {:>12} {:>12} {:>10}",
-            "countermeasure", "cm pairs*", "br pairs*", "attack"
+            "countermeasure",
+            "cm pairs*",
+            "br pairs*",
+            "attack"
         );
         for (label, cm) in arms {
             let mut cfg = base.clone();
@@ -375,7 +495,8 @@ impl Runner {
                 .mount_attack(&AttackConfig::default())
                 .map(|a| format!("{:.0}%", a.accuracy * 100.0))
                 .unwrap_or_else(|_| "n/a".into());
-            println!(
+            o!(
+                self,
                 "{:<40} {:>10}/6 {:>10}/6 {:>10}",
                 label,
                 pairs(HpcEvent::CacheMisses),
@@ -383,17 +504,35 @@ impl Runner {
                 attack
             );
         }
-        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+        o!(
+            self,
+            "\n(* category pairs distinguishable at 95% confidence)\n"
+        );
     }
 
     fn events(&mut self) {
-        println!("==============================================================");
-        println!("Extension D: leakage per HPC event, cold vs warm measurement");
-        println!("==============================================================");
-        println!(
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension D: leakage per HPC event, cold vs warm measurement"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self,
             "(the paper's §5.2: \"we observed that some of the events can\n produce different distributions for different categories\")\n"
         );
-        println!("{:<24} {:>16} {:>16}", "event", "cold-start", "warm-attach");
+        o!(
+            self,
+            "{:<24} {:>16} {:>16}",
+            "event",
+            "cold-start",
+            "warm-attach"
+        );
         let mut rows: Vec<(String, usize, usize)> = Vec::new();
         for warmup in [WarmupPolicy::ColdStart, WarmupPolicy::Warm] {
             let mut cfg = self.options.config(DatasetKind::Mnist);
@@ -418,21 +557,32 @@ impl Runner {
         }
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         for (name, cold, warm) in rows {
-            println!("{:<24} {:>14}/6 {:>14}/6", name, cold, warm);
+            o!(self, "{:<24} {:>14}/6 {:>14}/6", name, cold, warm);
         }
-        println!("\n(pairs distinguishable at 95%; warm-attach = perf stat -p on a\n long-running service, caches staying warm between classifications)\n");
+        o!(self, "\n(pairs distinguishable at 95%; warm-attach = perf stat -p on a\n long-running service, caches staying warm between classifications)\n");
     }
 
     fn archs(&mut self) {
-        println!("==============================================================");
-        println!("Extension F: victim architecture comparison (MNIST)");
-        println!("==============================================================");
-        println!(
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self, "Extension F: victim architecture comparison (MNIST)");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self,
             "(the paper's future work: \"explore the vulnerabilities in other\n deep learning models\")\n"
         );
-        println!(
+        o!(
+            self,
             "{:<12} {:>10} {:>12} {:>12} {:>10}",
-            "model", "accuracy", "cm pairs*", "br pairs*", "attack"
+            "model",
+            "accuracy",
+            "cm pairs*",
+            "br pairs*",
+            "attack"
         );
         for (name, arch) in [("CNN", Architecture::Cnn), ("MLP", Architecture::Mlp)] {
             let mut cfg = self.options.config(DatasetKind::Mnist);
@@ -451,7 +601,8 @@ impl Runner {
                 .mount_attack(&AttackConfig::default())
                 .map(|a| format!("{:.0}%", a.accuracy * 100.0))
                 .unwrap_or_else(|_| "n/a".into());
-            println!(
+            o!(
+                self,
                 "{:<12} {:>9.1}% {:>10}/6 {:>10}/6 {:>10}",
                 name,
                 outcome.test_accuracy * 100.0,
@@ -460,16 +611,31 @@ impl Runner {
                 attack
             );
         }
-        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+        o!(
+            self,
+            "\n(* category pairs distinguishable at 95% confidence)\n"
+        );
     }
 
     fn uarch(&mut self) {
         use scnn_uarch::{CacheConfig, PredictorKind, PrefetcherKind};
 
-        println!("==============================================================");
-        println!("Extension E: microarchitectural ablation (MNIST, cache-misses)");
-        println!("==============================================================");
-        println!("does the leak depend on the platform's microarchitecture?\n");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension E: microarchitectural ablation (MNIST, cache-misses)"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "does the leak depend on the platform's microarchitecture?\n"
+        );
         let base = self.options.config(DatasetKind::Mnist);
         let mut arms: Vec<(String, scnn_core::pipeline::ExperimentConfig)> = Vec::new();
 
@@ -502,9 +668,12 @@ impl Runner {
             arms.push((name.into(), cfg));
         }
 
-        println!(
+        o!(
+            self,
             "{:<34} {:>12} {:>12}",
-            "platform variant", "cm pairs*", "br pairs*"
+            "platform variant",
+            "cm pairs*",
+            "br pairs*"
         );
         for (name, cfg) in arms {
             let outcome = self
@@ -517,20 +686,30 @@ impl Runner {
                     .map(|e| e.pairwise.leak_count())
                     .unwrap_or(0)
             };
-            println!(
+            o!(
+                self,
                 "{:<34} {:>10}/6 {:>10}/6",
                 name,
                 pairs(HpcEvent::CacheMisses),
                 pairs(HpcEvent::Branches)
             );
         }
-        println!("\n(* category pairs distinguishable at 95% confidence; the leak\n   is robust to platform details — it lives in the software)\n");
+        o!(self, "\n(* category pairs distinguishable at 95% confidence; the leak\n   is robust to platform details — it lives in the software)\n");
     }
 
     fn noise(&mut self) {
-        println!("==============================================================");
-        println!("Extension C: leakage vs noise level and sample count (MNIST)");
-        println!("==============================================================");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension C: leakage vs noise level and sample count (MNIST)"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
         let base = self.options.config(DatasetKind::Mnist);
         let pairs_of = |outcome: &ExperimentOutcome, event| {
             outcome
@@ -540,13 +719,17 @@ impl Runner {
                 .unwrap_or(0)
         };
 
-        println!(
+        o!(
+            self,
             "\nnoise sweep (samples/category = {}):",
             base.collection.samples_per_category
         );
-        println!(
+        o!(
+            self,
             "{:<14} {:>14} {:>14}",
-            "noise level", "cm pairs*", "br pairs*"
+            "noise level",
+            "cm pairs*",
+            "br pairs*"
         );
         for level in [0.0, 0.5, 1.0, 2.0, 4.0] {
             let mut cfg = base.clone();
@@ -554,7 +737,8 @@ impl Runner {
             let outcome = self
                 .run_experiment(&format!("noise/noise-{level:.1}x"), cfg)
                 .unwrap_or_else(|e| panic!("noise sweep level {level} failed: {e}"));
-            println!(
+            o!(
+                self,
                 "{:<14} {:>12}/6 {:>12}/6",
                 format!("{level:.1}x"),
                 pairs_of(&outcome, HpcEvent::CacheMisses),
@@ -562,10 +746,13 @@ impl Runner {
             );
         }
 
-        println!("\nsample-count sweep (default noise):");
-        println!(
+        o!(self, "\nsample-count sweep (default noise):");
+        o!(
+            self,
             "{:<14} {:>14} {:>14}",
-            "samples/cat", "cm pairs*", "br pairs*"
+            "samples/cat",
+            "cm pairs*",
+            "br pairs*"
         );
         for samples in [10, 25, 50, 100] {
             let mut cfg = base.clone();
@@ -573,21 +760,37 @@ impl Runner {
             let outcome = self
                 .run_experiment(&format!("noise/samples-{samples}"), cfg)
                 .unwrap_or_else(|e| panic!("sample sweep n={samples} failed: {e}"));
-            println!(
+            o!(
+                self,
                 "{:<14} {:>12}/6 {:>12}/6",
                 samples,
                 pairs_of(&outcome, HpcEvent::CacheMisses),
                 pairs_of(&outcome, HpcEvent::Branches)
             );
         }
-        println!("\n(* category pairs distinguishable at 95% confidence)\n");
+        o!(
+            self,
+            "\n(* category pairs distinguishable at 95% confidence)\n"
+        );
     }
 
     fn sweep(&mut self) {
-        println!("==============================================================");
-        println!("Extension G: t-test evaluation across the microarchitecture zoo");
-        println!("==============================================================");
-        println!("(MNIST; one row per simulated platform, same model and seeds)\n");
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension G: t-test evaluation across the microarchitecture zoo"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "(MNIST; one row per simulated platform, same model and seeds)\n"
+        );
         let base = self.options.config(DatasetKind::Mnist);
         let zoo = scnn_core::zoo::zoo();
         for preset in &zoo {
@@ -602,6 +805,9 @@ impl Runner {
         .unwrap_or_else(|e| panic!("uarch sweep failed: {e}"));
         for row in &outcome.rows {
             let u = row.cache;
+            if self.artifact_cache.is_some() {
+                self.traffic.add_usage(&u);
+            }
             eprintln!(
                 "[cache] sweep/{}: model {}, {}/{} categories from cache",
                 row.preset,
@@ -610,8 +816,8 @@ impl Runner {
                 u.categories_hit + u.categories_collected,
             );
         }
-        print!("{}", outcome.render_table());
-        println!(
+        op!(self, "{}", outcome.render_table());
+        o!(self,
             "\n(pairs = distinguishable (event, category-pair) cells at 95%, over\n all 8 HPC events; alarms on {}/{} platforms)\n",
             outcome.alarms(),
             outcome.rows.len()
@@ -638,6 +844,46 @@ impl Runner {
             }
         }
     }
+
+    /// Dispatches one artefact command. This is the single entry point
+    /// shared by the direct CLI and by every `repro serve` job, which is
+    /// what makes a job's captured output byte-identical to the
+    /// equivalent direct run. `serve` itself is deliberately *not*
+    /// dispatchable here, so a job cannot start a nested service.
+    fn run_command(&mut self, command: &str) -> Result<(), Error> {
+        match command {
+            "fig1" => self.fig1(),
+            "fig2b" => self.fig2b(),
+            "fig3" => self.distributions(DatasetKind::Mnist),
+            "fig4" => self.distributions(DatasetKind::Cifar10),
+            "table1" => self.table(DatasetKind::Mnist),
+            "table2" => self.table(DatasetKind::Cifar10),
+            "attack" => self.attack(),
+            "ablation" => self.ablation(),
+            "noise" => self.noise(),
+            "events" => self.events(),
+            "uarch" => self.uarch(),
+            "archs" => self.archs(),
+            "sweep" => self.sweep(),
+            "all" => {
+                self.fig1();
+                self.fig2b();
+                self.distributions(DatasetKind::Mnist);
+                self.distributions(DatasetKind::Cifar10);
+                self.table(DatasetKind::Mnist);
+                self.table(DatasetKind::Cifar10);
+                self.attack();
+                self.ablation();
+                self.noise();
+                self.events();
+                self.uarch();
+                self.archs();
+                self.sweep();
+            }
+            other => return Err(Error::msg(format!("unknown command {other:?}"))),
+        }
+        Ok(())
+    }
 }
 
 /// Live progress on stderr while telemetry is on: one line per
@@ -655,6 +901,247 @@ fn phase_progress(event: &SpanEvent) {
             eprintln!("[telemetry] {indent}< {} ({elapsed:.1?})", event.name);
         }
     }
+}
+
+/// The `serve`-only knobs, parsed from the CLI.
+struct ServeOptions {
+    workers: Threads,
+    jobs: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    cache_budget: Option<u64>,
+    job_stdout_dir: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+}
+
+impl ServeOptions {
+    fn from_flags(parsed: &scnn_bench::flags::Parsed) -> Result<ServeOptions, Error> {
+        Ok(ServeOptions {
+            workers: match parsed.value("--workers") {
+                Some(v) => v.parse().map_err(|_| {
+                    Error::msg(format!("--workers needs a count or \"auto\", got {v:?}"))
+                })?,
+                None => Threads::Auto,
+            },
+            jobs: parsed.value("--jobs").map(PathBuf::from),
+            socket: parsed.value("--socket").map(PathBuf::from),
+            cache_budget: match parsed.value("--cache-budget") {
+                Some(v) => Some(v.parse().map_err(|_| {
+                    Error::msg(format!("--cache-budget needs a byte count, got {v:?}"))
+                })?),
+                None => None,
+            },
+            job_stdout_dir: parsed.value("--job-stdout-dir").map(PathBuf::from),
+            report_out: parsed.value("--out").map(PathBuf::from),
+        })
+    }
+}
+
+/// Executes one service job: builds per-job options (job parameters
+/// override the serve-level defaults), runs the command through the
+/// same [`Runner`] the CLI uses with a private output buffer, and
+/// optionally mirrors that buffer to `<stdout_dir>/<id>.out`.
+fn run_job(
+    spec: &JobSpec,
+    base: &Options,
+    cache: Option<&ArtifactCache>,
+    stdout_dir: Option<&Path>,
+) -> Result<JobOutput, String> {
+    let mut options = base.clone();
+    // Side files are per-process concerns; jobs only produce stdout.
+    options.csv = None;
+    options.telemetry = None;
+    options.out = None;
+    if let Some(samples) = spec.usize_param("samples")? {
+        options.samples = samples;
+    }
+    if spec.param("quick").is_some() {
+        options.quick = spec.bool_param("quick")?;
+    }
+    if let Some(threads) = spec.usize_param("threads")? {
+        if threads == 0 {
+            return Err("parameter \"threads\" must be at least 1".into());
+        }
+        options.threads = Threads::Count(threads);
+    }
+    if let Some(uarch) = spec.str_param("uarch")? {
+        options.uarch = Some(scnn_core::zoo::load_uarch(uarch).map_err(|e| format!("uarch: {e}"))?);
+    }
+    let mut runner = Runner {
+        options,
+        cache: HashMap::new(),
+        artifact_cache: cache.cloned(),
+        out: Vec::new(),
+        traffic: CacheTraffic::default(),
+    };
+    runner
+        .run_command(&spec.command)
+        .map_err(|e| e.to_string())?;
+    let stdout =
+        String::from_utf8(runner.out).map_err(|_| "job produced non-UTF-8 output".to_string())?;
+    if let Some(dir) = stdout_dir {
+        // The id is a validated slug (see `JobSpec::parse_line`), so it
+        // is safe as a file stem.
+        let path = dir.join(format!("{}.out", spec.id));
+        std::fs::write(&path, &stdout)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(JobOutput {
+        stdout,
+        cache: cache.is_some().then_some(runner.traffic),
+    })
+}
+
+/// Folds one connection's report into a whole-service aggregate:
+/// counts and cache traffic sum; latency percentiles and queue depth
+/// take the worst connection (percentiles do not compose exactly
+/// across runs, and worst-case is the operationally useful bound).
+fn merge_report(total: &mut ServiceReport, conn: &ServiceReport) {
+    total.jobs += conn.jobs;
+    total.ok += conn.ok;
+    total.errors += conn.errors;
+    total.rejected += conn.rejected;
+    total.io_errors += conn.io_errors;
+    total.shutdown |= conn.shutdown;
+    total.max_queue_depth = total.max_queue_depth.max(conn.max_queue_depth);
+    // f64::max ignores a NaN operand, so an empty side never clobbers a
+    // measured percentile.
+    total.p50_ms = total.p50_ms.max(conn.p50_ms);
+    total.p99_ms = total.p99_ms.max(conn.p99_ms);
+    total.cache.merge(&conn.cache);
+}
+
+/// Socket transport: accept connections on a Unix socket one at a time,
+/// running the serve loop per connection against the shared executor
+/// (and therefore the shared cache), until a connection submits the
+/// `shutdown` command.
+fn serve_socket<F>(path: &Path, config: &ServiceConfig, executor: F) -> Result<ServiceReport, Error>
+where
+    F: Fn(&JobSpec) -> Result<JobOutput, String> + Sync,
+{
+    let io_err = |e: std::io::Error| Error::io(path.display().to_string(), e);
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path).map_err(io_err)?;
+    eprintln!("[serve] listening on {}", path.display());
+    let started = Instant::now();
+    let mut total = ServiceReport {
+        jobs: 0,
+        ok: 0,
+        errors: 0,
+        rejected: 0,
+        shutdown: false,
+        elapsed_s: 0.0,
+        jobs_per_sec: f64::NAN,
+        p50_ms: f64::NAN,
+        p99_ms: f64::NAN,
+        max_queue_depth: 0,
+        io_errors: 0,
+        cache: CacheTraffic::default(),
+    };
+    loop {
+        let (stream, _) = listener.accept().map_err(io_err)?;
+        let reader = std::io::BufReader::new(stream.try_clone().map_err(io_err)?);
+        let report = service::serve(reader, stream, config, &executor);
+        eprintln!(
+            "[serve] connection done: {} jobs ({} ok, {} errors, {} rejected)",
+            report.jobs, report.ok, report.errors, report.rejected
+        );
+        let stop = report.shutdown;
+        merge_report(&mut total, &report);
+        if stop {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    total.elapsed_s = started.elapsed().as_secs_f64();
+    total.jobs_per_sec = if total.elapsed_s > 0.0 {
+        (total.ok + total.errors + total.rejected) as f64 / total.elapsed_s
+    } else {
+        f64::NAN
+    };
+    Ok(total)
+}
+
+/// The `repro serve` entry point: wires the chosen transport (stdin, a
+/// jobs file, or a Unix socket) to [`service::serve`] with [`run_job`]
+/// as the executor, then reports, garbage-collects the shared cache
+/// against `--cache-budget`, and writes the service report to `--out`.
+fn serve_mode(
+    serve: &ServeOptions,
+    base: &Options,
+    artifact_cache: Option<ArtifactCache>,
+) -> Result<(), Error> {
+    if let Some(dir) = &serve.job_stdout_dir {
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir.display().to_string(), e))?;
+    }
+    let config = ServiceConfig {
+        workers: serve.workers,
+        // With a stdout dir the response stream stays lean; without one
+        // the response itself carries the job's output.
+        include_stdout: serve.job_stdout_dir.is_none(),
+    };
+    let executor = |spec: &JobSpec| {
+        run_job(
+            spec,
+            base,
+            artifact_cache.as_ref(),
+            serve.job_stdout_dir.as_deref(),
+        )
+    };
+    let report = match (&serve.socket, &serve.jobs) {
+        (Some(path), _) => serve_socket(path, &config, executor)?,
+        (None, Some(path)) => {
+            let file =
+                std::fs::File::open(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+            service::serve(
+                std::io::BufReader::new(file),
+                std::io::stdout(),
+                &config,
+                executor,
+            )
+        }
+        (None, None) => service::serve(
+            std::io::stdin().lock(),
+            std::io::stdout(),
+            &config,
+            executor,
+        ),
+    };
+    eprintln!(
+        "[serve] {} jobs ({} ok, {} errors, {} rejected) in {:.1}s — {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms, peak queue {}",
+        report.jobs,
+        report.ok,
+        report.errors,
+        report.rejected,
+        report.elapsed_s,
+        report.jobs_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_queue_depth
+    );
+    if report.cache.lookups() > 0 {
+        eprintln!(
+            "[serve] cache: {} lookups, hit rate {:.0}%, {} writes",
+            report.cache.lookups(),
+            report.cache.hit_rate() * 100.0,
+            report.cache.writes
+        );
+    }
+    if let (Some(cache), Some(budget)) = (&artifact_cache, serve.cache_budget) {
+        match cache.gc(budget) {
+            Ok(gc) => eprintln!(
+                "[serve] cache gc: {} artifacts scanned, {} evicted, {} -> {} bytes (budget {budget})",
+                gc.scanned, gc.evicted, gc.bytes_before, gc.bytes_after
+            ),
+            Err(e) => eprintln!("[serve] cache gc failed: {e}"),
+        }
+    }
+    if let Some(path) = &serve.report_out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| Error::io(path.display().to_string(), e))?;
+        eprintln!("[serve] wrote {}", path.display());
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), Error> {
@@ -717,46 +1204,20 @@ fn run() -> Result<(), Error> {
     });
     let telemetry_path = options.telemetry.clone();
 
-    let mut runner = Runner {
-        options,
-        cache: HashMap::new(),
-        artifact_cache,
-    };
-    match command.as_str() {
-        "fig1" => runner.fig1(),
-        "fig2b" => runner.fig2b(),
-        "fig3" => runner.distributions(DatasetKind::Mnist),
-        "fig4" => runner.distributions(DatasetKind::Cifar10),
-        "table1" => runner.table(DatasetKind::Mnist),
-        "table2" => runner.table(DatasetKind::Cifar10),
-        "attack" => runner.attack(),
-        "ablation" => runner.ablation(),
-        "noise" => runner.noise(),
-        "events" => runner.events(),
-        "uarch" => runner.uarch(),
-        "archs" => runner.archs(),
-        "sweep" => runner.sweep(),
-        "all" => {
-            runner.fig1();
-            runner.fig2b();
-            runner.distributions(DatasetKind::Mnist);
-            runner.distributions(DatasetKind::Cifar10);
-            runner.table(DatasetKind::Mnist);
-            runner.table(DatasetKind::Cifar10);
-            runner.attack();
-            runner.ablation();
-            runner.noise();
-            runner.events();
-            runner.uarch();
-            runner.archs();
-            runner.sweep();
-        }
-        other => {
-            return Err(Error::msg(format!(
-                "unknown command {other:?}\n{}",
-                flags.help()
-            )))
-        }
+    if command == "serve" {
+        let serve_options = ServeOptions::from_flags(&parsed)?;
+        serve_mode(&serve_options, &options, artifact_cache)?;
+    } else {
+        let mut runner = Runner {
+            options,
+            cache: HashMap::new(),
+            artifact_cache,
+            out: std::io::stdout(),
+            traffic: CacheTraffic::default(),
+        };
+        runner
+            .run_command(&command)
+            .map_err(|e| Error::msg(format!("{e}\n{}", flags.help())))?;
     }
 
     if let (Some(path), Some(recorder)) = (telemetry_path, recorder) {

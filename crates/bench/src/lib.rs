@@ -27,7 +27,7 @@ use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 pub fn repro_flags() -> FlagSet {
     FlagSet::new(
         "repro",
-        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|noise|events|uarch|archs|sweep|all> [options]",
+        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|noise|events|uarch|archs|sweep|serve|all> [options]",
     )
     .value("--samples", "N", "measurements per category (default 100)")
     .switch("--quick", "tiny models and few samples, for smoke tests")
@@ -55,7 +55,32 @@ pub fn repro_flags() -> FlagSet {
     .value(
         "--out",
         "PATH",
-        "for `sweep`: also write the leak table as JSON",
+        "for `sweep`: write the leak table as JSON; for `serve`: write the service report as JSON",
+    )
+    .value(
+        "--workers",
+        "N|auto",
+        "for `serve`: size of the job-executing worker fleet (default auto)",
+    )
+    .value(
+        "--jobs",
+        "PATH",
+        "for `serve`: read newline-delimited job JSON from a file instead of stdin",
+    )
+    .value(
+        "--socket",
+        "PATH",
+        "for `serve`: accept job connections on a Unix socket instead of stdin/stdout",
+    )
+    .value(
+        "--cache-budget",
+        "BYTES",
+        "for `serve`: evict oldest artifacts past this cache size after the run",
+    )
+    .value(
+        "--job-stdout-dir",
+        "DIR",
+        "for `serve`: additionally write each job's captured stdout to DIR/<id>.out",
     )
     .switch("--help", "print this help")
 }
@@ -157,10 +182,54 @@ mod tests {
     }
 
     #[test]
+    fn repro_serve_flags_take_values() {
+        let p = repro_flags()
+            .parse([
+                "serve",
+                "--workers",
+                "3",
+                "--jobs",
+                "jobs.ndjson",
+                "--cache-budget",
+                "1048576",
+                "--job-stdout-dir",
+                "out/jobs",
+            ])
+            .unwrap();
+        assert_eq!(p.positionals, ["serve"]);
+        assert_eq!(p.value("--workers"), Some("3"));
+        assert_eq!(p.value("--jobs"), Some("jobs.ndjson"));
+        assert_eq!(p.value("--cache-budget"), Some("1048576"));
+        assert_eq!(p.value("--job-stdout-dir"), Some("out/jobs"));
+        for flag in [
+            "--workers",
+            "--jobs",
+            "--socket",
+            "--cache-budget",
+            "--job-stdout-dir",
+        ] {
+            assert_eq!(
+                repro_flags().parse([flag]).unwrap_err(),
+                flags::FlagError::MissingValue(flag),
+                "{flag} needs a value"
+            );
+        }
+    }
+
+    #[test]
+    fn repro_socket_flag_takes_a_path() {
+        let p = repro_flags()
+            .parse(["serve", "--socket", "/tmp/repro.sock"])
+            .unwrap();
+        assert_eq!(p.value("--socket"), Some("/tmp/repro.sock"));
+    }
+
+    #[test]
     fn repro_usage_names_both_sweep_commands() {
         let help = repro_flags().help();
         assert!(help.contains("noise"), "Extension C command:\n{help}");
         assert!(help.contains("sweep"), "zoo sweep command:\n{help}");
+        assert!(help.contains("serve"), "service command:\n{help}");
     }
 
     #[test]
@@ -177,6 +246,11 @@ mod tests {
             "--cache-dir <DIR>",
             "--uarch <NAME|PATH>",
             "--out <PATH>",
+            "--workers <N|auto>",
+            "--jobs <PATH>",
+            "--socket <PATH>",
+            "--cache-budget <BYTES>",
+            "--job-stdout-dir <DIR>",
         ] {
             assert!(help.contains(flag), "missing {flag} in:\n{help}");
         }

@@ -52,6 +52,7 @@ pub mod evaluator;
 pub mod json;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod sweep;
 pub mod zoo;
 

@@ -11,6 +11,21 @@ thread_local! {
     /// Stack of currently-open span ids on this thread. Parenthood is a
     /// per-thread notion: a span opened on a worker thread has no parent
     /// unless the worker itself opened an enclosing span.
+    ///
+    /// This is a deliberate contract, pinned by
+    /// `crates/par/tests/span_parent.rs`: a span opened inside a
+    /// pool-dispatched job (`scnn_par::Pool::par_map` / `stream`) is a
+    /// *root* (parent `None`, depth 0) — it does **not** link to
+    /// whatever span the dispatching thread had open, because carrying
+    /// cross-thread context would require channeling an ambient parent
+    /// id through the pool and reintroduce exactly the kind of shared
+    /// mutable state the determinism contract bans. Consumers that need
+    /// per-job trees (the evaluation service's per-job telemetry) open
+    /// one span at the top of the worker closure; everything the job
+    /// does then nests under it on that worker's stack. The
+    /// dispatching-side span still brackets the whole dispatch in wall
+    /// time, so attribution is recoverable by interval containment even
+    /// without explicit linkage.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 
     /// Small dense id for the current thread, assigned on first use.

@@ -32,7 +32,8 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// How many worker threads a parallel stage may use.
 ///
@@ -225,6 +226,138 @@ impl Pool {
     {
         self.par_map(items, f);
     }
+
+    /// Streams jobs from `source` through a bounded worker fleet,
+    /// calling `done` once per completed job — the long-running-service
+    /// primitive behind `repro serve`.
+    ///
+    /// Unlike [`Pool::par_map`], the job set is not known up front and
+    /// there is no barrier: the calling thread keeps pulling from
+    /// `source` (typically a blocking reader over stdin or a socket)
+    /// and enqueueing, while workers drain the queue concurrently. When
+    /// `source` returns `None` the queue is closed, the workers finish
+    /// whatever remains, and the call returns. Every job is delivered
+    /// to exactly one worker and `done` fires exactly once per job —
+    /// the zero-lost / zero-duplicated accounting is returned in
+    /// [`StreamStats`] and pinned by tests.
+    ///
+    /// `done` runs on whichever worker finished the job, in completion
+    /// order, concurrently with other workers' `done` calls — callers
+    /// that need exclusive access to a sink must synchronise it (a
+    /// `Mutex<impl Write>` suffices). With a single resolved worker the
+    /// whole stream runs on the calling thread: read one, work one,
+    /// done one — exact sequential behaviour, deterministic output
+    /// order.
+    ///
+    /// Telemetry: `par.stream_jobs` counts submissions and the
+    /// `par.stream_depth` histogram records the queue depth observed at
+    /// each enqueue (the service's queue-depth signal).
+    ///
+    /// # Panics
+    ///
+    /// A panicking job or `done` unwinds through the scope join and
+    /// poisons the whole stream, like [`Pool::par_map`]. Long-running
+    /// services should catch panics inside `work` and turn them into
+    /// error results instead.
+    pub fn stream<T, R, F, D>(
+        &self,
+        mut source: impl FnMut() -> Option<T>,
+        work: F,
+        done: D,
+    ) -> StreamStats
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        D: Fn(R) + Sync,
+    {
+        let workers = self.workers();
+        if workers <= 1 {
+            let mut stats = StreamStats::default();
+            while let Some(item) = source() {
+                scnn_obs::counter_add("par.stream_jobs", 1);
+                stats.submitted += 1;
+                done(work(item));
+                stats.completed += 1;
+            }
+            return stats;
+        }
+
+        struct Shared<T> {
+            queue: VecDeque<T>,
+            closed: bool,
+            max_depth: usize,
+        }
+        let shared = Mutex::new(Shared::<T> {
+            queue: VecDeque::new(),
+            closed: false,
+            max_depth: 0,
+        });
+        let ready = Condvar::new();
+        let completed = AtomicU64::new(0);
+        let mut submitted = 0u64;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let item = {
+                        let mut guard = lock_ignore_poison(&shared);
+                        loop {
+                            if let Some(item) = guard.queue.pop_front() {
+                                break Some(item);
+                            }
+                            if guard.closed {
+                                break None;
+                            }
+                            guard = ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    };
+                    let Some(item) = item else { break };
+                    done(work(item));
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+
+            while let Some(item) = source() {
+                scnn_obs::counter_add("par.stream_jobs", 1);
+                submitted += 1;
+                let depth = {
+                    let mut guard = lock_ignore_poison(&shared);
+                    guard.queue.push_back(item);
+                    guard.max_depth = guard.max_depth.max(guard.queue.len());
+                    guard.queue.len()
+                };
+                scnn_obs::histogram_record("par.stream_depth", depth as f64);
+                ready.notify_one();
+            }
+            lock_ignore_poison(&shared).closed = true;
+            ready.notify_all();
+        });
+
+        StreamStats {
+            submitted,
+            completed: completed.load(Ordering::Relaxed),
+            max_queue_depth: shared
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .max_depth,
+        }
+    }
+}
+
+/// Accounting from one [`Pool::stream`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Jobs pulled from the source and enqueued.
+    pub submitted: u64,
+    /// Jobs a worker finished (`done` invocations). Equal to
+    /// `submitted` on every non-panicking run — zero lost, zero
+    /// duplicated.
+    pub completed: u64,
+    /// Highest queue depth observed at any enqueue (0 when every job
+    /// was picked up before the next arrived, or on the sequential
+    /// path).
+    pub max_queue_depth: usize,
 }
 
 /// One-shot convenience: [`Pool::par_map`] without naming a pool.
@@ -379,6 +512,95 @@ mod tests {
         let occupancy = snap.histogram("par.queue_occupancy").unwrap();
         assert!(occupancy.count >= 16);
         assert_eq!(occupancy.min, Some(0.0), "the last pop sees an empty queue");
+    }
+
+    #[test]
+    fn stream_delivers_every_job_exactly_once() {
+        for threads in [Threads::Count(1), Threads::Count(3), Threads::Count(8)] {
+            let total = 5_000usize;
+            let mut next = 0usize;
+            let seen = Mutex::new(vec![0u32; total]);
+            let stats = Pool::new(threads).stream(
+                || {
+                    let i = next;
+                    next += 1;
+                    (i < total).then_some(i)
+                },
+                |i| i,
+                |i| lock_ignore_poison(&seen)[i] += 1,
+            );
+            assert_eq!(stats.submitted, total as u64, "{threads}");
+            assert_eq!(stats.completed, total as u64, "zero lost ({threads})");
+            let seen = seen.into_inner().unwrap();
+            assert!(
+                seen.iter().all(|&n| n == 1),
+                "zero duplicated ({threads}): {:?}",
+                seen.iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n != 1)
+                    .take(5)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_single_worker_is_sequential_and_ordered() {
+        let caller = std::thread::current().id();
+        let mut next = 0usize;
+        let order = Mutex::new(Vec::new());
+        let stats = Pool::new(Threads::Count(1)).stream(
+            || {
+                let i = next;
+                next += 1;
+                (i < 64).then_some(i)
+            },
+            |i| {
+                assert_eq!(std::thread::current().id(), caller, "no pool machinery");
+                i * 2
+            },
+            |r| lock_ignore_poison(&order).push(r),
+        );
+        assert_eq!(stats.submitted, 64);
+        assert_eq!(stats.completed, 64);
+        assert_eq!(stats.max_queue_depth, 0, "sequential path never queues");
+        assert_eq!(
+            order.into_inner().unwrap(),
+            (0..64).map(|i| i * 2).collect::<Vec<_>>(),
+            "single-worker completion order is submission order"
+        );
+    }
+
+    #[test]
+    fn stream_overlaps_reading_and_working() {
+        // A slow consumer-side job mix: the source produces a burst, the
+        // workers drain it; the queue must actually be exercised.
+        let total = 256usize;
+        let mut next = 0usize;
+        let sum = AtomicU64::new(0);
+        let stats = Pool::new(Threads::Count(4)).stream(
+            || {
+                let i = next;
+                next += 1;
+                (i < total).then_some(i as u64)
+            },
+            |i| i + 1,
+            |r| {
+                sum.fetch_add(r, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(stats.completed, total as u64);
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (1..=total as u64).sum::<u64>(),
+            "every result accounted for exactly once"
+        );
+    }
+
+    #[test]
+    fn stream_empty_source_returns_immediately() {
+        let stats = Pool::new(Threads::Count(4)).stream(|| None::<u8>, |x| x, |_| {});
+        assert_eq!(stats, StreamStats::default());
     }
 
     #[test]

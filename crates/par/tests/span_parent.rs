@@ -1,0 +1,89 @@
+//! Pins span parentage across [`Pool`] dispatch boundaries.
+//!
+//! Parenthood in `scnn-obs` is a **per-thread** notion: a span opened on
+//! a pool worker thread lands on that worker's thread-local stack with
+//! no parent linkage back to whatever span the *dispatching* thread had
+//! open (`crates/obs/src/span.rs`). The evaluation service's per-job
+//! telemetry depends on this exact behaviour: a `service.job` span
+//! opened inside the worker closure becomes the root of that job's span
+//! tree (every pipeline span the job opens nests under it, same
+//! thread), while the dispatcher's own spans never leak in as bogus
+//! parents. This test pins both sides of that contract so a future
+//! change to span parentage is a deliberate decision, not an accident.
+//!
+//! The whole contract lives in one test function on purpose: the
+//! recorder installation is process-global, and integration tests in
+//! one binary run on concurrent threads.
+
+use scnn_par::{Pool, Threads};
+use std::sync::Arc;
+
+#[test]
+fn pool_dispatched_spans_have_no_parent_linkage() {
+    let recorder = Arc::new(scnn_obs::Recorder::new());
+    scnn_obs::install(recorder.clone());
+
+    // Parallel dispatch: an enclosing span on the caller, per-job spans
+    // on the workers. Enough jobs that at least one runs off-thread.
+    {
+        let outer = scnn_obs::Span::enter("test.dispatch");
+        Pool::new(Threads::Count(4)).par_map((0..16u64).collect(), |i| {
+            let _job = scnn_obs::Span::enter_indexed("test.job", i);
+            std::hint::black_box(i)
+        });
+        drop(outer);
+    }
+
+    // Sequential path for contrast: same closure, one worker, so the
+    // jobs run on the caller's thread *inside* the outer span.
+    {
+        let outer = scnn_obs::Span::enter("test.seq-dispatch");
+        Pool::new(Threads::Count(1)).par_map((0..4u64).collect(), |i| {
+            let _job = scnn_obs::Span::enter_indexed("test.seq-job", i);
+            std::hint::black_box(i)
+        });
+        drop(outer);
+    }
+
+    scnn_obs::uninstall();
+    let snapshot = recorder.snapshot();
+    let by_name =
+        |name: &str| -> Vec<_> { snapshot.spans.iter().filter(|s| s.name == name).collect() };
+
+    let dispatch = by_name("test.dispatch");
+    assert_eq!(dispatch.len(), 1);
+    let dispatcher_thread = dispatch[0].thread;
+
+    let jobs = by_name("test.job");
+    assert_eq!(jobs.len(), 16, "one span per dispatched job");
+    for job in &jobs {
+        // Pinned current behaviour: no cross-thread parent linkage. A
+        // worker-side span is a root (parent None, depth 0) even though
+        // `test.dispatch` was open on the dispatching thread.
+        assert_eq!(
+            job.parent, None,
+            "pool-dispatched span must not inherit the dispatcher's span"
+        );
+        assert_eq!(job.depth, 0, "worker-side spans start a fresh stack");
+    }
+    assert!(
+        jobs.iter().any(|j| j.thread != dispatcher_thread),
+        "at least one job must have run on a worker thread"
+    );
+
+    // The sequential path keeps normal nesting: same thread, so the
+    // outer span *is* the parent.
+    let seq_dispatch = by_name("test.seq-dispatch");
+    assert_eq!(seq_dispatch.len(), 1);
+    let seq_jobs = by_name("test.seq-job");
+    assert_eq!(seq_jobs.len(), 4);
+    for job in &seq_jobs {
+        assert_eq!(
+            job.parent,
+            Some(seq_dispatch[0].id),
+            "sequential-path spans nest under the dispatcher's span"
+        );
+        assert_eq!(job.depth, 1);
+        assert_eq!(job.thread, seq_dispatch[0].thread);
+    }
+}
