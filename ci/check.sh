@@ -112,6 +112,26 @@ distinct="$(grep -o '"distinguishable_pairs":[0-9]*' "$sweep_json" | sort -u | w
   || { echo "FAIL: all presets report identical distinguishable-pair counts"; cat "$sweep_json"; exit 1; }
 rm -rf "$sweep_cache" "$sweep_json" "$sweep_tel"
 
+step "architecture extraction smoke (recovery floor, cold/warm byte-identical, JSON lints)"
+extract_cache="$(mktemp -d)"
+extract_json="$(mktemp)"
+out_ex_cold="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      extract --quick --samples 8 --threads 4 --cache-dir "$extract_cache" --out "$extract_json")"
+out_ex_warm="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      extract --quick --samples 8 --threads 4 --cache-dir "$extract_cache" --out "$extract_json")"
+printf '%s\n' "$out_ex_cold"
+for arm in unprotected constant-time noise-injection combined; do
+  printf '%s' "$out_ex_cold" | grep -q "$arm" \
+    || { echo "FAIL: extraction table missing arm $arm"; exit 1; }
+done
+printf '%s' "$out_ex_cold" | grep -q "victim (ground truth)" \
+  || { echo "FAIL: extraction output missing the ground-truth line"; exit 1; }
+diff <(printf '%s' "$out_ex_cold") <(printf '%s' "$out_ex_warm") \
+  || { echo "FAIL: extraction stdout differs between cold and warm cache runs"; exit 1; }
+cargo run --release --offline -q -p scnn-bench --bin extract_lint -- "$extract_json" \
+  || { echo "FAIL: extraction JSON did not lint"; exit 1; }
+rm -rf "$extract_cache" "$extract_json"
+
 step "evaluation service smoke (concurrent jobs, shared cache, byte-identical to direct runs)"
 serve_dir="$(mktemp -d)"
 cat > "$serve_dir/jobs.ndjson" <<'EOF'

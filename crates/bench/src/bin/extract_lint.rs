@@ -1,0 +1,112 @@
+//! `extract_lint` — validates extraction-outcome JSON files written by
+//! `repro extract --out`.
+//!
+//! ```text
+//! extract_lint extract.json [more.json ...]
+//! ```
+//!
+//! For each file: parses it with the in-tree strict JSON reader and
+//! checks the outcome invariants — `truth`/`rows`/`curve` sections
+//! present, every row carries an arm name and a complete score block
+//! with every ratio inside [0, 1], and the sample curve is strictly
+//! increasing in corpus size. Exits nonzero on the first violation,
+//! printing which file and which rule failed.
+
+use scnn_core::json::{parse, Value};
+use scnn_core::Error;
+use std::process::ExitCode;
+
+/// Checks one member list key, returning the array or an error.
+fn section<'a>(root: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    root.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array {key:?} section"))
+}
+
+fn ratio(v: &Value, key: &str) -> Result<f64, String> {
+    let n = v
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("score missing numeric {key:?}"))?;
+    if !(0.0..=1.0).contains(&n) {
+        return Err(format!("{key:?} = {n} is outside [0, 1]"));
+    }
+    Ok(n)
+}
+
+/// All outcome invariants for one parsed document.
+fn lint(root: &Value) -> Result<String, String> {
+    let truth = section(root, "truth")?;
+    if truth.is_empty() {
+        return Err("empty \"truth\" layer stack".into());
+    }
+    let rows = section(root, "rows")?;
+    if rows.is_empty() {
+        return Err("empty \"rows\" section".into());
+    }
+    for row in rows {
+        let arm = row
+            .get("arm")
+            .and_then(Value::as_str)
+            .ok_or("row missing string \"arm\"")?;
+        let score = row
+            .get("score")
+            .ok_or_else(|| format!("row {arm:?} missing \"score\""))?;
+        for key in [
+            "kind_precision",
+            "kind_recall",
+            "dim_accuracy",
+            "activation_accuracy",
+            "overall",
+        ] {
+            ratio(score, key).map_err(|e| format!("row {arm:?}: {e}"))?;
+        }
+        ratio(row, "holdout_agreement").map_err(|e| format!("row {arm:?}: {e}"))?;
+    }
+    let curve = section(root, "curve")?;
+    let mut last = 0.0;
+    for point in curve {
+        let samples = point
+            .get("samples")
+            .and_then(Value::as_f64)
+            .ok_or("curve point missing numeric \"samples\"")?;
+        if samples <= last {
+            return Err(format!(
+                "curve samples not strictly increasing at {samples}"
+            ));
+        }
+        last = samples;
+        ratio(point, "overall")?;
+        ratio(point, "kind_precision")?;
+    }
+    Ok(format!(
+        "{} truth layers, {} arms, {} curve points",
+        truth.len(),
+        rows.len(),
+        curve.len()
+    ))
+}
+
+fn run() -> Result<(), Error> {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        return Err(Error::msg("usage: extract_lint <extract.json> [...]"));
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::io(path.clone(), e))?;
+        let root = parse(&text).map_err(|e| Error::msg(format!("{path}: {e}")))?;
+        let summary = lint(&root).map_err(|e| Error::msg(format!("{path}: {e}")))?;
+        println!("{path}: ok ({summary})");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("extract_lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! repro table1          # Table 1: MNIST pairwise t-tests
 //! repro table2          # Table 2: CIFAR-10 pairwise t-tests
 //! repro attack          # Extension A: HPC template attack accuracy
+//! repro extract         # Extension H: architecture extraction from per-layer traces
 //! repro ablation        # Extension B: countermeasure ablation
 //! repro noise           # Extension C: leakage vs noise level / sample count
 //! repro events          # Extension D: which of the 8 events leak, cold vs warm
@@ -31,7 +32,11 @@
 //! training and collection — stdout stays byte-identical; cache chatter
 //! goes to stderr), `--uarch <name|path>` (simulate a different platform:
 //! a preset from the zoo — see `scnn_core::zoo` — or a JSON config file),
-//! `--out <path>` (for `sweep`: also write the leak table as JSON; for
+//! `--classifier <name>` (for `attack`: run one profiling classifier —
+//! `gaussian-template`, `lda`, `knn[:K]` — instead of all three),
+//! `--profile-frac <f>` (for `attack`/`extract`: the fraction of
+//! measurements spent profiling, strictly inside (0, 1)), `--out
+//! <path>` (for `sweep`/`extract`: also write the result as JSON; for
 //! `serve`: write the service report as JSON).
 //!
 //! # Service mode
@@ -100,6 +105,10 @@ struct Options {
     telemetry: Option<std::path::PathBuf>,
     uarch: Option<UarchConfig>,
     out: Option<std::path::PathBuf>,
+    /// `--classifier`: restrict `attack` to one profiling classifier.
+    classifier: Option<AttackClassifier>,
+    /// `--profile-frac`: profiling split for `attack` and `extract`.
+    profile_frac: Option<f64>,
 }
 
 impl Options {
@@ -419,19 +428,25 @@ impl<W: Write> Runner<W> {
             self,
             "=============================================================="
         );
+        // `--classifier` narrows the panel to one entry; the default
+        // three-classifier stdout stays byte-identical when it is absent.
+        let arms: Vec<(String, AttackClassifier)> = match self.options.classifier {
+            Some(c) => vec![(attack_panel_label(&c), c)],
+            None => vec![
+                (
+                    "gaussian template".into(),
+                    AttackClassifier::GaussianTemplate,
+                ),
+                ("LDA (pooled covariance)".into(), AttackClassifier::Lda),
+                ("5-NN".into(), AttackClassifier::Knn { k: 5 }),
+            ],
+        };
         for dataset in [DatasetKind::Mnist, DatasetKind::Cifar10] {
             let key = self.ensure(dataset);
             let outcome = &self.cache[key];
             o!(self, "\n--- {dataset} ---");
-            for (label, classifier) in [
-                ("gaussian template", AttackClassifier::GaussianTemplate),
-                ("LDA (pooled covariance)", AttackClassifier::Lda),
-                ("5-NN", AttackClassifier::Knn { k: 5 }),
-            ] {
-                match outcome.mount_attack(&AttackConfig {
-                    classifier,
-                    ..AttackConfig::default()
-                }) {
+            for (label, classifier) in &arms {
+                match outcome.mount_attack(&self.attack_config().classifier(*classifier)) {
                     Ok(out) => {
                         o!(self, "[{label}]");
                         op!(self, "{out}");
@@ -441,6 +456,105 @@ impl<W: Write> Runner<W> {
             }
         }
         o!(self);
+    }
+
+    /// The attack parameters shared by every classifier panel:
+    /// defaults, with `--profile-frac` applied when given.
+    fn attack_config(&self) -> AttackConfig {
+        match self.options.profile_frac {
+            Some(frac) => AttackConfig::default().profile_fraction(frac),
+            None => AttackConfig::default(),
+        }
+    }
+
+    /// Unlike the panicking artefact methods above, extraction returns
+    /// its errors: an out-of-range `--profile-frac` is a user mistake
+    /// (rejected by [`AttackConfig`]-style builder validation inside
+    /// `run_extract`), not a broken experiment.
+    fn extract(&mut self) -> Result<(), Error> {
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension H: architecture extraction from per-layer traces"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self,
+            "(the paper's reverse-engineering threat taken to its conclusion:\n per-layer HPC windows reconstruct the victim's architecture;\n see DESIGN.md §15)\n"
+        );
+        let cfg = self.options.config(DatasetKind::Mnist);
+        let frac = self.options.profile_frac.unwrap_or(0.75);
+        let outcome = scnn_core::extract::run_extract(
+            &cfg,
+            frac,
+            self.options.threads,
+            self.artifact_cache.as_ref(),
+        )
+        .map_err(|e| Error::msg(format!("extraction campaign failed: {e}")))?;
+        for row in &outcome.rows {
+            if row.trace_cache_hit {
+                eprintln!("[cache] extract/{}: trace corpus from cache", row.arm);
+            }
+        }
+        let truth: Vec<String> = outcome
+            .truth
+            .iter()
+            .map(|t| format!("{}[{}]", t.kind.name(), t.dim))
+            .collect();
+        o!(self, "victim (ground truth): {}", truth.join(" → "));
+        o!(self, "\nrecovered per arm:");
+        for row in &outcome.rows {
+            o!(self, "  {:<16} {}", row.arm, row.hypothesis.render());
+        }
+        o!(self);
+        op!(self, "{}", outcome.render_table());
+        o!(self, "\nrecovery vs profiling traces (unprotected arm):");
+        o!(self, "{:<8} {:>8} {:>8}", "traces", "overall", "kind-P");
+        for p in &outcome.curve {
+            o!(
+                self,
+                "{:<8} {:>8.2} {:>8.2}",
+                p.samples,
+                p.overall,
+                p.kind_precision
+            );
+        }
+        o!(self,
+            "\n(scores in [0,1]; agree = held-out single-trace kind agreement;\n countermeasures blur the per-layer windows and recovery degrades)\n"
+        );
+        let rows: Vec<String> = outcome
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{},{}",
+                    r.arm,
+                    r.score.depth_recovered,
+                    r.score.depth_truth,
+                    r.score.kind_precision,
+                    r.score.kind_recall,
+                    r.score.dim_accuracy,
+                    r.score.activation_accuracy,
+                    r.score.overall
+                )
+            })
+            .collect();
+        self.write_csv(
+            "extract_recovery.csv",
+            "arm,depth_recovered,depth_truth,kind_precision,kind_recall,dim_accuracy,activation_accuracy,overall",
+            &rows,
+        );
+        if let Some(path) = &self.options.out {
+            std::fs::write(path, outcome.to_json())
+                .map_err(|e| Error::io(path.display().to_string(), e))?;
+            eprintln!("[extract] wrote {}", path.display());
+        }
+        Ok(())
     }
 
     fn ablation(&mut self) {
@@ -859,6 +973,7 @@ impl<W: Write> Runner<W> {
             "table1" => self.table(DatasetKind::Mnist),
             "table2" => self.table(DatasetKind::Cifar10),
             "attack" => self.attack(),
+            "extract" => self.extract()?,
             "ablation" => self.ablation(),
             "noise" => self.noise(),
             "events" => self.events(),
@@ -873,6 +988,7 @@ impl<W: Write> Runner<W> {
                 self.table(DatasetKind::Mnist);
                 self.table(DatasetKind::Cifar10);
                 self.attack();
+                self.extract()?;
                 self.ablation();
                 self.noise();
                 self.events();
@@ -883,6 +999,17 @@ impl<W: Write> Runner<W> {
             other => return Err(Error::msg(format!("unknown command {other:?}"))),
         }
         Ok(())
+    }
+}
+
+/// The attack panel heading for one explicitly chosen classifier —
+/// matches the default panel's headings so `--classifier lda` prints
+/// the same `[LDA (pooled covariance)]` block a full run would.
+fn attack_panel_label(classifier: &AttackClassifier) -> String {
+    match classifier {
+        AttackClassifier::GaussianTemplate => "gaussian template".into(),
+        AttackClassifier::Lda => "LDA (pooled covariance)".into(),
+        AttackClassifier::Knn { k } => format!("{k}-NN"),
     }
 }
 
@@ -965,6 +1092,15 @@ fn run_job(
     }
     if let Some(uarch) = spec.str_param("uarch")? {
         options.uarch = Some(scnn_core::zoo::load_uarch(uarch).map_err(|e| format!("uarch: {e}"))?);
+    }
+    if let Some(name) = spec.str_param("classifier")? {
+        options.classifier = Some(
+            AttackClassifier::parse_flag(name)
+                .ok_or_else(|| format!("parameter \"classifier\": unknown classifier {name:?}"))?,
+        );
+    }
+    if let Some(frac) = spec.f64_param("profile_frac")? {
+        options.profile_frac = Some(frac);
     }
     let mut runner = Runner {
         options,
@@ -1177,6 +1313,20 @@ fn run() -> Result<(), Error> {
             None => None,
         },
         out: parsed.value("--out").map(std::path::PathBuf::from),
+        classifier: match parsed.value("--classifier") {
+            Some(name) => Some(AttackClassifier::parse_flag(name).ok_or_else(|| {
+                Error::msg(format!(
+                    "--classifier: unknown classifier {name:?} (expected gaussian-template, lda or knn[:K])"
+                ))
+            })?),
+            None => None,
+        },
+        profile_frac: match parsed.value("--profile-frac") {
+            Some(v) => Some(v.parse().map_err(|_| {
+                Error::msg(format!("--profile-frac needs a fraction in (0,1), got {v:?}"))
+            })?),
+            None => None,
+        },
     };
     let artifact_cache = match parsed.value("--cache-dir") {
         Some(dir) => Some(

@@ -27,10 +27,20 @@ use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 pub fn repro_flags() -> FlagSet {
     FlagSet::new(
         "repro",
-        "<fig1|fig2b|fig3|fig4|table1|table2|attack|ablation|noise|events|uarch|archs|sweep|serve|all> [options]",
+        "<fig1|fig2b|fig3|fig4|table1|table2|attack|extract|ablation|noise|events|uarch|archs|sweep|serve|all> [options]",
     )
     .value("--samples", "N", "measurements per category (default 100)")
     .switch("--quick", "tiny models and few samples, for smoke tests")
+    .value(
+        "--classifier",
+        "NAME",
+        "for `attack`: profiling classifier (gaussian-template|lda|knn[:K]); default runs all three",
+    )
+    .value(
+        "--profile-frac",
+        "F",
+        "for `attack`/`extract`: fraction of measurements spent profiling, in (0,1)",
+    )
     .value(
         "--threads",
         "N|auto",
@@ -230,6 +240,32 @@ mod tests {
         assert!(help.contains("noise"), "Extension C command:\n{help}");
         assert!(help.contains("sweep"), "zoo sweep command:\n{help}");
         assert!(help.contains("serve"), "service command:\n{help}");
+        assert!(help.contains("extract"), "extraction command:\n{help}");
+    }
+
+    #[test]
+    fn repro_classifier_flag_takes_a_name() {
+        let p = repro_flags()
+            .parse(["attack", "--classifier", "knn:3"])
+            .unwrap();
+        assert_eq!(p.value("--classifier"), Some("knn:3"));
+        assert_eq!(
+            repro_flags().parse(["--classifier"]).unwrap_err(),
+            flags::FlagError::MissingValue("--classifier")
+        );
+    }
+
+    #[test]
+    fn repro_profile_frac_flag_takes_a_fraction() {
+        let p = repro_flags()
+            .parse(["extract", "--profile-frac", "0.6"])
+            .unwrap();
+        assert_eq!(p.positionals, ["extract"]);
+        assert_eq!(p.value("--profile-frac"), Some("0.6"));
+        assert_eq!(
+            repro_flags().parse(["--profile-frac"]).unwrap_err(),
+            flags::FlagError::MissingValue("--profile-frac")
+        );
     }
 
     #[test]
@@ -240,6 +276,8 @@ mod tests {
         for flag in [
             "--samples <N>",
             "--quick",
+            "--classifier <NAME>",
+            "--profile-frac <F>",
             "--threads <N|auto>",
             "--csv <DIR>",
             "--telemetry <PATH>",

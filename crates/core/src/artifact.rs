@@ -19,6 +19,7 @@
 //! the caller recomputes.
 
 use crate::collect::CategoryObservations;
+use crate::extract::{InferenceTrace, LayerWindow};
 use crate::json::ToJson;
 use crate::pipeline::ExperimentConfig;
 use scnn_cache::CacheKey;
@@ -32,6 +33,8 @@ use std::collections::BTreeMap;
 pub const MODEL_KIND: &str = "model";
 /// Artifact kind slug for per-category collection checkpoints.
 pub const CATEGORY_KIND: &str = "obs";
+/// Artifact kind slug for per-arm extraction trace corpora.
+pub const TRACE_KIND: &str = "trace";
 
 /// The canonical description of everything that determines the trained
 /// model (and its bundled test accuracy): dataset synthesis, model
@@ -85,6 +88,75 @@ pub fn category_key(cfg: &ExperimentConfig, index: usize) -> CacheKey {
         index,
     );
     CacheKey::from_canonical(&canonical)
+}
+
+/// Cache key for one extraction arm's trace corpus of `samples` traced
+/// inferences.
+///
+/// The key embeds the model canonical (traces depend on the trained
+/// network and its test images), the simulated platform, the active
+/// countermeasure and the corpus size. Thread policy is absent: trace
+/// collection is a pure function of `(config, arm)` at every thread
+/// count.
+pub fn trace_key(cfg: &ExperimentConfig, samples: usize) -> CacheKey {
+    let canonical = format!(
+        "{{\"kind\":\"trace\",\"model\":{},\"pmu\":{},\"countermeasure\":{},\"samples\":{}}}",
+        model_canonical(cfg),
+        cfg.pmu.to_json(),
+        cfg.countermeasure.to_json(),
+        samples,
+    );
+    CacheKey::from_canonical(&canonical)
+}
+
+/// Serializes a trace corpus: per trace, its per-layer windows as four
+/// little-endian `f64`s (loads, stores, branches, alu).
+pub fn encode_traces(traces: &[InferenceTrace]) -> Vec<u8> {
+    let mut buf = ByteWriter::new();
+    buf.put_u32(traces.len() as u32);
+    for trace in traces {
+        buf.put_u32(trace.windows.len() as u32);
+        for w in &trace.windows {
+            buf.put_f64_le(w.loads);
+            buf.put_f64_le(w.stores);
+            buf.put_f64_le(w.branches);
+            buf.put_f64_le(w.alu);
+        }
+    }
+    buf.into_vec()
+}
+
+/// Deserializes [`encode_traces`] output; `None` on any structural
+/// inconsistency.
+pub fn decode_traces(payload: &[u8]) -> Option<Vec<InferenceTrace>> {
+    let mut buf = ByteReader::new(payload);
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n_traces = buf.get_u32() as usize;
+    let mut traces = Vec::with_capacity(n_traces.min(1 << 16));
+    for _ in 0..n_traces {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let n_windows = buf.get_u32() as usize;
+        if buf.remaining() / 32 < n_windows {
+            return None;
+        }
+        let windows = (0..n_windows)
+            .map(|_| LayerWindow {
+                loads: buf.get_f64_le(),
+                stores: buf.get_f64_le(),
+                branches: buf.get_f64_le(),
+                alu: buf.get_f64_le(),
+            })
+            .collect();
+        traces.push(InferenceTrace { windows });
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some(traces)
 }
 
 /// Serializes the model artifact: network bytes, per-epoch losses, final
@@ -290,6 +362,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn trace_key_tracks_measurement_inputs() {
+        let base = trace_key(&cfg(), 12);
+        assert_eq!(base, trace_key(&cfg(), 12), "pure function of the config");
+        assert_ne!(base, trace_key(&cfg(), 13), "corpus size is in the key");
+        assert_ne!(base, trace_key(&cfg().seed(1), 12), "new model, new traces");
+        assert_ne!(
+            base,
+            trace_key(&cfg().countermeasure(Countermeasure::ConstantTime), 12)
+        );
+        let mut other_uarch = cfg();
+        other_uarch.pmu.core = crate::zoo::zoo()[1].core;
+        assert_ne!(base, trace_key(&other_uarch, 12));
+        assert_eq!(base, trace_key(&cfg().threads(Threads::Count(7)), 12));
+        assert_eq!(
+            base,
+            trace_key(&cfg().samples(99), 12),
+            "samples argument, not collection config"
+        );
+    }
+
+    #[test]
+    fn trace_artifact_roundtrips() {
+        let traces = vec![
+            InferenceTrace {
+                windows: vec![
+                    LayerWindow {
+                        loads: 874.0,
+                        stores: 410.0,
+                        branches: 260.0,
+                        alu: 954.5,
+                    },
+                    LayerWindow::default(),
+                ],
+            },
+            InferenceTrace { windows: vec![] },
+        ];
+        let restored = decode_traces(&encode_traces(&traces)).unwrap();
+        assert_eq!(restored, traces);
+    }
+
+    #[test]
+    fn trace_artifact_rejects_truncation_and_trailing_bytes() {
+        let traces = vec![InferenceTrace {
+            windows: vec![LayerWindow {
+                loads: 1.0,
+                stores: 2.0,
+                branches: 3.0,
+                alu: 4.0,
+            }],
+        }];
+        let payload = encode_traces(&traces);
+        for cut in 0..payload.len() {
+            assert!(decode_traces(&payload[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_traces(&padded).is_none(), "trailing byte");
     }
 
     #[test]

@@ -10,10 +10,56 @@
 //! engineering of the paper's title.
 
 use crate::collect::CategoryObservations;
+use crate::error::Error as CoreError;
+use crate::json::{ObjectWriter, ToJson};
 use scnn_hpc::HpcEvent;
 use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use std::error::Error;
 use std::fmt;
+
+/// The unified attack API: every adversary in the suite — the
+/// input-category classifiers here and the architecture extractor in
+/// [`crate::extract`] — follows the same three-phase contract.
+///
+/// 1. [`profile`](Adversary::profile) learns a model of the victim from a
+///    profiling corpus (and scores any held-out split it keeps back);
+/// 2. [`attack`](Adversary::attack) applies the profiled model to one
+///    unseen trace and returns a verdict;
+/// 3. [`report`](Adversary::report) exposes the aggregate result, which
+///    serializes for `--out` via [`ToJson`].
+///
+/// Errors use the workspace-wide [`crate::Error`] so drivers can treat
+/// every adversary uniformly.
+pub trait Adversary {
+    /// The profiling corpus the adversary learns from.
+    type Corpus: ?Sized;
+    /// One unseen measurement to attack.
+    type Trace: ?Sized;
+    /// The adversary's conclusion about one trace.
+    type Verdict;
+    /// The aggregate, serialisable result of the campaign.
+    type Report: ToJson;
+
+    /// Learns the victim's behaviour from `corpus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] when the corpus is degenerate or the
+    /// adversary's configuration is invalid.
+    fn profile(&mut self, corpus: &Self::Corpus) -> Result<(), CoreError>;
+
+    /// Applies the profiled model to one unseen trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] when called before a successful
+    /// [`profile`](Adversary::profile) or when `trace` has the wrong
+    /// shape.
+    fn attack(&self, trace: &Self::Trace) -> Result<Self::Verdict, CoreError>;
+
+    /// The aggregate report, populated by [`profile`](Adversary::profile).
+    fn report(&self) -> Option<&Self::Report>;
+}
 
 /// Classifier the adversary uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,6 +78,35 @@ pub enum AttackClassifier {
         /// Neighbourhood size.
         k: usize,
     },
+}
+
+impl AttackClassifier {
+    /// Stable label used in reports, JSON output and the `--classifier`
+    /// flag (`knn` carries its neighbourhood size as `knn:K`).
+    pub fn label(&self) -> String {
+        match self {
+            AttackClassifier::GaussianTemplate => "gaussian-template".to_owned(),
+            AttackClassifier::Lda => "lda".to_owned(),
+            AttackClassifier::Knn { k } => format!("knn:{k}"),
+        }
+    }
+
+    /// Parses the `--classifier` flag vocabulary: `gaussian` (or
+    /// `gaussian-template` / `template`), `lda`, `knn` (k = 5) or
+    /// `knn:K`.
+    pub fn parse_flag(s: &str) -> Option<AttackClassifier> {
+        match s {
+            "gaussian" | "gaussian-template" | "template" => {
+                Some(AttackClassifier::GaussianTemplate)
+            }
+            "lda" => Some(AttackClassifier::Lda),
+            "knn" => Some(AttackClassifier::Knn { k: 5 }),
+            _ => {
+                let k = s.strip_prefix("knn:")?.parse().ok()?;
+                Some(AttackClassifier::Knn { k })
+            }
+        }
+    }
 }
 
 /// Attack parameters.
@@ -55,6 +130,57 @@ impl Default for AttackConfig {
     }
 }
 
+impl AttackConfig {
+    // Fluent builders, mirroring `ExperimentConfig`. Every field stays
+    // `pub` — these are sugar over direct mutation, plus the one place
+    // where parameters get validated ([`AttackConfig::validate`], run by
+    // `mount_attack` and `Adversary::profile` before any work happens).
+
+    /// Sets the classifier.
+    pub fn classifier(mut self, classifier: AttackClassifier) -> Self {
+        self.classifier = classifier;
+        self
+    }
+
+    /// Sets the fraction of each category's measurements used for
+    /// profiling. Must lie strictly inside `(0, 1)`.
+    pub fn profile_fraction(mut self, fraction: f64) -> Self {
+        self.profile_fraction = fraction;
+        self
+    }
+
+    /// Sets the profiling/holdout split seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the parameters for values that would silently corrupt the
+    /// attack: a profile fraction outside `(0, 1)` (the split would put
+    /// everything — or nothing — into profiling) and a zero k-NN
+    /// neighbourhood (no neighbours can vote).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidProfileFraction`] or
+    /// [`AttackError::ZeroNeighbourhood`]; both convert into the unified
+    /// [`crate::Error`] with `?`.
+    pub fn validate(&self) -> Result<(), AttackError> {
+        if !(self.profile_fraction.is_finite()
+            && self.profile_fraction > 0.0
+            && self.profile_fraction < 1.0)
+        {
+            return Err(AttackError::InvalidProfileFraction {
+                fraction: self.profile_fraction,
+            });
+        }
+        if matches!(self.classifier, AttackClassifier::Knn { k: 0 }) {
+            return Err(AttackError::ZeroNeighbourhood);
+        }
+        Ok(())
+    }
+}
+
 /// Error mounting the attack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttackError {
@@ -67,6 +193,24 @@ pub enum AttackError {
     },
     /// Observations carry no events.
     NoFeatures,
+    /// The profiling fraction lies outside the open interval `(0, 1)`.
+    InvalidProfileFraction {
+        /// The rejected value.
+        fraction: f64,
+    },
+    /// `Knn { k: 0 }` — a zero-size neighbourhood cannot vote.
+    ZeroNeighbourhood,
+    /// [`Adversary::attack`] was called before a successful
+    /// [`Adversary::profile`].
+    NotProfiled,
+    /// A trace handed to [`Adversary::attack`] has the wrong number of
+    /// features.
+    TraceShape {
+        /// Features the profiled model expects.
+        expected: usize,
+        /// Features the trace carried.
+        got: usize,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -77,6 +221,21 @@ impl fmt::Display for AttackError {
                 write!(f, "category {category} has too few measurements to split")
             }
             AttackError::NoFeatures => write!(f, "observations carry no HPC events"),
+            AttackError::InvalidProfileFraction { fraction } => {
+                write!(
+                    f,
+                    "profile fraction {fraction} is outside the open interval (0, 1)"
+                )
+            }
+            AttackError::ZeroNeighbourhood => {
+                write!(f, "k-NN needs a neighbourhood of at least 1 (k = 0 given)")
+            }
+            AttackError::NotProfiled => {
+                write!(f, "adversary must profile a corpus before attacking traces")
+            }
+            AttackError::TraceShape { expected, got } => {
+                write!(f, "trace carries {got} features, model expects {expected}")
+            }
         }
     }
 }
@@ -132,6 +291,19 @@ impl fmt::Display for AttackOutcome {
             writeln!(f)?;
         }
         Ok(())
+    }
+}
+
+impl ToJson for AttackOutcome {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("classifier", &self.classifier.label())
+            .field("accuracy", &self.accuracy)
+            .field("chance", &self.chance_level())
+            .field("test_count", &self.test_count)
+            .field("features", &self.features)
+            .field("confusion", &self.confusion);
+        obj.finish();
     }
 }
 
@@ -400,7 +572,8 @@ fn knn_classify(train: &[(Vec<f64>, usize)], v: &[f64], k: usize, classes: usize
     // instead of panicking, so it merely loses the vote.
     dists.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut votes = vec![0usize; classes];
-    for &(_, c) in dists.iter().take(k.max(1)) {
+    // k ≥ 1 is guaranteed by AttackConfig::validate.
+    for &(_, c) in dists.iter().take(k) {
         votes[c] += 1;
     }
     votes
@@ -411,26 +584,33 @@ fn knn_classify(train: &[(Vec<f64>, usize)], v: &[f64], k: usize, classes: usize
         .unwrap_or(0)
 }
 
-/// Normalises features to zero mean / unit variance using train-set
-/// statistics (applied to both splits) — required for distance-based
-/// classification across events of wildly different magnitudes.
-fn zscore(train: &mut [(Vec<f64>, usize)], test: &mut [(Vec<f64>, usize)]) {
+/// Per-dimension `(mean, std)` of the train split — the normalisation
+/// distance-based classification needs across events of wildly different
+/// magnitudes. The statistics come from the train split only, so they
+/// can be replayed onto held-out or future traces.
+fn zscore_stats(train: &[(Vec<f64>, usize)]) -> Vec<(f64, f64)> {
     if train.is_empty() {
-        return;
+        return Vec::new();
     }
     let dims = train[0].0.len();
-    for d in 0..dims {
-        let n = train.len() as f64;
-        let mean = train.iter().map(|(v, _)| v[d]).sum::<f64>() / n;
-        let var = train
-            .iter()
-            .map(|(v, _)| (v[d] - mean).powi(2))
-            .sum::<f64>()
-            / n;
-        let std = var.sqrt().max(1e-9);
-        for (v, _) in train.iter_mut().chain(test.iter_mut()) {
-            v[d] = (v[d] - mean) / std;
-        }
+    let n = train.len() as f64;
+    (0..dims)
+        .map(|d| {
+            let mean = train.iter().map(|(v, _)| v[d]).sum::<f64>() / n;
+            let var = train
+                .iter()
+                .map(|(v, _)| (v[d] - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            (mean, var.sqrt().max(1e-9))
+        })
+        .collect()
+}
+
+/// Normalises one feature vector in place with [`zscore_stats`] output.
+fn apply_norms(v: &mut [f64], norms: &[(f64, f64)]) {
+    for (x, (mean, std)) in v.iter_mut().zip(norms) {
+        *x = (*x - mean) / std;
     }
 }
 
@@ -469,53 +649,164 @@ pub fn mount_attack(
     observations: &[CategoryObservations],
     config: &AttackConfig,
 ) -> Result<AttackOutcome, AttackError> {
-    let mut vectors = split_vectors(observations, config)?;
-    let classes = observations.len();
-    let dims = vectors.features.len();
+    let mut adversary = ClassifierAdversary::new(*config);
+    adversary.fit_and_score(observations)?;
+    Ok(adversary
+        .outcome
+        .take()
+        .expect("fit_and_score populates the outcome"))
+}
 
-    let mut confusion = vec![vec![0usize; classes]; classes];
-    let mut correct = 0usize;
-    match config.classifier {
-        AttackClassifier::GaussianTemplate => {
-            let templates = Templates::fit(&vectors.train, classes, dims);
-            for (v, truth) in &vectors.test {
-                let guess = templates.classify(v);
-                confusion[*truth][guess] += 1;
-                if guess == *truth {
-                    correct += 1;
-                }
-            }
+/// The profiled classifier an adversary carries between `profile` and
+/// `attack`: the fitted model plus the train-split normalisation needed
+/// to replay it onto new traces.
+struct FittedClassifier {
+    classes: usize,
+    features: Vec<HpcEvent>,
+    /// `(mean, std)` per feature for distance/discriminant models;
+    /// `None` for the raw-feature Gaussian template.
+    norms: Option<Vec<(f64, f64)>>,
+    kind: FittedKind,
+}
+
+enum FittedKind {
+    Template(Templates),
+    Lda(LinearDiscriminant),
+    Knn {
+        train: Vec<(Vec<f64>, usize)>,
+        k: usize,
+    },
+}
+
+impl FittedClassifier {
+    /// Labels one raw (un-normalised) feature vector.
+    fn classify(&self, trace: &[f64]) -> usize {
+        let mut v = trace.to_vec();
+        if let Some(norms) = &self.norms {
+            apply_norms(&mut v, norms);
         }
-        AttackClassifier::Lda => {
-            zscore(&mut vectors.train, &mut vectors.test);
-            let lda = LinearDiscriminant::fit(&vectors.train, classes, dims);
-            for (v, truth) in &vectors.test {
-                let guess = lda.classify(v);
-                confusion[*truth][guess] += 1;
-                if guess == *truth {
-                    correct += 1;
-                }
-            }
-        }
-        AttackClassifier::Knn { k } => {
-            zscore(&mut vectors.train, &mut vectors.test);
-            for (v, truth) in &vectors.test {
-                let guess = knn_classify(&vectors.train, v, k, classes);
-                confusion[*truth][guess] += 1;
-                if guess == *truth {
-                    correct += 1;
-                }
-            }
+        match &self.kind {
+            FittedKind::Template(t) => t.classify(&v),
+            FittedKind::Lda(l) => l.classify(&v),
+            FittedKind::Knn { train, k } => knn_classify(train, &v, *k, self.classes),
         }
     }
-    let test_count = vectors.test.len();
-    Ok(AttackOutcome {
-        accuracy: correct as f64 / test_count.max(1) as f64,
-        confusion,
-        test_count,
-        features: vectors.features,
-        classifier: config.classifier,
-    })
+}
+
+/// The input-category recovery adversary, restructured behind the
+/// [`Adversary`] trait: [`profile`](Adversary::profile) splits the
+/// corpus, fits the configured classifier on the profiling half and
+/// scores the held-out half into an [`AttackOutcome`];
+/// [`attack`](Adversary::attack) then labels any raw feature vector (one
+/// value per [`AttackOutcome::features`] event). [`mount_attack`] is a
+/// thin wrapper over this type.
+pub struct ClassifierAdversary {
+    config: AttackConfig,
+    model: Option<FittedClassifier>,
+    outcome: Option<AttackOutcome>,
+}
+
+impl ClassifierAdversary {
+    /// Creates an adversary with the given parameters; nothing is
+    /// validated or fitted until [`profile`](Adversary::profile).
+    pub fn new(config: AttackConfig) -> Self {
+        ClassifierAdversary {
+            config,
+            model: None,
+            outcome: None,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Validates, splits, fits and scores — the `AttackError`-typed core
+    /// shared by [`mount_attack`] and the trait's `profile`.
+    fn fit_and_score(&mut self, observations: &[CategoryObservations]) -> Result<(), AttackError> {
+        self.config.validate()?;
+        let mut vectors = split_vectors(observations, &self.config)?;
+        let classes = observations.len();
+        let dims = vectors.features.len();
+
+        let norms = match self.config.classifier {
+            AttackClassifier::GaussianTemplate => None,
+            AttackClassifier::Lda | AttackClassifier::Knn { .. } => {
+                let stats = zscore_stats(&vectors.train);
+                for (v, _) in vectors.train.iter_mut() {
+                    apply_norms(v, &stats);
+                }
+                Some(stats)
+            }
+        };
+        let kind = match self.config.classifier {
+            AttackClassifier::GaussianTemplate => {
+                FittedKind::Template(Templates::fit(&vectors.train, classes, dims))
+            }
+            AttackClassifier::Lda => {
+                FittedKind::Lda(LinearDiscriminant::fit(&vectors.train, classes, dims))
+            }
+            AttackClassifier::Knn { k } => FittedKind::Knn {
+                train: std::mem::take(&mut vectors.train),
+                k,
+            },
+        };
+        let fitted = FittedClassifier {
+            classes,
+            features: vectors.features.clone(),
+            norms,
+            kind,
+        };
+
+        let mut confusion = vec![vec![0usize; classes]; classes];
+        let mut correct = 0usize;
+        for (v, truth) in &vectors.test {
+            let guess = fitted.classify(v);
+            confusion[*truth][guess] += 1;
+            if guess == *truth {
+                correct += 1;
+            }
+        }
+        let test_count = vectors.test.len();
+        self.outcome = Some(AttackOutcome {
+            accuracy: correct as f64 / test_count.max(1) as f64,
+            confusion,
+            test_count,
+            features: vectors.features,
+            classifier: self.config.classifier,
+        });
+        self.model = Some(fitted);
+        Ok(())
+    }
+}
+
+impl Adversary for ClassifierAdversary {
+    type Corpus = [CategoryObservations];
+    type Trace = [f64];
+    type Verdict = usize;
+    type Report = AttackOutcome;
+
+    fn profile(&mut self, corpus: &[CategoryObservations]) -> Result<(), CoreError> {
+        self.fit_and_score(corpus)?;
+        Ok(())
+    }
+
+    fn attack(&self, trace: &[f64]) -> Result<usize, CoreError> {
+        let model = self.model.as_ref().ok_or(AttackError::NotProfiled)?;
+        if trace.len() != model.features.len() {
+            return Err(AttackError::TraceShape {
+                expected: model.features.len(),
+                got: trace.len(),
+            }
+            .into());
+        }
+        Ok(model.classify(trace))
+    }
+
+    fn report(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -706,5 +997,172 @@ mod tests {
         let out = mount_attack(&obs_with_separation(50.0, 40), &AttackConfig::default()).unwrap();
         let total: usize = out.confusion.iter().flatten().sum();
         assert_eq!(total, out.test_count);
+    }
+
+    #[test]
+    fn builder_chain_matches_direct_mutation() {
+        let built = AttackConfig::default()
+            .classifier(AttackClassifier::Knn { k: 3 })
+            .profile_fraction(0.7)
+            .seed(9);
+        let direct = AttackConfig {
+            classifier: AttackClassifier::Knn { k: 3 },
+            profile_fraction: 0.7,
+            seed: 9,
+        };
+        assert_eq!(built, direct);
+    }
+
+    #[test]
+    fn validate_rejects_zero_neighbourhood() {
+        let config = AttackConfig::default().classifier(AttackClassifier::Knn { k: 0 });
+        assert_eq!(config.validate(), Err(AttackError::ZeroNeighbourhood));
+        assert_eq!(
+            mount_attack(&obs_with_separation(100.0, 60), &config),
+            Err(AttackError::ZeroNeighbourhood)
+        );
+        assert!(config
+            .classifier(AttackClassifier::Knn { k: 1 })
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_profile_fractions() {
+        for bad in [0.0, 1.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            let config = AttackConfig::default().profile_fraction(bad);
+            assert!(
+                matches!(
+                    config.validate(),
+                    Err(AttackError::InvalidProfileFraction { .. })
+                ),
+                "fraction {bad} must be rejected"
+            );
+            assert!(
+                mount_attack(&obs_with_separation(100.0, 60), &config).is_err(),
+                "mount_attack must refuse fraction {bad}"
+            );
+        }
+        assert!(AttackConfig::default()
+            .profile_fraction(0.25)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_error_converts_to_unified_error() {
+        let err: crate::Error = AttackConfig::default()
+            .classifier(AttackClassifier::Knn { k: 0 })
+            .validate()
+            .unwrap_err()
+            .into();
+        assert!(err.to_string().contains("k-NN"), "{err}");
+    }
+
+    #[test]
+    fn adversary_profiles_then_attacks_fresh_traces() {
+        let obs = obs_with_separation(100.0, 60);
+        let mut adversary = ClassifierAdversary::new(AttackConfig::default());
+        adversary.profile(&obs).unwrap();
+        let report = Adversary::report(&adversary).expect("profile populates the report");
+        assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
+
+        // A fresh trace near category 3's template: the feature order is
+        // the BTreeMap event order reported in `features`.
+        assert_eq!(
+            report.features,
+            vec![HpcEvent::Branches, HpcEvent::CacheMisses]
+        );
+        let verdict = adversary
+            .attack(&[50_011.0, 1000.0 + 3.0 * 100.0 + 8.0])
+            .unwrap();
+        assert_eq!(verdict, 3);
+    }
+
+    #[test]
+    fn adversary_refuses_attacks_before_profiling_and_bad_shapes() {
+        let adversary = ClassifierAdversary::new(AttackConfig::default());
+        assert!(adversary.attack(&[1.0, 2.0]).is_err());
+        assert!(Adversary::report(&adversary).is_none());
+
+        let mut adversary = ClassifierAdversary::new(AttackConfig::default());
+        adversary
+            .profile(&obs_with_separation(100.0, 60)[..])
+            .unwrap();
+        let err = adversary.attack(&[1.0]).unwrap_err();
+        assert!(err.to_string().contains("features"), "{err}");
+    }
+
+    #[test]
+    fn mount_attack_matches_the_adversary_report() {
+        for classifier in [
+            AttackClassifier::GaussianTemplate,
+            AttackClassifier::Lda,
+            AttackClassifier::Knn { k: 5 },
+        ] {
+            let obs = obs_with_separation(60.0, 50);
+            let config = AttackConfig::default().classifier(classifier);
+            let direct = mount_attack(&obs, &config).unwrap();
+            let mut adversary = ClassifierAdversary::new(config);
+            adversary.profile(&obs[..]).unwrap();
+            assert_eq!(
+                &direct,
+                Adversary::report(&adversary).unwrap(),
+                "{classifier:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_json_parses_back() {
+        let out = mount_attack(
+            &obs_with_separation(100.0, 40),
+            &AttackConfig::default().classifier(AttackClassifier::Knn { k: 5 }),
+        )
+        .unwrap();
+        let v = crate::json::parse(&out.to_json()).expect("outcome JSON must parse");
+        assert_eq!(
+            v.get("classifier").and_then(crate::json::Value::as_str),
+            Some("knn:5")
+        );
+        assert_eq!(
+            v.get("accuracy").and_then(crate::json::Value::as_f64),
+            Some(out.accuracy)
+        );
+        assert_eq!(
+            v.get("confusion")
+                .and_then(crate::json::Value::as_array)
+                .map(<[crate::json::Value]>::len),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn classifier_flag_round_trips() {
+        assert_eq!(
+            AttackClassifier::parse_flag("gaussian"),
+            Some(AttackClassifier::GaussianTemplate)
+        );
+        assert_eq!(
+            AttackClassifier::parse_flag("lda"),
+            Some(AttackClassifier::Lda)
+        );
+        assert_eq!(
+            AttackClassifier::parse_flag("knn"),
+            Some(AttackClassifier::Knn { k: 5 })
+        );
+        assert_eq!(
+            AttackClassifier::parse_flag("knn:7"),
+            Some(AttackClassifier::Knn { k: 7 })
+        );
+        assert_eq!(AttackClassifier::parse_flag("forest"), None);
+        assert_eq!(AttackClassifier::parse_flag("knn:x"), None);
+        for c in [
+            AttackClassifier::GaussianTemplate,
+            AttackClassifier::Lda,
+            AttackClassifier::Knn { k: 9 },
+        ] {
+            assert_eq!(AttackClassifier::parse_flag(&c.label()), Some(c));
+        }
     }
 }

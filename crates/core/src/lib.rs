@@ -21,6 +21,10 @@
 //! - [`attack`] — a profiling (Gaussian template / k-NN) adversary that
 //!   actually recovers input categories from counter readings, showing
 //!   the alarm is not hypothetical;
+//! - [`extract`] — the reverse-engineering adversary of the paper's
+//!   title: per-layer counter windows invert each kernel's footprint to
+//!   reconstruct the victim's architecture (both adversaries share the
+//!   [`attack::Adversary`] profile → attack → report contract);
 //! - [`countermeasure`] — constant-footprint kernels and noise
 //!   injection, the "indistinguishable CPU footprints" the conclusion
 //!   calls for, with an ablation pipeline to quantify them;
@@ -49,6 +53,7 @@ pub mod collect;
 pub mod countermeasure;
 pub mod error;
 pub mod evaluator;
+pub mod extract;
 pub mod json;
 pub mod pipeline;
 pub mod report;
@@ -56,7 +61,9 @@ pub mod service;
 pub mod sweep;
 pub mod zoo;
 
-pub use attack::{mount_attack, AttackClassifier, AttackConfig, AttackOutcome};
+pub use attack::{
+    mount_attack, Adversary, AttackClassifier, AttackConfig, AttackOutcome, ClassifierAdversary,
+};
 pub use collect::{
     collect, CategoryObservations, CollectError, CollectionConfig, TracedClassifier,
 };
@@ -64,6 +71,10 @@ pub use countermeasure::{Countermeasure, ProtectedModel};
 pub use error::{Error, Result};
 pub use evaluator::{
     Alarm, EvaluateError, Evaluator, EvaluatorConfig, EventLeakage, LeakageReport,
+};
+pub use extract::{
+    run_extract, ArchitectureHypothesis, ExtractOutcome, Extractor, InferenceTrace,
+    LayerHypothesis, LayerKind, RecoveryScore, TraceCorpus,
 };
 pub use json::ToJson;
 pub use pipeline::{

@@ -206,7 +206,7 @@ impl ExperimentConfig {
         self
     }
 
-    fn image_side(&self) -> usize {
+    pub(crate) fn image_side(&self) -> usize {
         match (self.dataset, self.scale) {
             (DatasetKind::Mnist, ModelScale::Paper) => mnist_synth::SIDE,
             (DatasetKind::Cifar10, ModelScale::Paper) => cifar_synth::SIDE,
@@ -214,7 +214,11 @@ impl ExperimentConfig {
         }
     }
 
-    fn generate_dataset(&self, per_class: usize, seed: u64) -> Result<Dataset, DatasetError> {
+    pub(crate) fn generate_dataset(
+        &self,
+        per_class: usize,
+        seed: u64,
+    ) -> Result<Dataset, DatasetError> {
         match self.dataset {
             DatasetKind::Mnist => mnist_synth::generate(
                 &MnistSynthConfig {
@@ -235,7 +239,7 @@ impl ExperimentConfig {
         }
     }
 
-    fn build_model(&self) -> Network {
+    pub(crate) fn build_model(&self) -> Network {
         let seed = self.seed ^ 0xBEEF;
         let channels = match self.dataset {
             DatasetKind::Mnist => 1,

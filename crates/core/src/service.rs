@@ -168,6 +168,23 @@ impl JobSpec {
                 .ok_or_else(|| format!("parameter {key:?} must be a string")),
         }
     }
+
+    /// A floating-point parameter (e.g. `profile_frac` on `extract`
+    /// jobs). Range checks are the executor's business — this only
+    /// enforces that the member is a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parameter exists but is not a number.
+    pub fn f64_param(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.param(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("parameter {key:?} must be a number")),
+        }
+    }
 }
 
 /// Job ids double as file stems (`--job-stdout-dir`), so they must not
@@ -666,6 +683,18 @@ mod tests {
         assert!(spec.bool_param("quick").unwrap());
         assert_eq!(spec.usize_param("absent").unwrap(), None);
         assert!(spec.usize_param("quick").is_err(), "type mismatch surfaces");
+
+        let spec = JobSpec::parse_line(
+            r#"{"id":"x","command":"extract","profile_frac":0.6,"classifier":"knn:3"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.f64_param("profile_frac").unwrap(), Some(0.6));
+        assert_eq!(spec.str_param("classifier").unwrap(), Some("knn:3"));
+        assert_eq!(spec.f64_param("absent").unwrap(), None);
+        assert!(
+            spec.f64_param("classifier").is_err(),
+            "strings are not numbers"
+        );
 
         assert!(JobSpec::parse_line("not json").is_err());
         assert!(

@@ -137,6 +137,78 @@ impl SimulatedPmu {
         }
         noisy
     }
+
+    /// Like [`Pmu::measure`], but segments the counter stream at every
+    /// [`Probe::layer_boundary`] the workload reports, returning one noisy
+    /// [`CounterSnapshot`] per window.
+    ///
+    /// Window `i` covers the events between the `i`-th and `(i+1)`-th
+    /// boundary (the run's end closes the last window), so a workload that
+    /// reports `k` boundaries yields `k + 1` windows and the first window
+    /// holds whatever ran before the first boundary. A workload that never
+    /// reports a boundary yields exactly one window — the same counts
+    /// [`Pmu::measure`] would see. Noise is sampled per window, scaled by
+    /// that window's cycle count, exactly as a real per-window
+    /// attach/detach would observe it.
+    pub fn measure_layers(
+        &mut self,
+        workload: &mut dyn FnMut(&mut dyn Probe),
+    ) -> Vec<CounterSnapshot> {
+        if self.config.warmup == WarmupPolicy::ColdStart {
+            self.core.cold_start();
+        }
+        self.core.reset_counters();
+        let mut marks = Vec::new();
+        {
+            let mut capture = LayerCapture {
+                core: &mut self.core,
+                marks: &mut marks,
+            };
+            workload(&mut capture);
+        }
+        marks.push(self.core.snapshot());
+        self.measurements_taken += 1;
+
+        let mut windows = Vec::with_capacity(marks.len());
+        let mut prev = CounterSnapshot::default();
+        for mark in marks {
+            let delta = mark.delta(&prev);
+            prev = mark;
+            windows.push(self.apply_noise(delta));
+        }
+        windows
+    }
+}
+
+/// Probe adapter for [`SimulatedPmu::measure_layers`]: forwards every
+/// architectural event to the simulated core untouched and snapshots the
+/// cumulative counters at each layer boundary. Because boundaries retire
+/// nothing, the core sees a stream bit-identical to an unsegmented run.
+struct LayerCapture<'c> {
+    core: &'c mut CoreSim,
+    marks: &'c mut Vec<CounterSnapshot>,
+}
+
+impl Probe for LayerCapture<'_> {
+    fn load(&mut self, addr: u64, pc: u64) {
+        self.core.load(addr, pc);
+    }
+
+    fn store(&mut self, addr: u64, pc: u64) {
+        self.core.store(addr, pc);
+    }
+
+    fn branch(&mut self, pc: u64, taken: bool) {
+        self.core.branch(pc, taken);
+    }
+
+    fn alu(&mut self, n: u64) {
+        self.core.alu(n);
+    }
+
+    fn layer_boundary(&mut self, _index: usize) {
+        self.marks.push(self.core.snapshot());
+    }
 }
 
 impl Pmu for SimulatedPmu {
@@ -290,6 +362,45 @@ mod tests {
             "scaling should approximately recover the total: {insns}"
         );
         assert!(m.readings.iter().all(|r| r.was_multiplexed()));
+    }
+
+    #[test]
+    fn measure_layers_segments_the_stream() {
+        let mut pmu = quiet_pmu();
+        let windows = pmu.measure_layers(&mut |p| {
+            p.alu(100);
+            p.layer_boundary(1);
+            for i in 0..50u64 {
+                p.load(i * 64, 0x40);
+            }
+            p.layer_boundary(2);
+            p.alu(25);
+        });
+        assert_eq!(windows.len(), 3, "k boundaries => k + 1 windows");
+        assert_eq!(windows[0].instructions, 100);
+        assert_eq!(windows[0].loads, 0);
+        assert_eq!(windows[1].loads, 50);
+        assert_eq!(windows[2].instructions, 25);
+    }
+
+    #[test]
+    fn measure_layers_without_boundaries_is_one_whole_window() {
+        let g = group(&[HpcEvent::Instructions, HpcEvent::Branches]);
+        let mut wl = |p: &mut dyn Probe| {
+            for i in 0..100u64 {
+                p.load(i * 64, 0x40);
+                p.branch(0x40, i % 2 == 0);
+            }
+            p.alu(500);
+        };
+        let whole = quiet_pmu().measure(&g, &mut wl).unwrap();
+        let windows = quiet_pmu().measure_layers(&mut wl);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(
+            Some(windows[0].instructions),
+            whole.value(HpcEvent::Instructions)
+        );
+        assert_eq!(Some(windows[0].branches), whole.value(HpcEvent::Branches));
     }
 
     #[test]

@@ -69,9 +69,12 @@ impl<'p> ExecContext<'p> {
     }
 
     /// Marks entry into layer `index`; kernel PCs embed it so each layer's
-    /// branches and loads are distinct predictor/prefetcher streams.
+    /// branches and loads are distinct predictor/prefetcher streams. The
+    /// probe hears the boundary too, so per-layer trace captures can
+    /// segment the event stream without changing it.
     pub fn enter_layer(&mut self, index: usize) {
         self.layer_index = index as u32;
+        self.probe.layer_boundary(index);
     }
 
     /// Synthetic PC for `site` in the current layer.

@@ -36,6 +36,14 @@ pub trait Probe {
     fn alu(&mut self, n: u64) {
         let _ = n;
     }
+
+    /// The instrumented workload is about to enter layer `index` of a
+    /// multi-layer computation. Purely a marker — it retires nothing and
+    /// changes no microarchitectural state — so probes that do not segment
+    /// their observations can ignore it (the default does).
+    fn layer_boundary(&mut self, index: usize) {
+        let _ = index;
+    }
 }
 
 /// A probe that ignores everything — the zero-cost fast path.

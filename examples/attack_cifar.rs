@@ -35,10 +35,7 @@ fn main() -> scnn::core::Result<()> {
         ),
         ("5-nearest-neighbours", AttackClassifier::Knn { k: 5 }),
     ] {
-        let result = outcome.mount_attack(&AttackConfig {
-            classifier,
-            ..AttackConfig::default()
-        })?;
+        let result = outcome.mount_attack(&AttackConfig::default().classifier(classifier))?;
         println!("--- {name} ---");
         print!("{result}");
         println!(

@@ -55,7 +55,7 @@ fn main() -> scnn::core::Result<()> {
                 .map(|e| e.pairwise.leak_count())
                 .unwrap_or(0)
         };
-        let attack = outcome.mount_attack(&AttackConfig::default())?;
+        let attack = outcome.mount_attack(&AttackConfig::default().profile_fraction(0.5))?;
         println!(
             "{:<46} {:>8}/6 {:>8}/6 {:>8.0}% {:>9}",
             label,

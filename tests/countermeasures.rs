@@ -64,7 +64,9 @@ fn constant_time_defeats_the_attack() {
         .run()
         .unwrap();
 
-    let attack = AttackConfig::default();
+    // Built fluently — same parameters as `AttackConfig::default()`,
+    // but through the validated builder path the CLI uses.
+    let attack = AttackConfig::default().profile_fraction(0.5).seed(0xA77AC4);
     let leaky_acc = leaky.mount_attack(&attack).unwrap().accuracy;
     let protected_acc = protected.mount_attack(&attack).unwrap().accuracy;
     assert!(
