@@ -132,6 +132,28 @@ cargo run --release --offline -q -p scnn-bench --bin extract_lint -- "$extract_j
   || { echo "FAIL: extraction JSON did not lint"; exit 1; }
 rm -rf "$extract_cache" "$extract_json"
 
+step "countermeasure frontier smoke (all arms, Pareto set, cold/warm byte-identical, JSON lints)"
+frontier_cache="$(mktemp -d)"
+frontier_json="$(mktemp)"
+out_fr_cold="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      frontier --quick --samples 8 --threads 4 --cache-dir "$frontier_cache" --out "$frontier_json")"
+out_fr_warm="$(cargo run --release --offline -q -p scnn-bench --bin repro -- \
+      frontier --quick --samples 8 --threads 4 --cache-dir "$frontier_cache" --out "$frontier_json")"
+printf '%s\n' "$out_fr_cold"
+for arm in baseline constant-time shuffle noise-injection decoy-inference oblivious-shape calibrated-noise; do
+  printf '%s' "$out_fr_cold" | grep -q "$arm" \
+    || { echo "FAIL: frontier table missing arm $arm"; exit 1; }
+  grep -q "\"arm\":\"$arm\"" "$frontier_json" \
+    || { echo "FAIL: frontier JSON missing arm row $arm"; exit 1; }
+done
+printf '%s' "$out_fr_cold" | grep -q "pareto frontier: [a-z]" \
+  || { echo "FAIL: frontier printed an empty Pareto set"; exit 1; }
+diff <(printf '%s' "$out_fr_cold") <(printf '%s' "$out_fr_warm") \
+  || { echo "FAIL: frontier stdout differs between cold and warm cache runs"; exit 1; }
+cargo run --release --offline -q -p scnn-bench --bin frontier_lint -- "$frontier_json" \
+  || { echo "FAIL: frontier JSON did not lint"; exit 1; }
+rm -rf "$frontier_cache" "$frontier_json"
+
 step "evaluation service smoke (concurrent jobs, shared cache, byte-identical to direct runs)"
 serve_dir="$(mktemp -d)"
 cat > "$serve_dir/jobs.ndjson" <<'EOF'

@@ -17,6 +17,7 @@
 //! repro uarch           # Extension E: microarchitectural design ablation
 //! repro archs           # Extension F: CNN vs MLP victim architectures
 //! repro sweep           # Extension G: t-test evaluation across the preset zoo
+//! repro frontier        # Extension I: countermeasure leakage-vs-overhead frontier
 //! repro all             # everything above
 //! ```
 //!
@@ -34,9 +35,15 @@
 //! a preset from the zoo — see `scnn_core::zoo` — or a JSON config file),
 //! `--classifier <name>` (for `attack`: run one profiling classifier —
 //! `gaussian-template`, `lda`, `knn[:K]` — instead of all three),
-//! `--profile-frac <f>` (for `attack`/`extract`: the fraction of
-//! measurements spent profiling, strictly inside (0, 1)), `--out
-//! <path>` (for `sweep`/`extract`: also write the result as JSON; for
+//! `--profile-frac <f>` (for `attack`/`extract`/`frontier`: the
+//! fraction of measurements spent profiling, strictly inside (0, 1)),
+//! `--dummy-events <N>` (noise-injection volume for
+//! `ablation`/`extract`/`frontier`, default 20000), `--decoys <N>`
+//! (decoy classifications per real inference for `frontier`, default
+//! 3), `--target-t <T>` (calibration target for the frontier's
+//! calibrated-noise arm: double the noise volume until max |t| falls
+//! below T, default 1.5), `--out <path>` (for
+//! `sweep`/`extract`/`frontier`: also write the result as JSON; for
 //! `serve`: write the service report as JSON).
 //!
 //! # Service mode
@@ -109,6 +116,14 @@ struct Options {
     classifier: Option<AttackClassifier>,
     /// `--profile-frac`: profiling split for `attack` and `extract`.
     profile_frac: Option<f64>,
+    /// `--dummy-events`: mean dummy events of the noise arms in
+    /// `ablation`, `extract` and `frontier` (never 0).
+    dummy_events: u64,
+    /// `--decoys`: decoy inferences per real one on the frontier's
+    /// decoy arm (never 0).
+    decoys: u64,
+    /// `--target-t`: the calibrated-noise arm's max-|t| target.
+    target_t: f64,
 }
 
 impl Options {
@@ -492,6 +507,7 @@ impl<W: Write> Runner<W> {
         let outcome = scnn_core::extract::run_extract(
             &cfg,
             frac,
+            self.options.dummy_events,
             self.options.threads,
             self.artifact_cache.as_ref(),
         )
@@ -568,20 +584,20 @@ impl<W: Write> Runner<W> {
             "=============================================================="
         );
         let base = self.options.config(DatasetKind::Mnist);
-        let arms: Vec<(&str, Option<Countermeasure>)> = vec![
-            ("leaky baseline", None),
-            ("constant-time kernels", Some(Countermeasure::ConstantTime)),
+        let dummy_events = self.options.dummy_events;
+        let arms: Vec<(String, Option<Countermeasure>)> = vec![
+            ("leaky baseline".to_owned(), None),
             (
-                "noise injection (20k dummy events)",
-                Some(Countermeasure::NoiseInjection {
-                    dummy_events: 20_000,
-                }),
+                "constant-time kernels".to_owned(),
+                Some(Countermeasure::ConstantTime),
             ),
             (
-                "combined",
-                Some(Countermeasure::Combined {
-                    dummy_events: 20_000,
-                }),
+                format!("noise injection ({dummy_events} dummy events)"),
+                Some(Countermeasure::NoiseInjection { dummy_events }),
+            ),
+            (
+                "combined".to_owned(),
+                Some(Countermeasure::Combined { dummy_events }),
             ),
         ];
         o!(
@@ -959,6 +975,105 @@ impl<W: Write> Runner<W> {
         }
     }
 
+    fn frontier(&mut self) -> Result<(), Error> {
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(
+            self,
+            "Extension I: countermeasure leakage-vs-overhead frontier"
+        );
+        o!(
+            self,
+            "=============================================================="
+        );
+        o!(self,
+            "(MNIST; every countermeasure arm against both adversaries — the\n pairwise-t-test evaluator and architecture extraction — priced in\n simulated cycles relative to the unprotected baseline; see DESIGN.md §16)\n"
+        );
+        let base = self.options.config(DatasetKind::Mnist);
+        let opts = scnn_core::frontier::FrontierOptions {
+            dummy_events: self.options.dummy_events,
+            decoys: self.options.decoys,
+            target_t: self.options.target_t,
+            profile_fraction: self.options.profile_frac.unwrap_or(0.6),
+        };
+        let outcome = scnn_core::run_frontier(
+            &base,
+            &opts,
+            self.options.threads,
+            self.artifact_cache.as_ref(),
+        )
+        .map_err(|e| Error::msg(format!("frontier campaign failed: {e}")))?;
+        for row in &outcome.rows {
+            let u = row.cache;
+            if self.artifact_cache.is_some() {
+                self.traffic.add_usage(&u);
+            }
+            eprintln!(
+                "[cache] frontier/{}: model {}, {}/{} categories from cache{}",
+                row.arm,
+                if u.model_hit { "hit" } else { "miss" },
+                u.categories_hit,
+                u.categories_hit + u.categories_collected,
+                if row.trace_cache_hit {
+                    ", trace corpus from cache"
+                } else {
+                    ""
+                },
+            );
+        }
+        o!(
+            self,
+            "calibrated-noise converged at {} dummy events (max |t| target {})\n",
+            outcome.calibrated_dummy_events,
+            outcome.target_t
+        );
+        op!(self, "{}", outcome.render_table());
+        let pareto = outcome.pareto_arms();
+        o!(
+            self,
+            "\npareto frontier: {}",
+            if pareto.is_empty() {
+                "(none)".to_owned()
+            } else {
+                pareto.join(", ")
+            }
+        );
+        o!(self,
+            "\n(leakage = mean of distinguishable-cell ratio and extraction recovery,\n both in [0,1]; overhead = mean traced-inference cycles vs baseline;\n * = Pareto-dominant among arms that beat the baseline's leakage)\n"
+        );
+        let rows: Vec<String> = outcome
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{}",
+                    r.arm,
+                    r.alarm,
+                    r.distinguishable_pairs,
+                    r.total_pairs,
+                    r.max_abs_t,
+                    r.extraction_overall,
+                    r.leakage,
+                    r.overhead,
+                    r.pareto
+                )
+            })
+            .collect();
+        self.write_csv(
+            "frontier_pareto.csv",
+            "arm,alarm,distinguishable_pairs,total_pairs,max_abs_t,extraction_overall,leakage,overhead,pareto",
+            &rows,
+        );
+        if let Some(path) = &self.options.out {
+            std::fs::write(path, outcome.to_json())
+                .map_err(|e| Error::io(path.display().to_string(), e))?;
+            eprintln!("[frontier] wrote {}", path.display());
+        }
+        Ok(())
+    }
+
     /// Dispatches one artefact command. This is the single entry point
     /// shared by the direct CLI and by every `repro serve` job, which is
     /// what makes a job's captured output byte-identical to the
@@ -980,6 +1095,7 @@ impl<W: Write> Runner<W> {
             "uarch" => self.uarch(),
             "archs" => self.archs(),
             "sweep" => self.sweep(),
+            "frontier" => self.frontier()?,
             "all" => {
                 self.fig1();
                 self.fig2b();
@@ -995,6 +1111,7 @@ impl<W: Write> Runner<W> {
                 self.uarch();
                 self.archs();
                 self.sweep();
+                self.frontier()?;
             }
             other => return Err(Error::msg(format!("unknown command {other:?}"))),
         }
@@ -1101,6 +1218,24 @@ fn run_job(
     }
     if let Some(frac) = spec.f64_param("profile_frac")? {
         options.profile_frac = Some(frac);
+    }
+    if let Some(n) = spec.usize_param("dummy_events")? {
+        if n == 0 {
+            return Err("parameter \"dummy_events\" must be positive".into());
+        }
+        options.dummy_events = n as u64;
+    }
+    if let Some(n) = spec.usize_param("decoys")? {
+        if n == 0 {
+            return Err("parameter \"decoys\" must be positive".into());
+        }
+        options.decoys = n as u64;
+    }
+    if let Some(t) = spec.f64_param("target_t")? {
+        if !t.is_finite() || t <= 0.0 {
+            return Err("parameter \"target_t\" must be finite and positive".into());
+        }
+        options.target_t = t;
     }
     let mut runner = Runner {
         options,
@@ -1326,6 +1461,21 @@ fn run() -> Result<(), Error> {
                 Error::msg(format!("--profile-frac needs a fraction in (0,1), got {v:?}"))
             })?),
             None => None,
+        },
+        dummy_events: match parsed.value("--dummy-events") {
+            Some(v) => scnn_bench::parse_positive_u64("--dummy-events", v)
+                .map_err(|e| Error::msg(e.to_string()))?,
+            None => 20_000,
+        },
+        decoys: match parsed.value("--decoys") {
+            Some(v) => scnn_bench::parse_positive_u64("--decoys", v)
+                .map_err(|e| Error::msg(e.to_string()))?,
+            None => 3,
+        },
+        target_t: match parsed.value("--target-t") {
+            Some(v) => scnn_bench::parse_positive_f64("--target-t", v)
+                .map_err(|e| Error::msg(e.to_string()))?,
+            None => 1.5,
         },
     };
     let artifact_cache = match parsed.value("--cache-dir") {

@@ -72,6 +72,14 @@ pub enum FlagError {
     Unknown(String),
     /// A value-taking flag was the last argument.
     MissingValue(&'static str),
+    /// A flag's value parsed but is outside its domain (zero where a
+    /// positive count is needed, a non-finite threshold, …).
+    Invalid {
+        /// The offending flag's spelling.
+        flag: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlagError {
@@ -79,6 +87,7 @@ impl fmt::Display for FlagError {
         match self {
             FlagError::Unknown(flag) => write!(f, "unknown flag: {flag}"),
             FlagError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            FlagError::Invalid { flag, reason } => write!(f, "invalid value for {flag}: {reason}"),
         }
     }
 }
@@ -238,6 +247,18 @@ mod tests {
         assert_eq!(
             demo().parse(["--samples"]).unwrap_err(),
             FlagError::MissingValue("--samples")
+        );
+    }
+
+    #[test]
+    fn invalid_value_displays_flag_and_reason() {
+        let e = FlagError::Invalid {
+            flag: "--dummy-events",
+            reason: "must be positive".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid value for --dummy-events: must be positive"
         );
     }
 

@@ -18,7 +18,7 @@
 pub mod flags;
 pub mod harness;
 
-use flags::FlagSet;
+use flags::{FlagError, FlagSet};
 use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 
 /// The `repro` binary's flag vocabulary — declared here (not in the
@@ -27,7 +27,7 @@ use scnn_core::pipeline::{DatasetKind, ExperimentConfig};
 pub fn repro_flags() -> FlagSet {
     FlagSet::new(
         "repro",
-        "<fig1|fig2b|fig3|fig4|table1|table2|attack|extract|ablation|noise|events|uarch|archs|sweep|serve|all> [options]",
+        "<fig1|fig2b|fig3|fig4|table1|table2|attack|extract|ablation|noise|events|uarch|archs|sweep|frontier|serve|all> [options]",
     )
     .value("--samples", "N", "measurements per category (default 100)")
     .switch("--quick", "tiny models and few samples, for smoke tests")
@@ -65,7 +65,22 @@ pub fn repro_flags() -> FlagSet {
     .value(
         "--out",
         "PATH",
-        "for `sweep`: write the leak table as JSON; for `serve`: write the service report as JSON",
+        "for `sweep`/`frontier`: write the result table as JSON; for `serve`: write the service report as JSON",
+    )
+    .value(
+        "--dummy-events",
+        "N",
+        "for `ablation`/`extract`/`frontier`: mean dummy events of the noise arms (default 20000)",
+    )
+    .value(
+        "--decoys",
+        "N",
+        "for `frontier`: decoy classifications per real inference (default 3)",
+    )
+    .value(
+        "--target-t",
+        "T",
+        "for `frontier`: max-|t| target of the calibrated-noise arm (default 1.5)",
     )
     .value(
         "--workers",
@@ -93,6 +108,49 @@ pub fn repro_flags() -> FlagSet {
         "for `serve`: additionally write each job's captured stdout to DIR/<id>.out",
     )
     .switch("--help", "print this help")
+}
+
+/// Parses a value-taking flag as a strictly positive integer: zero is a
+/// typed [`FlagError::Invalid`], not a silent no-op arm (a noise
+/// countermeasure with zero dummy events, or a decoy arm with zero
+/// decoys, measures nothing and would masquerade as protection).
+///
+/// # Errors
+///
+/// [`FlagError::Invalid`] on non-numeric input or zero.
+pub fn parse_positive_u64(flag: &'static str, value: &str) -> Result<u64, FlagError> {
+    let n: u64 = value.parse().map_err(|_| FlagError::Invalid {
+        flag,
+        reason: format!("expected a positive integer, got {value:?}"),
+    })?;
+    if n == 0 {
+        return Err(FlagError::Invalid {
+            flag,
+            reason: "must be positive".to_owned(),
+        });
+    }
+    Ok(n)
+}
+
+/// Parses a value-taking flag as a finite, strictly positive float
+/// (thresholds like `--target-t`).
+///
+/// # Errors
+///
+/// [`FlagError::Invalid`] on non-numeric, non-finite or non-positive
+/// input.
+pub fn parse_positive_f64(flag: &'static str, value: &str) -> Result<f64, FlagError> {
+    let t: f64 = value.parse().map_err(|_| FlagError::Invalid {
+        flag,
+        reason: format!("expected a number, got {value:?}"),
+    })?;
+    if !t.is_finite() || t <= 0.0 {
+        return Err(FlagError::Invalid {
+            flag,
+            reason: format!("must be finite and positive, got {value}"),
+        });
+    }
+    Ok(t)
 }
 
 /// A small but paper-shaped experiment configuration used by benches:
@@ -269,6 +327,62 @@ mod tests {
     }
 
     #[test]
+    fn repro_frontier_flags_take_values() {
+        let p = repro_flags()
+            .parse([
+                "frontier",
+                "--dummy-events",
+                "30000",
+                "--decoys",
+                "2",
+                "--target-t",
+                "1.8",
+            ])
+            .unwrap();
+        assert_eq!(p.positionals, ["frontier"]);
+        assert_eq!(p.value("--dummy-events"), Some("30000"));
+        assert_eq!(p.value("--decoys"), Some("2"));
+        assert_eq!(p.value("--target-t"), Some("1.8"));
+        for flag in ["--dummy-events", "--decoys", "--target-t"] {
+            assert_eq!(
+                repro_flags().parse([flag]).unwrap_err(),
+                flags::FlagError::MissingValue(flag),
+                "{flag} needs a value"
+            );
+        }
+        assert!(repro_flags().help().contains("frontier"));
+    }
+
+    #[test]
+    fn positive_u64_rejects_zero_and_garbage() {
+        assert_eq!(parse_positive_u64("--dummy-events", "20000"), Ok(20_000));
+        for bad in ["0", "-3", "many", "1.5", ""] {
+            let err = parse_positive_u64("--dummy-events", bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FlagError::Invalid {
+                        flag: "--dummy-events",
+                        ..
+                    }
+                ),
+                "{bad:?} must be a typed flag error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_f64_rejects_nonpositive_and_nonfinite() {
+        assert_eq!(parse_positive_f64("--target-t", "1.5"), Ok(1.5));
+        for bad in ["0", "-1.5", "nan", "inf", "threshold"] {
+            assert!(
+                parse_positive_f64("--target-t", bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn repro_help_flag_and_page() {
         let p = repro_flags().parse(["--help"]).unwrap();
         assert!(p.is_set("--help"));
@@ -284,6 +398,9 @@ mod tests {
             "--cache-dir <DIR>",
             "--uarch <NAME|PATH>",
             "--out <PATH>",
+            "--dummy-events <N>",
+            "--decoys <N>",
+            "--target-t <T>",
             "--workers <N|auto>",
             "--jobs <PATH>",
             "--socket <PATH>",

@@ -109,6 +109,23 @@ pub fn trace_key(cfg: &ExperimentConfig, samples: usize) -> CacheKey {
     CacheKey::from_canonical(&canonical)
 }
 
+/// A stable 64-bit tag over the config's countermeasure canonical JSON
+/// (FNV-1a), for seeding per-arm RNG streams (PMU noise, dummy-work and
+/// decoy generators) the same way the cache keys are addressed: content,
+/// not arm position. Two commands that would store a trace corpus under
+/// the same [`trace_key`] therefore also derive it from the same seeds,
+/// so the cached bytes are identical no matter which command wrote them
+/// first. Not collision-resistant — arm sets are tiny.
+pub fn cm_seed_tag(cfg: &ExperimentConfig) -> u64 {
+    let json = cfg.countermeasure.to_json();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in json.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Serializes a trace corpus: per trace, its per-layer windows as four
 /// little-endian `f64`s (loads, stores, branches, alu).
 pub fn encode_traces(traces: &[InferenceTrace]) -> Vec<u8> {
@@ -382,6 +399,78 @@ mod tests {
             base,
             trace_key(&cfg().samples(99), 12),
             "samples argument, not collection config"
+        );
+    }
+
+    #[test]
+    fn countermeasure_variants_never_alias_cache_keys() {
+        // Every frontier arm (and every dummy-event volume) must key its
+        // own observation and trace artifacts: aliasing would let one
+        // arm's cached measurements masquerade as another's.
+        let arms = [
+            None,
+            Some(Countermeasure::ConstantTime),
+            Some(Countermeasure::NoiseInjection {
+                dummy_events: 20_000,
+            }),
+            Some(Countermeasure::NoiseInjection {
+                dummy_events: 30_000,
+            }),
+            Some(Countermeasure::Combined {
+                dummy_events: 20_000,
+            }),
+            Some(Countermeasure::Shuffle),
+            Some(Countermeasure::DecoyInference { decoys: 3 }),
+            Some(Countermeasure::DecoyInference { decoys: 4 }),
+            Some(Countermeasure::ObliviousShape),
+            Some(Countermeasure::CalibratedNoise {
+                target_t: 1.5,
+                dummy_events: 4_000,
+            }),
+            Some(Countermeasure::CalibratedNoise {
+                target_t: 1.5,
+                dummy_events: 8_000,
+            }),
+        ];
+        let keyed: Vec<_> = arms
+            .iter()
+            .map(|cm| {
+                let mut c = cfg();
+                c.countermeasure = *cm;
+                (category_key(&c, 0), trace_key(&c, 12), cm_seed_tag(&c))
+            })
+            .collect();
+        for i in 0..keyed.len() {
+            for j in (i + 1)..keyed.len() {
+                assert_ne!(
+                    keyed[i].0, keyed[j].0,
+                    "obs alias: {:?} {:?}",
+                    arms[i], arms[j]
+                );
+                assert_ne!(
+                    keyed[i].1, keyed[j].1,
+                    "trace alias: {:?} {:?}",
+                    arms[i], arms[j]
+                );
+                assert_ne!(
+                    keyed[i].2, keyed[j].2,
+                    "seed alias: {:?} {:?}",
+                    arms[i], arms[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cm_seed_tag_is_content_addressed() {
+        // Pure function of the countermeasure alone: model seed, samples
+        // and thread policy do not move it.
+        let base = cm_seed_tag(&cfg());
+        assert_eq!(base, cm_seed_tag(&cfg().seed(1)));
+        assert_eq!(base, cm_seed_tag(&cfg().threads(Threads::Count(7))));
+        assert_ne!(
+            base,
+            cm_seed_tag(&cfg().countermeasure(Countermeasure::Shuffle))
         );
     }
 

@@ -654,24 +654,18 @@ pub fn score(hypothesis: &ArchitectureHypothesis, truth: &[LayerTruth]) -> Recov
     }
 }
 
-/// The countermeasure arms `repro extract` evaluates, mirroring the
-/// ablation's dummy-event budget.
-pub fn extraction_arms() -> [(&'static str, Option<Countermeasure>); 4] {
+/// The countermeasure arms `repro extract` evaluates. `dummy_events` is
+/// the mean dummy-event budget of the noise arms — the `--dummy-events`
+/// flag; the ablation and the frontier share the same knob.
+pub fn extraction_arms(dummy_events: u64) -> [(&'static str, Option<Countermeasure>); 4] {
     [
         ("unprotected", None),
         ("constant-time", Some(Countermeasure::ConstantTime)),
         (
             "noise-injection",
-            Some(Countermeasure::NoiseInjection {
-                dummy_events: 20_000,
-            }),
+            Some(Countermeasure::NoiseInjection { dummy_events }),
         ),
-        (
-            "combined",
-            Some(Countermeasure::Combined {
-                dummy_events: 20_000,
-            }),
-        ),
+        ("combined", Some(Countermeasure::Combined { dummy_events })),
     ]
 }
 
@@ -799,7 +793,10 @@ impl ToJson for ExtractOutcome {
 
 /// Trains (or restores from `cache`) the victim model of `cfg`, sharing
 /// the pipeline's model artifact: same key, same seeds, same bytes.
-fn obtain_model(cfg: &ExperimentConfig, cache: Option<&ArtifactCache>) -> Result<Network, Error> {
+pub(crate) fn obtain_model(
+    cfg: &ExperimentConfig,
+    cache: Option<&ArtifactCache>,
+) -> Result<Network, Error> {
     if let Some(c) = cache {
         if let Some((net, _, _)) = c
             .load(artifact::MODEL_KIND, artifact::model_key(cfg))
@@ -862,11 +859,16 @@ fn collect_traces(
 
 /// Loads one arm's trace corpus from `cache` or collects and stores it.
 /// Returns the corpus and whether it was a cache hit.
-fn obtain_traces(
+///
+/// Per-arm seeds are content-addressed from the countermeasure's
+/// canonical JSON ([`artifact::cm_seed_tag`]), exactly like the trace
+/// key itself: any two commands (`extract`, `frontier`, …) that share a
+/// trace key also produce byte-identical corpora, no matter which ran
+/// first or at which arm position.
+pub(crate) fn obtain_traces(
     base: &ExperimentConfig,
     net: &Network,
     test_set: &Dataset,
-    arm_index: usize,
     cm: Option<Countermeasure>,
     cache: Option<&ArtifactCache>,
 ) -> Result<(TraceCorpus, bool), Error> {
@@ -882,15 +884,13 @@ fn obtain_traces(
             return Ok((TraceCorpus { traces }, true));
         }
     }
-    let mut pmu = SimulatedPmu::new(base.pmu, category_seed(base.seed ^ 0xE47A, arm_index))?;
+    let tag = artifact::cm_seed_tag(&cfg) as usize;
+    let mut pmu = SimulatedPmu::new(base.pmu, category_seed(base.seed ^ 0xE47A, tag))?;
     let corpus = match cm {
         None => collect_traces(&mut net.clone(), test_set, &mut pmu, samples)?,
         Some(cm) => {
-            let mut protected = ProtectedModel::new(
-                net.clone(),
-                cm,
-                category_seed(base.seed ^ 0xE47B, arm_index),
-            );
+            let mut protected =
+                ProtectedModel::new(net.clone(), cm, category_seed(base.seed ^ 0xE47B, tag));
             collect_traces(&mut protected, test_set, &mut pmu, samples)?
         }
     };
@@ -906,7 +906,7 @@ fn obtain_traces(
 
 /// Profiles `corpus`'s first `profile_n` traces and scores the result;
 /// also reports agreement of single-trace attacks on the held-out rest.
-fn profile_and_score(
+pub(crate) fn profile_and_score(
     corpus: &TraceCorpus,
     profile_n: usize,
     truth: &[LayerTruth],
@@ -935,17 +935,18 @@ fn profile_and_score(
 }
 
 /// Runs the extraction campaign: trains (or restores) the victim once,
-/// traces it under every [`extraction_arms`] arm, profiles the
-/// [`Extractor`] on the first `profile_fraction` of each corpus, and
-/// scores every hypothesis against the true layer stack. The
-/// unprotected arm additionally reports recovery as a function of
-/// corpus size.
+/// traces it under every [`extraction_arms`] arm (`dummy_events` sizes
+/// the noise arms), profiles the [`Extractor`] on the first
+/// `profile_fraction` of each corpus, and scores every hypothesis
+/// against the true layer stack. The unprotected arm additionally
+/// reports recovery as a function of corpus size.
 ///
 /// Arms run as ordered coarse-grain jobs on a [`Pool`] with `threads`
-/// workers; every arm's environment is seeded purely from `(seed, arm
-/// index)`, so the outcome is **bit-identical at every thread count**.
-/// With a `cache`, the model artifact is shared with the pipeline and
-/// each arm's trace corpus is checkpointed under its own key.
+/// workers; every arm's environment is seeded purely from `(seed,
+/// countermeasure)`, so the outcome is **bit-identical at every thread
+/// count**. With a `cache`, the model artifact is shared with the
+/// pipeline and each arm's trace corpus is checkpointed under its own
+/// key.
 ///
 /// # Errors
 ///
@@ -954,6 +955,7 @@ fn profile_and_score(
 pub fn run_extract(
     base: &ExperimentConfig,
     profile_fraction: f64,
+    dummy_events: u64,
     threads: Threads,
     cache: Option<&ArtifactCache>,
 ) -> Result<ExtractOutcome, Error> {
@@ -974,7 +976,7 @@ pub fn run_extract(
     let samples = base.collection.samples_per_category;
     let profile_n = ((samples as f64 * profile_fraction).round() as usize).clamp(1, samples);
 
-    let jobs: Vec<(usize, &'static str, Option<Countermeasure>)> = extraction_arms()
+    let jobs: Vec<(usize, &'static str, Option<Countermeasure>)> = extraction_arms(dummy_events)
         .iter()
         .enumerate()
         .map(|(i, (name, cm))| (i, *name, *cm))
@@ -982,7 +984,7 @@ pub fn run_extract(
     let pool = Pool::new(threads);
     let results = pool.par_map(jobs, |(index, name, cm)| {
         let _span = scnn_obs::Span::enter_indexed("extract.arm", index as u64);
-        let (corpus, hit) = obtain_traces(base, &net, &test_set, index, cm, cache)?;
+        let (corpus, hit) = obtain_traces(base, &net, &test_set, cm, cache)?;
         let (hypothesis, arm_score, agreement) = profile_and_score(&corpus, profile_n, &truth)?;
         let row = ExtractRow {
             arm: name.to_owned(),
@@ -1261,7 +1263,7 @@ mod tests {
     fn run_extract_rejects_bad_profile_fractions() {
         let cfg = ExperimentConfig::quick(DatasetKind::Mnist);
         for bad in [0.0, 1.0, -0.5, f64::NAN] {
-            let err = run_extract(&cfg, bad, Threads::Count(1), None);
+            let err = run_extract(&cfg, bad, 20_000, Threads::Count(1), None);
             assert!(
                 matches!(
                     err,

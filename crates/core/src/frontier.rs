@@ -1,0 +1,593 @@
+//! Leakage-vs-overhead Pareto frontier over the countermeasure suite.
+//!
+//! The paper stops at the observation that constant-footprint execution
+//! silences the alarm; the natural engineering question is *at what
+//! cost, and compared to what?* This module runs every
+//! [`Countermeasure`] arm (plus the unprotected baseline) through
+//! **both** adversaries — the pairwise-t-test evaluator (input
+//! recovery) and the architecture [`Extractor`](crate::extract) — and
+//! prices each arm with simulated cycle counts, then reports the
+//! Pareto-dominant set on the (leakage, overhead) plane.
+//!
+//! Axes:
+//!
+//! - **leakage** ∈ [0, 1] — the mean of the evaluator's
+//!   distinguishable-cell ratio and the extraction adversary's overall
+//!   recovery score. Both adversaries matter: shuffling scrambles the
+//!   *address* stream but leaves event *counts* intact, so it defeats
+//!   neither counter-based adversary here — the frontier makes that
+//!   honest and visible instead of letting "we added a countermeasure"
+//!   pass for "we are safe".
+//! - **overhead** — mean simulated [`Cycles`](HpcEvent::Cycles) per
+//!   traced inference, relative to the baseline arm.
+//!
+//! The calibrated-noise arm replaces the ablation's hard-coded
+//! dummy-event budget with a measured one: its volume is doubled until
+//! the evaluator's max |t| falls below a target (see
+//! [`calibrate_noise`]), so the reported overhead is the *price of the
+//! threshold*, not of a guess.
+//!
+//! Determinism mirrors the sweep: arms are ordered coarse-grain
+//! [`Pool`] jobs with single-threaded interiors, and every random
+//! stream is seeded from the countermeasure's canonical JSON
+//! ([`artifact::cm_seed_tag`]), so output is byte-identical at every
+//! thread count and cold-vs-warm cache state.
+
+use crate::artifact;
+use crate::collect::category_seed;
+use crate::countermeasure::Countermeasure;
+use crate::error::Error;
+use crate::evaluator::LeakageReport;
+use crate::extract;
+use crate::json::{ObjectWriter, ToJson};
+use crate::pipeline::{CacheUsage, Experiment, ExperimentConfig};
+use scnn_cache::ArtifactCache;
+use scnn_data::Dataset;
+use scnn_hpc::{CounterGroup, HpcEvent, Pmu, SimulatedPmu};
+use scnn_nn::Network;
+use scnn_par::{Pool, Threads};
+
+/// Tunable knobs of the frontier campaign — the CLI's `--dummy-events`,
+/// `--decoys` and `--target-t` flags land here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierOptions {
+    /// Mean dummy events of the fixed-budget noise arm.
+    pub dummy_events: u64,
+    /// Decoy classifications per real inference on the decoy arm.
+    pub decoys: u64,
+    /// Max-|t| target the calibrated-noise arm is driven toward.
+    pub target_t: f64,
+    /// Fraction of each trace corpus used for extraction profiling.
+    pub profile_fraction: f64,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions {
+            dummy_events: 20_000,
+            decoys: 3,
+            // Just below the evaluator's |t| threshold: calibration stops
+            // exactly when no pair is distinguishable any more.
+            target_t: 1.5,
+            profile_fraction: 0.6,
+        }
+    }
+}
+
+/// Evaluator-side leak statistics folded out of a [`LeakageReport`]:
+/// `(alarm, distinguishable cells, total cells, max |t|)`.
+///
+/// The frontier's alarm tests 48 cells at once (8 events × 6 pairs),
+/// so raw per-cell verdicts at 95% confidence would false-alarm on
+/// ~2.4 quiet cells per arm. When the report carries Holm-corrected
+/// verdicts (the frontier always requests them) those are used for the
+/// alarm and the cell count, keeping the family-wise error controlled;
+/// max |t| stays the raw statistic either way.
+fn leak_stats(report: &LeakageReport) -> (bool, usize, usize, f64) {
+    let mut distinguishable = 0;
+    let mut total = 0;
+    let mut max_abs_t = 0.0f64;
+    for ev in &report.per_event {
+        let verdicts = ev.holm.as_ref().unwrap_or(&ev.pairwise);
+        total += verdicts.pairs.len();
+        distinguishable += verdicts.leak_count();
+        for p in &ev.pairwise.pairs {
+            max_abs_t = max_abs_t.max(p.test.t.abs());
+        }
+    }
+    (distinguishable > 0, distinguishable, total, max_abs_t)
+}
+
+/// One arm of the frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Arm name (`baseline`, `constant-time`, …).
+    pub arm: String,
+    /// The countermeasure active on this arm (`None` on the baseline).
+    pub countermeasure: Option<Countermeasure>,
+    /// Whether the evaluator raised the alarm.
+    pub alarm: bool,
+    /// Distinguishable `(event, category-pair)` cells.
+    pub distinguishable_pairs: usize,
+    /// Total cells tested.
+    pub total_pairs: usize,
+    /// Largest |t| across all events and pairs.
+    pub max_abs_t: f64,
+    /// The extraction adversary's overall recovery score ∈ [0, 1].
+    pub extraction_overall: f64,
+    /// Mean simulated cycles per traced inference.
+    pub mean_cycles: f64,
+    /// `mean_cycles` relative to the baseline arm (1.0 there).
+    pub overhead: f64,
+    /// Combined leakage scalar ∈ [0, 1]: mean of the cell ratio and the
+    /// extraction score.
+    pub leakage: f64,
+    /// Member of the Pareto-dominant set (never the baseline).
+    pub pareto: bool,
+    /// Held-out accuracy of the victim model.
+    pub test_accuracy: f64,
+    /// What the artifact cache contributed to the evaluator run.
+    pub cache: CacheUsage,
+    /// The extraction trace corpus was restored from the cache.
+    pub trace_cache_hit: bool,
+}
+
+impl ToJson for FrontierRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = ObjectWriter::new(out);
+        obj.field("arm", &self.arm)
+            .field("countermeasure", &self.countermeasure)
+            .field("alarm", &self.alarm)
+            .field("distinguishable_pairs", &self.distinguishable_pairs)
+            .field("total_pairs", &self.total_pairs)
+            .field("max_abs_t", &self.max_abs_t)
+            .field("extraction_overall", &self.extraction_overall)
+            .field("mean_cycles", &self.mean_cycles)
+            .field("overhead", &self.overhead)
+            .field("leakage", &self.leakage)
+            .field("pareto", &self.pareto)
+            .field("test_accuracy", &self.test_accuracy)
+            .field("trace_cache_hit", &self.trace_cache_hit);
+        obj.finish();
+    }
+}
+
+/// The frontier campaign's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierOutcome {
+    /// One row per arm, baseline first, in fixed arm order.
+    pub rows: Vec<FrontierRow>,
+    /// The dummy-event volume the calibrated-noise arm converged to.
+    pub calibrated_dummy_events: u64,
+    /// The |t| target calibration drove toward.
+    pub target_t: f64,
+}
+
+impl FrontierOutcome {
+    /// Arm names of the Pareto-dominant set, in row order.
+    pub fn pareto_arms(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| r.arm.as_str())
+            .collect()
+    }
+
+    /// Renders the frontier table for stdout.
+    ///
+    /// Column layout is fixed (not derived from the data), so the same
+    /// numbers always produce byte-identical output.
+    pub fn render_table(&self) -> String {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.arm.len())
+            .max()
+            .unwrap_or(3)
+            .max("arm".len());
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>5}  {:>7}  {:>9}  {:>7}  {:>7}  {:>8}  {:>6}\n",
+            "arm", "alarm", "cells", "max |t|", "extract", "leakage", "overhead", "pareto"
+        ));
+        out.push_str(&format!(
+            "{:<name_w$}  {:>5}  {:>7}  {:>9}  {:>7}  {:>7}  {:>8}  {:>6}\n",
+            "-".repeat(name_w),
+            "-----",
+            "-------",
+            "---------",
+            "-------",
+            "-------",
+            "--------",
+            "------"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>5}  {:>3}/{:<3}  {:>9.2}  {:>7.2}  {:>7.2}  {:>7.2}x  {:>6}\n",
+                row.arm,
+                if row.alarm { "YES" } else { "no" },
+                row.distinguishable_pairs,
+                row.total_pairs,
+                row.max_abs_t,
+                row.extraction_overall,
+                row.leakage,
+                row.overhead,
+                if row.pareto { "*" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for FrontierOutcome {
+    fn write_json(&self, out: &mut String) {
+        struct Names(Vec<String>);
+        impl ToJson for Names {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                for (i, name) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    name.write_json(out);
+                }
+                out.push(']');
+            }
+        }
+        let pareto = Names(self.pareto_arms().iter().map(|s| (*s).to_owned()).collect());
+        let mut obj = ObjectWriter::new(out);
+        obj.field("rows", &self.rows)
+            .field("pareto", &pareto)
+            .field("calibrated_dummy_events", &self.calibrated_dummy_events)
+            .field("target_t", &self.target_t);
+        obj.finish();
+    }
+}
+
+/// The fixed arm list, baseline first. The calibrated-noise arm is
+/// appended by [`run_frontier`] once its volume is known.
+fn fixed_arms(opts: &FrontierOptions) -> Vec<(&'static str, Option<Countermeasure>)> {
+    vec![
+        ("baseline", None),
+        ("constant-time", Some(Countermeasure::ConstantTime)),
+        ("shuffle", Some(Countermeasure::Shuffle)),
+        (
+            "noise-injection",
+            Some(Countermeasure::NoiseInjection {
+                dummy_events: opts.dummy_events,
+            }),
+        ),
+        (
+            "decoy-inference",
+            Some(Countermeasure::DecoyInference {
+                decoys: opts.decoys,
+            }),
+        ),
+        ("oblivious-shape", Some(Countermeasure::ObliviousShape)),
+    ]
+}
+
+/// Calibration floor and ceiling for the dummy-event search.
+const CALIBRATE_START: u64 = 2_000;
+const CALIBRATE_CAP: u64 = 512_000;
+
+/// Finds the dummy-event volume at which noise injection pushes the
+/// evaluator's max |t| below `target_t`, by doubling from
+/// [`CALIBRATE_START`]: each probe volume runs the full (cache-resumed)
+/// evaluation under `CalibratedNoise`, so a warm rerun replays the
+/// whole search from checkpoints. Returns the converged volume, or the
+/// cap when even [`CALIBRATE_CAP`] still leaks.
+///
+/// # Errors
+///
+/// Propagates the first failing calibration experiment.
+pub fn calibrate_noise(
+    base: &ExperimentConfig,
+    target_t: f64,
+    threads: Threads,
+    cache: Option<&ArtifactCache>,
+) -> Result<u64, Error> {
+    let _span = scnn_obs::Span::enter("frontier.calibrate");
+    let mut volume = CALIBRATE_START;
+    loop {
+        let mut cfg = base.clone().threads(threads);
+        cfg.countermeasure = Some(Countermeasure::CalibratedNoise {
+            target_t,
+            dummy_events: volume,
+        });
+        let experiment = Experiment::new(cfg);
+        let outcome = match cache {
+            Some(cache) => experiment.run_cached(cache)?,
+            None => experiment.run()?,
+        };
+        let (_, _, _, max_abs_t) = leak_stats(&outcome.report);
+        scnn_obs::counter_add("frontier.calibration-runs", 1);
+        if max_abs_t <= target_t || volume >= CALIBRATE_CAP {
+            return Ok(volume);
+        }
+        volume *= 2;
+    }
+}
+
+/// Traced inferences averaged for the overhead axis.
+const OVERHEAD_REPS: usize = 4;
+
+/// Mean simulated cycles per traced inference under `cm`, over
+/// [`OVERHEAD_REPS`] test images. Seeded from the countermeasure's
+/// canonical JSON, like every other per-arm stream.
+fn mean_cycles(
+    base: &ExperimentConfig,
+    net: &Network,
+    test_set: &Dataset,
+    cm: Option<Countermeasure>,
+) -> Result<f64, Error> {
+    let mut cfg = base.clone();
+    cfg.countermeasure = cm;
+    let tag = artifact::cm_seed_tag(&cfg) as usize;
+    let mut pmu = SimulatedPmu::new(base.pmu, category_seed(base.seed ^ 0xF507, tag))?;
+    let group = CounterGroup::new(vec![HpcEvent::Cycles], 1)?;
+    let mut classifier: Box<dyn crate::collect::TracedClassifier> = match cm {
+        None => Box::new(net.clone()),
+        Some(cm) => Box::new(crate::countermeasure::ProtectedModel::new(
+            net.clone(),
+            cm,
+            category_seed(base.seed ^ 0xF508, tag),
+        )),
+    };
+    let mut total = 0u64;
+    for rep in 0..OVERHEAD_REPS {
+        let (image, _) = test_set
+            .get(rep % test_set.len())
+            .ok_or_else(|| Error::msg("overhead measurement needs a non-empty test set"))?;
+        let mut nn_err: Option<scnn_nn::NnError> = None;
+        let m = pmu.measure(&group, &mut |probe| {
+            if let Err(e) = classifier.classify_traced(image, probe) {
+                nn_err = Some(e);
+            }
+        })?;
+        if let Some(e) = nn_err {
+            return Err(e.into());
+        }
+        total += m.value(HpcEvent::Cycles).unwrap_or(0);
+    }
+    Ok(total as f64 / OVERHEAD_REPS as f64)
+}
+
+/// Marks the Pareto-dominant set in place: non-baseline arms whose
+/// leakage strictly improves on the baseline's and that no other such
+/// candidate weakly dominates on (leakage, overhead), both minimized.
+fn mark_pareto(rows: &mut [FrontierRow]) {
+    let baseline_leakage = rows[0].leakage;
+    let candidate: Vec<bool> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| i != 0 && r.leakage < baseline_leakage)
+        .collect();
+    for i in 0..rows.len() {
+        if !candidate[i] {
+            continue;
+        }
+        let dominated = rows.iter().enumerate().any(|(j, other)| {
+            candidate[j]
+                && j != i
+                && other.leakage <= rows[i].leakage
+                && other.overhead <= rows[i].overhead
+                && (other.leakage < rows[i].leakage || other.overhead < rows[i].overhead)
+        });
+        rows[i].pareto = !dominated;
+    }
+}
+
+/// Runs the frontier campaign: calibrates the noise arm, then evaluates
+/// every arm against both adversaries and the cycle meter, and marks
+/// the Pareto-dominant set.
+///
+/// Arms run as ordered coarse-grain jobs on a [`Pool`] with `threads`
+/// workers (inner experiments forced to one thread); with a `cache`,
+/// the model artifact is shared across arms (and with every other
+/// subcommand), each arm's observations resume per category, and each
+/// arm's extraction corpus is checkpointed under its content-addressed
+/// trace key.
+///
+/// # Errors
+///
+/// Returns [`Error`] when `profile_fraction` lies outside `(0, 1)` or
+/// any arm's training, measurement or profiling fails.
+pub fn run_frontier(
+    base: &ExperimentConfig,
+    opts: &FrontierOptions,
+    threads: Threads,
+    cache: Option<&ArtifactCache>,
+) -> Result<FrontierOutcome, Error> {
+    if !opts.profile_fraction.is_finite()
+        || opts.profile_fraction <= 0.0
+        || opts.profile_fraction >= 1.0
+    {
+        return Err(crate::attack::AttackError::InvalidProfileFraction {
+            fraction: opts.profile_fraction,
+        }
+        .into());
+    }
+    let _span = scnn_obs::Span::enter("frontier.run");
+    let mut base = base.clone();
+    // Both adversaries watch the full Fig 2b event set, like the sweep.
+    base.collection.events = scnn_hpc::HpcEvent::FIG2B.to_vec();
+    // 48 cells per arm: correct the alarm for multiple testing (see
+    // `leak_stats`) so a quiet arm is not condemned by per-cell noise.
+    base.evaluator.holm_alpha = Some(0.05);
+
+    // Everything downstream shares one victim: train it (or restore it)
+    // once, before any arm runs, so concurrent jobs never race to train.
+    let net = {
+        let _warm = scnn_obs::Span::enter("frontier.warm-model");
+        extract::obtain_model(&base, cache)?
+    };
+    let test_set = base.generate_dataset(base.test_per_class, base.seed ^ 0xFACE)?;
+    let (first_image, _) = test_set
+        .get(0)
+        .ok_or_else(|| Error::msg("frontier needs a non-empty test set"))?;
+    let truth = extract::ground_truth(&net, first_image.shape())?;
+
+    let calibrated = calibrate_noise(&base, opts.target_t, threads, cache)?;
+
+    let samples = base.collection.samples_per_category;
+    let profile_n = ((samples as f64 * opts.profile_fraction).round() as usize).clamp(1, samples);
+
+    let mut arms = fixed_arms(opts);
+    arms.push((
+        "calibrated-noise",
+        Some(Countermeasure::CalibratedNoise {
+            target_t: opts.target_t,
+            dummy_events: calibrated,
+        }),
+    ));
+
+    let jobs: Vec<(usize, &'static str, Option<Countermeasure>)> = arms
+        .iter()
+        .enumerate()
+        .map(|(i, (name, cm))| (i, *name, *cm))
+        .collect();
+    let pool = Pool::new(threads);
+    let results = pool.par_map(jobs, |(index, name, cm)| {
+        let _span = scnn_obs::Span::enter_indexed("frontier.arm", index as u64);
+        // Evaluator adversary: the full pairwise-t-test experiment.
+        let mut cfg = base.clone().threads(Threads::Count(1));
+        cfg.countermeasure = cm;
+        let experiment = Experiment::new(cfg);
+        let outcome = match cache {
+            Some(cache) => experiment.run_cached(cache)?,
+            None => experiment.run()?,
+        };
+        let (alarm, distinguishable, total, max_abs_t) = leak_stats(&outcome.report);
+
+        // Extraction adversary: profile a trace corpus, score recovery.
+        let (corpus, trace_hit) = extract::obtain_traces(&base, &net, &test_set, cm, cache)?;
+        let (_, score, _) = extract::profile_and_score(&corpus, profile_n, &truth)?;
+
+        // Overhead axis: mean cycles per traced inference.
+        let cycles = mean_cycles(&base, &net, &test_set, cm)?;
+
+        let cell_ratio = if total == 0 {
+            0.0
+        } else {
+            distinguishable as f64 / total as f64
+        };
+        Ok::<FrontierRow, Error>(FrontierRow {
+            arm: name.to_owned(),
+            countermeasure: cm,
+            alarm,
+            distinguishable_pairs: distinguishable,
+            total_pairs: total,
+            max_abs_t,
+            extraction_overall: score.overall,
+            mean_cycles: cycles,
+            overhead: 0.0, // relative to baseline, filled below
+            leakage: 0.5 * cell_ratio + 0.5 * score.overall,
+            pareto: false, // marked below
+            test_accuracy: outcome.test_accuracy,
+            cache: outcome.cache,
+            trace_cache_hit: trace_hit,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    for row in results {
+        rows.push(row?);
+    }
+    let baseline_cycles = rows[0].mean_cycles;
+    for row in &mut rows {
+        row.overhead = if baseline_cycles > 0.0 {
+            row.mean_cycles / baseline_cycles
+        } else {
+            1.0
+        };
+    }
+    mark_pareto(&mut rows);
+    Ok(FrontierOutcome {
+        rows,
+        calibrated_dummy_events: calibrated,
+        target_t: opts.target_t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(arm: &str, leakage: f64, overhead: f64) -> FrontierRow {
+        FrontierRow {
+            arm: arm.to_owned(),
+            countermeasure: None,
+            alarm: false,
+            distinguishable_pairs: 0,
+            total_pairs: 10,
+            max_abs_t: 0.0,
+            extraction_overall: leakage,
+            mean_cycles: overhead,
+            overhead,
+            leakage,
+            pareto: false,
+            test_accuracy: 1.0,
+            cache: CacheUsage::default(),
+            trace_cache_hit: false,
+        }
+    }
+
+    #[test]
+    fn pareto_excludes_dominated_and_baseline() {
+        let mut rows = vec![
+            row("baseline", 0.9, 1.0),
+            row("cheap-leaky", 0.5, 1.1),
+            row("dominated", 0.6, 1.5), // beaten by cheap-leaky on both axes
+            row("tight", 0.1, 2.0),
+            row("worse-than-baseline", 0.95, 3.0),
+        ];
+        mark_pareto(&mut rows);
+        let pareto: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| r.arm.as_str())
+            .collect();
+        assert_eq!(pareto, ["cheap-leaky", "tight"]);
+    }
+
+    #[test]
+    fn pareto_keeps_ties_and_incomparables() {
+        // Two arms tied on both axes: neither strictly improves on the
+        // other, so both survive (weak dominance needs one strict edge).
+        let mut rows = vec![
+            row("baseline", 0.9, 1.0),
+            row("a", 0.4, 1.2),
+            row("b", 0.4, 1.2),
+        ];
+        mark_pareto(&mut rows);
+        assert!(rows[1].pareto && rows[2].pareto);
+        assert!(!rows[0].pareto, "the baseline is never on the frontier");
+    }
+
+    #[test]
+    fn render_table_is_fixed_layout() {
+        let mut rows = vec![row("baseline", 0.9, 1.0), row("constant-time", 0.2, 1.8)];
+        mark_pareto(&mut rows);
+        let outcome = FrontierOutcome {
+            rows,
+            calibrated_dummy_events: 4_000,
+            target_t: 1.5,
+        };
+        let table = outcome.render_table();
+        assert!(table.contains("overhead"));
+        assert!(table.contains("constant-time"));
+        assert_eq!(outcome.pareto_arms(), ["constant-time"]);
+        let json = outcome.to_json();
+        assert!(json.contains("\"pareto\":[\"constant-time\"]"), "{json}");
+        assert!(json.contains("\"calibrated_dummy_events\":4000"));
+    }
+
+    #[test]
+    fn options_default_matches_the_ablation_budget() {
+        let opts = FrontierOptions::default();
+        assert_eq!(opts.dummy_events, 20_000);
+        assert!(opts.target_t < 2.0, "target sits below the |t| threshold");
+        assert_eq!(fixed_arms(&opts).len(), 6, "six fixed arms + calibrated");
+    }
+}

@@ -353,6 +353,24 @@ impl ToJson for crate::countermeasure::Countermeasure {
                 obj.field("kind", "combined")
                     .field("dummy_events", &dummy_events);
             }
+            Countermeasure::Shuffle => {
+                obj.field("kind", "shuffle");
+            }
+            Countermeasure::DecoyInference { decoys } => {
+                obj.field("kind", "decoy-inference")
+                    .field("decoys", &decoys);
+            }
+            Countermeasure::ObliviousShape => {
+                obj.field("kind", "oblivious-shape");
+            }
+            Countermeasure::CalibratedNoise {
+                target_t,
+                dummy_events,
+            } => {
+                obj.field("kind", "calibrated-noise")
+                    .field("target_t", &target_t)
+                    .field("dummy_events", &dummy_events);
+            }
         }
         obj.finish();
     }

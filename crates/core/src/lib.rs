@@ -54,6 +54,7 @@ pub mod countermeasure;
 pub mod error;
 pub mod evaluator;
 pub mod extract;
+pub mod frontier;
 pub mod json;
 pub mod pipeline;
 pub mod report;
@@ -76,6 +77,7 @@ pub use extract::{
     run_extract, ArchitectureHypothesis, ExtractOutcome, Extractor, InferenceTrace,
     LayerHypothesis, LayerKind, RecoveryScore, TraceCorpus,
 };
+pub use frontier::{run_frontier, FrontierOptions, FrontierOutcome, FrontierRow};
 pub use json::ToJson;
 pub use pipeline::{
     Architecture, CacheUsage, DatasetKind, Experiment, ExperimentConfig, ExperimentOutcome,

@@ -20,6 +20,7 @@
 use crate::addr::{Region, SegmentAllocator};
 use crate::exec::{ExecContext, Site};
 use crate::layer::{Layer, Mode, NnError, Param, Result};
+use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use scnn_tensor::gemm::{self, GemmInit, GemmScratch};
 use scnn_tensor::ops::{self, Window2d};
 use scnn_tensor::{Init, Shape, ShapeError, Tensor};
@@ -65,6 +66,10 @@ pub struct Conv2d {
     out_channels: usize,
     win: Window2d,
     style: ConvStyle,
+    /// When set, the traced kernel reports input-pixel loads through a
+    /// seeded permutation of the activation address space (runtime-only
+    /// state, never serialized — see [`Layer::set_shuffle`]).
+    shuffle: Option<u64>,
     filter_region: Option<Region>,
     bias_region: Option<Region>,
     cached_input: Option<Tensor>,
@@ -96,6 +101,7 @@ impl Conv2d {
             out_channels,
             win: Window2d::simple(kernel),
             style,
+            shuffle: None,
             filter_region: None,
             bias_region: None,
             cached_input: None,
@@ -127,6 +133,7 @@ impl Conv2d {
             out_channels: f,
             win: Window2d::simple(kh),
             style,
+            shuffle: None,
             filter_region: None,
             bias_region: None,
             cached_input: None,
@@ -454,6 +461,16 @@ impl Layer for Conv2d {
         ctx.counted_loop(Site::LOOP, out_shape.len());
 
         let zero_skip = self.style == ConvStyle::ZeroSkip;
+        // With shuffling armed, input-pixel loads are reported through a
+        // seeded permutation of the activation index space: the probe
+        // sees a scrambled address layout while the scatter itself (and
+        // with it every number) runs in its usual order.
+        let perm = self.shuffle.map(|seed| {
+            let salt = ((self.in_channels as u64) << 32) | self.out_channels as u64;
+            let mut perm: Vec<usize> = (0..input.len()).collect();
+            perm.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ salt));
+            perm
+        });
         let mut pixel_count = 0usize;
         let mut scratch_cursor = 0usize;
         let out = {
@@ -463,7 +480,8 @@ impl Layer for Conv2d {
                 input,
                 |ii, skipped| {
                     let mut c = ctx_cell.borrow_mut();
-                    c.load(Site::ACT, input_region, ii);
+                    let reported = perm.as_ref().map_or(ii, |p| p[ii]);
+                    c.load(Site::ACT, input_region, reported);
                     if zero_skip {
                         c.branch(Site::SKIP, skipped);
                     }
@@ -563,6 +581,10 @@ impl Layer for Conv2d {
         } else {
             ConvStyle::ZeroSkip
         };
+    }
+
+    fn set_shuffle(&mut self, seed: Option<u64>) {
+        self.shuffle = seed;
     }
 
     fn spec(&self) -> crate::spec::LayerSpec {

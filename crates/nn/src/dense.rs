@@ -15,6 +15,7 @@
 use crate::addr::{Region, SegmentAllocator};
 use crate::exec::{ExecContext, Site};
 use crate::layer::{Layer, Mode, NnError, Param, Result};
+use scnn_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use scnn_tensor::ops::{self, GemmInit, GemmScratch};
 use scnn_tensor::{Init, Shape, ShapeError, Tensor};
 
@@ -38,6 +39,10 @@ pub struct Dense {
     in_dim: usize,
     out_dim: usize,
     style: DenseStyle,
+    /// When set, the traced kernel visits input activations in a seeded
+    /// random order instead of ascending index order (runtime-only state,
+    /// never serialized — see [`Layer::set_shuffle`]).
+    shuffle: Option<u64>,
     weight_region: Option<Region>,
     bias_region: Option<Region>,
     cached_input: Option<Tensor>,
@@ -57,6 +62,7 @@ impl Dense {
             in_dim,
             out_dim,
             style,
+            shuffle: None,
             weight_region: None,
             bias_region: None,
             cached_input: None,
@@ -80,6 +86,7 @@ impl Dense {
             in_dim,
             out_dim,
             style,
+            shuffle: None,
             weight_region: None,
             bias_region: None,
             cached_input: None,
@@ -184,7 +191,20 @@ impl Layer for Dense {
         ctx.counted_loop(Site::LOOP, self.out_dim);
 
         let x = input.as_slice();
-        for (i, &xi) in x.iter().enumerate() {
+        // With shuffling armed, the input-stationary walk visits the
+        // activations in a seeded random order — the probe sees permuted
+        // activation/weight addresses and a decorrelated skip pattern.
+        // The numeric output is untouched either way: it comes from the
+        // separate branch-free fold below.
+        let order = self.shuffle.map(|seed| {
+            let salt = ((self.in_dim as u64) << 32) | self.out_dim as u64;
+            let mut order: Vec<usize> = (0..self.in_dim).collect();
+            order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ salt));
+            order
+        });
+        for step in 0..self.in_dim {
+            let i = order.as_ref().map_or(step, |o| o[step]);
+            let xi = x[i];
             ctx.load(Site::ACT, input_region, i);
             match self.style {
                 DenseStyle::ZeroSkip => {
@@ -323,6 +343,10 @@ impl Layer for Dense {
         } else {
             DenseStyle::ZeroSkip
         };
+    }
+
+    fn set_shuffle(&mut self, seed: Option<u64>) {
+        self.shuffle = seed;
     }
 
     fn spec(&self) -> crate::spec::LayerSpec {
@@ -497,6 +521,37 @@ mod tests {
         let a2 = addrs(&d);
         assert_eq!(a1, a2);
         assert!(a1.iter().any(|&a| a >= w1.base() && a < w1.end()));
+    }
+
+    #[test]
+    fn shuffle_permutes_trace_but_not_numbers() {
+        let x = Tensor::from_slice(&[0.5, 0.0, -1.0, 2.0]);
+        let mut reference = layer(DenseStyle::ZeroSkip);
+        let want = reference.forward(&x, Mode::Infer).unwrap();
+        let trace = |shuffle: Option<u64>| {
+            let mut d = layer(DenseStyle::ZeroSkip);
+            d.set_shuffle(shuffle);
+            let mut probe = RecordingProbe::default();
+            let got = {
+                let mut ctx = ExecContext::new(&mut probe);
+                let region = ctx.alloc_activation(4);
+                d.forward_traced(&x, region, &mut ctx).unwrap().0
+            };
+            (got, probe.addrs)
+        };
+        let (plain_out, plain_addrs) = trace(None);
+        let (shuf_out, shuf_addrs) = trace(Some(7));
+        assert_eq!(plain_out, want);
+        assert_eq!(shuf_out, want, "shuffling never changes the numbers");
+        assert_eq!(
+            plain_addrs.len(),
+            shuf_addrs.len(),
+            "shuffling permutes accesses, it does not add or drop any"
+        );
+        assert_ne!(plain_addrs, shuf_addrs, "the probe sees a permuted order");
+        // Distinct seeds give distinct permutations.
+        let (_, other) = trace(Some(8));
+        assert_ne!(shuf_addrs, other);
     }
 
     #[derive(Default)]

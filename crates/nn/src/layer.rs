@@ -203,6 +203,18 @@ pub trait Layer: Send + Sync {
         let _ = enabled;
     }
 
+    /// Arms (or disarms, with `None`) memory-access shuffling in the
+    /// *traced* kernel: the seed drives a per-layer permutation of the
+    /// activation visit order (dense) or reported activation addresses
+    /// (conv), so a probe sees a shuffled access stream while the numeric
+    /// output — computed by the branch-free reference fold — stays
+    /// bit-identical. The shuffle countermeasure of `scnn-core` re-seeds
+    /// this before every inference. Layers without data-dependent memory
+    /// traffic ignore it.
+    fn set_shuffle(&mut self, seed: Option<u64>) {
+        let _ = seed;
+    }
+
     /// A serializable description of this layer (architecture +
     /// parameters) for [`Network::to_bytes`](crate::Network::to_bytes).
     fn spec(&self) -> crate::spec::LayerSpec;

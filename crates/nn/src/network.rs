@@ -391,6 +391,18 @@ impl Network {
         }
     }
 
+    /// Arms (with `Some(seed)`) or disarms (with `None`) memory-access
+    /// shuffling in every layer's traced kernel (see
+    /// [`Layer::set_shuffle`]). Predictions are unaffected — only the
+    /// event stream a probe observes is permuted. The shuffle
+    /// countermeasure re-seeds this before every inference so no two
+    /// traces share a permutation.
+    pub fn set_shuffle(&mut self, seed: Option<u64>) {
+        for layer in &mut self.layers {
+            layer.set_shuffle(seed);
+        }
+    }
+
     /// True when every parameter is finite.
     pub fn all_finite(&mut self) -> bool {
         let mut ok = true;

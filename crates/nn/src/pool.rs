@@ -12,9 +12,13 @@ use scnn_tensor::{Shape, Tensor};
 /// maximum with a conditional branch; *which* comparisons succeed depends
 /// on the feature values, so the branch-outcome stream (and `branch-misses`)
 /// is input-dependent even though the retired branch count is constant.
+/// Under [`Layer::set_constant_time`] the comparison becomes a
+/// compare-and-blend max (ALU only, like the branchless ReLU), removing
+/// the last data-dependent branch outcomes from a protected inference.
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     win: Window2d,
+    constant_time: bool,
     cached: Option<PoolCache>,
 }
 
@@ -31,13 +35,18 @@ impl MaxPool2d {
     pub fn new(k: usize) -> Self {
         MaxPool2d {
             win: Window2d::strided(k, k),
+            constant_time: false,
             cached: None,
         }
     }
 
     /// Pooling with an explicit window.
     pub fn with_window(win: Window2d) -> Self {
-        MaxPool2d { win, cached: None }
+        MaxPool2d {
+            win,
+            constant_time: false,
+            cached: None,
+        }
     }
 
     fn geometry(&self, input: &Shape) -> Result<(usize, usize, usize, usize, usize)> {
@@ -127,6 +136,10 @@ impl Layer for MaxPool2d {
         Ok(Shape::from(vec![c, oh, ow]))
     }
 
+    fn set_constant_time(&mut self, enabled: bool) {
+        self.constant_time = enabled;
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let (out, argmax) = self.pool_with(input, |_, _, _, _| {})?;
         if mode == Mode::Train {
@@ -147,11 +160,17 @@ impl Layer for MaxPool2d {
         let out_shape = self.output_shape(input.shape())?;
         let out_region = ctx.alloc_activation(out_shape.len());
         let mut writes = 0usize;
+        let ct = self.constant_time;
         let (out, _) = self.pool_with(input, |oi, wpos, ii, new_max| {
             ctx.load(Site::ACT, input_region, ii);
             if wpos > 0 {
-                // The running-max comparison: data-dependent outcome.
-                ctx.branch(Site::POOL, new_max);
+                if ct {
+                    // Compare + blend: ALU only, no branch to mispredict.
+                    ctx.alu(1);
+                } else {
+                    // The running-max comparison: data-dependent outcome.
+                    ctx.branch(Site::POOL, new_max);
+                }
             }
             let _ = oi;
         })?;
@@ -296,6 +315,36 @@ mod tests {
         let descending =
             Tensor::from_vec((0..16).rev().map(|i| i as f32).collect(), [1, 4, 4]).unwrap();
         assert_ne!(taken(&ascending), taken(&descending));
+    }
+
+    #[test]
+    fn constant_time_pooling_emits_no_pool_branches() {
+        // Compare-and-blend max: same numbers, no data-dependent
+        // branch outcomes left for the predictor to leak.
+        let trace = |x: &Tensor| {
+            let mut pool = MaxPool2d::new(2);
+            pool.set_constant_time(true);
+            let want = pool.forward(x, Mode::Infer).unwrap();
+            let mut probe = CountingProbe::new();
+            let branches;
+            let taken;
+            let got;
+            {
+                let mut ctx = ExecContext::new(&mut probe);
+                let region = ctx.alloc_activation(x.len());
+                got = pool.forward_traced(x, region, &mut ctx).unwrap().0;
+                branches = probe.branches;
+                taken = probe.taken_branches;
+            }
+            assert_eq!(got, want);
+            (branches, taken)
+        };
+        let ascending = Tensor::from_vec((0..16).map(|i| i as f32).collect(), [1, 4, 4]).unwrap();
+        let descending =
+            Tensor::from_vec((0..16).rev().map(|i| i as f32).collect(), [1, 4, 4]).unwrap();
+        // Only the (value-independent) loop branches remain: identical
+        // counts and identical outcome streams across inputs.
+        assert_eq!(trace(&ascending), trace(&descending));
     }
 
     #[test]

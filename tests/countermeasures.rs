@@ -80,6 +80,42 @@ fn constant_time_defeats_the_attack() {
 }
 
 #[test]
+fn shuffle_preserves_predictions() {
+    let plain = Experiment::new(fast()).run().unwrap();
+    let shuffled = Experiment::new(fast().with_countermeasure(Countermeasure::Shuffle))
+        .run()
+        .unwrap();
+    assert_eq!(
+        plain.test_accuracy, shuffled.test_accuracy,
+        "shuffling permutes the traced access order, never the numbers"
+    );
+}
+
+#[test]
+fn oblivious_shape_equalises_footprints_across_categories() {
+    let outcome = Experiment::new(fast().with_countermeasure(Countermeasure::ObliviousShape))
+        .run()
+        .unwrap();
+    // Every layer window is padded to one shared ceiling, so under a
+    // quiet system each category's per-event distribution collapses to
+    // the same constant: nothing is left for any t-test to see.
+    for ev in &outcome.report.per_event {
+        assert_eq!(
+            ev.pairwise.leak_count(),
+            0,
+            "event {:?} still distinguishes a pair under oblivious shapes",
+            ev.event
+        );
+        let means: Vec<f64> = ev.summaries.iter().map(|s| s.mean()).collect();
+        assert!(
+            means.windows(2).all(|w| w[0] == w[1]),
+            "event {:?} footprints differ across categories: {means:?}",
+            ev.event
+        );
+    }
+}
+
+#[test]
 fn noise_injection_inflates_variance() {
     let plain = Experiment::new(fast()).run().unwrap();
     let noisy = Experiment::new(fast().with_countermeasure(Countermeasure::NoiseInjection {

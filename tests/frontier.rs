@@ -1,0 +1,158 @@
+//! Integration: the countermeasure leakage-vs-overhead frontier,
+//! checked through the public facade.
+//!
+//! The contracts under test (DESIGN.md §16):
+//!
+//! 1. **Full panel** — the campaign reports every fixed arm plus the
+//!    calibrated-noise arm, baseline first, each with a leakage scalar
+//!    in [0, 1] and a positive overhead normalized to 1 on the baseline.
+//! 2. **The alarm separates arms** — the baseline trips the evaluator
+//!    while at least two protected arms stay quiet.
+//! 3. **Pareto discipline** — the marked set is non-empty, never
+//!    contains the baseline, and contains no dominated member.
+//! 4. **Deterministic fan-out** — the outcome (struct, JSON, rendered
+//!    table) is byte-identical on one worker and four.
+//! 5. **Resume from cache** — a warm campaign against the same cache
+//!    directory reproduces the cold outcome, modulo cache-hit markers.
+
+use scnn::cache::ArtifactCache;
+use scnn::core::frontier::{run_frontier, FrontierOptions, FrontierOutcome};
+use scnn::core::pipeline::{CacheUsage, DatasetKind, ExperimentConfig};
+use scnn::core::ToJson;
+use scnn::par::Threads;
+
+fn config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(DatasetKind::Mnist)
+        .samples(8)
+        .epochs(1);
+    cfg.train_per_class = 6;
+    cfg.test_per_class = 3;
+    cfg
+}
+
+/// A generous |t| target keeps the calibration loop to a couple of
+/// doublings — the search logic still runs, the test stays fast.
+fn options() -> FrontierOptions {
+    FrontierOptions {
+        target_t: 25.0,
+        ..FrontierOptions::default()
+    }
+}
+
+fn scratch(tag: &str) -> (std::path::PathBuf, ArtifactCache) {
+    let dir = std::env::temp_dir().join(format!("scnn-it-frontier-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ArtifactCache::open(&dir).unwrap();
+    (dir, cache)
+}
+
+#[test]
+fn frontier_reports_every_arm_and_is_thread_invariant() {
+    let cfg = config();
+    let opts = options();
+    let one = run_frontier(&cfg, &opts, Threads::Count(1), None).unwrap();
+    let four = run_frontier(&cfg, &opts, Threads::Count(4), None).unwrap();
+    assert_eq!(one, four, "worker count must not affect the outcome");
+    assert_eq!(
+        one.to_json(),
+        four.to_json(),
+        "and the serialized outcome is byte-identical"
+    );
+    assert_eq!(
+        one.render_table(),
+        four.render_table(),
+        "and so is the rendered table"
+    );
+
+    assert!(one.rows.len() >= 6, "full panel: {}", one.render_table());
+    assert_eq!(one.rows[0].arm, "baseline");
+    assert_eq!(one.rows[0].overhead, 1.0, "overhead is baseline-relative");
+    for row in &one.rows {
+        assert!(
+            (0.0..=1.0).contains(&row.leakage),
+            "arm {} leakage {} escapes [0, 1]",
+            row.arm,
+            row.leakage
+        );
+        assert!(
+            row.overhead > 0.0 && row.mean_cycles > 0.0,
+            "arm {} has a degenerate overhead axis",
+            row.arm
+        );
+    }
+
+    assert!(
+        one.rows[0].alarm,
+        "the unprotected baseline must trip the alarm"
+    );
+    let quiet = one.rows.iter().skip(1).filter(|r| !r.alarm).count();
+    assert!(
+        quiet >= 2,
+        "at least two protected arms must silence the evaluator: {}",
+        one.render_table()
+    );
+
+    // Pareto discipline: non-empty, baseline-free, no dominated member.
+    let pareto: Vec<_> = one.rows.iter().filter(|r| r.pareto).collect();
+    assert!(!pareto.is_empty(), "{}", one.render_table());
+    assert!(pareto.iter().all(|r| r.arm != "baseline"));
+    for a in &pareto {
+        assert!(
+            a.leakage < one.rows[0].leakage,
+            "frontier member {} does not beat the baseline",
+            a.arm
+        );
+        for b in &pareto {
+            let dominates = a.arm != b.arm
+                && a.leakage <= b.leakage
+                && a.overhead <= b.overhead
+                && (a.leakage < b.leakage || a.overhead < b.overhead);
+            assert!(!dominates, "{} dominates frontier member {}", a.arm, b.arm);
+        }
+    }
+}
+
+#[test]
+fn warm_frontier_resumes_from_cache() {
+    let (dir, cache) = scratch("warm");
+    let cfg = config();
+    let opts = options();
+
+    let cold = run_frontier(&cfg, &opts, Threads::Count(2), Some(&cache)).unwrap();
+    assert!(
+        cold.rows.iter().all(|r| !r.trace_cache_hit),
+        "cold run traces every arm"
+    );
+    let warm = run_frontier(&cfg, &opts, Threads::Count(2), Some(&cache)).unwrap();
+    assert!(
+        warm.rows.iter().all(|r| r.trace_cache_hit),
+        "warm run restores every arm's trace corpus"
+    );
+    assert!(
+        warm.rows.iter().all(|r| r.cache.model_hit),
+        "warm run restores the shared victim model"
+    );
+    assert_eq!(
+        strip_cache(&cold),
+        strip_cache(&warm),
+        "verdicts identical modulo cache-hit markers"
+    );
+    assert_eq!(
+        cold.render_table(),
+        warm.render_table(),
+        "rendered tables byte-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The verdict parts of an outcome, with cache markers zeroed — cold
+/// and warm runs legitimately differ there and nowhere else.
+fn strip_cache(outcome: &FrontierOutcome) -> FrontierOutcome {
+    let mut out = outcome.clone();
+    for row in &mut out.rows {
+        row.trace_cache_hit = false;
+        row.cache = CacheUsage::default();
+    }
+    out
+}
